@@ -1,0 +1,127 @@
+// A5 (application, §2.2) — NetCache-style KV acceleration.
+//
+// "this idea can benefit many other on-switch applications including
+// key-value stores (e.g., NetCache) ... such slow-path forwarding
+// through the software can be eliminated or minimized."
+//
+// GET requests to a storage server: the switch answers hits from the
+// remote store with one RDMA READ and crafts the response itself; only
+// misses reach the backend CPU. Reported: latency distributions for
+// switch-answered vs backend-answered GETs and the backend CPU load, as
+// a function of the hit rate.
+#include <cstdio>
+#include <functional>
+
+#include "apps/kv_cache.hpp"
+#include "bench_util.hpp"
+#include "control/testbed.hpp"
+#include "host/sink.hpp"
+#include "sim/rng.hpp"
+#include "stats/histogram.hpp"
+
+using namespace xmem;
+
+namespace {
+
+constexpr std::uint64_t kRequests = 4000;
+constexpr std::uint64_t kKeys = 1024;
+
+struct Outcome {
+  double hit_pct = 0;
+  double hit_p50_us = 0;
+  double miss_p50_us = 0;
+  std::uint64_t backend_cpu = 0;
+};
+
+/// `stored_fraction` of the key space is preloaded into the store.
+Outcome run(double stored_fraction) {
+  control::Testbed tb;  // h0 client, h2 = backend + memory server
+  auto channel = tb.controller().setup_channel(tb.host(2), tb.port_of(2),
+                                               {.region_bytes = 1 << 20});
+  apps::KvAcceleratorApp accel(
+      tb.tor(), channel,
+      apps::KvAcceleratorApp::Config{.backend_port = tb.port_of(2)});
+  apps::KvBackend backend(
+      tb.host(2), control::ChannelController::region_bytes(tb.host(2), channel),
+      {});
+  const auto stored = static_cast<std::uint64_t>(
+      static_cast<double>(kKeys) * stored_fraction);
+  for (std::uint64_t k = 1; k <= stored; ++k) backend.put(k, k * 100);
+
+  // Client: closed-loop GETs over the whole key space, measuring per-
+  // request latency and classifying by response type.
+  stats::Histogram hit_us;
+  stats::Histogram miss_us;
+  sim::Rng rng(21);
+  std::uint64_t issued = 0;
+  sim::Time sent_at = 0;
+  std::function<void()> next = [&]() {
+    if (issued >= kRequests) return;
+    ++issued;
+    sent_at = tb.sim().now();
+    apps::KvRequest req{apps::KvOp::kGet, 1 + rng.uniform(kKeys), 0};
+    tb.host(0).send(net::build_udp_packet(
+        tb.host(0).mac(), tb.host(2).mac(), tb.host(0).ip(), tb.host(2).ip(),
+        5555, apps::kKvUdpPort, req.serialize()));
+  };
+  tb.host(0).set_app([&](net::Packet p, int) {
+    const std::size_t overhead = net::kEthernetHeaderBytes +
+                                 net::kIpv4HeaderBytes + net::kUdpHeaderBytes;
+    auto reply = apps::KvRequest::parse(p.bytes().subspan(overhead));
+    if (!reply) return;
+    const double us = sim::to_microseconds(tb.sim().now() - sent_at);
+    if (reply->op == apps::KvOp::kResponse) {
+      hit_us.add(us);
+    } else {
+      miss_us.add(us);
+    }
+    next();
+  });
+
+  next();
+  tb.sim().run();
+
+  Outcome out;
+  out.hit_pct = 100.0 * static_cast<double>(hit_us.count()) / kRequests;
+  out.hit_p50_us = hit_us.empty() ? 0 : hit_us.median();
+  out.miss_p50_us = miss_us.empty() ? 0 : miss_us.median();
+  out.backend_cpu = backend.cpu_gets();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("A5 (§2.2 application)", "NetCache-style KV acceleration",
+                "the switch answers GETs from remote memory; the software "
+                "slow path is eliminated or minimized");
+
+  stats::TablePrinter table({"stored keys", "switch-answered",
+                             "hit p50 (us)", "miss p50 (us)",
+                             "backend CPU GETs"});
+  Outcome full{};
+  for (const double fraction : {0.25, 0.5, 0.9, 1.0}) {
+    const Outcome o = run(fraction);
+    if (fraction == 1.0) full = o;
+    char label[32];
+    std::snprintf(label, sizeof(label), "%.0f%%", fraction * 100);
+    table.add_row({label, stats::TablePrinter::num(o.hit_pct) + "%",
+                   stats::TablePrinter::num(o.hit_p50_us),
+                   stats::TablePrinter::num(o.miss_p50_us),
+                   std::to_string(o.backend_cpu)});
+  }
+  table.print("A5: GET handling vs store population");
+
+  bench::note("the residual backend GETs at 100% population are hash-slot "
+              "collisions: two keys sharing a slot evict each other from "
+              "the direct-indexed store and fall back to the CPU safely — "
+              "the same §7 data-structure limitation as the lookup table.");
+  bench::verdict(
+      full.hit_pct == 100.0 &&
+          full.backend_cpu < kRequests / 20,
+      "fully-populated store: the switch answers everything except a "
+      "small collision tail (<5% of GETs reach the backend CPU)");
+  bench::verdict(full.hit_p50_us < run(0.25).miss_p50_us,
+                 "switch-answered GETs are faster than the CPU slow path");
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Shared scaffolding for the reproduction benches.
+//
+// Every bench regenerates one table or figure of the paper and prints:
+//   - a banner naming the experiment and the paper's reported values,
+//   - the measured rows through stats::TablePrinter,
+//   - a PASS/CHECK verdict line per headline claim so EXPERIMENTS.md can
+//     be filled mechanically.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "stats/table_printer.hpp"
+
+namespace xmem::bench {
+
+inline void banner(const std::string& experiment_id,
+                   const std::string& description,
+                   const std::string& paper_claim) {
+  std::printf("\n################################################################\n");
+  std::printf("# %s — %s\n", experiment_id.c_str(), description.c_str());
+  std::printf("# Paper reports: %s\n", paper_claim.c_str());
+  std::printf("################################################################\n");
+}
+
+inline void verdict(bool ok, const std::string& claim) {
+  std::printf("[%s] %s\n", ok ? "REPRODUCED" : "DIVERGED", claim.c_str());
+}
+
+inline void note(const std::string& text) {
+  std::printf("note: %s\n", text.c_str());
+}
+
+}  // namespace xmem::bench

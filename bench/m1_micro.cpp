@@ -1,0 +1,139 @@
+// M1 — engineering micro-benchmarks (google-benchmark).
+//
+// Not a paper table: these keep the substrate honest. Header
+// encode/decode, ICRC, table lookups, the event engine and the hash
+// functions are the per-packet costs every simulated experiment pays.
+#include <benchmark/benchmark.h>
+
+#include "net/checksum.hpp"
+#include "net/flow.hpp"
+#include "net/packet.hpp"
+#include "roce/packet.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+#include "switchsim/table.hpp"
+
+using namespace xmem;
+
+namespace {
+
+roce::RoceEndpoint ep(int i) {
+  return {net::MacAddress::from_index(static_cast<std::uint16_t>(i)),
+          net::Ipv4Address::from_index(static_cast<std::uint16_t>(i)),
+          0xc000};
+}
+
+void BM_BuildRoceWrite(benchmark::State& state) {
+  const std::vector<std::uint8_t> payload(
+      static_cast<std::size_t>(state.range(0)), 0x5a);
+  roce::RoceMessage msg;
+  msg.bth.opcode = roce::Opcode::kRdmaWriteOnly;
+  msg.reth = roce::Reth{0x1000, 0xaa,
+                        static_cast<std::uint32_t>(payload.size())};
+  msg.payload = payload;
+  for (auto _ : state) {
+    auto frame = roce::build_roce_packet(ep(1), ep(2), msg);
+    benchmark::DoNotOptimize(frame);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_BuildRoceWrite)->Arg(64)->Arg(1500);
+
+void BM_ParseRocePacket(benchmark::State& state) {
+  roce::RoceMessage msg;
+  msg.bth.opcode = roce::Opcode::kRdmaWriteOnly;
+  msg.reth = roce::Reth{0x1000, 0xaa, 1500};
+  msg.payload.assign(1500, 0x5a);
+  const net::Packet frame = roce::build_roce_packet(ep(1), ep(2), msg);
+  for (auto _ : state) {
+    auto parsed = roce::parse_roce_packet(frame);
+    benchmark::DoNotOptimize(parsed);
+  }
+}
+BENCHMARK(BM_ParseRocePacket);
+
+void BM_Crc32(benchmark::State& state) {
+  const std::vector<std::uint8_t> data(
+      static_cast<std::size_t>(state.range(0)), 0x33);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::crc32(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Crc32)->Arg(64)->Arg(1500);
+
+void BM_InternetChecksum(benchmark::State& state) {
+  const std::vector<std::uint8_t> data(1500, 0x44);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::internet_checksum(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          1500);
+}
+BENCHMARK(BM_InternetChecksum);
+
+void BM_Fnv1a(benchmark::State& state) {
+  const net::FiveTuple tuple{net::Ipv4Address(1, 2, 3, 4),
+                             net::Ipv4Address(5, 6, 7, 8), 9, 10, 17};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::flow_hash(tuple));
+  }
+}
+BENCHMARK(BM_Fnv1a);
+
+void BM_ExactTableLookup(benchmark::State& state) {
+  switchsim::ExactMatchTable table;
+  sim::Rng rng(1);
+  std::vector<switchsim::Key> keys;
+  for (int i = 0; i < state.range(0); ++i) {
+    switchsim::Key key(13);
+    for (auto& b : key) b = static_cast<std::uint8_t>(rng.next());
+    table.insert(key, switchsim::Action{});
+    keys.push_back(std::move(key));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.lookup(keys[i++ % keys.size()]));
+  }
+}
+BENCHMARK(BM_ExactTableLookup)->Arg(1024)->Arg(65536);
+
+void BM_EventQueueChurn(benchmark::State& state) {
+  sim::EventQueue queue;
+  sim::Time t = 0;
+  for (auto _ : state) {
+    queue.schedule(t + 100, [] {});
+    queue.schedule(t + 50, [] {});
+    queue.run_next();
+    queue.run_next();
+    t += 100;
+  }
+}
+BENCHMARK(BM_EventQueueChurn);
+
+void BM_UdpPacketBuild(benchmark::State& state) {
+  const std::vector<std::uint8_t> payload(1458, 0);
+  for (auto _ : state) {
+    auto p = net::build_udp_packet(
+        net::MacAddress::from_index(1), net::MacAddress::from_index(2),
+        net::Ipv4Address(10, 0, 0, 1), net::Ipv4Address(10, 0, 0, 2), 1, 2,
+        payload);
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_UdpPacketBuild);
+
+void BM_ZipfSample(benchmark::State& state) {
+  sim::Rng rng(3);
+  sim::ZipfGenerator zipf(1 << 20, 0.99, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf());
+  }
+}
+BENCHMARK(BM_ZipfSample);
+
+}  // namespace
+
+BENCHMARK_MAIN();

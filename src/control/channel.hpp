@@ -1,0 +1,43 @@
+// RDMA channel configuration: everything the control plane hands the
+// switch data plane so its primitives can craft RoCE packets —
+// "a remote queue pair number (QPN), a base address of the registered
+// memory region, and a remote access key (Rkey)" (§3), plus the L2/L3
+// addressing and the egress port toward the memory server.
+#pragma once
+
+#include <cstdint>
+
+#include "roce/packet.hpp"
+
+namespace xmem::control {
+
+/// L2/L3 identity the switch data plane uses as the source of the RoCE
+/// packets it crafts. Programmable switches have no host stack; this is
+/// simply header material.
+struct SwitchIdentity {
+  net::MacAddress mac;
+  net::Ipv4Address ip;
+};
+
+struct RdmaChannelConfig {
+  /// Switch-side endpoint (source of crafted requests).
+  roce::RoceEndpoint local;
+  /// The server RNIC endpoint (destination of requests).
+  roce::RoceEndpoint remote;
+  /// QPN the switch answers to (responses target this).
+  std::uint32_t local_qpn = 0;
+  /// QPN of the server RNIC's queue pair.
+  std::uint32_t remote_qpn = 0;
+  /// Registered region: access key, base VA and size.
+  std::uint32_t rkey = 0;
+  std::uint64_t base_va = 0;
+  std::size_t region_bytes = 0;
+  /// First PSN the responder expects.
+  std::uint32_t initial_psn = 0;
+  /// Path MTU agreed for the channel (bounds READ response segments).
+  std::size_t path_mtu = 4096;
+  /// Switch egress port that reaches the server RNIC.
+  int switch_port = -1;
+};
+
+}  // namespace xmem::control

@@ -1,0 +1,60 @@
+#include "control/channel_controller.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace xmem::control {
+
+RdmaChannelConfig ChannelController::setup_channel(host::Host& server,
+                                                   int switch_port,
+                                                   const ChannelSpec& spec) {
+  if (!server.has_rnic()) {
+    throw std::invalid_argument(
+        "ChannelController: memory server has no RNIC");
+  }
+  auto& nic = server.rnic();
+
+  // 1. Allocate and register the memory region on the server.
+  rnic::MemoryRegion& region =
+      nic.memory().register_region(spec.region_bytes, spec.access);
+
+  // 2. Create the server-side queue pair.
+  rnic::QueuePair& qp = nic.create_qp();
+
+  // 3. The "switch-side QP" is not a real RNIC object — it is a QPN the
+  //    switch data plane recognizes in response BTHs plus a PSN register.
+  const std::uint32_t switch_qpn = next_switch_qpn_++;
+  const std::uint16_t udp_port = next_udp_port_++;
+
+  RdmaChannelConfig config;
+  config.local = roce::RoceEndpoint{switch_identity_.mac, switch_identity_.ip,
+                                    udp_port};
+  config.remote = server.endpoint();
+  config.local_qpn = switch_qpn;
+  config.remote_qpn = qp.qpn;
+  config.rkey = region.rkey();
+  config.base_va = region.base_va();
+  config.region_bytes = region.length();
+  config.initial_psn = spec.initial_psn;
+  config.path_mtu = nic.profile().path_mtu;
+  config.switch_port = switch_port;
+
+  // 4. Transition the server QP to ready-to-receive, bound to the
+  //    switch's identity.
+  nic.connect_qp(qp.qpn, config.local, switch_qpn, spec.initial_psn);
+  qp.tolerate_psn_gaps = spec.tolerate_psn_gaps;
+
+  return config;
+}
+
+std::span<std::uint8_t> ChannelController::region_bytes(
+    host::Host& server, const RdmaChannelConfig& config) {
+  assert(server.has_rnic());
+  rnic::MemoryRegion* region = server.rnic().memory().find(config.rkey);
+  if (region == nullptr) {
+    throw std::invalid_argument("region_bytes: unknown rkey");
+  }
+  return region->bytes();
+}
+
+}  // namespace xmem::control

@@ -1,0 +1,56 @@
+// The RDMA channel controller (§3): the only CPU-involved piece of the
+// architecture. It allocates and registers memory regions on the server,
+// creates and connects a queue pair on the server RNIC, and produces the
+// RdmaChannelConfig that is pushed into switch data-plane state.
+//
+// After setup_channel() returns, the data path runs with zero server or
+// switch CPU involvement.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "control/channel.hpp"
+#include "host/host.hpp"
+#include "rnic/memory.hpp"
+
+namespace xmem::control {
+
+class ChannelController {
+ public:
+  explicit ChannelController(SwitchIdentity switch_identity)
+      : switch_identity_(switch_identity) {}
+
+  struct ChannelSpec {
+    std::size_t region_bytes = 1 << 20;
+    rnic::Access access = rnic::Access::kAll;
+    std::uint32_t initial_psn = 0;
+    /// Best-effort channels (the paper's default) survive lost requests;
+    /// strict RC sequencing is what the reliability extension needs.
+    bool tolerate_psn_gaps = true;
+  };
+
+  /// Set up one channel to `server` (which must have an RNIC), reachable
+  /// from the switch through `switch_port`.
+  RdmaChannelConfig setup_channel(host::Host& server, int switch_port,
+                                  const ChannelSpec& spec);
+
+  /// Control-plane (initialization-time) access to a region's bytes on
+  /// the server — used to pre-populate remote lookup tables and to read
+  /// back counters for verification.
+  static std::span<std::uint8_t> region_bytes(host::Host& server,
+                                              const RdmaChannelConfig& config);
+
+  [[nodiscard]] const SwitchIdentity& switch_identity() const {
+    return switch_identity_;
+  }
+
+ private:
+  SwitchIdentity switch_identity_;
+  /// Switch-side QPNs are allocated from a private space so several
+  /// primitives on one switch never collide.
+  std::uint32_t next_switch_qpn_ = 0x200;
+  std::uint16_t next_udp_port_ = 0xd000;
+};
+
+}  // namespace xmem::control

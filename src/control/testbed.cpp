@@ -1,0 +1,33 @@
+#include "control/testbed.hpp"
+
+namespace xmem::control {
+
+Testbed::Testbed(Config config) {
+  tor_ = std::make_unique<switchsim::ProgrammableSwitch>(
+      sim_, "tor", config.switch_config);
+
+  for (int i = 0; i < config.hosts; ++i) {
+    const auto index = static_cast<std::uint16_t>(i + 1);
+    auto host = std::make_unique<host::Host>(
+        sim_, "h" + std::to_string(i), net::MacAddress::from_index(index),
+        net::Ipv4Address::from_index(index));
+    int tor_port = -1;
+    int host_port = -1;
+    links_.push_back(topo::connect(sim_, *tor_, *host, config.link_rate,
+                                   config.link_propagation, &tor_port,
+                                   &host_port));
+    tor_ports_.push_back(tor_port);
+    tor_->set_l2_route(host->mac(), tor_port);
+    if (config.install_rnics) {
+      host->install_rnic(config.nic, host_port);
+    }
+    hosts_.push_back(std::move(host));
+  }
+
+  tor_->setup();
+
+  controller_ = std::make_unique<ChannelController>(SwitchIdentity{
+      net::MacAddress::from_index(0), net::Ipv4Address::from_index(0)});
+}
+
+}  // namespace xmem::control

@@ -1,0 +1,58 @@
+// The paper's testbed in a box: one programmable ToR switch with N
+// servers attached over equal links (the §5 setup is N=3: two traffic
+// endpoints plus one memory server). Every bench, example and
+// integration test builds on this.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "control/channel_controller.hpp"
+#include "host/host.hpp"
+#include "switchsim/switch.hpp"
+#include "topo/link.hpp"
+
+namespace xmem::control {
+
+class Testbed {
+ public:
+  struct Config {
+    int hosts = 3;
+    sim::Bandwidth link_rate = sim::gbps(40);
+    /// One-way propagation incl. PHY/serdes latency.
+    sim::Time link_propagation = sim::nanoseconds(150);
+    rnic::NicProfile nic;
+    switchsim::ProgrammableSwitch::Config switch_config;
+    bool install_rnics = true;
+  };
+
+  explicit Testbed(Config config);
+  Testbed() : Testbed(Config{}) {}
+
+  [[nodiscard]] sim::Simulator& sim() { return sim_; }
+  [[nodiscard]] switchsim::ProgrammableSwitch& tor() { return *tor_; }
+  [[nodiscard]] host::Host& host(int i) { return *hosts_.at(static_cast<std::size_t>(i)); }
+  [[nodiscard]] int host_count() const { return static_cast<int>(hosts_.size()); }
+  /// Switch port index that reaches host `i`.
+  [[nodiscard]] int port_of(int i) const {
+    return tor_ports_.at(static_cast<std::size_t>(i));
+  }
+  [[nodiscard]] topo::Link& link_of(int i) {
+    return *links_.at(static_cast<std::size_t>(i));
+  }
+  [[nodiscard]] ChannelController& controller() { return *controller_; }
+  [[nodiscard]] const SwitchIdentity& switch_identity() const {
+    return controller_->switch_identity();
+  }
+
+ private:
+  sim::Simulator sim_;
+  std::unique_ptr<switchsim::ProgrammableSwitch> tor_;
+  std::vector<std::unique_ptr<host::Host>> hosts_;
+  std::vector<std::unique_ptr<topo::Link>> links_;
+  std::vector<int> tor_ports_;
+  std::unique_ptr<ChannelController> controller_;
+};
+
+}  // namespace xmem::control

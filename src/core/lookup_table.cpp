@@ -1,0 +1,286 @@
+#include "core/lookup_table.hpp"
+
+#include <cassert>
+
+#include "core/primitive.hpp"
+#include "net/bytes.hpp"
+#include "net/flow.hpp"
+
+namespace xmem::core {
+
+using switchsim::Action;
+using switchsim::PipelineContext;
+
+namespace {
+
+std::optional<std::vector<std::uint8_t>> five_tuple_key(
+    const net::Packet& packet) {
+  auto tuple = net::extract_five_tuple(packet);
+  if (!tuple) return std::nullopt;
+  const auto k = tuple->key_bytes();
+  return std::vector<std::uint8_t>(k.begin(), k.end());
+}
+
+}  // namespace
+
+LookupTablePrimitive::LookupTablePrimitive(
+    switchsim::ProgrammableSwitch& sw,
+    std::vector<control::RdmaChannelConfig> channels, Config config)
+    : switch_(&sw), config_(std::move(config)) {
+  assert(!channels.empty());
+  assert(config_.entry_bytes > kFrameOffset);
+  const std::size_t region_bytes = channels.front().region_bytes;
+  for (auto& cfg : channels) {
+    assert(cfg.region_bytes == region_bytes && "shards must be equal size");
+    assert(config_.entry_bytes <= cfg.path_mtu &&
+           "entries must fit one READ response segment");
+    channels_.push_back(std::make_unique<RdmaChannel>(sw, std::move(cfg)));
+  }
+  if (!config_.key_fn) config_.key_fn = five_tuple_key;
+  entries_per_shard_ = region_bytes / config_.entry_bytes;
+  n_entries_ = entries_per_shard_ * channels_.size();
+  assert(n_entries_ > 0);
+
+  sw.add_ingress_stage("lookup-table",
+                       [this](PipelineContext& ctx) { on_ingress(ctx); });
+}
+
+std::uint64_t LookupTablePrimitive::index_for_key(
+    std::span<const std::uint8_t> key, std::size_t n_entries,
+    std::uint64_t seed) {
+  return net::fnv1a(key, seed) % n_entries;
+}
+
+std::uint64_t LookupTablePrimitive::key_check_hash(
+    std::span<const std::uint8_t> key) {
+  // Independent second hash: different seed constant.
+  return net::fnv1a(key, 0xdeadbeefcafef00dULL);
+}
+
+std::uint64_t LookupTablePrimitive::install_entry(
+    std::span<std::uint8_t> region, std::size_t entry_bytes,
+    std::span<const std::uint8_t> key, const Action& action,
+    std::uint64_t seed) {
+  const std::size_t n_entries = region.size() / entry_bytes;
+  const std::uint64_t idx = index_for_key(key, n_entries, seed);
+
+  std::vector<std::uint8_t> buf;
+  buf.reserve(kLenOffset);
+  net::ByteWriter w(buf);
+  action.serialize(w);
+  w.u64(key_check_hash(key));
+
+  auto slot = region.subspan(idx * entry_bytes, entry_bytes);
+  std::copy(buf.begin(), buf.end(), slot.begin());
+  return idx;
+}
+
+std::pair<std::size_t, std::uint64_t>
+LookupTablePrimitive::install_entry_sharded(
+    std::span<const std::span<std::uint8_t>> regions, std::size_t entry_bytes,
+    std::span<const std::uint8_t> key, const Action& action,
+    std::uint64_t seed) {
+  assert(!regions.empty());
+  const std::size_t per_shard = regions.front().size() / entry_bytes;
+  const std::size_t total = per_shard * regions.size();
+  const std::uint64_t idx = index_for_key(key, total, seed);
+  const std::size_t shard = idx % regions.size();
+  const std::uint64_t slot = idx / regions.size();
+
+  std::vector<std::uint8_t> buf;
+  net::ByteWriter w(buf);
+  action.serialize(w);
+  w.u64(key_check_hash(key));
+  auto dst = regions[shard].subspan(slot * entry_bytes, entry_bytes);
+  std::copy(buf.begin(), buf.end(), dst.begin());
+  return {shard, slot};
+}
+
+void LookupTablePrimitive::on_ingress(PipelineContext& ctx) {
+  if (auto msg = roce_view(ctx)) {
+    for (std::size_t shard = 0; shard < channels_.size(); ++shard) {
+      if (channels_[shard]->owns(*msg)) {
+        handle_response(shard, *msg);
+        ctx.consume();
+        return;
+      }
+    }
+    return;
+  }
+
+  auto key = config_.key_fn(ctx.packet);
+  if (!key) return;  // not table traffic
+
+  // Local SRAM cache first: a hit applies the action with no remote
+  // access at all.
+  if (config_.cache_capacity > 0) {
+    auto it = cache_.find(*key);
+    if (it != cache_.end()) {
+      ++stats_.cache_hits;
+      auto egress = apply_action(it->second, ctx.packet);
+      if (egress) {
+        ctx.egress_port = *egress;
+      } else {
+        ctx.drop();
+      }
+      return;
+    }
+  }
+
+  remote_lookup(ctx, *key);
+}
+
+void LookupTablePrimitive::remote_lookup(PipelineContext& ctx,
+                                         std::span<const std::uint8_t> key) {
+  ++stats_.remote_lookups;
+  const std::uint64_t idx =
+      index_for_key(key, n_entries_, config_.hash_seed);
+  const std::size_t shard = static_cast<std::size_t>(idx % channels_.size());
+  const std::uint64_t slot = idx / channels_.size();
+  RdmaChannel& channel = *channels_[shard];
+  const std::uint64_t va =
+      channel.config().base_va + slot * config_.entry_bytes;
+
+  if (config_.mode == Mode::kBounce) {
+    // Deposit the original packet into the entry's packet slot, then
+    // read the whole entry back. No switch-side per-packet state.
+    if (kFrameOffset + ctx.packet.size() > config_.entry_bytes) {
+      // The slot cannot hold this packet; depositing would clobber the
+      // neighbouring entry. Size entry_bytes for the MTU of table
+      // traffic.
+      ++stats_.oversized_drops;
+      ctx.drop();
+      return;
+    }
+    std::vector<std::uint8_t> deposit;
+    deposit.reserve(4 + ctx.packet.size());
+    net::ByteWriter w(deposit);
+    w.u32(static_cast<std::uint32_t>(ctx.packet.size()));
+    w.bytes(ctx.packet.bytes());
+    channel.post_write(va + kLenOffset, deposit);
+
+    const std::uint32_t psn = channel.post_read(
+        va, static_cast<std::uint32_t>(config_.entry_bytes));
+    inflight_.emplace(ShardPsn{shard, psn}, true);
+    ctx.consume();
+  } else {
+    // Recirculate variant: hold the original, fetch only the action and
+    // the key-check word.
+    const std::uint32_t psn = channel.post_read(
+        va, static_cast<std::uint32_t>(kLenOffset));
+    pending_.emplace(ShardPsn{shard, psn}, ctx.packet.clone());
+    if (pending_.size() > stats_.held_packets) {
+      stats_.held_packets = pending_.size();
+    }
+    ctx.consume();
+  }
+}
+
+void LookupTablePrimitive::handle_response(std::size_t shard,
+                                           const roce::RoceMessage& msg) {
+  if (!roce::is_read_response(msg.opcode())) return;
+
+  if (config_.mode == Mode::kBounce) {
+    auto it = inflight_.find(ShardPsn{shard, msg.bth.psn});
+    if (it == inflight_.end()) return;  // stale
+    inflight_.erase(it);
+
+    try {
+      net::ByteReader r(msg.payload);
+      const Action action = Action::parse(r);
+      if (action.kind == Action::Kind::kNone) {
+        ++stats_.no_entry_drops;  // empty slot: no entry installed
+        return;
+      }
+      const std::uint64_t stored_check = r.u64();
+      const std::uint32_t len = r.u32();
+      const auto frame = r.bytes(len);
+      net::Packet packet(
+          std::vector<std::uint8_t>(frame.begin(), frame.end()));
+
+      auto key = config_.key_fn(packet);
+      if (!key || key_check_hash(*key) != stored_check) {
+        ++stats_.collision_drops;
+        return;
+      }
+      if (config_.cache_capacity > 0) cache_insert(*key, action);
+      auto egress = apply_action(action, packet);
+      if (egress) {
+        switch_->inject(std::move(packet), *egress);
+      }
+    } catch (const net::BufferError&) {
+      ++stats_.lost_responses;
+    }
+    return;
+  }
+
+  // Recirculate mode.
+  auto it = pending_.find(ShardPsn{shard, msg.bth.psn});
+  if (it == pending_.end()) return;
+  net::Packet packet = std::move(it->second);
+  pending_.erase(it);
+
+  try {
+    net::ByteReader r(msg.payload);
+    const Action action = Action::parse(r);
+    if (action.kind == Action::Kind::kNone) {
+      ++stats_.no_entry_drops;  // empty slot: no entry installed
+      return;
+    }
+    const std::uint64_t stored_check = r.u64();
+    auto key = config_.key_fn(packet);
+    if (!key || key_check_hash(*key) != stored_check) {
+      ++stats_.collision_drops;
+      return;
+    }
+    if (config_.cache_capacity > 0) cache_insert(*key, action);
+    auto egress = apply_action(action, packet);
+    if (egress) {
+      switch_->inject(std::move(packet), *egress);
+    }
+  } catch (const net::BufferError&) {
+    ++stats_.lost_responses;
+  }
+}
+
+std::optional<int> LookupTablePrimitive::apply_action(const Action& action,
+                                                      net::Packet& packet) {
+  switch (action.kind) {
+    case Action::Kind::kForward:
+      ++stats_.applied;
+      return action.port;
+    case Action::Kind::kSetDscp:
+      net::rewrite_dscp(packet, action.dscp);
+      ++stats_.applied;
+      return action.port;
+    case Action::Kind::kRewriteDst: {
+      // Virtual -> physical translation: rewrite L2 and L3 destination.
+      auto& bytes = packet.mutable_bytes();
+      const auto& mac = action.new_dst_mac.octets();
+      std::copy(mac.begin(), mac.end(), bytes.begin());
+      net::rewrite_dst_ip(packet, action.new_dst_ip);
+      ++stats_.applied;
+      return action.port;
+    }
+    case Action::Kind::kDrop:
+    case Action::Kind::kNone:
+      ++stats_.no_entry_drops;
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+void LookupTablePrimitive::cache_insert(std::vector<std::uint8_t> key,
+                                        const Action& action) {
+  if (cache_.contains(key)) return;
+  if (cache_.size() >= config_.cache_capacity) {
+    cache_.erase(cache_fifo_.front());
+    cache_fifo_.pop_front();
+    ++stats_.cache_evictions;
+  }
+  cache_fifo_.push_back(key);
+  cache_.emplace(std::move(key), action);
+  ++stats_.cache_inserts;
+}
+
+}  // namespace xmem::core

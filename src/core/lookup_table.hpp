@@ -1,0 +1,180 @@
+// Remote lookup table primitive (§4).
+//
+// A fixed-entry-size match-action table in server DRAM, indexed by a hash
+// of a packet-derived key. On a local-SRAM-cache miss the switch
+// "bounces" the packet: an RDMA WRITE deposits the original packet in the
+// entry's packet slot (so the switch holds no per-packet state while the
+// lookup is outstanding), an immediately following RDMA READ returns the
+// whole entry — {action, key-check, packet} — and the switch applies the
+// action to the returned packet and forwards it. Optionally the action is
+// cached in local SRAM with FIFO eviction.
+//
+// The §7 alternative is also implemented: kRecirculate holds the original
+// packet in the pipeline (recirculating) and READs only the 16-byte
+// action, saving the packet's round trip to remote memory.
+//
+// The table may be sharded across several memory servers ("We maintain
+// the complete virtual-to-physical address mapping table on servers in a
+// sharded fashion", §2.2): entry index i lives on shard i % K at slot
+// i / K, so capacity and lookup bandwidth scale with server count.
+//
+// Remote entry layout (entry_bytes total):
+//   [ 0..16)  Action (switchsim::Action serialized)
+//   [16..24)  key-check hash (written at populate time; detects index
+//             collisions, which address-based remote memory cannot
+//             otherwise see — §7's "no exact matching" caveat)
+//   [24..28)  u32 deposited frame length
+//   [28.. )   deposited frame bytes
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/rdma_channel.hpp"
+#include "switchsim/switch.hpp"
+
+namespace xmem::core {
+
+class LookupTablePrimitive {
+ public:
+  enum class Mode {
+    kBounce,       // paper's design: deposit the packet remotely
+    kRecirculate,  // §7 alternative: hold the packet, fetch action only
+  };
+
+  /// Derives the lookup key from a packet; nullopt = not subject to the
+  /// table (forwarded normally). Default: the five-tuple key bytes.
+  using KeyFn = std::function<std::optional<std::vector<std::uint8_t>>(
+      const net::Packet&)>;
+
+  struct Config {
+    Mode mode = Mode::kBounce;
+    std::size_t entry_bytes = 2048;
+    /// Local SRAM cache capacity in entries (0 disables caching).
+    std::size_t cache_capacity = 0;
+    KeyFn key_fn;  // default: five-tuple
+    std::uint64_t hash_seed = 0x9e3779b97f4a7c15ULL;
+  };
+
+  struct Stats {
+    std::uint64_t cache_hits = 0;
+    std::uint64_t remote_lookups = 0;
+    std::uint64_t applied = 0;          // actions applied to packets
+    std::uint64_t no_entry_drops = 0;   // kNone / kDrop actions
+    std::uint64_t collision_drops = 0;  // key-check mismatch
+    std::uint64_t cache_inserts = 0;
+    std::uint64_t cache_evictions = 0;
+    std::uint64_t held_packets = 0;     // recirculate-mode high-water mark
+    std::uint64_t lost_responses = 0;   // recirc pending never answered
+    std::uint64_t oversized_drops = 0;  // packet too big for the entry slot
+  };
+
+  // Entry layout constants.
+  static constexpr std::size_t kActionOffset = 0;
+  static constexpr std::size_t kKeyHashOffset = 16;
+  static constexpr std::size_t kLenOffset = 24;
+  static constexpr std::size_t kFrameOffset = 28;
+
+  /// Sharded over `channels` (at least one; all regions equally sized).
+  LookupTablePrimitive(switchsim::ProgrammableSwitch& sw,
+                       std::vector<control::RdmaChannelConfig> channels,
+                       Config config);
+  /// Single-server convenience.
+  LookupTablePrimitive(switchsim::ProgrammableSwitch& sw,
+                       control::RdmaChannelConfig channel, Config config)
+      : LookupTablePrimitive(
+            sw, std::vector<control::RdmaChannelConfig>{std::move(channel)},
+            std::move(config)) {}
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] const RdmaChannel& channel(std::size_t shard = 0) const {
+    return *channels_.at(shard);
+  }
+  [[nodiscard]] std::size_t shard_count() const { return channels_.size(); }
+  /// Total entries across all shards.
+  [[nodiscard]] std::size_t table_entries() const { return n_entries_; }
+  [[nodiscard]] std::size_t cache_size() const { return cache_.size(); }
+
+  /// --- Control-plane population ---------------------------------------
+  /// Hash `key` to its entry index (what the data plane computes).
+  [[nodiscard]] static std::uint64_t index_for_key(
+      std::span<const std::uint8_t> key, std::size_t n_entries,
+      std::uint64_t seed);
+  /// Write {action, key-check} into `key`'s slot of a remote region
+  /// (performed by the control plane at initialization, via local access
+  /// on the memory server). Returns the index used.
+  static std::uint64_t install_entry(std::span<std::uint8_t> region,
+                                     std::size_t entry_bytes,
+                                     std::span<const std::uint8_t> key,
+                                     const switchsim::Action& action,
+                                     std::uint64_t seed);
+
+  /// Key-check hash (a second, independent hash of the key).
+  [[nodiscard]] static std::uint64_t key_check_hash(
+      std::span<const std::uint8_t> key);
+
+  /// Sharded population helper: writes {action, key-check} for `key`
+  /// into whichever of `regions` (one span per shard, equal sizes) owns
+  /// its index. Returns {shard, slot-within-shard}.
+  static std::pair<std::size_t, std::uint64_t> install_entry_sharded(
+      std::span<const std::span<std::uint8_t>> regions,
+      std::size_t entry_bytes, std::span<const std::uint8_t> key,
+      const switchsim::Action& action, std::uint64_t seed);
+
+ private:
+  void on_ingress(switchsim::PipelineContext& ctx);
+  void handle_response(std::size_t shard, const roce::RoceMessage& msg);
+  void remote_lookup(switchsim::PipelineContext& ctx,
+                     std::span<const std::uint8_t> key);
+  /// Apply `action` to `packet`; returns the egress port, or nullopt if
+  /// the packet should be dropped.
+  std::optional<int> apply_action(const switchsim::Action& action,
+                                  net::Packet& packet);
+  void cache_insert(std::vector<std::uint8_t> key,
+                    const switchsim::Action& action);
+
+  switchsim::ProgrammableSwitch* switch_;
+  std::vector<std::unique_ptr<RdmaChannel>> channels_;
+  Config config_;
+  std::size_t n_entries_ = 0;         // total across shards
+  std::size_t entries_per_shard_ = 0;
+
+  // Local SRAM cache with FIFO eviction.
+  struct KeyBytesHash {
+    std::size_t operator()(const std::vector<std::uint8_t>& k) const noexcept {
+      return std::hash<std::string_view>{}(std::string_view(
+          reinterpret_cast<const char*>(k.data()), k.size()));
+    }
+  };
+  std::unordered_map<std::vector<std::uint8_t>, switchsim::Action,
+                     KeyBytesHash>
+      cache_;
+  std::deque<std::vector<std::uint8_t>> cache_fifo_;
+
+  // Outstanding READs are keyed by (shard, psn): PSN spaces are
+  // per-channel.
+  struct ShardPsn {
+    std::size_t shard;
+    std::uint32_t psn;
+    bool operator==(const ShardPsn&) const = default;
+  };
+  struct ShardPsnHash {
+    std::size_t operator()(const ShardPsn& k) const noexcept {
+      return std::hash<std::uint64_t>{}(
+          (static_cast<std::uint64_t>(k.shard) << 32) | k.psn);
+    }
+  };
+  // Bounce mode: outstanding READ keys (for dedupe/stats).
+  std::unordered_map<ShardPsn, bool, ShardPsnHash> inflight_;
+  // Recirculate mode: held originals keyed by READ key.
+  std::unordered_map<ShardPsn, net::Packet, ShardPsnHash> pending_;
+
+  Stats stats_;
+};
+
+}  // namespace xmem::core

@@ -1,0 +1,236 @@
+#include "core/packet_buffer.hpp"
+
+#include <cassert>
+
+#include "core/primitive.hpp"
+#include "net/bytes.hpp"
+#include "sim/log.hpp"
+
+namespace xmem::core {
+
+using switchsim::PipelineContext;
+using switchsim::QueueEvent;
+
+PacketBufferPrimitive::PacketBufferPrimitive(
+    switchsim::ProgrammableSwitch& sw,
+    std::vector<control::RdmaChannelConfig> channels, Config config)
+    : switch_(&sw), config_(config) {
+  assert(!channels.empty());
+  assert(config_.watch_port >= 0);
+  assert(config_.entry_bytes >= 4 + net::kEthernetMinFrame);
+
+  const std::size_t region_bytes = channels.front().region_bytes;
+  for (auto& cfg : channels) {
+    assert(cfg.region_bytes == region_bytes &&
+           "stripes must be equally sized");
+    assert(config_.entry_bytes <= cfg.path_mtu &&
+           "entries must fit one READ response segment");
+    channels_.push_back(std::make_unique<RdmaChannel>(sw, std::move(cfg)));
+  }
+  per_channel_slots_ = region_bytes / config_.entry_bytes;
+  capacity_ = per_channel_slots_ * channels_.size();
+  assert(capacity_ > 0);
+  inflight_per_channel_.assign(channels_.size(), 0);
+
+  sw.add_ingress_stage("packet-buffer",
+                       [this](PipelineContext& ctx) { on_ingress(ctx); });
+  sw.tm().add_watcher([this](QueueEvent event, int port, std::int64_t depth) {
+    on_queue_event(event, port, depth);
+  });
+}
+
+void PacketBufferPrimitive::set_load_enabled(bool enabled) {
+  config_.load_enabled = enabled;
+  if (enabled) maybe_issue_reads();
+}
+
+void PacketBufferPrimitive::on_ingress(PipelineContext& ctx) {
+  if (auto msg = roce_view(ctx)) {
+    for (std::size_t i = 0; i < channels_.size(); ++i) {
+      if (channels_[i]->owns(*msg)) {
+        handle_response(i, *msg);
+        ctx.consume();
+        return;
+      }
+    }
+    return;  // RoCE for someone else: leave it alone
+  }
+
+  // Ordinary traffic: is it bound for the protected queue?
+  std::optional<int> out = ctx.egress_port != switchsim::kNoPort
+                               ? std::optional<int>(ctx.egress_port)
+                               : switch_->l2_route_for(ctx.packet);
+  if (!out || *out != config_.watch_port) return;
+
+  const std::int64_t depth = switch_->tm().depth_bytes(config_.watch_port);
+  if (diverting_ || depth >= config_.divert_threshold_bytes) {
+    // Paper's ordering rule: once the ring is in use, every subsequent
+    // packet for this queue goes through it too.
+    diverting_ = true;
+    store_packet(ctx.packet);
+    ctx.consume();
+    maybe_issue_reads();
+  }
+  // else: below threshold and not draining -> normal forwarding.
+}
+
+void PacketBufferPrimitive::store_packet(const net::Packet& packet) {
+  if (head_ - tail_ >= static_cast<std::uint64_t>(capacity_)) {
+    ++stats_.ring_full_drops;  // remote buffer exhausted: best-effort drop
+    return;
+  }
+  std::vector<std::uint8_t> entry;
+  entry.reserve(4 + packet.size());
+  net::ByteWriter w(entry);
+  w.u32(static_cast<std::uint32_t>(packet.size()));
+  w.bytes(packet.bytes());
+
+  channels_[channel_of(head_)]->post_write(slot_va(head_), entry);
+  ++head_;
+  ++stats_.stored;
+  const std::int64_t depth = static_cast<std::int64_t>(head_ - tail_);
+  if (depth > stats_.max_ring_depth) stats_.max_ring_depth = depth;
+}
+
+void PacketBufferPrimitive::on_queue_event(QueueEvent event, int port,
+                                           std::int64_t /*depth_bytes*/) {
+  if (port != config_.watch_port || event != QueueEvent::kDequeue) return;
+  maybe_issue_reads();
+}
+
+void PacketBufferPrimitive::maybe_issue_reads() {
+  if (!config_.load_enabled) return;
+  while (next_read_slot_ < head_ &&
+         switch_->tm().depth_bytes(config_.watch_port) <=
+             config_.resume_threshold_bytes) {
+    const std::size_t chan = channel_of(next_read_slot_);
+    if (inflight_per_channel_[chan] >= config_.read_pipeline_depth) break;
+    const std::uint32_t psn = channels_[chan]->post_read(
+        slot_va(next_read_slot_),
+        static_cast<std::uint32_t>(config_.entry_bytes));
+    inflight_.emplace(InflightKey{chan, psn}, next_read_slot_);
+    ++inflight_per_channel_[chan];
+    ++next_read_slot_;
+    // Reliable mode uses the timer to retransmit; unreliable mode uses it
+    // as a scavenger so a lost final response cannot wedge the drain.
+    arm_timeout();
+  }
+}
+
+void PacketBufferPrimitive::handle_response(std::size_t channel_index,
+                                            const roce::RoceMessage& msg) {
+  const roce::Opcode op = msg.opcode();
+  if (roce::is_read_response(op)) {
+    auto it = inflight_.find(InflightKey{channel_index, msg.bth.psn});
+    if (it == inflight_.end()) return;  // stale duplicate
+    const std::uint64_t slot = it->second;
+    inflight_.erase(it);
+    --inflight_per_channel_[channel_index];
+    last_read_progress_ = switch_->simulator().now();
+
+    // Decapsulate [u32 len][frame] back into the original packet.
+    try {
+      net::ByteReader r(msg.payload);
+      const std::uint32_t len = r.u32();
+      const auto frame = r.bytes(len);
+      net::Packet packet(
+          std::vector<std::uint8_t>(frame.begin(), frame.end()));
+      packet.meta().from_remote_buffer = true;
+      reorder_.emplace(slot, std::move(packet));
+    } catch (const net::BufferError&) {
+      ++stats_.lost_loads;  // corrupt entry: count and move on
+      reorder_.emplace(slot, net::Packet{});
+    }
+    drain_reorder_buffer();
+    maybe_issue_reads();
+    return;
+  }
+
+  if ((op == roce::Opcode::kAcknowledge) && msg.aeth && msg.aeth->is_nak()) {
+    ++stats_.naks;
+  }
+}
+
+void PacketBufferPrimitive::drain_reorder_buffer() {
+  while (tail_ < head_) {
+    auto it = reorder_.find(tail_);
+    if (it != reorder_.end()) {
+      net::Packet packet = std::move(it->second);
+      reorder_.erase(it);
+      if (packet.size() > 0) {
+        if (config_.ecn_mark_ring_depth > 0 &&
+            ring_depth() > config_.ecn_mark_ring_depth) {
+          // Surface the hidden backlog to end-to-end congestion control:
+          // mark ECT packets CE exactly as a deep physical queue would.
+          try {
+            const auto headers = net::parse_packet(packet);
+            if (headers.ipv4 && headers.ipv4->ecn != net::Ecn::kNotEct) {
+              net::set_ecn(packet, net::Ecn::kCe);
+              ++stats_.ecn_marked;
+            }
+          } catch (const net::BufferError&) {
+          }
+        }
+        switch_->inject(std::move(packet), config_.watch_port);
+        ++stats_.loaded;
+      }
+      ++tail_;
+      continue;
+    }
+    const bool requested = tail_ < next_read_slot_;
+    bool inflight = false;
+    for (const auto& [key, slot] : inflight_) {
+      if (slot == tail_) {
+        inflight = true;
+        break;
+      }
+    }
+    if (!config_.reliable_loads && requested && !inflight) {
+      // The READ (or its response) was lost and we do not recover:
+      // the original packet is gone — exactly the paper's best-effort
+      // failure mode.
+      ++stats_.lost_loads;
+      ++tail_;
+      continue;
+    }
+    break;  // waiting on an outstanding or not-yet-issued READ
+  }
+
+  if (tail_ == head_ && inflight_.empty()) {
+    diverting_ = false;  // ring fully drained; back to the fast path
+  }
+}
+
+void PacketBufferPrimitive::arm_timeout() {
+  if (timeout_.pending()) return;
+  timeout_ = switch_->simulator().schedule_in(config_.read_timeout,
+                                              [this]() { on_timeout(); });
+}
+
+void PacketBufferPrimitive::on_timeout() {
+  if (inflight_.empty()) return;
+  const sim::Time now = switch_->simulator().now();
+  if (now - last_read_progress_ >= config_.read_timeout) {
+    if (config_.reliable_loads) {
+      // Re-request every outstanding slot with its original PSN: the
+      // responder re-serves duplicates and executes fresh PSNs, so this
+      // is safe whether the request or the response was lost.
+      for (const auto& [key, slot] : inflight_) {
+        channels_[key.channel]->repost_read(
+            slot_va(slot), static_cast<std::uint32_t>(config_.entry_bytes),
+            key.psn);
+        ++stats_.read_retries;
+      }
+    } else {
+      // Best-effort: give up on the stalled READs so the drain keeps
+      // moving; their packets are lost (counted in the drain loop).
+      inflight_.clear();
+      inflight_per_channel_.assign(channels_.size(), 0);
+      drain_reorder_buffer();
+      maybe_issue_reads();
+    }
+  }
+  arm_timeout();
+}
+
+}  // namespace xmem::core

@@ -1,0 +1,129 @@
+#include "core/rdma_channel.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace xmem::core {
+
+using roce::Opcode;
+using roce::RoceMessage;
+
+RdmaChannel::RdmaChannel(switchsim::ProgrammableSwitch& sw,
+                         control::RdmaChannelConfig config)
+    : switch_(&sw), config_(std::move(config)),
+      next_psn_(config_.initial_psn & roce::kPsnMask) {
+  assert(config_.switch_port >= 0 && "channel has no egress port");
+}
+
+void RdmaChannel::inject(RoceMessage msg) {
+  net::Packet frame =
+      roce::build_roce_packet(config_.local, config_.remote, std::move(msg));
+  stats_.request_bytes += static_cast<std::int64_t>(frame.size());
+  switch_->inject(std::move(frame), config_.switch_port);
+}
+
+std::uint32_t RdmaChannel::post_write(std::uint64_t va,
+                                      std::span<const std::uint8_t> payload,
+                                      bool ack_req) {
+  const std::uint32_t first_psn = next_psn_;
+  const std::size_t mtu = config_.path_mtu;
+  const std::size_t segments =
+      payload.empty() ? 1 : (payload.size() + mtu - 1) / mtu;
+
+  for (std::size_t i = 0; i < segments; ++i) {
+    RoceMessage msg;
+    msg.bth.dest_qp = config_.remote_qpn;
+    msg.bth.psn = roce::psn_add(first_psn, static_cast<std::uint32_t>(i));
+    const bool first = i == 0;
+    const bool last = i + 1 == segments;
+    if (segments == 1) {
+      msg.bth.opcode = Opcode::kRdmaWriteOnly;
+    } else if (first) {
+      msg.bth.opcode = Opcode::kRdmaWriteFirst;
+    } else if (last) {
+      msg.bth.opcode = Opcode::kRdmaWriteLast;
+    } else {
+      msg.bth.opcode = Opcode::kRdmaWriteMiddle;
+    }
+    msg.bth.ack_req = ack_req && last;
+    if (first) {
+      msg.reth = roce::Reth{va, config_.rkey,
+                            static_cast<std::uint32_t>(payload.size())};
+    }
+    const std::size_t offset = i * mtu;
+    const std::size_t chunk = std::min(mtu, payload.size() - offset);
+    msg.payload.assign(payload.begin() + static_cast<std::ptrdiff_t>(offset),
+                       payload.begin() +
+                           static_cast<std::ptrdiff_t>(offset + chunk));
+    inject(std::move(msg));
+  }
+
+  next_psn_ = roce::psn_add(first_psn, static_cast<std::uint32_t>(segments));
+  ++stats_.writes_sent;
+  stats_.payload_bytes += static_cast<std::int64_t>(payload.size());
+  return first_psn;
+}
+
+std::uint32_t RdmaChannel::post_read(std::uint64_t va, std::uint32_t len) {
+  RoceMessage msg;
+  msg.bth.opcode = Opcode::kRdmaReadRequest;
+  msg.bth.dest_qp = config_.remote_qpn;
+  msg.bth.psn = next_psn_;
+  msg.reth = roce::Reth{va, config_.rkey, len};
+  const std::uint32_t psn = next_psn_;
+  next_psn_ = roce::psn_add(next_psn_, read_segments(len));
+  ++stats_.reads_sent;
+  inject(std::move(msg));
+  return psn;
+}
+
+void RdmaChannel::repost_read(std::uint64_t va, std::uint32_t len,
+                              std::uint32_t psn) {
+  RoceMessage msg;
+  msg.bth.opcode = Opcode::kRdmaReadRequest;
+  msg.bth.dest_qp = config_.remote_qpn;
+  msg.bth.psn = psn;
+  msg.reth = roce::Reth{va, config_.rkey, len};
+  inject(std::move(msg));
+}
+
+std::uint32_t RdmaChannel::post_fetch_add(std::uint64_t va,
+                                          std::uint64_t add) {
+  RoceMessage msg;
+  msg.bth.opcode = Opcode::kFetchAdd;
+  msg.bth.dest_qp = config_.remote_qpn;
+  msg.bth.psn = next_psn_;
+  msg.atomic_eth = roce::AtomicEth{va, config_.rkey, add, 0};
+  const std::uint32_t psn = next_psn_;
+  next_psn_ = roce::psn_add(next_psn_, 1);
+  ++stats_.atomics_sent;
+  inject(std::move(msg));
+  return psn;
+}
+
+std::uint32_t RdmaChannel::post_compare_swap(std::uint64_t va,
+                                             std::uint64_t compare,
+                                             std::uint64_t swap) {
+  RoceMessage msg;
+  msg.bth.opcode = Opcode::kCompareSwap;
+  msg.bth.dest_qp = config_.remote_qpn;
+  msg.bth.psn = next_psn_;
+  msg.atomic_eth = roce::AtomicEth{va, config_.rkey, swap, compare};
+  const std::uint32_t psn = next_psn_;
+  next_psn_ = roce::psn_add(next_psn_, 1);
+  ++stats_.atomics_sent;
+  inject(std::move(msg));
+  return psn;
+}
+
+void RdmaChannel::repost_fetch_add(std::uint64_t va, std::uint64_t add,
+                                   std::uint32_t psn) {
+  RoceMessage msg;
+  msg.bth.opcode = Opcode::kFetchAdd;
+  msg.bth.dest_qp = config_.remote_qpn;
+  msg.bth.psn = psn;
+  msg.atomic_eth = roce::AtomicEth{va, config_.rkey, add, 0};
+  inject(std::move(msg));
+}
+
+}  // namespace xmem::core

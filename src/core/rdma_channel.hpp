@@ -1,0 +1,92 @@
+// The data-plane RDMA channel: the switch-side machinery every primitive
+// shares. It is the paper's key idea made concrete — the switch itself
+// crafts RoCEv2 request packets (adding BTH/RETH/AtomicETH headers and
+// ICRC on top of original or cloned packets) and injects them toward the
+// memory server's RNIC, maintaining the small amount of connection state
+// (next PSN) a requester needs, entirely in data-plane registers.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "control/channel.hpp"
+#include "switchsim/switch.hpp"
+
+namespace xmem::core {
+
+class RdmaChannel {
+ public:
+  struct Stats {
+    std::uint64_t writes_sent = 0;
+    std::uint64_t reads_sent = 0;
+    std::uint64_t atomics_sent = 0;
+    std::int64_t request_bytes = 0;   // frame bytes of requests injected
+    std::int64_t payload_bytes = 0;   // useful payload carried by WRITEs
+  };
+
+  RdmaChannel(switchsim::ProgrammableSwitch& sw,
+              control::RdmaChannelConfig config);
+
+  [[nodiscard]] const control::RdmaChannelConfig& config() const {
+    return config_;
+  }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  /// True when `msg` is a response addressed to this channel's QPN —
+  /// the demux test each primitive's stage applies to ingress RoCE.
+  [[nodiscard]] bool owns(const roce::RoceMessage& msg) const {
+    return msg.bth.dest_qp == config_.local_qpn;
+  }
+
+  /// Craft and inject an RDMA WRITE of `payload` to remote `va`.
+  /// Returns the PSN used. Multi-MTU payloads are segmented
+  /// FIRST/MIDDLE/LAST exactly as an RNIC requester would.
+  std::uint32_t post_write(std::uint64_t va,
+                           std::span<const std::uint8_t> payload,
+                           bool ack_req = false);
+
+  /// Craft and inject an RDMA READ request for [va, va+len).
+  /// Returns the PSN of the request; the response's first packet carries
+  /// the same PSN. Consumes ceil(len/mtu) PSNs.
+  std::uint32_t post_read(std::uint64_t va, std::uint32_t len);
+
+  /// Retransmit a READ with its original PSN (reliability extensions).
+  /// Does not advance the PSN register.
+  void repost_read(std::uint64_t va, std::uint32_t len, std::uint32_t psn);
+
+  /// Craft and inject an atomic Fetch-and-Add of `add` at `va`.
+  /// Returns the PSN used (the AtomicAck echoes it).
+  std::uint32_t post_fetch_add(std::uint64_t va, std::uint64_t add);
+
+  /// Retransmit a Fetch-and-Add with its original PSN (reliability
+  /// extension). Does not advance the PSN register.
+  void repost_fetch_add(std::uint64_t va, std::uint64_t add,
+                        std::uint32_t psn);
+
+  /// Craft and inject an atomic Compare-and-Swap: if the 8 bytes at `va`
+  /// equal `compare`, they become `swap`; the AtomicAck returns the
+  /// prior value either way. This is what lets the *data plane* claim a
+  /// remote table slot atomically (e.g. connection-table inserts).
+  std::uint32_t post_compare_swap(std::uint64_t va, std::uint64_t compare,
+                                  std::uint64_t swap);
+
+  /// Number of READ response segments `len` bytes will arrive in.
+  [[nodiscard]] std::uint32_t read_segments(std::uint32_t len) const {
+    if (len == 0) return 1;
+    return static_cast<std::uint32_t>(
+        (len + config_.path_mtu - 1) / config_.path_mtu);
+  }
+
+  [[nodiscard]] std::uint32_t next_psn() const { return next_psn_; }
+
+ private:
+  void inject(roce::RoceMessage msg);
+
+  switchsim::ProgrammableSwitch* switch_;
+  control::RdmaChannelConfig config_;
+  std::uint32_t next_psn_;  // the per-channel PSN register
+  Stats stats_;
+};
+
+}  // namespace xmem::core

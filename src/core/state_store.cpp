@@ -1,0 +1,214 @@
+#include "core/state_store.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+#include "core/primitive.hpp"
+#include "net/flow.hpp"
+
+namespace xmem::core {
+
+using switchsim::PipelineContext;
+
+StateStorePrimitive::StateStorePrimitive(switchsim::ProgrammableSwitch& sw,
+                                         control::RdmaChannelConfig channel,
+                                         Config config)
+    : switch_(&sw), channel_(sw, std::move(channel)), config_(std::move(config)) {
+  assert(config_.max_outstanding > 0);
+  assert(config_.combining_window >= 1);
+  n_counters_ = channel_.config().region_bytes / 8;
+  assert(n_counters_ > 0);
+
+  if (!config_.sample_fn) {
+    const std::uint64_t n = n_counters_;
+    const std::uint64_t seed = config_.hash_seed;
+    config_.sample_fn =
+        [n, seed](const net::Packet& p) -> std::optional<std::uint64_t> {
+      auto tuple = net::extract_five_tuple(p);
+      if (!tuple) return std::nullopt;
+      return net::flow_hash(*tuple, seed) % n;
+    };
+  }
+
+  sw.add_ingress_stage("state-store",
+                       [this](PipelineContext& ctx) { on_ingress(ctx); });
+}
+
+std::uint64_t StateStorePrimitive::unflushed() const {
+  std::uint64_t n = 0;
+  for (const auto& [idx, count] : accumulators_) n += count;
+  return n;
+}
+
+void StateStorePrimitive::on_ingress(PipelineContext& ctx) {
+  if (auto msg = roce_view(ctx)) {
+    if (channel_.owns(*msg)) {
+      handle_response(*msg);
+      ctx.consume();
+    }
+    return;
+  }
+
+  // The original packet is never touched: the primitive works on a
+  // conceptual clone-and-truncate, so counting is purely an observation
+  // here and the packet continues down the pipeline.
+  auto index = config_.sample_fn(ctx.packet);
+  if (!index) return;
+  ++stats_.sampled_packets;
+  record(*index);
+}
+
+void StateStorePrimitive::record(std::uint64_t index) {
+  auto [it, inserted] = accumulators_.try_emplace(index, 0);
+  it->second += 1;
+  if (it->second >= config_.combining_window &&
+      !eligible_set_.contains(index)) {
+    eligible_.push_back(index);
+    eligible_set_.insert(index);
+  }
+  issue_from_accumulators();
+}
+
+void StateStorePrimitive::issue_from_accumulators() {
+  while (outstanding_ < config_.max_outstanding && !eligible_.empty()) {
+    const std::uint64_t index = eligible_.front();
+    eligible_.pop_front();
+    eligible_set_.erase(index);
+    auto it = accumulators_.find(index);
+    if (it == accumulators_.end() || it->second == 0) continue;
+    const std::uint64_t add = it->second;
+    accumulators_.erase(it);
+    if (add > 1) stats_.accumulated += add - 1;
+    issue(index, add);
+  }
+}
+
+void StateStorePrimitive::issue(std::uint64_t index, std::uint64_t add) {
+  const std::uint32_t psn =
+      channel_.post_fetch_add(counter_va(index), add);
+  ++outstanding_;
+  ++stats_.fetch_adds_sent;
+  if (static_cast<std::uint64_t>(outstanding_) >
+      stats_.max_outstanding_seen) {
+    stats_.max_outstanding_seen = static_cast<std::uint64_t>(outstanding_);
+  }
+  inflight_.emplace(
+      psn, Inflight{index, add, switch_->simulator().now()});
+  arm_timeout();
+}
+
+void StateStorePrimitive::handle_response(const roce::RoceMessage& msg) {
+  const roce::Opcode op = msg.opcode();
+  if (op == roce::Opcode::kAtomicAcknowledge) {
+    auto it = inflight_.find(msg.bth.psn);
+    if (it == inflight_.end()) return;  // duplicate/stale response
+    inflight_.erase(it);
+    --outstanding_;
+    ++stats_.acks_received;
+    last_progress_ = switch_->simulator().now();
+    issue_from_accumulators();
+    return;
+  }
+  if (op == roce::Opcode::kAcknowledge && msg.aeth && msg.aeth->is_nak()) {
+    ++stats_.naks_received;
+    if (!config_.reliable) return;
+
+    if (msg.aeth->syndrome == roce::AckSyndrome::kNakInvalidRequest) {
+      // A retransmitted atomic whose replay-cache entry has expired: the
+      // responder executed it long ago, it just cannot replay the
+      // original value. Counting-wise the op is complete.
+      auto it = inflight_.find(msg.bth.psn);
+      if (it != inflight_.end()) {
+        inflight_.erase(it);
+        --outstanding_;
+        last_progress_ = switch_->simulator().now();
+        issue_from_accumulators();
+      }
+      return;
+    }
+
+    // Sequence-error NAK: everything from the responder's expected PSN
+    // (echoed in the NAK) onward was not executed. Retransmit just that
+    // suffix, in PSN order, and rate-limit bursts: every out-of-order
+    // arrival generates a NAK, and answering each with a full repost
+    // storm would feed on itself.
+    const sim::Time now = switch_->simulator().now();
+    if (now - last_goback_ < sim::microseconds(20)) return;
+    last_goback_ = now;
+
+    std::vector<std::uint32_t> psns;
+    psns.reserve(inflight_.size());
+    for (const auto& [psn, op_state] : inflight_) {
+      if (roce::psn_distance(msg.bth.psn, psn) >= 0) psns.push_back(psn);
+    }
+    std::sort(psns.begin(), psns.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                return roce::psn_distance(a, b) > 0;
+              });
+    for (const std::uint32_t psn : psns) {
+      const auto& f = inflight_.at(psn);
+      channel_.repost_fetch_add(counter_va(f.index), f.add, psn);
+      ++stats_.retransmits;
+    }
+  }
+}
+
+void StateStorePrimitive::flush() {
+  for (const auto& [index, count] : accumulators_) {
+    if (!eligible_set_.contains(index)) {
+      eligible_.push_back(index);
+      eligible_set_.insert(index);
+    }
+  }
+  issue_from_accumulators();
+}
+
+void StateStorePrimitive::arm_timeout() {
+  if (timeout_.pending()) return;
+  timeout_ = switch_->simulator().schedule_in(config_.retransmit_timeout,
+                                              [this]() { on_timeout(); });
+}
+
+void StateStorePrimitive::on_timeout() {
+  if (inflight_.empty()) {
+    return;  // all settled; timer re-arms on the next issue
+  }
+  const sim::Time now = switch_->simulator().now();
+  if (config_.reliable) {
+    if (now - last_progress_ >= config_.retransmit_timeout) {
+      // Replay the whole window in PSN order (an unordered replay would
+      // trip the responder's sequence check and NAK-storm).
+      std::vector<std::uint32_t> psns;
+      psns.reserve(inflight_.size());
+      for (const auto& [psn, f] : inflight_) psns.push_back(psn);
+      std::sort(psns.begin(), psns.end(),
+                [](std::uint32_t a, std::uint32_t b) {
+                  return roce::psn_distance(a, b) > 0;
+                });
+      last_goback_ = now;
+      for (const std::uint32_t psn : psns) {
+        const auto& f = inflight_.at(psn);
+        channel_.repost_fetch_add(counter_va(f.index), f.add, psn);
+        ++stats_.retransmits;
+      }
+    }
+  } else {
+    // Unreliable mode: reclaim leaked window slots so the primitive keeps
+    // working; the in-flight counts are simply lost, which is the
+    // accuracy degradation the paper's §7 discussion anticipates.
+    std::vector<std::uint32_t> stale;
+    for (const auto& [psn, f] : inflight_) {
+      if (now - f.sent_at >= config_.retransmit_timeout) stale.push_back(psn);
+    }
+    for (const std::uint32_t psn : stale) {
+      stats_.counts_in_flight_lost += inflight_.at(psn).add;
+      inflight_.erase(psn);
+      --outstanding_;
+    }
+    issue_from_accumulators();
+  }
+  arm_timeout();
+}
+
+}  // namespace xmem::core

@@ -1,0 +1,124 @@
+// Remote state-store primitive (§4).
+//
+// Per-flow counters in server DRAM updated with RDMA atomic
+// Fetch-and-Add. For each sampled packet the switch conceptually clones
+// the packet, truncates everything, and turns the husk into a F&A request
+// for the flow's counter address. Because an RNIC sustains only a bounded
+// number of outstanding atomics, the primitive tracks the in-flight count
+// in a register and, when the window is full, accumulates counts locally,
+// flushing the accumulated delta in the next F&A it can issue — which is
+// both the paper's backpressure mechanism and (generalized by
+// `combining_window`, §7) its bandwidth-reduction extension.
+//
+// The optional reliability layer (§7) parses ACKs/NAKs: inflight adds are
+// remembered per PSN and retransmitted on NAK or timeout; together with
+// the responder's atomic replay cache this yields exactly-once counting
+// over a lossy link.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/rdma_channel.hpp"
+#include "switchsim/switch.hpp"
+
+namespace xmem::core {
+
+class StateStorePrimitive {
+ public:
+  /// Which packets update a counter, and which counter. Returns the
+  /// counter index, or nullopt to ignore the packet.
+  using SampleFn =
+      std::function<std::optional<std::uint64_t>(const net::Packet&)>;
+
+  struct Config {
+    /// Maximum outstanding atomic requests (the RNIC's advertised limit).
+    int max_outstanding = 16;
+    /// §7 combining: a flush carries up to this many packet counts per
+    /// F&A. 1 reproduces the paper's per-packet behaviour with
+    /// accumulate-on-backpressure; larger values trade update delay for
+    /// bandwidth.
+    std::uint64_t combining_window = 1;
+    /// Default sampler: hash the five-tuple over `counters()` slots.
+    SampleFn sample_fn;
+    std::uint64_t hash_seed = 0x517cc1b727220a95ULL;
+    /// §7 reliability extension (see file comment).
+    bool reliable = false;
+    sim::Time retransmit_timeout = sim::microseconds(100);
+  };
+
+  struct Stats {
+    std::uint64_t sampled_packets = 0;   // packets that matched the sampler
+    std::uint64_t fetch_adds_sent = 0;
+    std::uint64_t acks_received = 0;
+    std::uint64_t naks_received = 0;
+    std::uint64_t accumulated = 0;       // counts deferred to a later F&A
+    std::uint64_t retransmits = 0;
+    std::uint64_t max_outstanding_seen = 0;
+    std::uint64_t counts_in_flight_lost = 0;  // unreliable mode only
+  };
+
+  StateStorePrimitive(switchsim::ProgrammableSwitch& sw,
+                      control::RdmaChannelConfig channel, Config config);
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] const RdmaChannel& channel() const { return channel_; }
+  /// Counter slots available in the remote region.
+  [[nodiscard]] std::uint64_t counters() const { return n_counters_; }
+  [[nodiscard]] int outstanding() const { return outstanding_; }
+  /// Counts recorded locally but not yet flushed (accumulators + any
+  /// combining residue).
+  [[nodiscard]] std::uint64_t unflushed() const;
+  /// True when every observed count has been sent and acknowledged.
+  [[nodiscard]] bool quiescent() const {
+    return outstanding_ == 0 && unflushed() == 0;
+  }
+
+  /// Force-flush accumulators (subject to the outstanding window); used
+  /// at the end of measurement runs.
+  void flush();
+
+ private:
+  void on_ingress(switchsim::PipelineContext& ctx);
+  void handle_response(const roce::RoceMessage& msg);
+  void record(std::uint64_t index);
+  void issue(std::uint64_t index, std::uint64_t add);
+  void issue_from_accumulators();
+  void arm_timeout();
+  void on_timeout();
+
+  [[nodiscard]] std::uint64_t counter_va(std::uint64_t index) const {
+    return channel_.config().base_va + index * 8;
+  }
+
+  switchsim::ProgrammableSwitch* switch_;
+  RdmaChannel channel_;
+  Config config_;
+  std::uint64_t n_counters_ = 0;
+
+  int outstanding_ = 0;
+  /// Local accumulators (index -> pending count); indices whose count
+  /// reached the combining window queue in eligible_ awaiting a free
+  /// outstanding slot.
+  std::unordered_map<std::uint64_t, std::uint64_t> accumulators_;
+  std::deque<std::uint64_t> eligible_;
+  std::unordered_set<std::uint64_t> eligible_set_;
+
+  /// Reliability bookkeeping: PSN -> (counter index, add value).
+  struct Inflight {
+    std::uint64_t index = 0;
+    std::uint64_t add = 0;
+    sim::Time sent_at = 0;
+  };
+  std::unordered_map<std::uint32_t, Inflight> inflight_;
+  sim::EventId timeout_;
+  sim::Time last_progress_ = 0;
+  sim::Time last_goback_ = -sim::kSecond;  // NAK-repost rate limiter
+
+  Stats stats_;
+};
+
+}  // namespace xmem::core

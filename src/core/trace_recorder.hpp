@@ -1,0 +1,113 @@
+// Remote packet-trace recorder (§2.3).
+//
+// "the switch can extract fields from original packets and perform RDMA
+// WRITE into certain remote memory address. This eliminates the CPU
+// cycles required for capturing and parsing packets in previous
+// systems." — and §7 calls a "general streaming packet trace analysis
+// system" an interesting direction.
+//
+// This primitive appends fixed 32-byte records (timestamp, five-tuple,
+// length, queue occupancy) to a log in server DRAM. Records are batched
+// into one RDMA WRITE per `batch` records, which divides the per-record
+// header tax exactly the way §7 suggests for counters.
+//
+// Record layout (32 bytes, big-endian):
+//   [ 0.. 8) timestamp (ns since simulation start)
+//   [ 8..12) src IPv4      [12..16) dst IPv4
+//   [16..18) src port      [18..20) dst port
+//   [20..21) IP protocol   [21..22) DSCP/ECN byte
+//   [22..24) frame length
+//   [24..28) egress-queue depth (bytes) at capture time
+//   [28..32) record sequence number (low 32 bits)
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/rdma_channel.hpp"
+#include "net/flow.hpp"
+#include "switchsim/switch.hpp"
+
+namespace xmem::core {
+
+struct TraceRecord {
+  std::uint64_t timestamp_ns = 0;
+  net::Ipv4Address src_ip;
+  net::Ipv4Address dst_ip;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t protocol = 0;
+  std::uint8_t tos = 0;
+  std::uint16_t frame_len = 0;
+  std::uint32_t queue_depth = 0;
+  std::uint32_t sequence = 0;
+
+  static constexpr std::size_t kBytes = 32;
+  void serialize(net::ByteWriter& w) const;
+  static TraceRecord parse(net::ByteReader& r);
+  bool operator==(const TraceRecord&) const = default;
+};
+
+class TraceRecorderPrimitive {
+ public:
+  /// Which packets to capture; default: every IPv4 packet that is not
+  /// RoCE (never trace your own telemetry traffic).
+  using FilterFn = std::function<bool(const net::Packet&)>;
+
+  enum class Mode {
+    kRing,     // wrap and overwrite (continuous monitoring)
+    kCapture,  // stop when the log is full (one-shot capture)
+  };
+
+  struct Config {
+    Mode mode = Mode::kRing;
+    /// Records accumulated in switch registers before one WRITE ships
+    /// them; 1 = a WRITE per packet.
+    std::size_t batch = 8;
+    FilterFn filter;
+    /// Port whose queue depth is stamped into records (-1 = none).
+    int watch_queue_port = -1;
+  };
+
+  struct Stats {
+    std::uint64_t records_captured = 0;
+    std::uint64_t writes_sent = 0;
+    std::uint64_t dropped_log_full = 0;  // kCapture mode only
+  };
+
+  TraceRecorderPrimitive(switchsim::ProgrammableSwitch& sw,
+                         control::RdmaChannelConfig channel, Config config);
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] const RdmaChannel& channel() const { return channel_; }
+  [[nodiscard]] std::uint64_t log_capacity() const { return capacity_; }
+  /// Records buffered in switch registers, not yet shipped.
+  [[nodiscard]] std::size_t unflushed() const {
+    return pending_.size() / TraceRecord::kBytes;
+  }
+
+  /// Ship any partial batch (end of a measurement window).
+  void flush();
+
+  /// Control-plane side: decode the `n` oldest available records from a
+  /// region snapshot (n capped to what was captured).
+  static std::vector<TraceRecord> read_log(
+      std::span<const std::uint8_t> region, std::uint64_t captured,
+      std::uint64_t capacity);
+
+ private:
+  void on_ingress(switchsim::PipelineContext& ctx);
+  void append(const net::Packet& packet);
+
+  switchsim::ProgrammableSwitch* switch_;
+  RdmaChannel channel_;
+  Config config_;
+  std::uint64_t capacity_ = 0;   // records the region can hold
+  std::uint64_t cursor_ = 0;     // next record slot (monotonic)
+  std::vector<std::uint8_t> pending_;  // serialized, not yet written
+  std::uint64_t pending_first_slot_ = 0;
+  Stats stats_;
+};
+
+}  // namespace xmem::core

@@ -1,0 +1,47 @@
+#include "host/host.hpp"
+
+#include <cassert>
+
+#include "net/pause.hpp"
+#include "topo/link.hpp"
+
+namespace xmem::host {
+
+Host::Host(sim::Simulator& simulator, std::string name, net::MacAddress mac,
+           net::Ipv4Address ip)
+    : topo::Node(simulator, std::move(name)), mac_(mac), ip_(ip) {}
+
+rnic::Rnic& Host::install_rnic(rnic::NicProfile profile, int port_index) {
+  assert(rnic_ == nullptr && "host already has an RNIC");
+  rnic_ = std::make_unique<rnic::Rnic>(
+      *sim_, endpoint(), profile,
+      [this, port_index](net::Packet packet) {
+        send(std::move(packet), port_index);
+      });
+  return *rnic_;
+}
+
+void Host::send(net::Packet packet, int port_index) {
+  port(port_index).send(std::move(packet));
+}
+
+void Host::receive(net::Packet packet, int port) {
+  ++rx_frames_;
+  if (auto pfc = net::parse_pfc_frame(packet)) {
+    // Flow control is honored by the MAC, not the CPU: pause this
+    // port's transmitter for quanta[0] x 512 bit times.
+    const sim::Bandwidth rate = this->port(port).link()->rate();
+    const sim::Time duration = sim::transmission_time(
+        pfc->quanta[0] * net::kPauseQuantumBits / 8, rate);
+    this->port(port).apply_pause(sim_->now() + duration);
+    ++pfc_frames_;
+    return;
+  }
+  if (rnic_ != nullptr && rnic_->handle_frame(packet)) {
+    return;  // consumed by hardware: zero CPU cost
+  }
+  ++cpu_packets_;
+  if (app_) app_(std::move(packet), port);
+}
+
+}  // namespace xmem::host

@@ -1,0 +1,67 @@
+// A server: a node with an optional RNIC and a software stack.
+//
+// Frames that the RNIC consumes (all of RoCE) never touch the host app —
+// the hosts's cpu_packets() counter is therefore exactly the paper's
+// "CPU involvement" metric: it stays flat while primitives hammer the
+// NIC, and only moves for ordinary traffic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "net/address.hpp"
+#include "rnic/rnic.hpp"
+#include "topo/node.hpp"
+
+namespace xmem::host {
+
+class Host : public topo::Node {
+ public:
+  /// Handler for frames delivered to the software stack (non-RoCE).
+  using AppHandler = std::function<void(net::Packet packet, int port)>;
+
+  Host(sim::Simulator& simulator, std::string name, net::MacAddress mac,
+       net::Ipv4Address ip);
+
+  [[nodiscard]] const net::MacAddress& mac() const { return mac_; }
+  [[nodiscard]] const net::Ipv4Address& ip() const { return ip_; }
+
+  /// Attach an RNIC that transmits through `port_index`. The returned
+  /// reference stays valid for the host's lifetime.
+  rnic::Rnic& install_rnic(rnic::NicProfile profile, int port_index = 0);
+  [[nodiscard]] bool has_rnic() const { return rnic_ != nullptr; }
+  [[nodiscard]] rnic::Rnic& rnic() { return *rnic_; }
+
+  /// RoCE endpoint identity of this host (requires an installed RNIC for
+  /// meaningful use, but is derivable from MAC/IP alone).
+  [[nodiscard]] roce::RoceEndpoint endpoint(std::uint16_t udp_port = 0xc000) const {
+    return roce::RoceEndpoint{mac_, ip_, udp_port};
+  }
+
+  void set_app(AppHandler handler) { app_ = std::move(handler); }
+
+  /// Transmit a frame out of `port_index`.
+  void send(net::Packet packet, int port_index = 0);
+
+  /// Packets the host CPU had to handle (software stack deliveries).
+  [[nodiscard]] std::uint64_t cpu_packets() const { return cpu_packets_; }
+  /// PFC/PAUSE frames honored by the MAC.
+  [[nodiscard]] std::uint64_t pfc_frames() const { return pfc_frames_; }
+  /// Total frames that arrived, RoCE included.
+  [[nodiscard]] std::uint64_t rx_frames() const { return rx_frames_; }
+
+  // topo::Node
+  void receive(net::Packet packet, int port) override;
+
+ private:
+  net::MacAddress mac_;
+  net::Ipv4Address ip_;
+  std::unique_ptr<rnic::Rnic> rnic_;
+  AppHandler app_;
+  std::uint64_t cpu_packets_ = 0;
+  std::uint64_t rx_frames_ = 0;
+  std::uint64_t pfc_frames_ = 0;
+};
+
+}  // namespace xmem::host

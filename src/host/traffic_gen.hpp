@@ -1,0 +1,102 @@
+// Traffic generation: the raw_ethernet_bw-equivalent constant-rate
+// source and the synchronized incast used by the §2.1 experiment.
+//
+// Every generated packet embeds {sequence, send timestamp} in its first
+// 16 payload bytes, so sinks can measure loss, reordering and latency
+// even after a packet has been through remote DRAM and back.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "host/host.hpp"
+#include "sim/rng.hpp"
+#include "sim/units.hpp"
+
+namespace xmem::host {
+
+/// Layout of the measurement preamble inside UDP payloads.
+struct ProbeHeader {
+  std::uint64_t sequence = 0;
+  sim::Time sent_at = 0;
+
+  static constexpr std::size_t kBytes = 16;
+  void write_to(std::span<std::uint8_t> payload) const;
+  static ProbeHeader read_from(std::span<const std::uint8_t> payload);
+};
+
+/// Constant-bit-rate UDP source (the Mellanox perftest analogue).
+class CbrTrafficGen {
+ public:
+  struct Config {
+    net::MacAddress dst_mac;
+    net::Ipv4Address dst_ip;
+    std::uint16_t src_port = 7000;
+    std::uint16_t dst_port = 9000;
+    /// Total Ethernet frame length (headers + payload), like perftest's
+    /// notion of packet size. Minimum 60.
+    std::size_t frame_size = 1500;
+    /// Offered rate counted in frame bits (no preamble/IFG), matching
+    /// how raw_ethernet_bw reports bandwidth.
+    sim::Bandwidth rate = sim::gbps(10);
+    /// Stop after this many packets (0 = run until stopped).
+    std::uint64_t packet_limit = 0;
+    /// Stop after this many bytes of frames (0 = unlimited).
+    std::int64_t byte_limit = 0;
+  };
+
+  CbrTrafficGen(Host& host, Config config);
+
+  void start();
+  void stop() { running_ = false; }
+
+  [[nodiscard]] std::uint64_t packets_sent() const { return sent_; }
+  [[nodiscard]] std::int64_t bytes_sent() const { return bytes_; }
+  [[nodiscard]] bool finished() const { return !running_; }
+
+  /// Invoked after the last packet has been handed to the port.
+  void set_on_finish(std::function<void()> fn) { on_finish_ = std::move(fn); }
+
+ private:
+  void send_next();
+
+  Host* host_;
+  Config config_;
+  sim::Time interval_;
+  std::uint64_t sent_ = 0;
+  std::int64_t bytes_ = 0;
+  bool running_ = false;
+  std::function<void()> on_finish_;
+};
+
+/// Synchronized N-to-1 incast: every sender ships `burst_bytes` at line
+/// rate toward one receiver, all starting at (roughly) the same instant.
+class IncastCoordinator {
+ public:
+  struct Config {
+    net::MacAddress dst_mac;
+    net::Ipv4Address dst_ip;
+    std::size_t frame_size = 1500;
+    std::int64_t burst_bytes_per_sender = 6'250'000;  // 50 MB over 8 senders
+    sim::Bandwidth sender_rate = sim::gbps(40);
+    sim::Time start_jitter = 0;  // uniform [0, jitter) per sender
+    std::uint64_t jitter_seed = 42;
+  };
+
+  IncastCoordinator(std::vector<Host*> senders, Config config);
+
+  void start(sim::Time at);
+
+  [[nodiscard]] std::uint64_t total_packets_sent() const;
+  [[nodiscard]] std::int64_t total_bytes_sent() const;
+  [[nodiscard]] bool all_finished() const;
+
+ private:
+  std::vector<std::unique_ptr<CbrTrafficGen>> gens_;
+  Config config_;
+  sim::Rng jitter_rng_;
+  std::vector<Host*> senders_;
+};
+
+}  // namespace xmem::host

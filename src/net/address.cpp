@@ -1,0 +1,55 @@
+#include "net/address.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace xmem::net {
+
+MacAddress MacAddress::parse(const std::string& text) {
+  std::array<unsigned, 6> v{};
+  char extra = 0;
+  const int n =
+      std::sscanf(text.c_str(), "%x:%x:%x:%x:%x:%x%c", &v[0], &v[1], &v[2],
+                  &v[3], &v[4], &v[5], &extra);
+  if (n != 6) {
+    throw std::invalid_argument("MacAddress::parse: bad MAC '" + text + "'");
+  }
+  std::array<std::uint8_t, 6> octets{};
+  for (std::size_t i = 0; i < 6; ++i) {
+    if (v[i] > 0xff) {
+      throw std::invalid_argument("MacAddress::parse: octet out of range");
+    }
+    octets[i] = static_cast<std::uint8_t>(v[i]);
+  }
+  return MacAddress(octets);
+}
+
+std::string MacAddress::to_string() const {
+  char buf[18];
+  std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x:%02x:%02x:%02x", octets_[0],
+                octets_[1], octets_[2], octets_[3], octets_[4], octets_[5]);
+  return buf;
+}
+
+Ipv4Address Ipv4Address::parse(const std::string& text) {
+  unsigned a = 0, b = 0, c = 0, d = 0;
+  char extra = 0;
+  const int n = std::sscanf(text.c_str(), "%u.%u.%u.%u%c", &a, &b, &c, &d,
+                            &extra);
+  if (n != 4 || a > 255 || b > 255 || c > 255 || d > 255) {
+    throw std::invalid_argument("Ipv4Address::parse: bad IPv4 '" + text +
+                                "'");
+  }
+  return Ipv4Address(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b),
+                     static_cast<std::uint8_t>(c),
+                     static_cast<std::uint8_t>(d));
+}
+
+std::string Ipv4Address::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (value_ >> 24) & 0xff,
+                (value_ >> 16) & 0xff, (value_ >> 8) & 0xff, value_ & 0xff);
+  return buf;
+}
+
+}  // namespace xmem::net

@@ -1,0 +1,90 @@
+// MAC and IPv4 address value types.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace xmem::net {
+
+class MacAddress {
+ public:
+  constexpr MacAddress() = default;
+  constexpr explicit MacAddress(std::array<std::uint8_t, 6> octets)
+      : octets_(octets) {}
+
+  /// Deterministic address assignment for simulated nodes:
+  /// 02:xm:em:00:hi:lo (locally administered).
+  static constexpr MacAddress from_index(std::uint16_t index) {
+    return MacAddress({0x02, 0x58, 0x4d, 0x00,
+                       static_cast<std::uint8_t>(index >> 8),
+                       static_cast<std::uint8_t>(index)});
+  }
+
+  static constexpr MacAddress broadcast() {
+    return MacAddress({0xff, 0xff, 0xff, 0xff, 0xff, 0xff});
+  }
+
+  /// Parse "aa:bb:cc:dd:ee:ff"; throws std::invalid_argument on bad input.
+  static MacAddress parse(const std::string& text);
+
+  [[nodiscard]] const std::array<std::uint8_t, 6>& octets() const {
+    return octets_;
+  }
+  [[nodiscard]] bool is_broadcast() const {
+    return *this == broadcast();
+  }
+  [[nodiscard]] std::string to_string() const;
+
+  auto operator<=>(const MacAddress&) const = default;
+
+ private:
+  std::array<std::uint8_t, 6> octets_ = {};
+};
+
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() = default;
+  constexpr explicit Ipv4Address(std::uint32_t value) : value_(value) {}
+  constexpr Ipv4Address(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                        std::uint8_t d)
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+               (std::uint32_t{c} << 8) | d) {}
+
+  /// Deterministic per-node addressing: 10.0.hi.lo.
+  static constexpr Ipv4Address from_index(std::uint16_t index) {
+    return Ipv4Address(10, 0, static_cast<std::uint8_t>(index >> 8),
+                       static_cast<std::uint8_t>(index));
+  }
+
+  /// Parse dotted quad; throws std::invalid_argument on bad input.
+  static Ipv4Address parse(const std::string& text);
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return value_; }
+  [[nodiscard]] std::string to_string() const;
+
+  auto operator<=>(const Ipv4Address&) const = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+}  // namespace xmem::net
+
+// Hash support so addresses can key unordered containers.
+template <>
+struct std::hash<xmem::net::MacAddress> {
+  std::size_t operator()(const xmem::net::MacAddress& m) const noexcept {
+    std::uint64_t v = 0;
+    for (auto o : m.octets()) v = (v << 8) | o;
+    return std::hash<std::uint64_t>{}(v);
+  }
+};
+
+template <>
+struct std::hash<xmem::net::Ipv4Address> {
+  std::size_t operator()(const xmem::net::Ipv4Address& a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value());
+  }
+};

@@ -1,0 +1,78 @@
+#include "net/checksum.hpp"
+
+#include <array>
+
+namespace xmem::net {
+
+namespace {
+
+std::uint64_t sum_words(std::span<const std::uint8_t> data) {
+  std::uint64_t sum = 0;
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += (static_cast<std::uint64_t>(data[i]) << 8) | data[i + 1];
+  }
+  if (i < data.size()) {
+    sum += static_cast<std::uint64_t>(data[i]) << 8;
+  }
+  return sum;
+}
+
+std::uint16_t fold(std::uint64_t sum) {
+  while (sum >> 16) {
+    sum = (sum & 0xffff) + (sum >> 16);
+  }
+  return static_cast<std::uint16_t>(~sum & 0xffff);
+}
+
+constexpr std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr auto kCrcTable = make_crc_table();
+
+}  // namespace
+
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data) {
+  return fold(sum_words(data));
+}
+
+void InternetChecksum::add(std::span<const std::uint8_t> data) {
+  if (data.empty()) return;
+  if (odd_) {
+    // The previous chunk ended on an odd byte: that byte was already added
+    // as the high half of a word, so this chunk's first byte is the low
+    // half.
+    sum_ += data[0];
+    data = data.subspan(1);
+    odd_ = false;
+  }
+  sum_ += sum_words(data);
+  if (data.size() % 2 != 0) odd_ = true;
+}
+
+void InternetChecksum::add_u16(std::uint16_t v) {
+  const std::uint8_t b[2] = {static_cast<std::uint8_t>(v >> 8),
+                             static_cast<std::uint8_t>(v)};
+  add(std::span<const std::uint8_t>(b, 2));
+}
+
+std::uint16_t InternetChecksum::finish() const { return fold(sum_); }
+
+std::uint32_t crc32(std::span<const std::uint8_t> data, std::uint32_t seed) {
+  std::uint32_t c = seed ^ 0xffffffffu;
+  for (const std::uint8_t byte : data) {
+    c = kCrcTable[(c ^ byte) & 0xff] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+}  // namespace xmem::net

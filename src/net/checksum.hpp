@@ -1,0 +1,33 @@
+// Internet checksum (RFC 1071) and CRC-32 (as used by Ethernet FCS and,
+// with RoCE's masking rules, the InfiniBand ICRC).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace xmem::net {
+
+/// RFC 1071 16-bit one's-complement checksum over `data`.
+/// Returns the value ready to store in a header (already complemented).
+[[nodiscard]] std::uint16_t internet_checksum(
+    std::span<const std::uint8_t> data);
+
+/// Incremental variant: fold more data into a running 32-bit accumulator.
+/// Start with 0, call add repeatedly, then finish().
+class InternetChecksum {
+ public:
+  void add(std::span<const std::uint8_t> data);
+  void add_u16(std::uint16_t v);
+  [[nodiscard]] std::uint16_t finish() const;
+
+ private:
+  std::uint64_t sum_ = 0;
+  bool odd_ = false;  // previous add ended mid-word
+};
+
+/// Reflected CRC-32 (polynomial 0xEDB88320), the Ethernet/zlib CRC.
+/// `seed` allows chaining; pass the previous return value to continue.
+[[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> data,
+                                  std::uint32_t seed = 0);
+
+}  // namespace xmem::net

@@ -1,0 +1,25 @@
+#include "net/ethernet.hpp"
+
+namespace xmem::net {
+
+void EthernetHeader::serialize(ByteWriter& w) const {
+  w.bytes(dst.octets());
+  w.bytes(src.octets());
+  w.u16(ether_type);
+}
+
+EthernetHeader EthernetHeader::parse(ByteReader& r) {
+  EthernetHeader h;
+  std::array<std::uint8_t, 6> dst{};
+  std::array<std::uint8_t, 6> src{};
+  auto d = r.bytes(6);
+  std::copy(d.begin(), d.end(), dst.begin());
+  auto s = r.bytes(6);
+  std::copy(s.begin(), s.end(), src.begin());
+  h.dst = MacAddress(dst);
+  h.src = MacAddress(src);
+  h.ether_type = r.u16();
+  return h;
+}
+
+}  // namespace xmem::net

@@ -1,0 +1,56 @@
+// Ethernet II framing.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/address.hpp"
+#include "net/bytes.hpp"
+
+namespace xmem::net {
+
+/// EtherType values used in this repository.
+enum class EtherType : std::uint16_t {
+  kIpv4 = 0x0800,
+  kArp = 0x0806,
+  kFlowControl = 0x8808,  // PAUSE / PFC frames
+  kRoceV1 = 0x8915,       // RoCEv1 carries IB GRH directly over Ethernet
+};
+
+inline constexpr std::size_t kEthernetHeaderBytes = 14;
+inline constexpr std::size_t kEthernetFcsBytes = 4;
+/// Preamble (7) + SFD (1) + inter-frame gap (12): per-frame wire overhead
+/// that never appears in the buffer but always consumes link time.
+inline constexpr std::size_t kEthernetGapBytes = 20;
+inline constexpr std::size_t kEthernetMtu = 1500;
+/// Smallest legal frame (without FCS); shorter payloads are padded.
+inline constexpr std::size_t kEthernetMinFrame = 60;
+
+struct EthernetHeader {
+  MacAddress dst;
+  MacAddress src;
+  std::uint16_t ether_type = 0;
+
+  void serialize(ByteWriter& w) const;
+  static EthernetHeader parse(ByteReader& r);
+
+  [[nodiscard]] EtherType type() const {
+    return static_cast<EtherType>(ether_type);
+  }
+  void set_type(EtherType t) { ether_type = static_cast<std::uint16_t>(t); }
+
+  bool operator==(const EthernetHeader&) const = default;
+};
+
+/// Total link occupancy of a frame whose in-buffer size is `frame_bytes`
+/// (header + payload, no FCS): adds FCS, minimum-size padding, preamble
+/// and inter-frame gap. This is the number used for serialization delay.
+[[nodiscard]] constexpr std::int64_t wire_bytes(std::size_t frame_bytes) {
+  const std::size_t padded =
+      frame_bytes < kEthernetMinFrame ? kEthernetMinFrame : frame_bytes;
+  return static_cast<std::int64_t>(padded + kEthernetFcsBytes +
+                                   kEthernetGapBytes);
+}
+
+}  // namespace xmem::net

@@ -1,0 +1,36 @@
+#include "net/flow.hpp"
+
+#include "net/bytes.hpp"
+
+namespace xmem::net {
+
+std::optional<FiveTuple> extract_five_tuple(const Packet& p) {
+  if (p.size() < kEthernetHeaderBytes + kIpv4HeaderBytes) return std::nullopt;
+  const auto b = p.bytes();
+  if (b[12] != 0x08 || b[13] != 0x00) return std::nullopt;
+
+  FiveTuple t;
+  const std::size_t ip = kEthernetHeaderBytes;
+  auto read32 = [&](std::size_t at) {
+    return (static_cast<std::uint32_t>(b[at]) << 24) |
+           (static_cast<std::uint32_t>(b[at + 1]) << 16) |
+           (static_cast<std::uint32_t>(b[at + 2]) << 8) | b[at + 3];
+  };
+  t.protocol = b[ip + 9];
+  t.src_ip = Ipv4Address(read32(ip + 12));
+  t.dst_ip = Ipv4Address(read32(ip + 16));
+
+  const auto proto = static_cast<IpProto>(t.protocol);
+  if (proto == IpProto::kUdp || proto == IpProto::kTcp) {
+    const std::size_t l4 = ip + kIpv4HeaderBytes;
+    if (p.size() >= l4 + 4) {
+      t.src_port = static_cast<std::uint16_t>(
+          (static_cast<std::uint16_t>(b[l4]) << 8) | b[l4 + 1]);
+      t.dst_port = static_cast<std::uint16_t>(
+          (static_cast<std::uint16_t>(b[l4 + 2]) << 8) | b[l4 + 3]);
+    }
+  }
+  return t;
+}
+
+}  // namespace xmem::net

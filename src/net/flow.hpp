@@ -1,0 +1,76 @@
+// Five-tuple flow keys and the data-plane hash used to index remote
+// tables and counters.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "net/address.hpp"
+#include "net/packet.hpp"
+
+namespace xmem::net {
+
+struct FiveTuple {
+  Ipv4Address src_ip;
+  Ipv4Address dst_ip;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t protocol = 0;
+
+  auto operator<=>(const FiveTuple&) const = default;
+
+  /// Canonical 13-byte key layout (what a P4 hash extern would see).
+  [[nodiscard]] std::array<std::uint8_t, 13> key_bytes() const {
+    std::array<std::uint8_t, 13> k{};
+    auto put32 = [&](std::size_t at, std::uint32_t v) {
+      k[at] = static_cast<std::uint8_t>(v >> 24);
+      k[at + 1] = static_cast<std::uint8_t>(v >> 16);
+      k[at + 2] = static_cast<std::uint8_t>(v >> 8);
+      k[at + 3] = static_cast<std::uint8_t>(v);
+    };
+    put32(0, src_ip.value());
+    put32(4, dst_ip.value());
+    k[8] = static_cast<std::uint8_t>(src_port >> 8);
+    k[9] = static_cast<std::uint8_t>(src_port);
+    k[10] = static_cast<std::uint8_t>(dst_port >> 8);
+    k[11] = static_cast<std::uint8_t>(dst_port);
+    k[12] = protocol;
+    return k;
+  }
+};
+
+/// FNV-1a over arbitrary bytes: small, deterministic, and good enough for
+/// table index dispersion (also trivially expressible in P4 pipelines).
+[[nodiscard]] constexpr std::uint64_t fnv1a(
+    std::span<const std::uint8_t> data,
+    std::uint64_t seed = 0xcbf29ce484222325ULL) {
+  std::uint64_t h = seed;
+  for (const std::uint8_t b : data) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+[[nodiscard]] inline std::uint64_t flow_hash(const FiveTuple& t,
+                                             std::uint64_t seed =
+                                                 0xcbf29ce484222325ULL) {
+  const auto k = t.key_bytes();
+  return fnv1a(std::span<const std::uint8_t>(k.data(), k.size()), seed);
+}
+
+/// Extract the five-tuple from a parsed packet. For non-UDP/TCP packets
+/// the ports are zero; returns nullopt for non-IPv4 frames.
+[[nodiscard]] std::optional<FiveTuple> extract_five_tuple(const Packet& p);
+
+}  // namespace xmem::net
+
+template <>
+struct std::hash<xmem::net::FiveTuple> {
+  std::size_t operator()(const xmem::net::FiveTuple& t) const noexcept {
+    const auto k = t.key_bytes();
+    return static_cast<std::size_t>(xmem::net::fnv1a(
+        std::span<const std::uint8_t>(k.data(), k.size())));
+  }
+};

@@ -1,0 +1,75 @@
+#include "net/ipv4.hpp"
+
+#include "net/checksum.hpp"
+
+namespace xmem::net {
+
+void Ipv4Header::serialize(ByteWriter& w) const {
+  const std::size_t start = w.size();
+  w.u8(0x45);  // version 4, IHL 5 (no options)
+  w.u8(static_cast<std::uint8_t>((dscp << 2) |
+                                 static_cast<std::uint8_t>(ecn)));
+  w.u16(total_length);
+  w.u16(identification);
+  w.u16(0x4000);  // flags: DF set, fragment offset 0
+  w.u8(ttl);
+  w.u8(protocol);
+  const std::size_t checksum_at = w.size();
+  w.u16(0);
+  w.u32(src.value());
+  w.u32(dst.value());
+  // Checksum covers exactly the 20 header bytes just written.
+  // We reach into the writer's buffer via a second serialization pass:
+  // recompute over the bytes between start and now.
+  // ByteWriter does not expose its buffer, so compute incrementally.
+  InternetChecksum sum;
+  sum.add_u16(0x4500 |
+              static_cast<std::uint16_t>((dscp << 2) |
+                                         static_cast<std::uint8_t>(ecn)));
+  sum.add_u16(total_length);
+  sum.add_u16(identification);
+  sum.add_u16(0x4000);
+  sum.add_u16(static_cast<std::uint16_t>((std::uint16_t{ttl} << 8) |
+                                         protocol));
+  sum.add_u16(0);
+  sum.add_u16(static_cast<std::uint16_t>(src.value() >> 16));
+  sum.add_u16(static_cast<std::uint16_t>(src.value()));
+  sum.add_u16(static_cast<std::uint16_t>(dst.value() >> 16));
+  sum.add_u16(static_cast<std::uint16_t>(dst.value()));
+  w.patch_u16(checksum_at, sum.finish());
+  (void)start;
+}
+
+Ipv4Header Ipv4Header::parse(ByteReader& r) {
+  // Keep the raw header bytes for checksum verification.
+  const auto raw = r.rest();
+  const std::uint8_t ver_ihl = r.u8();
+  if ((ver_ihl >> 4) != 4) {
+    throw BufferError("Ipv4Header: not IPv4");
+  }
+  const std::size_t ihl_bytes = static_cast<std::size_t>(ver_ihl & 0x0f) * 4;
+  if (ihl_bytes != kIpv4HeaderBytes) {
+    throw BufferError("Ipv4Header: options unsupported");
+  }
+  if (raw.size() < kIpv4HeaderBytes) {
+    throw BufferError("Ipv4Header: truncated");
+  }
+  if (internet_checksum(raw.first(kIpv4HeaderBytes)) != 0) {
+    throw BufferError("Ipv4Header: bad checksum");
+  }
+  Ipv4Header h;
+  const std::uint8_t tos = r.u8();
+  h.dscp = tos >> 2;
+  h.ecn = static_cast<Ecn>(tos & 0x3);
+  h.total_length = r.u16();
+  h.identification = r.u16();
+  r.u16();  // flags/fragment (always DF here)
+  h.ttl = r.u8();
+  h.protocol = r.u8();
+  h.checksum = r.u16();
+  h.src = Ipv4Address(r.u32());
+  h.dst = Ipv4Address(r.u32());
+  return h;
+}
+
+}  // namespace xmem::net

@@ -1,0 +1,52 @@
+// IPv4 header (no options), RFC 791.
+#pragma once
+
+#include <cstdint>
+
+#include "net/address.hpp"
+#include "net/bytes.hpp"
+
+namespace xmem::net {
+
+inline constexpr std::size_t kIpv4HeaderBytes = 20;
+
+enum class IpProto : std::uint8_t {
+  kIcmp = 1,
+  kTcp = 6,
+  kUdp = 17,
+};
+
+/// ECN codepoints (low two bits of the traffic-class byte).
+enum class Ecn : std::uint8_t {
+  kNotEct = 0,
+  kEct1 = 1,
+  kEct0 = 2,
+  kCe = 3,
+};
+
+struct Ipv4Header {
+  std::uint8_t dscp = 0;  // upper 6 bits of the ToS byte
+  Ecn ecn = Ecn::kNotEct;
+  std::uint16_t total_length = 0;  // header + payload bytes
+  std::uint16_t identification = 0;
+  std::uint8_t ttl = 64;
+  std::uint8_t protocol = static_cast<std::uint8_t>(IpProto::kUdp);
+  std::uint16_t checksum = 0;  // filled by serialize()
+  Ipv4Address src;
+  Ipv4Address dst;
+
+  /// Serializes with a freshly computed header checksum.
+  void serialize(ByteWriter& w) const;
+
+  /// Parses and validates the checksum; throws BufferError on a bad
+  /// checksum or short read.
+  static Ipv4Header parse(ByteReader& r);
+
+  [[nodiscard]] IpProto proto() const {
+    return static_cast<IpProto>(protocol);
+  }
+
+  bool operator==(const Ipv4Header&) const = default;
+};
+
+}  // namespace xmem::net

@@ -1,0 +1,101 @@
+// Packet: owned wire bytes plus simulation metadata.
+//
+// Packets carry real serialized headers end to end; every component that
+// wants header fields parses the bytes (and re-serializes if it mutates
+// them). That discipline is what lets the benches measure true on-wire
+// overheads instead of assumed ones.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/ethernet.hpp"
+#include "net/ipv4.hpp"
+#include "net/udp.hpp"
+#include "sim/time.hpp"
+
+namespace xmem::net {
+
+struct PacketMeta {
+  std::uint64_t id = 0;        ///< Unique per simulation, for tracing.
+  sim::Time created = 0;       ///< When the packet entered the simulation.
+  sim::Time enqueued = 0;      ///< Last time it was put on a queue.
+  int ingress_port = -1;       ///< Port index it arrived on (per node).
+  std::uint8_t priority = 0;   ///< Traffic class for queueing/PFC.
+  std::uint64_t app_seq = 0;   ///< Application sequence number, if any.
+  bool from_remote_buffer = false;  ///< Reinjected by the buffer primitive.
+};
+
+class Packet {
+ public:
+  Packet() = default;
+  explicit Packet(std::vector<std::uint8_t> bytes) : data_(std::move(bytes)) {}
+
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] std::span<const std::uint8_t> bytes() const { return data_; }
+  [[nodiscard]] std::vector<std::uint8_t>& mutable_bytes() { return data_; }
+
+  [[nodiscard]] PacketMeta& meta() { return meta_; }
+  [[nodiscard]] const PacketMeta& meta() const { return meta_; }
+
+  /// Link occupancy of this packet (incl. FCS, padding, preamble, IFG).
+  [[nodiscard]] std::int64_t wire_size() const {
+    return wire_bytes(data_.size());
+  }
+
+  /// Deep copy (the switch clone operation).
+  [[nodiscard]] Packet clone() const { return *this; }
+
+  /// Drop all bytes past `len` (the switch truncate operation).
+  void truncate(std::size_t len) {
+    if (len < data_.size()) data_.resize(len);
+  }
+
+ private:
+  std::vector<std::uint8_t> data_;
+  PacketMeta meta_;
+};
+
+/// Parsed view of the standard header stack. Parsing stops at the first
+/// layer that is absent; deeper optionals stay empty.
+struct ParsedPacket {
+  EthernetHeader eth;
+  std::optional<Ipv4Header> ipv4;
+  std::optional<UdpHeader> udp;
+  std::size_t l4_payload_offset = 0;  ///< Offset of bytes after UDP header.
+
+  [[nodiscard]] bool is_roce_v2() const {
+    return udp.has_value() && udp->dst_port == kRoceV2Port;
+  }
+};
+
+/// Parse Ethernet (+IPv4 +UDP when present). Throws BufferError only if a
+/// header that claims to be present is truncated.
+[[nodiscard]] ParsedPacket parse_packet(const Packet& p);
+
+/// Build a full Ethernet/IPv4/UDP frame around `payload`.
+/// Lengths and checksums are computed; `dscp` seeds the IP ToS field.
+[[nodiscard]] Packet build_udp_packet(const MacAddress& src_mac,
+                                      const MacAddress& dst_mac,
+                                      const Ipv4Address& src_ip,
+                                      const Ipv4Address& dst_ip,
+                                      std::uint16_t src_port,
+                                      std::uint16_t dst_port,
+                                      std::span<const std::uint8_t> payload,
+                                      std::uint8_t dscp = 0);
+
+/// Rewrite the DSCP field of an IPv4 packet in place (refreshes the IP
+/// checksum). Returns false if the packet is not IPv4.
+bool rewrite_dscp(Packet& p, std::uint8_t dscp);
+
+/// Set the ECN codepoint of an IPv4 packet in place (refreshes the IP
+/// checksum). Returns false if the packet is not IPv4.
+bool set_ecn(Packet& p, Ecn ecn);
+
+/// Rewrite the IPv4 destination address in place (refreshes the checksum).
+/// Returns false if the packet is not IPv4.
+bool rewrite_dst_ip(Packet& p, const Ipv4Address& dst);
+
+}  // namespace xmem::net

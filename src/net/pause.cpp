@@ -1,0 +1,62 @@
+#include "net/pause.hpp"
+
+#include "net/bytes.hpp"
+
+namespace xmem::net {
+
+namespace {
+// MAC control frames go to a reserved multicast address.
+const MacAddress kPauseDst({0x01, 0x80, 0xc2, 0x00, 0x00, 0x01});
+}  // namespace
+
+PfcFrame pfc_xoff(const MacAddress& src) {
+  PfcFrame f;
+  f.src = src;
+  f.class_enable = 0x01;
+  f.quanta[0] = 0xffff;
+  return f;
+}
+
+PfcFrame pfc_xon(const MacAddress& src) {
+  PfcFrame f;
+  f.src = src;
+  f.class_enable = 0x01;
+  f.quanta[0] = 0;
+  return f;
+}
+
+Packet build_pfc_frame(const PfcFrame& pfc) {
+  std::vector<std::uint8_t> buf;
+  buf.reserve(kEthernetMinFrame);
+  ByteWriter w(buf);
+  EthernetHeader eth;
+  eth.dst = kPauseDst;
+  eth.src = pfc.src;
+  eth.set_type(EtherType::kFlowControl);
+  eth.serialize(w);
+  w.u16(kMacControlOpcodePfc);
+  w.u16(pfc.class_enable);
+  for (int i = 0; i < 8; ++i) w.u16(pfc.quanta[i]);
+  // Pad to the 60-byte Ethernet minimum.
+  while (buf.size() < kEthernetMinFrame) buf.push_back(0);
+  return Packet(std::move(buf));
+}
+
+std::optional<PfcFrame> parse_pfc_frame(const Packet& packet) {
+  if (packet.size() < kEthernetHeaderBytes + 2 + 2 + 16) return std::nullopt;
+  try {
+    ByteReader r(packet.bytes());
+    const EthernetHeader eth = EthernetHeader::parse(r);
+    if (eth.type() != EtherType::kFlowControl) return std::nullopt;
+    if (r.u16() != kMacControlOpcodePfc) return std::nullopt;
+    PfcFrame f;
+    f.src = eth.src;
+    f.class_enable = static_cast<std::uint8_t>(r.u16());
+    for (int i = 0; i < 8; ++i) f.quanta[i] = r.u16();
+    return f;
+  } catch (const BufferError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace xmem::net

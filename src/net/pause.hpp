@@ -1,0 +1,46 @@
+// IEEE 802.3x PAUSE / 802.1Qbb Priority Flow Control frames.
+//
+// The paper positions PFC as the incumbent fix for incast loss ("PFC has
+// been proposed. Unfortunately, it leads to other serious problems such
+// as occasional deadlocks") — so the switch model can speak it, and the
+// A4 bench shows the head-of-line blocking the remote packet buffer
+// avoids.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "net/packet.hpp"
+
+namespace xmem::net {
+
+/// One pause quantum is 512 bit times on the receiving port's link.
+inline constexpr std::int64_t kPauseQuantumBits = 512;
+inline constexpr std::uint16_t kMacControlOpcodePfc = 0x0101;
+
+struct PfcFrame {
+  MacAddress src;
+  /// Bit i set => class i is paused for quanta[i] quanta (0 = resume).
+  std::uint8_t class_enable = 0x01;  // this model uses one traffic class
+  std::uint16_t quanta[8] = {};
+
+  [[nodiscard]] bool is_resume() const {
+    for (int i = 0; i < 8; ++i) {
+      if ((class_enable >> i) & 1 && quanta[i] != 0) return false;
+    }
+    return true;
+  }
+};
+
+/// XOFF helper: pause class 0 for the maximum duration.
+[[nodiscard]] PfcFrame pfc_xoff(const MacAddress& src);
+/// XON helper: resume class 0 immediately.
+[[nodiscard]] PfcFrame pfc_xon(const MacAddress& src);
+
+/// Serialize to a MAC-control frame (EtherType 0x8808, 60-byte minimum).
+[[nodiscard]] Packet build_pfc_frame(const PfcFrame& pfc);
+
+/// Parse; nullopt if the packet is not a PFC MAC-control frame.
+[[nodiscard]] std::optional<PfcFrame> parse_pfc_frame(const Packet& packet);
+
+}  // namespace xmem::net

@@ -1,0 +1,50 @@
+#include "net/pcap.hpp"
+
+#include <algorithm>
+
+namespace xmem::net {
+
+namespace {
+constexpr std::uint32_t kMagic = 0xa1b2c3d4;  // microsecond timestamps
+constexpr std::uint16_t kVersionMajor = 2;
+constexpr std::uint16_t kVersionMinor = 4;
+constexpr std::uint32_t kLinkTypeEthernet = 1;
+}  // namespace
+
+PcapWriter::PcapWriter(std::ostream& out, std::uint32_t snaplen)
+    : out_(&out), snaplen_(snaplen) {
+  u32(kMagic);
+  u16(kVersionMajor);
+  u16(kVersionMinor);
+  u32(0);  // thiszone
+  u32(0);  // sigfigs
+  u32(snaplen_);
+  u32(kLinkTypeEthernet);
+}
+
+void PcapWriter::u16(std::uint16_t v) {
+  // pcap headers are host-endian by convention; write little-endian and
+  // rely on the magic number for readers to detect order.
+  const char b[2] = {static_cast<char>(v), static_cast<char>(v >> 8)};
+  out_->write(b, 2);
+}
+
+void PcapWriter::u32(std::uint32_t v) {
+  const char b[4] = {static_cast<char>(v), static_cast<char>(v >> 8),
+                     static_cast<char>(v >> 16), static_cast<char>(v >> 24)};
+  out_->write(b, 4);
+}
+
+void PcapWriter::write(const Packet& packet, sim::Time when) {
+  const auto usec_total = static_cast<std::uint64_t>(when / sim::kMicrosecond);
+  u32(static_cast<std::uint32_t>(usec_total / 1'000'000));
+  u32(static_cast<std::uint32_t>(usec_total % 1'000'000));
+  const auto captured = static_cast<std::uint32_t>(
+      std::min<std::size_t>(packet.size(), snaplen_));
+  u32(captured);
+  u32(static_cast<std::uint32_t>(packet.size()));
+  out_->write(reinterpret_cast<const char*>(packet.bytes().data()), captured);
+  ++packets_;
+}
+
+}  // namespace xmem::net

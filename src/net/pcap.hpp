@@ -1,0 +1,35 @@
+// Classic (libpcap 2.4) capture file writer for offline inspection of
+// simulated traffic with wireshark/tcpdump — wireshark decodes our RoCEv2
+// frames natively, which makes protocol debugging trivial.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+namespace xmem::net {
+
+class PcapWriter {
+ public:
+  /// Writes the file header immediately. The stream must outlive the
+  /// writer. `snaplen` caps the stored bytes per packet.
+  explicit PcapWriter(std::ostream& out, std::uint32_t snaplen = 65535);
+
+  /// Append one packet stamped with its simulated time.
+  void write(const Packet& packet, sim::Time when);
+
+  [[nodiscard]] std::uint64_t packets_written() const { return packets_; }
+
+ private:
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+
+  std::ostream* out_;
+  std::uint32_t snaplen_;
+  std::uint64_t packets_ = 0;
+};
+
+}  // namespace xmem::net

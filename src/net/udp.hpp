@@ -1,0 +1,39 @@
+// UDP header, RFC 768. RoCEv2 rides on UDP destination port 4791.
+#pragma once
+
+#include <cstdint>
+
+#include "net/bytes.hpp"
+
+namespace xmem::net {
+
+inline constexpr std::size_t kUdpHeaderBytes = 8;
+/// IANA-assigned UDP destination port for RoCEv2.
+inline constexpr std::uint16_t kRoceV2Port = 4791;
+
+struct UdpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint16_t length = 0;  // header + payload
+  std::uint16_t checksum = 0;  // RoCEv2 sets this to 0 (allowed by RFC 768)
+
+  void serialize(ByteWriter& w) const {
+    w.u16(src_port);
+    w.u16(dst_port);
+    w.u16(length);
+    w.u16(checksum);
+  }
+
+  static UdpHeader parse(ByteReader& r) {
+    UdpHeader h;
+    h.src_port = r.u16();
+    h.dst_port = r.u16();
+    h.length = r.u16();
+    h.checksum = r.u16();
+    return h;
+  }
+
+  bool operator==(const UdpHeader&) const = default;
+};
+
+}  // namespace xmem::net

@@ -1,0 +1,62 @@
+#include "rnic/memory.hpp"
+
+#include <cassert>
+
+namespace xmem::rnic {
+
+MemoryRegion& MemoryManager::register_region(std::size_t length,
+                                             Access access) {
+  assert(length > 0);
+  // Each region gets its own gigabyte-aligned arena slot; regions bigger
+  // than one slot consume several.
+  const std::uint64_t slots = (length + kArenaStride - 1) / kArenaStride;
+  const std::uint64_t base = kArenaBase + next_arena_slot_ * kArenaStride;
+  next_arena_slot_ += slots;
+
+  const std::uint32_t rkey = next_rkey_++;
+  auto region = std::make_unique<MemoryRegion>(base, rkey, length, access);
+  MemoryRegion& ref = *region;
+  regions_.emplace(rkey, std::move(region));
+  total_bytes_ += length;
+  return ref;
+}
+
+MemoryRegion* MemoryManager::find(std::uint32_t rkey) {
+  auto it = regions_.find(rkey);
+  return it == regions_.end() ? nullptr : it->second.get();
+}
+
+const MemoryRegion* MemoryManager::find(std::uint32_t rkey) const {
+  auto it = regions_.find(rkey);
+  return it == regions_.end() ? nullptr : it->second.get();
+}
+
+MemStatus MemoryManager::check(std::uint32_t rkey, std::uint64_t va,
+                               std::size_t len, Access wanted) const {
+  const MemoryRegion* region = find(rkey);
+  if (region == nullptr) return MemStatus::kBadRkey;
+  if (!region->contains(va, len)) return MemStatus::kOutOfBounds;
+  if (!has_access(region->access(), wanted)) return MemStatus::kAccessDenied;
+  if (has_access(wanted, Access::kRemoteAtomic) && (va % 8) != 0) {
+    return MemStatus::kMisaligned;
+  }
+  return MemStatus::kOk;
+}
+
+std::uint64_t load_le64(std::span<const std::uint8_t> bytes) {
+  assert(bytes.size() >= 8);
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | bytes[static_cast<std::size_t>(i)];
+  }
+  return v;
+}
+
+void store_le64(std::span<std::uint8_t> bytes, std::uint64_t value) {
+  assert(bytes.size() >= 8);
+  for (std::size_t i = 0; i < 8; ++i) {
+    bytes[i] = static_cast<std::uint8_t>(value >> (8 * i));
+  }
+}
+
+}  // namespace xmem::rnic

@@ -1,0 +1,113 @@
+// RDMA memory regions: registered DRAM a remote peer may address by
+// {virtual address, rkey}, subject to access-right and bounds checks —
+// the checks a real RNIC performs before any one-sided operation.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+namespace xmem::rnic {
+
+/// Remote-access rights, OR-able.
+enum class Access : std::uint8_t {
+  kNone = 0,
+  kRemoteRead = 1,
+  kRemoteWrite = 2,
+  kRemoteAtomic = 4,
+  kAll = 7,
+};
+
+[[nodiscard]] constexpr Access operator|(Access a, Access b) {
+  return static_cast<Access>(static_cast<std::uint8_t>(a) |
+                             static_cast<std::uint8_t>(b));
+}
+[[nodiscard]] constexpr bool has_access(Access granted, Access wanted) {
+  return (static_cast<std::uint8_t>(granted) &
+          static_cast<std::uint8_t>(wanted)) ==
+         static_cast<std::uint8_t>(wanted);
+}
+
+/// Outcome of a remote-memory access check.
+enum class MemStatus : std::uint8_t {
+  kOk,
+  kBadRkey,
+  kOutOfBounds,
+  kAccessDenied,
+  kMisaligned,  // atomics must target 8-byte-aligned addresses
+};
+
+/// One registered region: owns its backing bytes.
+class MemoryRegion {
+ public:
+  MemoryRegion(std::uint64_t base_va, std::uint32_t rkey, std::size_t length,
+               Access access)
+      : base_va_(base_va), rkey_(rkey), access_(access), data_(length, 0) {}
+
+  [[nodiscard]] std::uint64_t base_va() const { return base_va_; }
+  [[nodiscard]] std::uint32_t rkey() const { return rkey_; }
+  [[nodiscard]] std::size_t length() const { return data_.size(); }
+  [[nodiscard]] Access access() const { return access_; }
+
+  [[nodiscard]] bool contains(std::uint64_t va, std::size_t len) const {
+    return va >= base_va_ && va + len <= base_va_ + data_.size() &&
+           va + len >= va;  // overflow guard
+  }
+
+  /// Raw view for the owning host (local access needs no rights).
+  [[nodiscard]] std::span<std::uint8_t> bytes() { return data_; }
+  [[nodiscard]] std::span<const std::uint8_t> bytes() const { return data_; }
+
+  /// Checked view of [va, va+len). Caller must have verified bounds.
+  [[nodiscard]] std::span<std::uint8_t> window(std::uint64_t va,
+                                               std::size_t len) {
+    return std::span<std::uint8_t>(data_).subspan(
+        static_cast<std::size_t>(va - base_va_), len);
+  }
+
+ private:
+  std::uint64_t base_va_;
+  std::uint32_t rkey_;
+  Access access_;
+  std::vector<std::uint8_t> data_;
+};
+
+/// The RNIC's table of registered regions.
+class MemoryManager {
+ public:
+  /// Register a fresh region. Base virtual addresses are assigned
+  /// sequentially in a private 1 GiB-aligned arena so distinct regions
+  /// never overlap, and rkeys are never reused.
+  MemoryRegion& register_region(std::size_t length, Access access);
+
+  /// rkey -> region, or nullptr.
+  [[nodiscard]] MemoryRegion* find(std::uint32_t rkey);
+  [[nodiscard]] const MemoryRegion* find(std::uint32_t rkey) const;
+
+  /// Full remote-access check for an operation of `len` bytes at `va`.
+  [[nodiscard]] MemStatus check(std::uint32_t rkey, std::uint64_t va,
+                                std::size_t len, Access wanted) const;
+
+  [[nodiscard]] std::size_t region_count() const { return regions_.size(); }
+  [[nodiscard]] std::size_t total_registered_bytes() const {
+    return total_bytes_;
+  }
+
+ private:
+  static constexpr std::uint64_t kArenaBase = 0x4000'0000'0000ULL;
+  static constexpr std::uint64_t kArenaStride = 1ULL << 30;
+
+  std::unordered_map<std::uint32_t, std::unique_ptr<MemoryRegion>> regions_;
+  std::uint32_t next_rkey_ = 0x1000;
+  std::uint64_t next_arena_slot_ = 0;
+  std::size_t total_bytes_ = 0;
+};
+
+/// Little-endian 64-bit load/store — counters live in server DRAM with
+/// x86 byte order, which is what the control plane reads back.
+[[nodiscard]] std::uint64_t load_le64(std::span<const std::uint8_t> bytes);
+void store_le64(std::span<std::uint8_t> bytes, std::uint64_t value);
+
+}  // namespace xmem::rnic

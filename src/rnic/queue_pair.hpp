@@ -1,0 +1,87 @@
+// Reliable-Connection queue-pair state held by the RNIC responder.
+//
+// Only the responder half lives here: the paper's switch never exposes a
+// responder, and the host-side requester engine (verbs.hpp) keeps its own
+// send-queue state.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "roce/packet.hpp"
+
+namespace xmem::rnic {
+
+enum class QpState : std::uint8_t {
+  kReset,            // created, not yet connected
+  kReadyToReceive,   // remote identity known; responder active
+  kError,            // a terminal NAK was generated
+};
+
+struct QueuePair {
+  std::uint32_t qpn = 0;
+  QpState state = QpState::kReset;
+
+  /// Peer identity: where responses are sent.
+  roce::RoceEndpoint remote;
+  std::uint32_t remote_qpn = 0;
+
+  /// Responder sequence state.
+  std::uint32_t epsn = 0;  // next expected request PSN (24-bit)
+  std::uint32_t msn = 0;   // completed-message counter, echoed in AETH
+
+  /// Largest read/atomic responder concurrency advertised (informational;
+  /// the requester enforces it).
+  std::uint8_t max_rd_atomic = 16;
+
+  /// Path MTU for segmenting READ responses, in bytes.
+  std::size_t path_mtu = 4096;
+
+  /// When true, a PSN gap does not NAK: the responder adopts the
+  /// incoming PSN and executes. This models the deployment mode the
+  /// paper's best-effort primitives need — every op is self-contained
+  /// (single packet, absolute address), so a lost request should cost
+  /// only itself, not wedge the whole sequence. Strict RC keeps this
+  /// false. See DESIGN.md §6.
+  bool tolerate_psn_gaps = false;
+
+  /// In-progress multi-packet RDMA WRITE (FIRST seen, LAST pending).
+  struct ActiveWrite {
+    bool active = false;
+    std::uint64_t next_va = 0;
+    std::uint32_t rkey = 0;
+    std::size_t remaining = 0;  // bytes still expected
+  } write;
+
+  /// Replay cache for duplicate atomics: RC responders remember recent
+  /// atomic results so a retransmitted Fetch-and-Add is answered with the
+  /// original value instead of executing twice (exactly-once semantics).
+  struct AtomicReplayCache {
+    static constexpr std::size_t kCapacity = 64;
+    std::unordered_map<std::uint32_t, std::uint64_t> by_psn;
+    std::deque<std::uint32_t> order;
+
+    void remember(std::uint32_t psn, std::uint64_t original) {
+      if (by_psn.size() >= kCapacity) {
+        by_psn.erase(order.front());
+        order.pop_front();
+      }
+      by_psn.emplace(psn, original);
+      order.push_back(psn);
+    }
+    [[nodiscard]] const std::uint64_t* find(std::uint32_t psn) const {
+      auto it = by_psn.find(psn);
+      return it == by_psn.end() ? nullptr : &it->second;
+    }
+  } atomic_replay;
+
+  /// Statistics.
+  std::uint64_t writes_executed = 0;
+  std::uint64_t reads_executed = 0;
+  std::uint64_t atomics_executed = 0;
+  std::uint64_t naks_sent = 0;
+  std::uint64_t duplicates_seen = 0;
+};
+
+}  // namespace xmem::rnic

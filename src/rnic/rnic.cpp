@@ -1,0 +1,350 @@
+#include "rnic/rnic.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "sim/log.hpp"
+
+namespace xmem::rnic {
+
+using roce::AckSyndrome;
+using roce::Opcode;
+using roce::RoceMessage;
+
+Rnic::Rnic(sim::Simulator& simulator, roce::RoceEndpoint self,
+           NicProfile profile, TransmitFn transmit)
+    : sim_(&simulator),
+      self_(self),
+      profile_(profile),
+      transmit_(std::move(transmit)) {
+  assert(transmit_ && "Rnic needs a transmit function");
+}
+
+QueuePair& Rnic::create_qp() {
+  auto qp = std::make_unique<QueuePair>();
+  qp->qpn = next_qpn_++;
+  qp->path_mtu = profile_.path_mtu;
+  QueuePair& ref = *qp;
+  qps_.emplace(ref.qpn, std::move(qp));
+  return ref;
+}
+
+void Rnic::connect_qp(std::uint32_t qpn, const roce::RoceEndpoint& remote,
+                      std::uint32_t remote_qpn, std::uint32_t expected_psn) {
+  QueuePair* qp = find_qp(qpn);
+  assert(qp != nullptr && "connect_qp: unknown QPN");
+  qp->remote = remote;
+  qp->remote_qpn = remote_qpn;
+  qp->epsn = expected_psn & roce::kPsnMask;
+  qp->state = QpState::kReadyToReceive;
+}
+
+QueuePair* Rnic::find_qp(std::uint32_t qpn) {
+  auto it = qps_.find(qpn);
+  return it == qps_.end() ? nullptr : it->second.get();
+}
+
+void Rnic::set_response_handler(std::uint32_t qpn, ResponseHandler handler) {
+  response_handlers_[qpn] = std::move(handler);
+}
+
+bool Rnic::handle_frame(const net::Packet& frame) {
+  // Cheap dispatch: only frames that structurally look like RoCE belong
+  // to the NIC; everything else goes up the host stack.
+  const auto bytes = frame.bytes();
+  if (bytes.size() < net::kEthernetHeaderBytes) return false;
+  const std::uint16_t ether_type =
+      static_cast<std::uint16_t>((bytes[12] << 8) | bytes[13]);
+  const bool v1 = ether_type ==
+                  static_cast<std::uint16_t>(net::EtherType::kRoceV1);
+  bool v2 = false;
+  if (ether_type == static_cast<std::uint16_t>(net::EtherType::kIpv4) &&
+      bytes.size() >=
+          net::kEthernetHeaderBytes + net::kIpv4HeaderBytes + 4) {
+    const std::size_t l4 = net::kEthernetHeaderBytes + net::kIpv4HeaderBytes;
+    const std::uint16_t dst_port =
+        static_cast<std::uint16_t>((bytes[l4 + 2] << 8) | bytes[l4 + 3]);
+    v2 = bytes[net::kEthernetHeaderBytes + 9] ==
+             static_cast<std::uint8_t>(net::IpProto::kUdp) &&
+         dst_port == net::kRoceV2Port;
+  }
+  if (!v1 && !v2) return false;
+
+  auto msg = roce::parse_roce_packet(frame);
+  if (!msg) {
+    ++stats_.corrupt_dropped;
+    return true;  // it was RoCE, just damaged: the NIC eats it
+  }
+
+  if (roce::is_response(msg->opcode())) {
+    auto it = response_handlers_.find(msg->bth.dest_qp);
+    if (it != response_handlers_.end()) {
+      ++stats_.responses_dispatched;
+      it->second(*msg);
+    } else {
+      ++stats_.unknown_qp_dropped;
+    }
+    return true;
+  }
+
+  ++stats_.requests_received;
+  if (rx_queue_.size() >= profile_.rx_queue_depth) {
+    ++stats_.requests_dropped_overflow;
+    return true;
+  }
+  rx_queue_.push_back(std::move(*msg));
+  pump();
+  return true;
+}
+
+void Rnic::pump() {
+  if (serving_ || rx_queue_.empty()) return;
+  serving_ = true;
+  RoceMessage msg = std::move(rx_queue_.front());
+  rx_queue_.pop_front();
+  // Compute the service time before the lambda capture moves the message:
+  // argument evaluation order is unspecified.
+  const sim::Time service = service_time(msg);
+  sim_->schedule_in(service, [this, m = std::move(msg)]() {
+    execute(m);
+    serving_ = false;
+    pump();
+  });
+}
+
+sim::Time Rnic::service_time(const RoceMessage& msg) const {
+  const Opcode op = msg.opcode();
+  sim::Time t = 0;
+  std::int64_t dma_bytes = 0;
+  if (roce::is_write(op)) {
+    t = profile_.write_overhead;
+    dma_bytes = static_cast<std::int64_t>(msg.payload.size());
+  } else if (roce::is_read_request(op)) {
+    t = profile_.read_overhead;
+    dma_bytes = msg.reth ? msg.reth->dma_len : 0;
+  } else if (roce::is_atomic(op)) {
+    t = profile_.atomic_overhead;
+    dma_bytes = 8;
+  }
+  return t + sim::transmission_time(dma_bytes, profile_.dma_bandwidth);
+}
+
+void Rnic::execute(const RoceMessage& msg) {
+  QueuePair* qp_ptr = find_qp(msg.bth.dest_qp);
+  if (qp_ptr == nullptr || qp_ptr->state != QpState::kReadyToReceive) {
+    ++stats_.unknown_qp_dropped;
+    return;
+  }
+  QueuePair& qp = *qp_ptr;
+
+  const std::int32_t delta = roce::psn_distance(qp.epsn, msg.bth.psn);
+  if (delta < 0) {
+    // Duplicate (a retransmission). RC responder duplicate rules:
+    //  - WRITE: idempotent; re-ack so the requester makes progress.
+    //  - READ: re-execute — reads of registered memory are idempotent
+    //    and the spec explicitly allows re-serving them.
+    //  - Atomic: must NOT re-execute; answer from the replay cache.
+    ++qp.duplicates_seen;
+    const Opcode op = msg.opcode();
+    if (roce::is_write(op)) {
+      if (msg.bth.ack_req) send_ack(qp, msg.bth.psn, AckSyndrome::kAck);
+    } else if (roce::is_read_request(op)) {
+      execute_read(qp, msg, /*advance_sequence=*/false);
+    } else if (roce::is_atomic(op)) {
+      if (const std::uint64_t* original = qp.atomic_replay.find(msg.bth.psn)) {
+        send_ack(qp, msg.bth.psn, AckSyndrome::kAck, *original);
+      } else {
+        ++qp.naks_sent;
+        send_ack(qp, msg.bth.psn, AckSyndrome::kNakInvalidRequest);
+      }
+    }
+    return;
+  }
+  if (delta > 0) {
+    if (qp.tolerate_psn_gaps) {
+      // Self-contained single-packet ops: adopt the sender's PSN and
+      // carry on; only the lost packet's work is lost.
+      qp.epsn = msg.bth.psn;
+    } else {
+      // Strict RC: something was lost ahead of this packet.
+      ++qp.naks_sent;
+      send_ack(qp, qp.epsn, AckSyndrome::kNakSequenceError);
+      return;
+    }
+  }
+
+  const Opcode op = msg.opcode();
+  if (roce::is_write(op)) {
+    execute_write(qp, msg);
+  } else if (roce::is_read_request(op)) {
+    execute_read(qp, msg);
+  } else if (roce::is_atomic(op)) {
+    execute_atomic(qp, msg);
+  } else {
+    ++stats_.unknown_qp_dropped;
+  }
+}
+
+void Rnic::execute_write(QueuePair& qp, const RoceMessage& msg) {
+  const Opcode op = msg.opcode();
+  std::uint64_t va = 0;
+  std::uint32_t rkey = 0;
+
+  if (op == Opcode::kRdmaWriteOnly || op == Opcode::kRdmaWriteFirst) {
+    assert(msg.reth.has_value());
+    va = msg.reth->va;
+    rkey = msg.reth->rkey;
+    // Validate the whole announced transfer up front, like hardware does.
+    const MemStatus status =
+        memory_.check(rkey, va, msg.reth->dma_len, Access::kRemoteWrite);
+    if (status != MemStatus::kOk) {
+      ++qp.naks_sent;
+      send_ack(qp, msg.bth.psn, AckSyndrome::kNakRemoteAccessError);
+      return;
+    }
+    if (op == Opcode::kRdmaWriteFirst) {
+      qp.write = {true, va + msg.payload.size(), rkey,
+                  msg.reth->dma_len - msg.payload.size()};
+    }
+  } else {
+    // MIDDLE / LAST continue an active transfer.
+    if (!qp.write.active || msg.payload.size() > qp.write.remaining) {
+      ++qp.naks_sent;
+      send_ack(qp, msg.bth.psn, AckSyndrome::kNakInvalidRequest);
+      return;
+    }
+    va = qp.write.next_va;
+    rkey = qp.write.rkey;
+    qp.write.next_va += msg.payload.size();
+    qp.write.remaining -= msg.payload.size();
+    if (op == Opcode::kRdmaWriteLast) qp.write.active = false;
+  }
+
+  MemoryRegion* region = memory_.find(rkey);
+  assert(region != nullptr);  // checked at FIRST/ONLY
+  if (!msg.payload.empty()) {
+    auto window = region->window(va, msg.payload.size());
+    std::copy(msg.payload.begin(), msg.payload.end(), window.begin());
+  }
+
+  qp.epsn = roce::psn_add(qp.epsn, 1);
+  ++stats_.writes;
+  stats_.bytes_written += static_cast<std::int64_t>(msg.payload.size());
+  if (op == Opcode::kRdmaWriteOnly || op == Opcode::kRdmaWriteLast) {
+    ++qp.writes_executed;
+    qp.msn = (qp.msn + 1) & 0xffffff;
+  }
+  if (msg.bth.ack_req) {
+    send_ack(qp, msg.bth.psn, AckSyndrome::kAck);
+  }
+}
+
+void Rnic::execute_read(QueuePair& qp, const RoceMessage& msg,
+                        bool advance_sequence) {
+  assert(msg.reth.has_value());
+  const std::uint64_t va = msg.reth->va;
+  const std::uint32_t len = msg.reth->dma_len;
+  const MemStatus status =
+      memory_.check(msg.reth->rkey, va, len, Access::kRemoteRead);
+  if (status != MemStatus::kOk) {
+    ++qp.naks_sent;
+    send_ack(qp, msg.bth.psn, AckSyndrome::kNakRemoteAccessError);
+    return;
+  }
+  MemoryRegion* region = memory_.find(msg.reth->rkey);
+  const auto data = region->window(va, len);
+
+  const std::size_t segments =
+      len == 0 ? 1 : (len + qp.path_mtu - 1) / qp.path_mtu;
+  const std::uint32_t first_psn = msg.bth.psn;
+  if (advance_sequence) {
+    qp.epsn = roce::psn_add(qp.epsn, static_cast<std::uint32_t>(segments));
+    qp.msn = (qp.msn + 1) & 0xffffff;
+  }
+  ++qp.reads_executed;
+  ++stats_.reads;
+  stats_.bytes_read += len;
+
+  send_read_response(qp, first_psn, data);
+}
+
+void Rnic::execute_atomic(QueuePair& qp, const RoceMessage& msg) {
+  assert(msg.atomic_eth.has_value());
+  const auto& ae = *msg.atomic_eth;
+  const MemStatus status =
+      memory_.check(ae.rkey, ae.va, 8, Access::kRemoteAtomic);
+  if (status != MemStatus::kOk) {
+    ++qp.naks_sent;
+    send_ack(qp, msg.bth.psn, AckSyndrome::kNakRemoteAccessError);
+    return;
+  }
+  MemoryRegion* region = memory_.find(ae.rkey);
+  auto window = region->window(ae.va, 8);
+  const std::uint64_t original = load_le64(window);
+  std::uint64_t updated = original;
+  if (msg.opcode() == Opcode::kFetchAdd) {
+    updated = original + ae.swap_add;
+  } else {  // CompareSwap
+    if (original == ae.compare) updated = ae.swap_add;
+  }
+  store_le64(window, updated);
+  qp.atomic_replay.remember(msg.bth.psn, original);
+
+  qp.epsn = roce::psn_add(qp.epsn, 1);
+  qp.msn = (qp.msn + 1) & 0xffffff;
+  ++qp.atomics_executed;
+  ++stats_.atomics;
+  // Atomic responses are mandatory: the requester needs the original.
+  send_ack(qp, msg.bth.psn, AckSyndrome::kAck, original);
+}
+
+void Rnic::send_ack(QueuePair& qp, std::uint32_t psn, AckSyndrome syndrome,
+                    std::optional<std::uint64_t> atomic_original) {
+  RoceMessage resp;
+  resp.bth.opcode = atomic_original.has_value() ? Opcode::kAtomicAcknowledge
+                                                : Opcode::kAcknowledge;
+  resp.bth.dest_qp = qp.remote_qpn;
+  resp.bth.psn = psn & roce::kPsnMask;
+  resp.aeth = roce::Aeth{syndrome, qp.msn};
+  if (atomic_original) {
+    resp.atomic_ack = roce::AtomicAckEth{*atomic_original};
+  }
+  if (syndrome == AckSyndrome::kAck) {
+    ++stats_.acks_sent;
+  } else {
+    ++stats_.naks_sent;
+  }
+  transmit_(roce::build_roce_packet(self_, qp.remote, std::move(resp)));
+}
+
+void Rnic::send_read_response(QueuePair& qp, std::uint32_t first_psn,
+                              std::span<const std::uint8_t> data) {
+  const std::size_t mtu = qp.path_mtu;
+  const std::size_t segments =
+      data.empty() ? 1 : (data.size() + mtu - 1) / mtu;
+
+  for (std::size_t i = 0; i < segments; ++i) {
+    RoceMessage resp;
+    if (segments == 1) {
+      resp.bth.opcode = Opcode::kRdmaReadResponseOnly;
+    } else if (i == 0) {
+      resp.bth.opcode = Opcode::kRdmaReadResponseFirst;
+    } else if (i + 1 == segments) {
+      resp.bth.opcode = Opcode::kRdmaReadResponseLast;
+    } else {
+      resp.bth.opcode = Opcode::kRdmaReadResponseMiddle;
+    }
+    resp.bth.dest_qp = qp.remote_qpn;
+    resp.bth.psn = roce::psn_add(first_psn, static_cast<std::uint32_t>(i));
+    if (roce::has_aeth(resp.bth.opcode)) {
+      resp.aeth = roce::Aeth{AckSyndrome::kAck, qp.msn};
+    }
+    const std::size_t offset = i * mtu;
+    const std::size_t chunk = std::min(mtu, data.size() - offset);
+    resp.payload.assign(data.begin() + static_cast<std::ptrdiff_t>(offset),
+                        data.begin() + static_cast<std::ptrdiff_t>(offset + chunk));
+    transmit_(roce::build_roce_packet(self_, qp.remote, std::move(resp)));
+  }
+}
+
+}  // namespace xmem::rnic

@@ -1,0 +1,126 @@
+// Host-side RDMA requester ("verbs") engine.
+//
+// This is what a server application uses to drive its own RNIC: post
+// one-sided work requests, get completions. It packetizes messages into
+// path-MTU segments, tracks PSNs, keeps a bounded in-flight window, and
+// recovers from loss with go-back-N on NAK or timeout.
+//
+// In this reproduction it provides the paper's §5 baseline: native
+// server-to-server RDMA WRITE/READ throughput.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "rnic/rnic.hpp"
+#include "roce/packet.hpp"
+#include "sim/simulator.hpp"
+
+namespace xmem::rnic {
+
+struct WorkCompletion {
+  bool success = true;
+  roce::Opcode opcode = roce::Opcode::kRdmaWriteOnly;
+  std::uint64_t wr_id = 0;
+  std::vector<std::uint8_t> read_data;   // filled for READ
+  std::uint64_t atomic_original = 0;     // filled for Fetch-and-Add
+};
+
+using CompletionFn = std::function<void(const WorkCompletion&)>;
+
+/// Requester half of a reliable connection, bound to one local QP.
+class RcRequester {
+ public:
+  struct Config {
+    std::size_t max_inflight_packets = 64;
+    sim::Time retransmit_timeout = sim::microseconds(100);
+    int max_retries = 7;
+  };
+
+  RcRequester(sim::Simulator& simulator, Rnic& nic, std::uint32_t qpn,
+              Config config);
+  RcRequester(sim::Simulator& simulator, Rnic& nic, std::uint32_t qpn)
+      : RcRequester(simulator, nic, qpn, Config{}) {}
+
+  /// Bind to the peer. `initial_psn` seeds the send PSN; the peer's QP
+  /// must expect the same value.
+  void connect(const roce::RoceEndpoint& remote, std::uint32_t remote_qpn,
+               std::uint32_t initial_psn);
+
+  void post_write(std::uint64_t remote_va, std::uint32_t rkey,
+                  std::vector<std::uint8_t> data, CompletionFn on_complete,
+                  std::uint64_t wr_id = 0);
+  void post_read(std::uint64_t remote_va, std::uint32_t rkey, std::size_t len,
+                 CompletionFn on_complete, std::uint64_t wr_id = 0);
+  void post_fetch_add(std::uint64_t remote_va, std::uint32_t rkey,
+                      std::uint64_t add, CompletionFn on_complete,
+                      std::uint64_t wr_id = 0);
+
+  [[nodiscard]] std::size_t pending_work_requests() const {
+    return wqes_.size();
+  }
+  [[nodiscard]] std::uint64_t retransmissions() const { return retransmits_; }
+  [[nodiscard]] std::uint64_t failures() const { return failures_; }
+  [[nodiscard]] std::uint32_t qpn() const { return qpn_; }
+
+ private:
+  enum class WqeKind { kWrite, kRead, kAtomic };
+
+  struct Wqe {
+    WqeKind kind = WqeKind::kWrite;
+    std::uint64_t remote_va = 0;
+    std::uint32_t rkey = 0;
+    std::vector<std::uint8_t> data;  // write payload
+    std::size_t read_len = 0;
+    std::uint64_t atomic_add = 0;
+    CompletionFn on_complete;
+    std::uint64_t wr_id = 0;
+
+    // Assigned when the WQE starts transmitting.
+    bool started = false;
+    std::uint32_t first_psn = 0;
+    std::uint32_t packet_count = 0;  // PSNs this WQE occupies
+    std::uint32_t packets_sent = 0;
+    std::vector<std::uint8_t> read_buffer;
+    std::uint32_t read_segments_received = 0;
+    std::uint64_t atomic_result = 0;
+    bool done = false;  // completed, awaiting in-order retirement
+    int retries = 0;
+  };
+
+  void pump();
+  void transmit_next_packet_of(Wqe& wqe);
+  void on_response(const roce::RoceMessage& msg);
+  void complete_front(bool success);
+  void arm_timer();
+  void on_timeout();
+  void go_back_n();
+
+  [[nodiscard]] std::uint32_t packets_for(const Wqe& wqe) const;
+  /// Packets in flight = sent but not yet acknowledged, across WQEs.
+  [[nodiscard]] std::size_t inflight() const;
+
+  sim::Simulator* sim_;
+  Rnic* nic_;
+  std::uint32_t qpn_;
+  Config config_;
+
+  roce::RoceEndpoint remote_;
+  std::uint32_t remote_qpn_ = 0;
+  std::uint32_t next_psn_ = 0;       // next PSN to assign to a WQE
+  std::uint32_t sent_psn_ = 0;       // first PSN not yet transmitted
+  std::uint32_t lowest_unacked_ = 0; // oldest PSN awaiting an ACK
+  bool connected_ = false;
+
+  std::deque<Wqe> wqes_;  // front = oldest outstanding
+
+  sim::EventId timer_;
+  sim::Time last_progress_ = 0;
+  std::uint64_t retransmits_ = 0;
+  std::uint64_t failures_ = 0;
+};
+
+}  // namespace xmem::rnic

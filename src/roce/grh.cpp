@@ -1,0 +1,47 @@
+#include "roce/grh.hpp"
+
+namespace xmem::roce {
+
+void Grh::serialize(net::ByteWriter& w) const {
+  // IPVer(4)=6 | TClass(8) | FlowLabel(20)
+  const std::uint32_t word0 = (std::uint32_t{6} << 28) |
+                              (std::uint32_t{traffic_class} << 20) |
+                              (flow_label & 0xfffff);
+  w.u32(word0);
+  w.u16(payload_length);
+  w.u8(next_header);
+  w.u8(hop_limit);
+  w.bytes(sgid);
+  w.bytes(dgid);
+}
+
+Grh Grh::parse(net::ByteReader& r) {
+  Grh h;
+  const std::uint32_t word0 = r.u32();
+  if ((word0 >> 28) != 6) {
+    throw net::BufferError("Grh: bad IP version nibble");
+  }
+  h.traffic_class = static_cast<std::uint8_t>(word0 >> 20);
+  h.flow_label = word0 & 0xfffff;
+  h.payload_length = r.u16();
+  h.next_header = r.u8();
+  h.hop_limit = r.u8();
+  auto s = r.bytes(16);
+  std::copy(s.begin(), s.end(), h.sgid.begin());
+  auto d = r.bytes(16);
+  std::copy(d.begin(), d.end(), h.dgid.begin());
+  return h;
+}
+
+std::array<std::uint8_t, 16> Grh::gid_from_ipv4(std::uint32_t ip) {
+  std::array<std::uint8_t, 16> gid = {};
+  gid[10] = 0xff;
+  gid[11] = 0xff;
+  gid[12] = static_cast<std::uint8_t>(ip >> 24);
+  gid[13] = static_cast<std::uint8_t>(ip >> 16);
+  gid[14] = static_cast<std::uint8_t>(ip >> 8);
+  gid[15] = static_cast<std::uint8_t>(ip);
+  return gid;
+}
+
+}  // namespace xmem::roce

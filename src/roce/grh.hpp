@@ -1,0 +1,35 @@
+// Global Route Header — the IPv6-like routing header RoCEv1 places
+// directly after Ethernet (EtherType 0x8915). 40 bytes.
+//
+// Only the overhead bench and format round-trip tests exercise RoCEv1;
+// the primitives speak RoCEv2 like the paper's prototype.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "net/bytes.hpp"
+
+namespace xmem::roce {
+
+inline constexpr std::size_t kGrhBytes = 40;
+
+struct Grh {
+  std::uint8_t traffic_class = 0;
+  std::uint32_t flow_label = 0;  // 20 bits
+  std::uint16_t payload_length = 0;
+  std::uint8_t next_header = 0x1b;  // IBA transport
+  std::uint8_t hop_limit = 64;
+  std::array<std::uint8_t, 16> sgid = {};
+  std::array<std::uint8_t, 16> dgid = {};
+
+  void serialize(net::ByteWriter& w) const;
+  static Grh parse(net::ByteReader& r);
+
+  /// RoCEv1 GIDs embed IPv4 addresses as ::ffff:a.b.c.d.
+  static std::array<std::uint8_t, 16> gid_from_ipv4(std::uint32_t ip);
+
+  bool operator==(const Grh&) const = default;
+};
+
+}  // namespace xmem::roce

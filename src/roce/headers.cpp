@@ -1,0 +1,85 @@
+#include "roce/headers.hpp"
+
+namespace xmem::roce {
+
+void Bth::serialize(net::ByteWriter& w) const {
+  w.u8(static_cast<std::uint8_t>(opcode));
+  w.u8(static_cast<std::uint8_t>((solicited_event ? 0x80 : 0) |
+                                 (mig_req ? 0x40 : 0) |
+                                 ((pad_count & 0x3) << 4) | (tver & 0xf)));
+  w.u16(pkey);
+  w.u8(0);  // resv8a
+  w.u24(dest_qp & 0xffffff);
+  w.u8(ack_req ? 0x80 : 0x00);  // A bit + resv7
+  w.u24(psn & kPsnMask);
+}
+
+Bth Bth::parse(net::ByteReader& r) {
+  Bth h;
+  h.opcode = static_cast<Opcode>(r.u8());
+  const std::uint8_t flags = r.u8();
+  h.solicited_event = (flags & 0x80) != 0;
+  h.mig_req = (flags & 0x40) != 0;
+  h.pad_count = (flags >> 4) & 0x3;
+  h.tver = flags & 0xf;
+  h.pkey = r.u16();
+  r.u8();  // resv8a
+  h.dest_qp = r.u24();
+  h.ack_req = (r.u8() & 0x80) != 0;
+  h.psn = r.u24();
+  return h;
+}
+
+void Reth::serialize(net::ByteWriter& w) const {
+  w.u64(va);
+  w.u32(rkey);
+  w.u32(dma_len);
+}
+
+Reth Reth::parse(net::ByteReader& r) {
+  Reth h;
+  h.va = r.u64();
+  h.rkey = r.u32();
+  h.dma_len = r.u32();
+  return h;
+}
+
+void AtomicEth::serialize(net::ByteWriter& w) const {
+  w.u64(va);
+  w.u32(rkey);
+  w.u64(swap_add);
+  w.u64(compare);
+}
+
+AtomicEth AtomicEth::parse(net::ByteReader& r) {
+  AtomicEth h;
+  h.va = r.u64();
+  h.rkey = r.u32();
+  h.swap_add = r.u64();
+  h.compare = r.u64();
+  return h;
+}
+
+void Aeth::serialize(net::ByteWriter& w) const {
+  w.u8(static_cast<std::uint8_t>(syndrome));
+  w.u24(msn & 0xffffff);
+}
+
+Aeth Aeth::parse(net::ByteReader& r) {
+  Aeth h;
+  h.syndrome = static_cast<AckSyndrome>(r.u8());
+  h.msn = r.u24();
+  return h;
+}
+
+void AtomicAckEth::serialize(net::ByteWriter& w) const {
+  w.u64(original_value);
+}
+
+AtomicAckEth AtomicAckEth::parse(net::ByteReader& r) {
+  AtomicAckEth h;
+  h.original_value = r.u64();
+  return h;
+}
+
+}  // namespace xmem::roce

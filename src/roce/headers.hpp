@@ -1,0 +1,116 @@
+// InfiniBand transport headers carried inside RoCE packets.
+//
+// Field layouts follow the IBTA specification:
+//   BTH           12 B   (every RoCE packet)
+//   RETH          16 B   (WRITE first/only, READ request)
+//   AtomicETH     28 B   (CompareSwap / FetchAdd requests)
+//   AETH           4 B   (ACKs and most READ responses)
+//   AtomicAckETH   8 B   (atomic responses: the original value)
+// plus a 4-byte ICRC trailer on every packet.
+#pragma once
+
+#include <cstdint>
+
+#include "net/bytes.hpp"
+#include "roce/opcodes.hpp"
+
+namespace xmem::roce {
+
+inline constexpr std::size_t kBthBytes = 12;
+inline constexpr std::size_t kRethBytes = 16;
+inline constexpr std::size_t kAtomicEthBytes = 28;
+inline constexpr std::size_t kAethBytes = 4;
+inline constexpr std::size_t kAtomicAckEthBytes = 8;
+inline constexpr std::size_t kIcrcBytes = 4;
+
+/// 24-bit packet sequence number arithmetic (PSNs wrap).
+inline constexpr std::uint32_t kPsnMask = 0xffffff;
+[[nodiscard]] constexpr std::uint32_t psn_add(std::uint32_t psn,
+                                              std::uint32_t delta) {
+  return (psn + delta) & kPsnMask;
+}
+/// Signed distance from `a` to `b` in PSN space (positive if b is ahead).
+[[nodiscard]] constexpr std::int32_t psn_distance(std::uint32_t a,
+                                                  std::uint32_t b) {
+  const std::uint32_t diff = (b - a) & kPsnMask;
+  return diff < 0x800000 ? static_cast<std::int32_t>(diff)
+                         : static_cast<std::int32_t>(diff) - 0x1000000;
+}
+
+/// Base Transport Header.
+struct Bth {
+  Opcode opcode = Opcode::kRdmaWriteOnly;
+  bool solicited_event = false;
+  bool mig_req = false;
+  std::uint8_t pad_count = 0;   // bytes of payload padding (0-3)
+  std::uint8_t tver = 0;        // transport version
+  std::uint16_t pkey = 0xffff;  // default partition key
+  std::uint32_t dest_qp = 0;    // 24 bits
+  bool ack_req = false;
+  std::uint32_t psn = 0;  // 24 bits
+
+  void serialize(net::ByteWriter& w) const;
+  static Bth parse(net::ByteReader& r);
+
+  bool operator==(const Bth&) const = default;
+};
+
+/// RDMA Extended Transport Header: where and how much.
+struct Reth {
+  std::uint64_t va = 0;       // remote virtual address
+  std::uint32_t rkey = 0;     // memory region access key
+  std::uint32_t dma_len = 0;  // total bytes of the operation
+
+  void serialize(net::ByteWriter& w) const;
+  static Reth parse(net::ByteReader& r);
+
+  bool operator==(const Reth&) const = default;
+};
+
+/// Atomic Extended Transport Header (always a 64-bit operand).
+struct AtomicEth {
+  std::uint64_t va = 0;
+  std::uint32_t rkey = 0;
+  std::uint64_t swap_add = 0;  // add operand for FetchAdd, swap for CmpSwap
+  std::uint64_t compare = 0;   // only meaningful for CmpSwap
+
+  void serialize(net::ByteWriter& w) const;
+  static AtomicEth parse(net::ByteReader& r);
+
+  bool operator==(const AtomicEth&) const = default;
+};
+
+/// ACK Extended Transport Header syndromes (upper 3 bits select the
+/// class; low 5 bits carry credits or an error code).
+enum class AckSyndrome : std::uint8_t {
+  kAck = 0x00,
+  kRnrNak = 0x20,
+  kNakSequenceError = 0x60,      // NAK code 0
+  kNakInvalidRequest = 0x61,     // NAK code 1
+  kNakRemoteAccessError = 0x62,  // NAK code 2
+  kNakRemoteOpError = 0x63,      // NAK code 3
+};
+
+struct Aeth {
+  AckSyndrome syndrome = AckSyndrome::kAck;
+  std::uint32_t msn = 0;  // 24-bit message sequence number
+
+  void serialize(net::ByteWriter& w) const;
+  static Aeth parse(net::ByteReader& r);
+
+  [[nodiscard]] bool is_nak() const { return syndrome != AckSyndrome::kAck; }
+
+  bool operator==(const Aeth&) const = default;
+};
+
+/// Atomic ACK payload: the value read before the atomic applied.
+struct AtomicAckEth {
+  std::uint64_t original_value = 0;
+
+  void serialize(net::ByteWriter& w) const;
+  static AtomicAckEth parse(net::ByteReader& r);
+
+  bool operator==(const AtomicAckEth&) const = default;
+};
+
+}  // namespace xmem::roce

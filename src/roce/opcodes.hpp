@@ -1,0 +1,103 @@
+// InfiniBand transport opcodes (RC service class) used by RoCE.
+//
+// Values follow the IBTA specification, Table 35 ("OpCode field"). Only
+// the subset the paper's primitives need is modelled: one-sided WRITE,
+// READ, atomic Fetch-and-Add, and the ACK opcodes that answer them.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace xmem::roce {
+
+enum class Opcode : std::uint8_t {
+  // Requests.
+  kRdmaWriteFirst = 0x06,
+  kRdmaWriteMiddle = 0x07,
+  kRdmaWriteLast = 0x08,
+  kRdmaWriteOnly = 0x0A,
+  kRdmaReadRequest = 0x0C,
+  kCompareSwap = 0x13,
+  kFetchAdd = 0x14,
+  // Responses.
+  kRdmaReadResponseFirst = 0x0D,
+  kRdmaReadResponseMiddle = 0x0E,
+  kRdmaReadResponseLast = 0x0F,
+  kRdmaReadResponseOnly = 0x10,
+  kAcknowledge = 0x11,
+  kAtomicAcknowledge = 0x12,
+};
+
+[[nodiscard]] constexpr bool is_write(Opcode op) {
+  return op == Opcode::kRdmaWriteFirst || op == Opcode::kRdmaWriteMiddle ||
+         op == Opcode::kRdmaWriteLast || op == Opcode::kRdmaWriteOnly;
+}
+
+[[nodiscard]] constexpr bool is_read_request(Opcode op) {
+  return op == Opcode::kRdmaReadRequest;
+}
+
+[[nodiscard]] constexpr bool is_read_response(Opcode op) {
+  return op == Opcode::kRdmaReadResponseFirst ||
+         op == Opcode::kRdmaReadResponseMiddle ||
+         op == Opcode::kRdmaReadResponseLast ||
+         op == Opcode::kRdmaReadResponseOnly;
+}
+
+[[nodiscard]] constexpr bool is_atomic(Opcode op) {
+  return op == Opcode::kCompareSwap || op == Opcode::kFetchAdd;
+}
+
+[[nodiscard]] constexpr bool is_request(Opcode op) {
+  return is_write(op) || is_read_request(op) || is_atomic(op);
+}
+
+[[nodiscard]] constexpr bool is_response(Opcode op) {
+  return is_read_response(op) || op == Opcode::kAcknowledge ||
+         op == Opcode::kAtomicAcknowledge;
+}
+
+/// Which extension header follows the BTH for this opcode.
+[[nodiscard]] constexpr bool has_reth(Opcode op) {
+  return op == Opcode::kRdmaWriteFirst || op == Opcode::kRdmaWriteOnly ||
+         op == Opcode::kRdmaReadRequest;
+}
+
+[[nodiscard]] constexpr bool has_atomic_eth(Opcode op) { return is_atomic(op); }
+
+[[nodiscard]] constexpr bool has_aeth(Opcode op) {
+  return op == Opcode::kAcknowledge || op == Opcode::kAtomicAcknowledge ||
+         op == Opcode::kRdmaReadResponseFirst ||
+         op == Opcode::kRdmaReadResponseLast ||
+         op == Opcode::kRdmaReadResponseOnly;
+}
+
+[[nodiscard]] constexpr bool has_atomic_ack_eth(Opcode op) {
+  return op == Opcode::kAtomicAcknowledge;
+}
+
+/// True when the opcode carries a data payload on the wire.
+[[nodiscard]] constexpr bool has_payload(Opcode op) {
+  return is_write(op) || is_read_response(op);
+}
+
+[[nodiscard]] constexpr std::string_view to_string(Opcode op) {
+  switch (op) {
+    case Opcode::kRdmaWriteFirst: return "WRITE_FIRST";
+    case Opcode::kRdmaWriteMiddle: return "WRITE_MIDDLE";
+    case Opcode::kRdmaWriteLast: return "WRITE_LAST";
+    case Opcode::kRdmaWriteOnly: return "WRITE_ONLY";
+    case Opcode::kRdmaReadRequest: return "READ_REQUEST";
+    case Opcode::kCompareSwap: return "COMPARE_SWAP";
+    case Opcode::kFetchAdd: return "FETCH_ADD";
+    case Opcode::kRdmaReadResponseFirst: return "READ_RESP_FIRST";
+    case Opcode::kRdmaReadResponseMiddle: return "READ_RESP_MIDDLE";
+    case Opcode::kRdmaReadResponseLast: return "READ_RESP_LAST";
+    case Opcode::kRdmaReadResponseOnly: return "READ_RESP_ONLY";
+    case Opcode::kAcknowledge: return "ACK";
+    case Opcode::kAtomicAcknowledge: return "ATOMIC_ACK";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace xmem::roce

@@ -1,0 +1,203 @@
+#include "roce/packet.hpp"
+
+#include <stdexcept>
+
+#include "net/checksum.hpp"
+
+namespace xmem::roce {
+
+namespace {
+
+std::size_t extension_bytes(const RoceMessage& msg) {
+  std::size_t n = 0;
+  if (msg.reth) n += kRethBytes;
+  if (msg.atomic_eth) n += kAtomicEthBytes;
+  if (msg.aeth) n += kAethBytes;
+  if (msg.atomic_ack) n += kAtomicAckEthBytes;
+  return n;
+}
+
+void check_headers_match_opcode(const RoceMessage& msg) {
+  const Opcode op = msg.opcode();
+  if (has_reth(op) != msg.reth.has_value()) {
+    throw std::invalid_argument("RoceMessage: RETH presence mismatch for " +
+                                std::string(to_string(op)));
+  }
+  if (has_atomic_eth(op) != msg.atomic_eth.has_value()) {
+    throw std::invalid_argument(
+        "RoceMessage: AtomicETH presence mismatch for " +
+        std::string(to_string(op)));
+  }
+  if (has_aeth(op) != msg.aeth.has_value()) {
+    throw std::invalid_argument("RoceMessage: AETH presence mismatch for " +
+                                std::string(to_string(op)));
+  }
+  if (has_atomic_ack_eth(op) != msg.atomic_ack.has_value()) {
+    throw std::invalid_argument(
+        "RoceMessage: AtomicAckETH presence mismatch for " +
+        std::string(to_string(op)));
+  }
+  if (!msg.payload.empty() && !has_payload(op)) {
+    throw std::invalid_argument("RoceMessage: opcode carries no payload: " +
+                                std::string(to_string(op)));
+  }
+}
+
+}  // namespace
+
+std::uint32_t compute_icrc(std::span<const std::uint8_t> frame,
+                           RoceVersion version) {
+  // Build the masked pseudo-frame the CRC covers: 8 bytes of 0xFF in
+  // place of deterministically varying routing fields, then the packet
+  // from the routing header onwards with the mutable fields (ToS/TTL/IP
+  // checksum/UDP checksum for v2; TClass/hop limit for v1; BTH resv8a)
+  // forced to ones.
+  std::vector<std::uint8_t> pseudo;
+  pseudo.reserve(8 + frame.size());
+  pseudo.insert(pseudo.end(), 8, 0xff);
+  // Strip Ethernet (14 bytes): the L2 header is not covered.
+  pseudo.insert(pseudo.end(), frame.begin() + net::kEthernetHeaderBytes,
+                frame.end());
+
+  const std::size_t base = 8;  // offset of the routing header in `pseudo`
+  if (version == RoceVersion::kV2) {
+    pseudo[base + 1] = 0xff;   // IPv4 ToS (DSCP+ECN)
+    pseudo[base + 8] = 0xff;   // TTL
+    pseudo[base + 10] = 0xff;  // header checksum
+    pseudo[base + 11] = 0xff;
+    pseudo[base + 20 + 6] = 0xff;  // UDP checksum
+    pseudo[base + 20 + 7] = 0xff;
+    pseudo[base + 28 + 4] = 0xff;  // BTH resv8a
+  } else {
+    // GRH: traffic class spans the low nibble of byte 0 and high nibble
+    // of byte 1; hop limit is byte 7.
+    pseudo[base + 0] |= 0x0f;
+    pseudo[base + 1] |= 0xf0;
+    pseudo[base + 7] = 0xff;
+    pseudo[base + 40 + 4] = 0xff;  // BTH resv8a
+  }
+  return net::crc32(pseudo);
+}
+
+net::Packet build_roce_packet(const RoceEndpoint& src, const RoceEndpoint& dst,
+                              RoceMessage msg, RoceVersion version) {
+  check_headers_match_opcode(msg);
+
+  const std::size_t pad = (4 - (msg.payload.size() % 4)) % 4;
+  msg.bth.pad_count = static_cast<std::uint8_t>(pad);
+
+  const std::size_t transport_bytes = kBthBytes + extension_bytes(msg) +
+                                      msg.payload.size() + pad + kIcrcBytes;
+
+  std::vector<std::uint8_t> buf;
+  buf.reserve(net::kEthernetHeaderBytes + kGrhBytes + transport_bytes + 8);
+  net::ByteWriter w(buf);
+
+  net::EthernetHeader eth;
+  eth.dst = dst.mac;
+  eth.src = src.mac;
+  eth.set_type(version == RoceVersion::kV2 ? net::EtherType::kIpv4
+                                           : net::EtherType::kRoceV1);
+  eth.serialize(w);
+
+  if (version == RoceVersion::kV2) {
+    net::Ipv4Header ip;
+    ip.total_length = static_cast<std::uint16_t>(
+        net::kIpv4HeaderBytes + net::kUdpHeaderBytes + transport_bytes);
+    ip.protocol = static_cast<std::uint8_t>(net::IpProto::kUdp);
+    ip.src = src.ip;
+    ip.dst = dst.ip;
+    ip.ecn = net::Ecn::kEct0;  // RoCEv2 deployments run ECN-capable
+    ip.serialize(w);
+
+    net::UdpHeader udp;
+    udp.src_port = src.udp_port;
+    udp.dst_port = net::kRoceV2Port;
+    udp.length =
+        static_cast<std::uint16_t>(net::kUdpHeaderBytes + transport_bytes);
+    udp.checksum = 0;  // RoCEv2 transmits UDP checksum zero
+    udp.serialize(w);
+  } else {
+    Grh grh;
+    grh.payload_length = static_cast<std::uint16_t>(transport_bytes);
+    grh.sgid = Grh::gid_from_ipv4(src.ip.value());
+    grh.dgid = Grh::gid_from_ipv4(dst.ip.value());
+    grh.serialize(w);
+  }
+
+  msg.bth.serialize(w);
+  if (msg.reth) msg.reth->serialize(w);
+  if (msg.atomic_eth) msg.atomic_eth->serialize(w);
+  if (msg.aeth) msg.aeth->serialize(w);
+  if (msg.atomic_ack) msg.atomic_ack->serialize(w);
+  w.bytes(msg.payload);
+  w.zeros(pad);
+
+  const std::uint32_t icrc = compute_icrc(buf, version);
+  w.u32(icrc);
+
+  return net::Packet(std::move(buf));
+}
+
+std::optional<RoceMessage> parse_roce_packet(const net::Packet& p) {
+  try {
+    net::ByteReader r(p.bytes());
+    const auto eth = net::EthernetHeader::parse(r);
+
+    RoceVersion version;
+    if (eth.type() == net::EtherType::kIpv4) {
+      const auto ip = net::Ipv4Header::parse(r);
+      if (ip.proto() != net::IpProto::kUdp) return std::nullopt;
+      const auto udp = net::UdpHeader::parse(r);
+      if (udp.dst_port != net::kRoceV2Port) return std::nullopt;
+      version = RoceVersion::kV2;
+    } else if (eth.type() == net::EtherType::kRoceV1) {
+      Grh::parse(r);
+      version = RoceVersion::kV1;
+    } else {
+      return std::nullopt;
+    }
+
+    if (r.remaining() < kBthBytes + kIcrcBytes) return std::nullopt;
+
+    // Validate ICRC before trusting anything else.
+    const std::size_t icrc_offset = p.size() - kIcrcBytes;
+    const std::uint32_t expected =
+        compute_icrc(p.bytes().first(icrc_offset), version);
+    net::ByteReader icrc_reader(p.bytes().subspan(icrc_offset));
+    if (icrc_reader.u32() != expected) return std::nullopt;
+
+    RoceMessage msg;
+    msg.bth = Bth::parse(r);
+    const Opcode op = msg.bth.opcode;
+    if (has_reth(op)) msg.reth = Reth::parse(r);
+    if (has_atomic_eth(op)) msg.atomic_eth = AtomicEth::parse(r);
+    if (has_aeth(op)) msg.aeth = Aeth::parse(r);
+    if (has_atomic_ack_eth(op)) msg.atomic_ack = AtomicAckEth::parse(r);
+
+    const std::size_t tail = kIcrcBytes + msg.bth.pad_count;
+    if (r.remaining() < tail) return std::nullopt;
+    const std::size_t payload_len = r.remaining() - tail;
+    if (payload_len > 0 && !has_payload(op)) return std::nullopt;
+    const auto payload = r.bytes(payload_len);
+    msg.payload.assign(payload.begin(), payload.end());
+    return msg;
+  } catch (const net::BufferError&) {
+    return std::nullopt;  // malformed: treated as line noise and dropped
+  }
+}
+
+std::size_t roce_overhead_bytes(Opcode op, RoceVersion version) {
+  std::size_t n = (version == RoceVersion::kV2)
+                      ? net::kIpv4HeaderBytes + net::kUdpHeaderBytes
+                      : kGrhBytes;
+  n += kBthBytes;
+  if (has_reth(op)) n += kRethBytes;
+  if (has_atomic_eth(op)) n += kAtomicEthBytes;
+  if (has_aeth(op)) n += kAethBytes;
+  if (has_atomic_ack_eth(op)) n += kAtomicAckEthBytes;
+  n += kIcrcBytes;
+  return n;
+}
+
+}  // namespace xmem::roce

@@ -1,0 +1,74 @@
+// RoCE message <-> Ethernet frame conversion.
+//
+// A RoceMessage is the logical content of one RoCE packet: BTH, whichever
+// extension headers the opcode requires, and an (unpadded) payload.
+// build_roce_packet() produces the byte-exact frame — Ethernet + (IPv4 +
+// UDP | GRH) + transport headers + padded payload + ICRC — and
+// parse_roce_packet() reverses it, validating the ICRC.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "roce/grh.hpp"
+#include "roce/headers.hpp"
+#include "roce/opcodes.hpp"
+
+namespace xmem::roce {
+
+/// Which wire encapsulation carries the IB transport headers.
+enum class RoceVersion {
+  kV2,  // Ethernet / IPv4 / UDP(4791) / BTH ...   (40 B of routing+transport)
+  kV1,  // Ethernet / GRH / BTH ...                (52 B)
+};
+
+/// L2/L3 identity of one end of an RDMA channel.
+struct RoceEndpoint {
+  net::MacAddress mac;
+  net::Ipv4Address ip;
+  std::uint16_t udp_port = 0;  // requester's source port (flow entropy)
+};
+
+struct RoceMessage {
+  Bth bth;
+  std::optional<Reth> reth;
+  std::optional<AtomicEth> atomic_eth;
+  std::optional<Aeth> aeth;
+  std::optional<AtomicAckEth> atomic_ack;
+  std::vector<std::uint8_t> payload;
+
+  [[nodiscard]] Opcode opcode() const { return bth.opcode; }
+};
+
+/// Serialize `msg` into a ready-to-transmit frame. Fills in lengths, pad
+/// count and ICRC; validates that the extension headers present match the
+/// opcode (throws std::invalid_argument otherwise).
+[[nodiscard]] net::Packet build_roce_packet(const RoceEndpoint& src,
+                                            const RoceEndpoint& dst,
+                                            RoceMessage msg,
+                                            RoceVersion version =
+                                                RoceVersion::kV2);
+
+/// Parse a frame. Returns nullopt if the frame is not RoCE at all (wrong
+/// EtherType / UDP port) or if the ICRC does not verify (treated as wire
+/// corruption: real RNICs silently drop such packets).
+[[nodiscard]] std::optional<RoceMessage> parse_roce_packet(
+    const net::Packet& p);
+
+/// On-wire header+trailer overhead for one request of the given opcode,
+/// excluding Ethernet framing: routing/transport headers plus ICRC.
+/// This is the paper's §4 arithmetic (40 B RoCEv2 / 52 B RoCEv1, plus
+/// 16 B WRITE/READ or 28 B Fetch-and-Add, plus 4 B ICRC).
+[[nodiscard]] std::size_t roce_overhead_bytes(Opcode op,
+                                              RoceVersion version =
+                                                  RoceVersion::kV2);
+
+/// Exact ICRC over an already-built frame (without its trailing 4 ICRC
+/// bytes). Exposed for tests.
+[[nodiscard]] std::uint32_t compute_icrc(std::span<const std::uint8_t> frame,
+                                         RoceVersion version);
+
+}  // namespace xmem::roce

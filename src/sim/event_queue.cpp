@@ -1,0 +1,51 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace xmem::sim {
+
+EventId EventQueue::schedule(Time at, Callback cb) {
+  assert(cb && "scheduling an empty callback");
+  auto alive = std::make_shared<bool>(true);
+  heap_.push(Entry{at, next_seq_++, std::move(cb), alive});
+  ++scheduled_count_;
+  return EventId{std::move(alive)};
+}
+
+void EventQueue::skip_dead() {
+  // If every remaining entry is dead this loop drains the heap completely,
+  // because each pop exposes the next dead entry at the front.
+  while (!heap_.empty() && !*heap_.top().alive) {
+    heap_.pop();
+  }
+}
+
+bool EventQueue::empty() {
+  skip_dead();
+  return heap_.empty();
+}
+
+Time EventQueue::next_time() {
+  skip_dead();
+  assert(!heap_.empty() && "next_time on empty queue");
+  return heap_.top().time;
+}
+
+Time EventQueue::run_next() {
+  skip_dead();
+  assert(!heap_.empty() && "run_next on empty queue");
+  // Copy the entry out before popping so the callback may schedule more
+  // events (which mutates the heap) safely.
+  Entry e = heap_.top();
+  heap_.pop();
+  *e.alive = false;  // no longer pending
+  e.cb();
+  return e.time;
+}
+
+void EventQueue::clear() {
+  while (!heap_.empty()) heap_.pop();
+}
+
+}  // namespace xmem::sim

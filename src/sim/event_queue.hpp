@@ -1,0 +1,103 @@
+// The event queue at the heart of the discrete-event engine.
+//
+// Events are (time, sequence, callback) triples. Sequence numbers break
+// time ties in insertion order, which makes simulations fully
+// deterministic: two events scheduled for the same instant always fire in
+// the order they were scheduled.
+//
+// Cancellation is lazy: EventId::cancel() flips a shared flag and the
+// queue discards the dead entry when it reaches the front of the heap.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace xmem::sim {
+
+/// Handle to a scheduled event; allows cancellation.
+///
+/// Copyable and cheap; all copies refer to the same scheduled event.
+/// A default-constructed EventId refers to nothing and cancel() is a no-op.
+class EventId {
+ public:
+  EventId() = default;
+
+  /// Cancel the event if it has not fired yet. Idempotent.
+  void cancel() const {
+    if (alive_) *alive_ = false;
+  }
+
+  /// True if the event is still pending (scheduled, not fired, not
+  /// cancelled).
+  [[nodiscard]] bool pending() const { return alive_ && *alive_; }
+
+ private:
+  friend class EventQueue;
+  explicit EventId(std::shared_ptr<bool> alive) : alive_(std::move(alive)) {}
+  std::shared_ptr<bool> alive_;
+};
+
+/// A time-ordered queue of callbacks.
+///
+/// Not a public entry point in most code; components talk to Simulator,
+/// which owns one of these.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedule `cb` to run at absolute time `at`.
+  EventId schedule(Time at, Callback cb);
+
+  /// True if no pending (non-cancelled) events remain. Reclaims any
+  /// cancelled entries that block the front of the heap.
+  [[nodiscard]] bool empty();
+
+  /// Upper bound on the number of pending events: includes cancelled
+  /// entries that have not yet been reclaimed.
+  [[nodiscard]] std::size_t size_bound() const { return heap_.size(); }
+
+  /// Time of the earliest pending event. Precondition: !empty().
+  [[nodiscard]] Time next_time();
+
+  /// Pop and run the earliest pending event, returning its time.
+  /// Precondition: !empty().
+  Time run_next();
+
+  /// Drop everything (cancelled and pending alike).
+  void clear();
+
+  /// Total events ever scheduled (telemetry / tests).
+  [[nodiscard]] std::uint64_t scheduled_count() const {
+    return scheduled_count_;
+  }
+
+ private:
+  struct Entry {
+    Time time = 0;
+    std::uint64_t seq = 0;
+    Callback cb;
+    std::shared_ptr<bool> alive;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Remove cancelled entries sitting at the front of the heap. After this
+  /// runs, the heap is empty or its front is a live event (any dead entries
+  /// deeper in the heap will surface, and be reclaimed, later).
+  void skip_dead();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t scheduled_count_ = 0;
+};
+
+}  // namespace xmem::sim

@@ -1,0 +1,48 @@
+#include "sim/log.hpp"
+
+#include <cstdio>
+
+namespace xmem::sim {
+
+std::string_view to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug:
+      return "DEBUG";
+    case LogLevel::Info:
+      return "INFO";
+    case LogLevel::Warn:
+      return "WARN";
+    case LogLevel::Error:
+      return "ERROR";
+    case LogLevel::Off:
+      return "OFF";
+  }
+  return "?";
+}
+
+Logger::Logger() {
+  sink_ = [](LogLevel level, const std::string& line) {
+    std::fprintf(stderr, "[%.*s] %s\n",
+                 static_cast<int>(to_string(level).size()),
+                 to_string(level).data(), line.c_str());
+  };
+}
+
+Logger& Logger::global() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::set_sink(Sink sink) {
+  if (sink) sink_ = std::move(sink);
+}
+
+void Logger::log(LogLevel level, Time when, std::string_view component,
+                 const std::string& message) {
+  if (!enabled(level)) return;
+  std::ostringstream line;
+  line << to_microseconds(when) << "us " << component << ": " << message;
+  sink_(level, line.str());
+}
+
+}  // namespace xmem::sim

@@ -1,0 +1,77 @@
+// Minimal leveled logging for simulator components.
+//
+// Logging defaults to Warn so experiments run quietly; tests flip to Debug
+// when diagnosing. The sink is injectable so tests can capture output.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "sim/time.hpp"
+
+namespace xmem::sim {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+[[nodiscard]] std::string_view to_string(LogLevel level);
+
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  /// Process-wide logger used by all components.
+  static Logger& global();
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+
+  /// Replace the output sink (default writes to stderr).
+  void set_sink(Sink sink);
+
+  [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_; }
+
+  /// Emit a message; `when` is the simulated time stamped onto the line.
+  void log(LogLevel level, Time when, std::string_view component,
+           const std::string& message);
+
+ private:
+  Logger();
+  LogLevel level_ = LogLevel::Warn;
+  Sink sink_;
+};
+
+// Streaming helper: XMEM_LOG(Info, sim.now(), "rnic") << "qp " << qpn;
+namespace detail {
+class LogLine {
+ public:
+  LogLine(LogLevel level, Time when, std::string_view component)
+      : level_(level), when_(when), component_(component) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() {
+    Logger::global().log(level_, when_, component_, stream_.str());
+  }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  Time when_;
+  std::string_view component_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace xmem::sim
+
+#define XMEM_LOG(level, when, component)                                  \
+  if (!::xmem::sim::Logger::global().enabled(::xmem::sim::LogLevel::level)) \
+    ;                                                                     \
+  else                                                                    \
+    ::xmem::sim::detail::LogLine(::xmem::sim::LogLevel::level, (when),    \
+                                 (component))

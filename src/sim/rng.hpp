@@ -1,0 +1,130 @@
+// Deterministic random number generation for workloads.
+//
+// xoshiro256** seeded via SplitMix64: fast, high quality, and — unlike
+// std::mt19937 + std::*_distribution — bit-for-bit reproducible across
+// standard libraries, which experiment determinism depends on.
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace xmem::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    // SplitMix64 expansion of the seed into the xoshiro state.
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit value.
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint64_t uniform(std::uint64_t bound) {
+    assert(bound > 0);
+    // Lemire's nearly-divisionless method, with rejection for exactness.
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        x = next();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_range(std::int64_t lo, std::int64_t hi) {
+    assert(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    uniform(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with probability p.
+  bool chance(double p) { return uniform01() < p; }
+
+  /// Exponential with the given mean (inter-arrival times etc.).
+  double exponential(double mean) {
+    double u = uniform01();
+    if (u <= 0.0) u = 0x1.0p-53;  // avoid log(0)
+    return -mean * std::log(u);
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4] = {};
+};
+
+/// Zipf-distributed values over {0, ..., n-1} with skew `s`.
+///
+/// Precomputes the CDF once (O(n)); sampling is a binary search.
+/// s == 0 degenerates to uniform. The usual "web workload" skew is ~0.99.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(std::uint64_t n, double s, Rng& rng) : rng_(&rng) {
+    assert(n > 0);
+    cdf_.reserve(n);
+    double sum = 0.0;
+    for (std::uint64_t i = 1; i <= n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i), s);
+      cdf_.push_back(sum);
+    }
+    for (auto& c : cdf_) c /= sum;
+  }
+
+  std::uint64_t operator()() {
+    const double u = rng_->uniform01();
+    // First index whose CDF value exceeds u.
+    std::size_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  [[nodiscard]] std::uint64_t universe() const { return cdf_.size(); }
+
+ private:
+  Rng* rng_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace xmem::sim

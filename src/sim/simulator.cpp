@@ -1,0 +1,32 @@
+#include "sim/simulator.hpp"
+
+namespace xmem::sim {
+
+std::uint64_t Simulator::run() {
+  stopped_ = false;
+  std::uint64_t n = 0;
+  while (!stopped_ && !queue_.empty()) {
+    // Advance the clock before the callback runs so now() is correct
+    // inside event handlers.
+    now_ = queue_.next_time();
+    queue_.run_next();
+    ++n;
+  }
+  executed_ += n;
+  return n;
+}
+
+std::uint64_t Simulator::run_until(Time deadline) {
+  stopped_ = false;
+  std::uint64_t n = 0;
+  while (!stopped_ && !queue_.empty() && queue_.next_time() <= deadline) {
+    now_ = queue_.next_time();
+    queue_.run_next();
+    ++n;
+  }
+  if (!stopped_ && now_ < deadline) now_ = deadline;
+  executed_ += n;
+  return n;
+}
+
+}  // namespace xmem::sim

@@ -1,0 +1,67 @@
+// The simulation kernel: a clock plus an event queue.
+//
+// Every model object in the repository holds a Simulator& and uses it to
+// read the current time and schedule future work. One Simulator per
+// experiment; nothing is global.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace xmem::sim {
+
+class Simulator {
+ public:
+  using Callback = EventQueue::Callback;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  [[nodiscard]] Time now() const { return now_; }
+
+  /// Schedule `cb` at absolute time `at` (must be >= now()).
+  EventId schedule_at(Time at, Callback cb) {
+    if (at < now_) {
+      throw std::invalid_argument("Simulator: scheduling into the past");
+    }
+    return queue_.schedule(at, std::move(cb));
+  }
+
+  /// Schedule `cb` after a relative delay (must be >= 0).
+  EventId schedule_in(Time delay, Callback cb) {
+    return schedule_at(now_ + delay, std::move(cb));
+  }
+
+  /// Run until the event queue drains or stop() is called.
+  /// Returns the number of events executed.
+  std::uint64_t run();
+
+  /// Run events with time <= `deadline`; afterwards now() == deadline
+  /// unless stop() fired earlier. Returns the number of events executed.
+  std::uint64_t run_until(Time deadline);
+
+  /// Ask the run loop to return after the current event completes.
+  void stop() { stopped_ = true; }
+
+  /// True when stop() was called during the last run.
+  [[nodiscard]] bool stopped() const { return stopped_; }
+
+  /// Pending-event introspection (mostly for tests).
+  [[nodiscard]] bool idle() { return queue_.empty(); }
+  [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
+  EventQueue& queue() { return queue_; }
+
+ private:
+  EventQueue queue_;
+  Time now_ = 0;
+  bool stopped_ = false;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace xmem::sim

@@ -1,0 +1,67 @@
+// Simulated-time representation.
+//
+// The whole simulator runs on a single signed 64-bit picosecond clock.
+// Picoseconds are fine-grained enough to represent per-byte serialization
+// on 100 Gb/s links exactly (80 ps/byte) and a 64-bit count still covers
+// ~106 days of simulated time, far beyond any experiment here.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+
+namespace xmem::sim {
+
+/// Simulated time in picoseconds since simulation start.
+using Time = std::int64_t;
+
+inline constexpr Time kPicosecond = 1;
+inline constexpr Time kNanosecond = 1'000 * kPicosecond;
+inline constexpr Time kMicrosecond = 1'000 * kNanosecond;
+inline constexpr Time kMillisecond = 1'000 * kMicrosecond;
+inline constexpr Time kSecond = 1'000 * kMillisecond;
+
+/// Construct a Time from common units. Double overloads allow fractional
+/// amounts ("0.5 us"); they round to the nearest picosecond.
+template <std::integral T>
+constexpr Time picoseconds(T v) { return static_cast<Time>(v); }
+template <std::integral T>
+constexpr Time nanoseconds(T v) { return static_cast<Time>(v) * kNanosecond; }
+template <std::integral T>
+constexpr Time microseconds(T v) {
+  return static_cast<Time>(v) * kMicrosecond;
+}
+template <std::integral T>
+constexpr Time milliseconds(T v) {
+  return static_cast<Time>(v) * kMillisecond;
+}
+template <std::integral T>
+constexpr Time seconds(T v) { return static_cast<Time>(v) * kSecond; }
+
+constexpr Time nanoseconds(double v) {
+  return static_cast<Time>(v * static_cast<double>(kNanosecond) + 0.5);
+}
+constexpr Time microseconds(double v) {
+  return static_cast<Time>(v * static_cast<double>(kMicrosecond) + 0.5);
+}
+constexpr Time milliseconds(double v) {
+  return static_cast<Time>(v * static_cast<double>(kMillisecond) + 0.5);
+}
+constexpr Time seconds(double v) {
+  return static_cast<Time>(v * static_cast<double>(kSecond) + 0.5);
+}
+
+/// Convert a Time to floating-point quantities of a unit (for reporting).
+constexpr double to_nanoseconds(Time t) {
+  return static_cast<double>(t) / static_cast<double>(kNanosecond);
+}
+constexpr double to_microseconds(Time t) {
+  return static_cast<double>(t) / static_cast<double>(kMicrosecond);
+}
+constexpr double to_milliseconds(Time t) {
+  return static_cast<double>(t) / static_cast<double>(kMillisecond);
+}
+constexpr double to_seconds(Time t) {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+}  // namespace xmem::sim

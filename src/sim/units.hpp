@@ -1,0 +1,65 @@
+// Bandwidth and data-size units used throughout the simulator.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace xmem::sim {
+
+/// Link or processing bandwidth in bits per second.
+using Bandwidth = std::int64_t;
+
+inline constexpr Bandwidth kBitPerSecond = 1;
+inline constexpr Bandwidth kKilobitPerSecond = 1'000;
+inline constexpr Bandwidth kMegabitPerSecond = 1'000'000;
+inline constexpr Bandwidth kGigabitPerSecond = 1'000'000'000;
+
+template <std::integral T>
+constexpr Bandwidth gbps(T v) {
+  return static_cast<Bandwidth>(v) * kGigabitPerSecond;
+}
+constexpr Bandwidth gbps(double v) {
+  return static_cast<Bandwidth>(v * static_cast<double>(kGigabitPerSecond) + 0.5);
+}
+template <std::integral T>
+constexpr Bandwidth mbps(T v) {
+  return static_cast<Bandwidth>(v) * kMegabitPerSecond;
+}
+
+constexpr double to_gbps(Bandwidth bw) {
+  return static_cast<double>(bw) / static_cast<double>(kGigabitPerSecond);
+}
+
+/// Data sizes in bytes.
+inline constexpr std::int64_t kKiB = 1024;
+inline constexpr std::int64_t kMiB = 1024 * kKiB;
+inline constexpr std::int64_t kGiB = 1024 * kMiB;
+inline constexpr std::int64_t kKB = 1000;
+inline constexpr std::int64_t kMB = 1000 * kKB;
+inline constexpr std::int64_t kGB = 1000 * kMB;
+
+/// Time to serialize `bytes` onto a link of bandwidth `bw`.
+/// Rounds up to the next picosecond so back-to-back packets never overlap.
+constexpr Time transmission_time(std::int64_t bytes, Bandwidth bw) {
+  // bytes * 8 bits * 1e12 ps/s / bw -- compute in long double to avoid
+  // overflow for multi-gigabyte transfers while staying exact for the
+  // packet sizes that dominate.
+  const long double ps = static_cast<long double>(bytes) * 8.0L *
+                         static_cast<long double>(kSecond) /
+                         static_cast<long double>(bw);
+  const Time t = static_cast<Time>(ps);
+  return (static_cast<long double>(t) < ps) ? t + 1 : t;
+}
+
+/// Average achieved rate for `bytes` delivered over `elapsed` time.
+constexpr Bandwidth achieved_rate(std::int64_t bytes, Time elapsed) {
+  if (elapsed <= 0) return 0;
+  const long double bps = static_cast<long double>(bytes) * 8.0L *
+                          static_cast<long double>(kSecond) /
+                          static_cast<long double>(elapsed);
+  return static_cast<Bandwidth>(bps);
+}
+
+}  // namespace xmem::sim

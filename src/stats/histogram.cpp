@@ -1,0 +1,69 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace xmem::stats {
+
+void Histogram::add(double sample) {
+  samples_.push_back(sample);
+  sum_ += sample;
+  sum_sq_ += sample * sample;
+  sorted_valid_ = false;
+}
+
+void Histogram::ensure_sorted() const {
+  if (!sorted_valid_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+}
+
+double Histogram::min() const {
+  assert(!empty());
+  ensure_sorted();
+  return sorted_.front();
+}
+
+double Histogram::max() const {
+  assert(!empty());
+  ensure_sorted();
+  return sorted_.back();
+}
+
+double Histogram::mean() const {
+  assert(!empty());
+  return sum_ / static_cast<double>(samples_.size());
+}
+
+double Histogram::stddev() const {
+  assert(!empty());
+  const double n = static_cast<double>(samples_.size());
+  const double m = sum_ / n;
+  const double var = std::max(0.0, sum_sq_ / n - m * m);
+  return std::sqrt(var);
+}
+
+double Histogram::percentile(double p) const {
+  assert(!empty());
+  assert(p >= 0.0 && p <= 100.0);
+  ensure_sorted();
+  if (sorted_.size() == 1) return sorted_.front();
+  const double rank = p / 100.0 * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted_[lo] + frac * (sorted_[hi] - sorted_[lo]);
+}
+
+void Histogram::clear() {
+  samples_.clear();
+  sorted_.clear();
+  sorted_valid_ = false;
+  sum_ = 0.0;
+  sum_sq_ = 0.0;
+}
+
+}  // namespace xmem::stats

@@ -1,0 +1,48 @@
+// Exact-sample histogram with percentile queries.
+//
+// Experiments here record at most a few hundred thousand samples, so we
+// keep every sample and sort lazily; percentiles are then exact rather
+// than bucket-approximated, which matters when reproducing "median
+// latency" figures.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace xmem::stats {
+
+class Histogram {
+ public:
+  void add(double sample);
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double stddev() const;
+
+  /// Exact percentile via linear interpolation between closest ranks.
+  /// p in [0, 100]. Precondition: !empty().
+  [[nodiscard]] double percentile(double p) const;
+
+  [[nodiscard]] double median() const { return percentile(50.0); }
+  [[nodiscard]] double p99() const { return percentile(99.0); }
+
+  void clear();
+
+  /// All samples in insertion order (for CSV dumps).
+  [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+};
+
+}  // namespace xmem::stats

@@ -1,0 +1,35 @@
+// Fixed-width table output for bench harnesses.
+//
+// Every bench prints the paper's table/figure as rows through one of
+// these, so all reproduction output shares one format.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace xmem::stats {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Append a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format doubles with the given precision.
+  static std::string num(double v, int precision = 2);
+
+  /// Render with aligned columns, a header rule, and a title line.
+  [[nodiscard]] std::string render(const std::string& title = "") const;
+
+  /// Render and write to stdout.
+  void print(const std::string& title = "") const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace xmem::stats

@@ -1,0 +1,61 @@
+// Match-action table actions.
+//
+// Actions are the unit both the local SRAM tables and the *remote* lookup
+// table traffic in serialized form, so the layout is fixed at 16 bytes —
+// the entry size the lookup-table primitive's RETH lengths are computed
+// from.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "net/address.hpp"
+#include "net/bytes.hpp"
+
+namespace xmem::switchsim {
+
+struct Action {
+  enum class Kind : std::uint8_t {
+    kNone = 0,         ///< No-op (missing entry).
+    kForward = 1,      ///< Send out `port`.
+    kSetDscp = 2,      ///< Rewrite DSCP to `dscp`, then forward out `port`.
+    kRewriteDst = 3,   ///< Rewrite dst MAC+IP (virtual->physical), forward.
+    kDrop = 4,
+  };
+
+  Kind kind = Kind::kNone;
+  std::uint8_t dscp = 0;
+  std::uint16_t port = 0;
+  net::MacAddress new_dst_mac;
+  net::Ipv4Address new_dst_ip;
+
+  bool operator==(const Action&) const = default;
+
+  /// Serialized size on the wire / in remote memory.
+  static constexpr std::size_t kSerializedBytes = 16;
+
+  void serialize(net::ByteWriter& w) const {
+    w.u8(static_cast<std::uint8_t>(kind));
+    w.u8(dscp);
+    w.u16(port);
+    w.bytes(new_dst_mac.octets());
+    w.u32(new_dst_ip.value());
+    w.u16(0);  // pad to 16
+  }
+
+  static Action parse(net::ByteReader& r) {
+    Action a;
+    a.kind = static_cast<Kind>(r.u8());
+    a.dscp = r.u8();
+    a.port = r.u16();
+    std::array<std::uint8_t, 6> mac{};
+    auto m = r.bytes(6);
+    std::copy(m.begin(), m.end(), mac.begin());
+    a.new_dst_mac = net::MacAddress(mac);
+    a.new_dst_ip = net::Ipv4Address(r.u32());
+    r.u16();  // pad
+    return a;
+  }
+};
+
+}  // namespace xmem::switchsim

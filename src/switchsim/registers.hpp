@@ -1,0 +1,47 @@
+// Stateful register arrays, the P4 construct the primitives keep their
+// data-plane state in (ring-buffer pointers, outstanding-op counters,
+// accumulators). Bounds-checked; sized like switch SRAM would be.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace xmem::switchsim {
+
+template <typename T>
+class RegisterArray {
+ public:
+  explicit RegisterArray(std::size_t size, T initial = T{})
+      : cells_(size, initial) {}
+
+  [[nodiscard]] T read(std::size_t index) const {
+    check(index);
+    return cells_[index];
+  }
+
+  void write(std::size_t index, T value) {
+    check(index);
+    cells_[index] = value;
+  }
+
+  /// Read-modify-write, the single-stage P4 register pattern.
+  template <typename F>
+  T update(std::size_t index, F&& f) {
+    check(index);
+    cells_[index] = f(cells_[index]);
+    return cells_[index];
+  }
+
+  [[nodiscard]] std::size_t size() const { return cells_.size(); }
+
+ private:
+  void check(std::size_t index) const {
+    if (index >= cells_.size()) {
+      throw std::out_of_range("RegisterArray: index out of range");
+    }
+  }
+  std::vector<T> cells_;
+};
+
+}  // namespace xmem::switchsim

@@ -1,0 +1,90 @@
+// Match-action tables: exact, longest-prefix and ternary matching, with
+// capacity limits that model the scarce on-chip SRAM/TCAM the paper's
+// whole premise revolves around.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "switchsim/action.hpp"
+
+namespace xmem::switchsim {
+
+using Key = std::vector<std::uint8_t>;
+
+/// Exact-match table (hash table in switch SRAM).
+class ExactMatchTable {
+ public:
+  /// `capacity` models the SRAM budget: inserts beyond it fail, which is
+  /// precisely the condition that pushes traffic to the remote table.
+  explicit ExactMatchTable(std::size_t capacity = SIZE_MAX)
+      : capacity_(capacity) {}
+
+  /// Returns false when the table is full (and does not insert).
+  bool insert(Key key, Action action);
+
+  /// Returns nullptr on miss.
+  [[nodiscard]] const Action* lookup(std::span<const std::uint8_t> key) const;
+
+  bool erase(std::span<const std::uint8_t> key);
+  void clear() { entries_.clear(); }
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] bool full() const { return entries_.size() >= capacity_; }
+
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept;
+  };
+  std::unordered_map<Key, Action, KeyHash> entries_;
+  std::size_t capacity_;
+  mutable std::uint64_t hits_ = 0;
+  mutable std::uint64_t misses_ = 0;
+};
+
+/// Longest-prefix-match table over 32-bit keys (IPv4 routing).
+class LpmTable {
+ public:
+  void insert(std::uint32_t prefix, int prefix_len, Action action);
+  [[nodiscard]] const Action* lookup(std::uint32_t key) const;
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  // One exact-match map per prefix length, searched longest-first.
+  std::map<int, std::unordered_map<std::uint32_t, Action>, std::greater<>>
+      by_length_;
+};
+
+/// Ternary (value/mask + priority) table, i.e. TCAM.
+class TernaryTable {
+ public:
+  explicit TernaryTable(std::size_t capacity = SIZE_MAX)
+      : capacity_(capacity) {}
+
+  /// Higher `priority` wins. Returns false when full.
+  bool insert(Key value, Key mask, int priority, Action action);
+
+  [[nodiscard]] const Action* lookup(std::span<const std::uint8_t> key) const;
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    Key value;
+    Key mask;
+    int priority;
+    Action action;
+  };
+  std::vector<Entry> entries_;  // kept sorted by descending priority
+  std::size_t capacity_;
+};
+
+}  // namespace xmem::switchsim

@@ -1,0 +1,71 @@
+#include "switchsim/traffic_manager.hpp"
+
+#include <cassert>
+
+namespace xmem::switchsim {
+
+TrafficManager::TrafficManager(int port_count, Config config)
+    : config_(config),
+      queues_(static_cast<std::size_t>(port_count)),
+      stats_(static_cast<std::size_t>(port_count)) {}
+
+bool TrafficManager::enqueue(int port, net::Packet packet, sim::Time now) {
+  assert(port >= 0 && static_cast<std::size_t>(port) < queues_.size());
+  auto& q = queues_[static_cast<std::size_t>(port)];
+  auto& st = stats_[static_cast<std::size_t>(port)];
+  const auto size = static_cast<std::int64_t>(packet.size());
+
+  if (used_ + size > config_.shared_buffer_bytes) {
+    ++st.dropped;
+    st.dropped_bytes += size;
+    notify(QueueEvent::kDrop, port, q.bytes);
+    return false;
+  }
+
+  if (config_.ecn_mark_threshold_bytes > 0 &&
+      q.bytes >= config_.ecn_mark_threshold_bytes) {
+    // DCTCP-style marking: set CE if the packet is ECN-capable.
+    auto& bytes = packet.mutable_bytes();
+    if (packet.size() >= net::kEthernetHeaderBytes + net::kIpv4HeaderBytes &&
+        bytes[12] == 0x08 && bytes[13] == 0x00) {
+      const std::size_t tos_at = net::kEthernetHeaderBytes + 1;
+      if ((bytes[tos_at] & 0x3) != 0) {  // ECT(0), ECT(1) or already CE
+        bytes[tos_at] |= 0x3;
+        // Refresh the IPv4 checksum via the rewrite helper path.
+        net::rewrite_dscp(packet, static_cast<std::uint8_t>(bytes[tos_at] >> 2));
+      }
+    }
+  }
+
+  packet.meta().enqueued = now;
+  q.packets.push_back(std::move(packet));
+  q.bytes += size;
+  used_ += size;
+  ++st.enqueued;
+  if (q.bytes > st.max_depth_bytes) st.max_depth_bytes = q.bytes;
+  notify(QueueEvent::kEnqueue, port, q.bytes);
+  return true;
+}
+
+std::optional<net::Packet> TrafficManager::dequeue(int port) {
+  assert(port >= 0 && static_cast<std::size_t>(port) < queues_.size());
+  auto& q = queues_[static_cast<std::size_t>(port)];
+  if (q.packets.empty()) return std::nullopt;
+
+  net::Packet packet = std::move(q.packets.front());
+  q.packets.pop_front();
+  const auto size = static_cast<std::int64_t>(packet.size());
+  q.bytes -= size;
+  used_ -= size;
+  ++stats_[static_cast<std::size_t>(port)].dequeued;
+  notify(QueueEvent::kDequeue, port, q.bytes);
+  return packet;
+}
+
+std::uint64_t TrafficManager::total_drops() const {
+  std::uint64_t n = 0;
+  for (const auto& st : stats_) n += st.dropped;
+  return n;
+}
+
+}  // namespace xmem::switchsim

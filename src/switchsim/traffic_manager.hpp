@@ -1,0 +1,93 @@
+// Traffic manager: the shared packet buffer and per-port egress queues.
+//
+// This is where the paper's problem lives — a ToR-class shared buffer of
+// ~12 MB that a 50 MB incast overruns in 0.34 ms — and where the packet
+// buffer primitive hooks in, watching queue depth to decide when to
+// divert packets to remote DRAM and when to pull them back.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+namespace xmem::switchsim {
+
+enum class QueueEvent : std::uint8_t {
+  kEnqueue,
+  kDequeue,
+  kDrop,
+};
+
+class TrafficManager {
+ public:
+  struct Config {
+    std::int64_t shared_buffer_bytes = 12 * 1000 * 1000;  // paper's 12 MB
+    /// ECN: mark CE on enqueue when the queue exceeds this (0 disables).
+    std::int64_t ecn_mark_threshold_bytes = 0;
+  };
+
+  /// Called after queue state changes on a port; depth is post-event.
+  using QueueWatcher =
+      std::function<void(QueueEvent, int port, std::int64_t depth_bytes)>;
+
+  TrafficManager(int port_count, Config config);
+
+  /// Enqueue for egress on `port`; returns false (drop) when the shared
+  /// buffer is exhausted.
+  bool enqueue(int port, net::Packet packet, sim::Time now);
+
+  /// Pop the head-of-line packet for `port` (nullopt if empty).
+  std::optional<net::Packet> dequeue(int port);
+
+  [[nodiscard]] std::int64_t depth_bytes(int port) const {
+    return queues_[static_cast<std::size_t>(port)].bytes;
+  }
+  [[nodiscard]] std::size_t depth_packets(int port) const {
+    return queues_[static_cast<std::size_t>(port)].packets.size();
+  }
+  [[nodiscard]] std::int64_t buffer_used() const { return used_; }
+  [[nodiscard]] std::int64_t buffer_capacity() const {
+    return config_.shared_buffer_bytes;
+  }
+
+  /// Observe queue transitions (the packet-buffer primitive's trigger).
+  /// Multiple watchers are invoked in registration order.
+  void add_watcher(QueueWatcher watcher) {
+    watchers_.push_back(std::move(watcher));
+  }
+
+  struct PortStats {
+    std::uint64_t enqueued = 0;
+    std::uint64_t dequeued = 0;
+    std::uint64_t dropped = 0;
+    std::int64_t dropped_bytes = 0;
+    std::int64_t max_depth_bytes = 0;
+  };
+  [[nodiscard]] const PortStats& port_stats(int port) const {
+    return stats_[static_cast<std::size_t>(port)];
+  }
+  [[nodiscard]] std::uint64_t total_drops() const;
+
+ private:
+  struct PortQueue {
+    std::deque<net::Packet> packets;
+    std::int64_t bytes = 0;
+  };
+
+  void notify(QueueEvent event, int port, std::int64_t depth) {
+    for (auto& w : watchers_) w(event, port, depth);
+  }
+
+  Config config_;
+  std::vector<PortQueue> queues_;
+  std::vector<PortStats> stats_;
+  std::int64_t used_ = 0;
+  std::vector<QueueWatcher> watchers_;
+};
+
+}  // namespace xmem::switchsim

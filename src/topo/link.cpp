@@ -1,0 +1,64 @@
+#include "topo/link.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace xmem::topo {
+
+void Link::attach(int end, Node& node, int port_index) {
+  if (end != 0 && end != 1) {
+    throw std::invalid_argument("Link::attach: end must be 0 or 1");
+  }
+  ends_[end] = End{&node, port_index};
+  node.port(port_index).attach(this, end);
+}
+
+void Link::set_loss_rate(double rate, std::uint64_t seed, int direction) {
+  if (rate < 0.0 || rate >= 1.0) {
+    throw std::invalid_argument("Link::set_loss_rate: rate must be in [0,1)");
+  }
+  if (direction < -1 || direction > 1) {
+    throw std::invalid_argument("Link::set_loss_rate: bad direction");
+  }
+  loss_rate_ = rate;
+  loss_direction_ = direction;
+  loss_rng_.reseed(seed);
+}
+
+void Link::deliver(int from_end, net::Packet packet, sim::Time when_serialized) {
+  assert(from_end == 0 || from_end == 1);
+  const End& to = ends_[1 - from_end];
+  assert(to.node != nullptr && "Link::deliver on half-attached link");
+
+  if (tap_) tap_(packet, when_serialized, from_end);
+
+  if (loss_rate_ > 0.0 &&
+      (loss_direction_ == -1 || loss_direction_ == from_end) &&
+      loss_rng_.chance(loss_rate_)) {
+    ++dropped_;
+    return;
+  }
+
+  sim_->schedule_at(
+      when_serialized + propagation_,
+      [to, p = std::move(packet)]() mutable {
+        to.node->port(to.port).note_received(p);
+        p.meta().ingress_port = to.port;
+        to.node->receive(std::move(p), to.port);
+      });
+}
+
+std::unique_ptr<Link> connect(sim::Simulator& simulator, Node& a, Node& b,
+                              sim::Bandwidth rate, sim::Time propagation,
+                              int* port_a, int* port_b) {
+  auto link = std::make_unique<Link>(simulator, rate, propagation);
+  const int pa = a.add_port();
+  const int pb = b.add_port();
+  link->attach(0, a, pa);
+  link->attach(1, b, pb);
+  if (port_a) *port_a = pa;
+  if (port_b) *port_b = pb;
+  return link;
+}
+
+}  // namespace xmem::topo

@@ -1,0 +1,68 @@
+// Full-duplex point-to-point link with serialization delay, propagation
+// delay, optional random loss (for the §7 drop-tolerance experiments) and
+// a tap for traffic accounting / pcap capture.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "net/packet.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+#include "sim/units.hpp"
+#include "topo/node.hpp"
+
+namespace xmem::topo {
+
+class Link {
+ public:
+  /// Called for each frame as it finishes serializing onto the wire.
+  /// `from_end` is 0 or 1.
+  using Tap = std::function<void(const net::Packet&, sim::Time, int from_end)>;
+
+  Link(sim::Simulator& simulator, sim::Bandwidth rate, sim::Time propagation)
+      : sim_(&simulator), rate_(rate), propagation_(propagation) {}
+
+  /// Wire one end (0 or 1) of the link to `node`'s port `port_index`.
+  void attach(int end, Node& node, int port_index);
+
+  [[nodiscard]] sim::Bandwidth rate() const { return rate_; }
+  [[nodiscard]] sim::Time propagation() const { return propagation_; }
+
+  /// Independent uniform frame loss (0 disables). Deterministic per seed.
+  /// `direction` limits loss to frames sent from that end (0 or 1);
+  /// -1 applies to both directions.
+  void set_loss_rate(double rate, std::uint64_t seed = 1, int direction = -1);
+
+  void set_tap(Tap tap) { tap_ = std::move(tap); }
+
+  [[nodiscard]] std::uint64_t dropped_frames() const { return dropped_; }
+
+  /// Used by Port: ship a fully serialized frame to the far end.
+  /// `when_serialized` is the time serialization completed.
+  void deliver(int from_end, net::Packet packet, sim::Time when_serialized);
+
+ private:
+  struct End {
+    Node* node = nullptr;
+    int port = -1;
+  };
+
+  sim::Simulator* sim_;
+  sim::Bandwidth rate_;
+  sim::Time propagation_;
+  End ends_[2];
+  double loss_rate_ = 0.0;
+  int loss_direction_ = -1;
+  sim::Rng loss_rng_;
+  Tap tap_;
+  std::uint64_t dropped_ = 0;
+};
+
+/// Convenience: create a link on `simulator` connecting new ports on two
+/// nodes; returns the link (caller keeps ownership via unique_ptr).
+std::unique_ptr<Link> connect(sim::Simulator& simulator, Node& a, Node& b,
+                              sim::Bandwidth rate, sim::Time propagation,
+                              int* port_a = nullptr, int* port_b = nullptr);
+
+}  // namespace xmem::topo

@@ -1,0 +1,59 @@
+#include "topo/node.hpp"
+
+#include <cassert>
+
+#include "topo/link.hpp"
+
+namespace xmem::topo {
+
+void Port::send(net::Packet packet) {
+  assert(link_ != nullptr && "Port::send on unconnected port");
+  fifo_.push_back(std::move(packet));
+  if (!busy_) start_next_transmission();
+}
+
+void Port::apply_pause(sim::Time until) {
+  pause_until_ = until;
+  resume_event_.cancel();
+  if (paused()) {
+    // Arrange to restart when the pause lapses (an XON will cancel and
+    // resume sooner via the path below).
+    resume_event_ = sim_->schedule_at(pause_until_, [this]() {
+      if (!busy_) start_next_transmission();
+    });
+  } else if (!busy_) {
+    start_next_transmission();
+  }
+}
+
+bool Port::paused() const { return sim_->now() < pause_until_; }
+
+void Port::start_next_transmission() {
+  if (paused()) {
+    busy_ = false;
+    return;  // resume_event_ will call back when the pause lapses
+  }
+  if (fifo_.empty()) {
+    busy_ = false;
+    if (idle_callback_) idle_callback_();
+    return;
+  }
+  busy_ = true;
+  net::Packet packet = std::move(fifo_.front());
+  fifo_.pop_front();
+
+  const sim::Time tx =
+      sim::transmission_time(packet.wire_size(), link_->rate());
+  ++tx_packets_;
+  tx_bytes_ += static_cast<std::int64_t>(packet.size());
+
+  const sim::Time done = sim_->now() + tx;
+  // Hand the frame to the link at serialization completion, then look for
+  // more work. The link adds propagation delay before the far end sees it.
+  sim_->schedule_at(done, [this, p = std::move(packet), done]() mutable {
+    link_->deliver(link_end_, std::move(p), done);
+    start_next_transmission();
+  });
+}
+
+}  // namespace xmem::topo

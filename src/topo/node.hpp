@@ -1,0 +1,131 @@
+// Nodes, ports and the transmit path.
+//
+// A Node owns numbered Ports; each Port is wired to one end of a Link.
+// Ports serialize one packet at a time at the link's rate. Senders either
+// let the Port's own unbounded FIFO pace them (hosts) or install an
+// idle callback and feed packets only when the port frees up (the switch
+// traffic manager, which needs finite, accounted queues).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+#include "sim/units.hpp"
+
+namespace xmem::topo {
+
+class Link;
+class Node;
+
+class Port {
+ public:
+  Port(sim::Simulator& simulator, Node* owner, int index)
+      : sim_(&simulator), owner_(owner), index_(index) {}
+
+  Port(const Port&) = delete;
+  Port& operator=(const Port&) = delete;
+
+  [[nodiscard]] int index() const { return index_; }
+  [[nodiscard]] Node* owner() const { return owner_; }
+  [[nodiscard]] bool connected() const { return link_ != nullptr; }
+  [[nodiscard]] Link* link() const { return link_; }
+
+  /// True when no packet is currently being serialized and the software
+  /// FIFO is empty.
+  [[nodiscard]] bool idle() const { return !busy_ && fifo_.empty(); }
+
+  /// Queue a packet for transmission. Unbounded FIFO: callers that need
+  /// bounded queues (the switch) check idle() and buffer themselves.
+  void send(net::Packet packet);
+
+  /// Invoked when a transmission finishes and the FIFO is empty — the
+  /// hook the switch traffic manager uses to pull the next packet.
+  void set_idle_callback(std::function<void()> cb) {
+    idle_callback_ = std::move(cb);
+  }
+
+  /// Flow control (802.3x / PFC): suppress new transmissions until `t`.
+  /// An in-flight frame completes (pause is not preemptive). Passing a
+  /// time in the past resumes immediately (XON).
+  void apply_pause(sim::Time until);
+  [[nodiscard]] bool paused() const;
+
+  /// Counters.
+  [[nodiscard]] std::uint64_t tx_packets() const { return tx_packets_; }
+  [[nodiscard]] std::int64_t tx_bytes() const { return tx_bytes_; }
+  [[nodiscard]] std::uint64_t rx_packets() const { return rx_packets_; }
+  [[nodiscard]] std::int64_t rx_bytes() const { return rx_bytes_; }
+
+ private:
+  friend class Link;
+  friend class Node;
+
+  void attach(Link* link, int end) {
+    link_ = link;
+    link_end_ = end;
+  }
+  void start_next_transmission();
+  void note_received(const net::Packet& p) {
+    ++rx_packets_;
+    rx_bytes_ += static_cast<std::int64_t>(p.size());
+  }
+
+  sim::Simulator* sim_;
+  Node* owner_;
+  int index_;
+  Link* link_ = nullptr;
+  int link_end_ = -1;
+  bool busy_ = false;
+  sim::Time pause_until_ = 0;
+  sim::EventId resume_event_;
+  std::deque<net::Packet> fifo_;
+  std::function<void()> idle_callback_;
+  std::uint64_t tx_packets_ = 0;
+  std::int64_t tx_bytes_ = 0;
+  std::uint64_t rx_packets_ = 0;
+  std::int64_t rx_bytes_ = 0;
+};
+
+/// Base class for anything with ports: switches, hosts.
+class Node {
+ public:
+  Node(sim::Simulator& simulator, std::string name)
+      : sim_(&simulator), name_(std::move(name)) {}
+  virtual ~Node() = default;
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  /// A frame has fully arrived on `port`.
+  virtual void receive(net::Packet packet, int port) = 0;
+
+  /// Create a new port, returning its index.
+  int add_port() {
+    ports_.push_back(std::make_unique<Port>(*sim_, this, static_cast<int>(ports_.size())));
+    return static_cast<int>(ports_.size()) - 1;
+  }
+
+  [[nodiscard]] Port& port(int index) { return *ports_.at(static_cast<std::size_t>(index)); }
+  [[nodiscard]] const Port& port(int index) const {
+    return *ports_.at(static_cast<std::size_t>(index));
+  }
+  [[nodiscard]] int port_count() const { return static_cast<int>(ports_.size()); }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] sim::Simulator& simulator() const { return *sim_; }
+
+ protected:
+  sim::Simulator* sim_;
+
+ private:
+  std::string name_;
+  std::vector<std::unique_ptr<Port>> ports_;
+};
+
+}  // namespace xmem::topo

@@ -1,0 +1,334 @@
+// Unit tests for the wire-format substrate: byte codecs, checksums,
+// addresses, header round trips, packet build/parse/rewrite, flow keys,
+// pcap output.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "net/address.hpp"
+#include "net/bytes.hpp"
+#include "net/checksum.hpp"
+#include "net/ethernet.hpp"
+#include "net/flow.hpp"
+#include "net/ipv4.hpp"
+#include "net/packet.hpp"
+#include "net/pcap.hpp"
+#include "net/udp.hpp"
+
+namespace xmem::net {
+namespace {
+
+TEST(Bytes, WriterRoundTrip) {
+  std::vector<std::uint8_t> buf;
+  ByteWriter w(buf);
+  w.u8(0xab);
+  w.u16(0x1234);
+  w.u24(0x56789a);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  ByteReader r(buf);
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u24(), 0x56789au);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(Bytes, BigEndianOnWire) {
+  std::vector<std::uint8_t> buf;
+  ByteWriter w(buf);
+  w.u16(0x0102);
+  ASSERT_EQ(buf.size(), 2u);
+  EXPECT_EQ(buf[0], 0x01);
+  EXPECT_EQ(buf[1], 0x02);
+}
+
+TEST(Bytes, ReaderUnderrunThrows) {
+  std::vector<std::uint8_t> buf{1, 2};
+  ByteReader r(buf);
+  r.u16();
+  EXPECT_THROW(r.u8(), BufferError);
+}
+
+TEST(Bytes, PatchU16) {
+  std::vector<std::uint8_t> buf;
+  ByteWriter w(buf);
+  w.u16(0);
+  w.u16(0xffff);
+  w.patch_u16(0, 0xbeef);
+  ByteReader r(buf);
+  EXPECT_EQ(r.u16(), 0xbeef);
+  EXPECT_THROW(w.patch_u16(3, 1), BufferError);
+}
+
+TEST(Bytes, SkipAndRest) {
+  std::vector<std::uint8_t> buf{1, 2, 3, 4, 5};
+  ByteReader r(buf);
+  r.skip(2);
+  EXPECT_EQ(r.rest().size(), 3u);
+  EXPECT_EQ(r.u8(), 3);
+  EXPECT_THROW(r.skip(10), BufferError);
+}
+
+TEST(Checksum, Rfc1071Example) {
+  // Classic RFC 1071 worked example.
+  const std::uint8_t data[] = {0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+  // Sum = 0001 + f203 + f4f5 + f6f7 = 2ddf0 -> folded ddf2 -> ~ = 220d.
+  EXPECT_EQ(internet_checksum(data), 0x220d);
+}
+
+TEST(Checksum, OddLengthPadsWithZero) {
+  const std::uint8_t data[] = {0x12, 0x34, 0x56};
+  // Words: 1234, 5600. Sum 682a... -> checksum = ~0x682a.
+  EXPECT_EQ(internet_checksum(data), static_cast<std::uint16_t>(~0x6834u));
+}
+
+TEST(Checksum, IncrementalMatchesOneShot) {
+  std::vector<std::uint8_t> data;
+  for (int i = 0; i < 999; ++i) data.push_back(static_cast<std::uint8_t>(i));
+  InternetChecksum inc;
+  inc.add(std::span<const std::uint8_t>(data).first(123));
+  inc.add(std::span<const std::uint8_t>(data).subspan(123, 400));
+  inc.add(std::span<const std::uint8_t>(data).subspan(523));
+  EXPECT_EQ(inc.finish(), internet_checksum(data));
+}
+
+TEST(Checksum, IncrementalOddSplitMatches) {
+  const std::uint8_t data[] = {1, 2, 3, 4, 5, 6, 7};
+  InternetChecksum inc;
+  inc.add(std::span<const std::uint8_t>(data, 3));  // odd split
+  inc.add(std::span<const std::uint8_t>(data + 3, 4));
+  EXPECT_EQ(inc.finish(), internet_checksum(data));
+}
+
+TEST(Crc32, KnownVectors) {
+  // CRC32("123456789") = 0xCBF43926 (the canonical check value).
+  const std::uint8_t digits[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(crc32(digits), 0xCBF43926u);
+  EXPECT_EQ(crc32({}), 0u);
+}
+
+TEST(Crc32, SeedChaining) {
+  const std::uint8_t all[] = {'a', 'b', 'c', 'd'};
+  const std::uint32_t whole = crc32(all);
+  const std::uint32_t part1 = crc32(std::span<const std::uint8_t>(all, 2));
+  const std::uint32_t chained =
+      crc32(std::span<const std::uint8_t>(all + 2, 2), part1);
+  EXPECT_EQ(chained, whole);
+}
+
+TEST(Address, MacParseFormat) {
+  const MacAddress mac = MacAddress::parse("02:58:4d:00:00:2a");
+  EXPECT_EQ(mac.to_string(), "02:58:4d:00:00:2a");
+  EXPECT_EQ(mac, MacAddress::from_index(42));
+  EXPECT_THROW(MacAddress::parse("nonsense"), std::invalid_argument);
+  EXPECT_TRUE(MacAddress::broadcast().is_broadcast());
+}
+
+TEST(Address, Ipv4ParseFormat) {
+  const Ipv4Address ip = Ipv4Address::parse("10.0.1.44");
+  EXPECT_EQ(ip.to_string(), "10.0.1.44");
+  EXPECT_EQ(ip, Ipv4Address(10, 0, 1, 44));
+  EXPECT_EQ(Ipv4Address::from_index(300), Ipv4Address(10, 0, 1, 44));
+  EXPECT_THROW(Ipv4Address::parse("1.2.3.999"), std::invalid_argument);
+  EXPECT_THROW(Ipv4Address::parse("1.2.3"), std::invalid_argument);
+}
+
+TEST(Ethernet, HeaderRoundTrip) {
+  EthernetHeader h;
+  h.dst = MacAddress::from_index(1);
+  h.src = MacAddress::from_index(2);
+  h.set_type(EtherType::kIpv4);
+  std::vector<std::uint8_t> buf;
+  ByteWriter w(buf);
+  h.serialize(w);
+  ASSERT_EQ(buf.size(), kEthernetHeaderBytes);
+  ByteReader r(buf);
+  EXPECT_EQ(EthernetHeader::parse(r), h);
+}
+
+TEST(Ethernet, WireBytesIncludesOverheadAndPadding) {
+  // 60-byte minimum + 4 FCS + 20 preamble/IFG.
+  EXPECT_EQ(wire_bytes(10), 84);
+  EXPECT_EQ(wire_bytes(60), 84);
+  EXPECT_EQ(wire_bytes(1514), 1514 + 4 + 20);
+}
+
+TEST(Ipv4, HeaderRoundTripAndChecksum) {
+  Ipv4Header h;
+  h.dscp = 46;
+  h.ecn = Ecn::kEct0;
+  h.total_length = 100;
+  h.identification = 7;
+  h.ttl = 17;
+  h.protocol = static_cast<std::uint8_t>(IpProto::kUdp);
+  h.src = Ipv4Address(10, 0, 0, 1);
+  h.dst = Ipv4Address(10, 0, 0, 2);
+
+  std::vector<std::uint8_t> buf;
+  ByteWriter w(buf);
+  h.serialize(w);
+  ASSERT_EQ(buf.size(), kIpv4HeaderBytes);
+  // A correct header checksums to zero.
+  EXPECT_EQ(internet_checksum(buf), 0);
+
+  ByteReader r(buf);
+  const Ipv4Header parsed = Ipv4Header::parse(r);
+  EXPECT_EQ(parsed.dscp, h.dscp);
+  EXPECT_EQ(parsed.ecn, h.ecn);
+  EXPECT_EQ(parsed.total_length, h.total_length);
+  EXPECT_EQ(parsed.src, h.src);
+  EXPECT_EQ(parsed.dst, h.dst);
+}
+
+TEST(Ipv4, CorruptChecksumRejected) {
+  Ipv4Header h;
+  h.total_length = 40;
+  h.src = Ipv4Address(1, 2, 3, 4);
+  h.dst = Ipv4Address(5, 6, 7, 8);
+  std::vector<std::uint8_t> buf;
+  ByteWriter w(buf);
+  h.serialize(w);
+  buf[4] ^= 0xff;  // corrupt identification
+  ByteReader r(buf);
+  EXPECT_THROW(Ipv4Header::parse(r), BufferError);
+}
+
+TEST(Udp, HeaderRoundTrip) {
+  UdpHeader h{1234, kRoceV2Port, 50, 0};
+  std::vector<std::uint8_t> buf;
+  ByteWriter w(buf);
+  h.serialize(w);
+  ASSERT_EQ(buf.size(), kUdpHeaderBytes);
+  ByteReader r(buf);
+  EXPECT_EQ(UdpHeader::parse(r), h);
+}
+
+TEST(Packet, BuildAndParseUdp) {
+  const std::uint8_t payload[] = {1, 2, 3, 4, 5};
+  Packet p = build_udp_packet(MacAddress::from_index(1),
+                              MacAddress::from_index(2),
+                              Ipv4Address(10, 0, 0, 1),
+                              Ipv4Address(10, 0, 0, 2), 111, 222, payload);
+  EXPECT_EQ(p.size(), 14 + 20 + 8 + 5u);
+
+  const ParsedPacket parsed = parse_packet(p);
+  ASSERT_TRUE(parsed.ipv4.has_value());
+  ASSERT_TRUE(parsed.udp.has_value());
+  EXPECT_EQ(parsed.udp->src_port, 111);
+  EXPECT_EQ(parsed.udp->dst_port, 222);
+  EXPECT_EQ(parsed.ipv4->src, Ipv4Address(10, 0, 0, 1));
+  EXPECT_EQ(parsed.l4_payload_offset, 42u);
+  EXPECT_FALSE(parsed.is_roce_v2());
+}
+
+TEST(Packet, RoceV2PortDetection) {
+  Packet p = build_udp_packet(MacAddress::from_index(1),
+                              MacAddress::from_index(2),
+                              Ipv4Address(10, 0, 0, 1),
+                              Ipv4Address(10, 0, 0, 2), 111, kRoceV2Port, {});
+  EXPECT_TRUE(parse_packet(p).is_roce_v2());
+}
+
+TEST(Packet, CloneIsDeep) {
+  Packet p = build_udp_packet(MacAddress::from_index(1),
+                              MacAddress::from_index(2),
+                              Ipv4Address(10, 0, 0, 1),
+                              Ipv4Address(10, 0, 0, 2), 1, 2, {});
+  Packet c = p.clone();
+  c.mutable_bytes()[0] ^= 0xff;
+  EXPECT_NE(c.bytes()[0], p.bytes()[0]);
+}
+
+TEST(Packet, TruncateShrinksOnly) {
+  Packet p(std::vector<std::uint8_t>(100, 7));
+  p.truncate(200);
+  EXPECT_EQ(p.size(), 100u);
+  p.truncate(10);
+  EXPECT_EQ(p.size(), 10u);
+}
+
+TEST(Packet, RewriteDscpKeepsChecksumValid) {
+  Packet p = build_udp_packet(MacAddress::from_index(1),
+                              MacAddress::from_index(2),
+                              Ipv4Address(10, 0, 0, 1),
+                              Ipv4Address(10, 0, 0, 2), 1, 2, {});
+  ASSERT_TRUE(rewrite_dscp(p, 46));
+  const ParsedPacket parsed = parse_packet(p);  // throws on bad checksum
+  ASSERT_TRUE(parsed.ipv4.has_value());
+  EXPECT_EQ(parsed.ipv4->dscp, 46);
+}
+
+TEST(Packet, RewriteDstIpKeepsChecksumValid) {
+  Packet p = build_udp_packet(MacAddress::from_index(1),
+                              MacAddress::from_index(2),
+                              Ipv4Address(10, 0, 0, 1),
+                              Ipv4Address(10, 0, 0, 2), 1, 2, {});
+  ASSERT_TRUE(rewrite_dst_ip(p, Ipv4Address(192, 168, 9, 9)));
+  const ParsedPacket parsed = parse_packet(p);
+  EXPECT_EQ(parsed.ipv4->dst, Ipv4Address(192, 168, 9, 9));
+}
+
+TEST(Packet, RewriteRejectsNonIpv4) {
+  Packet p(std::vector<std::uint8_t>(60, 0));
+  EXPECT_FALSE(rewrite_dscp(p, 1));
+  EXPECT_FALSE(rewrite_dst_ip(p, Ipv4Address(1, 1, 1, 1)));
+}
+
+TEST(Flow, ExtractFiveTuple) {
+  Packet p = build_udp_packet(MacAddress::from_index(1),
+                              MacAddress::from_index(2),
+                              Ipv4Address(10, 0, 0, 1),
+                              Ipv4Address(10, 0, 0, 2), 1111, 2222, {});
+  const auto tuple = extract_five_tuple(p);
+  ASSERT_TRUE(tuple.has_value());
+  EXPECT_EQ(tuple->src_ip, Ipv4Address(10, 0, 0, 1));
+  EXPECT_EQ(tuple->dst_ip, Ipv4Address(10, 0, 0, 2));
+  EXPECT_EQ(tuple->src_port, 1111);
+  EXPECT_EQ(tuple->dst_port, 2222);
+  EXPECT_EQ(tuple->protocol, 17);
+}
+
+TEST(Flow, NonIpv4HasNoTuple) {
+  Packet p(std::vector<std::uint8_t>(60, 0));
+  EXPECT_FALSE(extract_five_tuple(p).has_value());
+}
+
+TEST(Flow, HashIsStableAndKeyed) {
+  FiveTuple t{Ipv4Address(1, 2, 3, 4), Ipv4Address(5, 6, 7, 8), 9, 10, 17};
+  EXPECT_EQ(flow_hash(t), flow_hash(t));
+  EXPECT_NE(flow_hash(t, 1), flow_hash(t, 2));
+  FiveTuple u = t;
+  u.src_port = 11;
+  EXPECT_NE(flow_hash(t), flow_hash(u));
+}
+
+TEST(Pcap, WritesHeaderAndRecords) {
+  std::ostringstream out;
+  PcapWriter pcap(out);
+  Packet p = build_udp_packet(MacAddress::from_index(1),
+                              MacAddress::from_index(2),
+                              Ipv4Address(10, 0, 0, 1),
+                              Ipv4Address(10, 0, 0, 2), 1, 2,
+                              std::vector<std::uint8_t>(10, 0xaa));
+  pcap.write(p, sim::microseconds(1500000));  // 1.5 s
+  const std::string s = out.str();
+  // 24-byte file header + 16-byte record header + packet bytes.
+  EXPECT_EQ(s.size(), 24 + 16 + p.size());
+  EXPECT_EQ(static_cast<unsigned char>(s[0]), 0xd4);  // magic, LE
+  EXPECT_EQ(pcap.packets_written(), 1u);
+  // ts_sec == 1 at offset 24.
+  EXPECT_EQ(static_cast<unsigned char>(s[24]), 1);
+}
+
+TEST(Pcap, SnaplenTruncates) {
+  std::ostringstream out;
+  PcapWriter pcap(out, 32);
+  Packet p(std::vector<std::uint8_t>(100, 1));
+  pcap.write(p, 0);
+  EXPECT_EQ(out.str().size(), 24u + 16u + 32u);
+}
+
+}  // namespace
+}  // namespace xmem::net

@@ -1,0 +1,198 @@
+// Robustness/property tests: the RoCE parser against random mutation
+// (line noise must never crash or mis-parse silently past the ICRC),
+// CompareSwap semantics, and multi-QP isolation on one RNIC.
+#include <gtest/gtest.h>
+
+#include "control/testbed.hpp"
+#include "core/primitive.hpp"
+#include "core/rdma_channel.hpp"
+#include "rnic/rnic.hpp"
+#include "roce/packet.hpp"
+#include "sim/rng.hpp"
+
+namespace xmem {
+namespace {
+
+using roce::Opcode;
+using roce::RoceMessage;
+
+roce::RoceEndpoint ep(int i) {
+  return {net::MacAddress::from_index(static_cast<std::uint16_t>(i)),
+          net::Ipv4Address::from_index(static_cast<std::uint16_t>(i)),
+          0xc000};
+}
+
+// ---- Parser fuzz ------------------------------------------------------
+TEST(RoceFuzz, SingleBitFlipsNeverParseValid) {
+  // Any single-bit corruption after the Ethernet header must be caught
+  // by the ICRC (or header validation) — parse_roce_packet returns
+  // nullopt, never garbage, never a crash.
+  RoceMessage msg;
+  msg.bth.opcode = Opcode::kRdmaWriteOnly;
+  msg.bth.dest_qp = 0x42;
+  msg.bth.psn = 77;
+  msg.reth = roce::Reth{0x1000, 0xaa, 32};
+  msg.payload.assign(32, 0x5a);
+  const net::Packet frame = roce::build_roce_packet(ep(1), ep(2), msg);
+
+  int rejected = 0;
+  int total = 0;
+  for (std::size_t byte = net::kEthernetHeaderBytes; byte < frame.size();
+       ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      net::Packet mutated = frame.clone();
+      mutated.mutable_bytes()[byte] ^= static_cast<std::uint8_t>(1 << bit);
+      ++total;
+      if (!roce::parse_roce_packet(mutated).has_value()) ++rejected;
+    }
+  }
+  // The only tolerated survivors are flips in fields the ICRC masks
+  // (ToS, TTL, IP checksum, UDP checksum, BTH resv8a): 7 bytes = 56 bits
+  // — and of those, IP-checksum flips still fail IPv4 validation.
+  EXPECT_GE(rejected, total - 56);
+}
+
+TEST(RoceFuzz, RandomGarbageNeverCrashesParser) {
+  sim::Rng rng(1234);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const std::size_t len = 1 + rng.uniform(200);
+    std::vector<std::uint8_t> junk(len);
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.next());
+    net::Packet p(std::move(junk));
+    // Must not throw; almost always nullopt.
+    EXPECT_NO_THROW({ auto r = roce::parse_roce_packet(p); (void)r; });
+  }
+}
+
+TEST(RoceFuzz, TruncationsNeverCrashResponder) {
+  control::Testbed tb;
+  auto& nic = tb.host(2).rnic();
+  auto& mr = nic.memory().register_region(4096, rnic::Access::kAll);
+  auto& qp = nic.create_qp();
+  nic.connect_qp(qp.qpn, ep(1), 0x99, 0);
+
+  RoceMessage msg;
+  msg.bth.opcode = Opcode::kRdmaWriteOnly;
+  msg.bth.dest_qp = qp.qpn;
+  msg.reth = roce::Reth{mr.base_va(), mr.rkey(), 16};
+  msg.payload.assign(16, 1);
+  const net::Packet frame =
+      roce::build_roce_packet(ep(1), tb.host(2).endpoint(), msg);
+
+  for (std::size_t len = 1; len < frame.size(); ++len) {
+    net::Packet truncated(
+        std::vector<std::uint8_t>(frame.bytes().begin(),
+                                  frame.bytes().begin() +
+                                      static_cast<std::ptrdiff_t>(len)));
+    EXPECT_NO_THROW(nic.handle_frame(truncated));
+  }
+  tb.sim().run();
+  EXPECT_EQ(nic.stats().writes, 0u) << "no truncation may execute";
+}
+
+// ---- CompareSwap ------------------------------------------------------
+class CompareSwapTest : public ::testing::Test {
+ protected:
+  CompareSwapTest() {
+    config_ = tb_.controller().setup_channel(tb_.host(2), tb_.port_of(2),
+                                             {.region_bytes = 4096});
+    channel_ = std::make_unique<core::RdmaChannel>(tb_.tor(), config_);
+    tb_.tor().add_ingress_stage(
+        "capture", [this](switchsim::PipelineContext& ctx) {
+          if (auto msg = core::roce_view(ctx);
+              msg && channel_->owns(*msg) && msg->atomic_ack) {
+            originals_.push_back(msg->atomic_ack->original_value);
+            ctx.consume();
+          }
+        });
+  }
+
+  std::span<std::uint8_t> region() {
+    return control::ChannelController::region_bytes(tb_.host(2), config_);
+  }
+
+  control::Testbed tb_;
+  control::RdmaChannelConfig config_;
+  std::unique_ptr<core::RdmaChannel> channel_;
+  std::vector<std::uint64_t> originals_;
+};
+
+TEST_F(CompareSwapTest, SwapsWhenCompareMatches) {
+  rnic::store_le64(region().subspan(0, 8), 100);
+  tb_.sim().schedule_at(0, [&] {
+    channel_->post_compare_swap(config_.base_va, /*compare=*/100,
+                                /*swap=*/777);
+  });
+  tb_.sim().run();
+  ASSERT_EQ(originals_.size(), 1u);
+  EXPECT_EQ(originals_[0], 100u);
+  EXPECT_EQ(rnic::load_le64(region().subspan(0, 8)), 777u);
+}
+
+TEST_F(CompareSwapTest, LeavesValueWhenCompareFails) {
+  rnic::store_le64(region().subspan(0, 8), 5);
+  tb_.sim().schedule_at(0, [&] {
+    channel_->post_compare_swap(config_.base_va, /*compare=*/100,
+                                /*swap=*/777);
+  });
+  tb_.sim().run();
+  ASSERT_EQ(originals_.size(), 1u);
+  EXPECT_EQ(originals_[0], 5u) << "the prior value is still returned";
+  EXPECT_EQ(rnic::load_le64(region().subspan(0, 8)), 5u) << "no swap";
+}
+
+TEST_F(CompareSwapTest, TwoRacersOnlyOneWins) {
+  // Two CAS(0 -> id) on the same word: exactly one sees 0.
+  tb_.sim().schedule_at(0, [&] {
+    channel_->post_compare_swap(config_.base_va, 0, 111);
+    channel_->post_compare_swap(config_.base_va, 0, 222);
+  });
+  tb_.sim().run();
+  ASSERT_EQ(originals_.size(), 2u);
+  EXPECT_EQ(originals_[0], 0u) << "first claim wins";
+  EXPECT_EQ(originals_[1], 111u) << "second sees the winner";
+  EXPECT_EQ(rnic::load_le64(region().subspan(0, 8)), 111u);
+}
+
+// ---- Multi-QP isolation -----------------------------------------------
+TEST(MultiQp, ChannelsOnOneRnicDoNotInterfere) {
+  control::Testbed tb;
+  auto a = tb.controller().setup_channel(tb.host(2), tb.port_of(2),
+                                         {.region_bytes = 4096});
+  auto b = tb.controller().setup_channel(tb.host(2), tb.port_of(2),
+                                         {.region_bytes = 4096});
+  core::RdmaChannel chan_a(tb.tor(), a);
+  core::RdmaChannel chan_b(tb.tor(), b);
+  tb.tor().add_ingress_stage("sink-roce",
+                             [&](switchsim::PipelineContext& ctx) {
+                               if (core::roce_view(ctx)) ctx.consume();
+                             });
+
+  tb.sim().schedule_at(0, [&] {
+    chan_a.post_write(a.base_va, std::vector<std::uint8_t>{1, 1, 1});
+    chan_b.post_write(b.base_va, std::vector<std::uint8_t>{2, 2, 2});
+  });
+  tb.sim().run();
+
+  auto ra = control::ChannelController::region_bytes(tb.host(2), a);
+  auto rb = control::ChannelController::region_bytes(tb.host(2), b);
+  EXPECT_EQ(ra[0], 1);
+  EXPECT_EQ(rb[0], 2);
+  // Cross-region writes are impossible: rkeys differ and regions are
+  // disjoint; verify via a deliberate wrong-rkey write.
+  auto bogus = a;
+  bogus.rkey = b.rkey;  // right region, wrong channel's key over QP a...
+  core::RdmaChannel chan_bogus(tb.tor(), bogus);
+  tb.sim().schedule_at(tb.sim().now() + 1000, [&] {
+    // VA from region a with rkey from region b: out of b's bounds.
+    chan_bogus.post_write(a.base_va + 100, std::vector<std::uint8_t>{9});
+  });
+  tb.sim().run();
+  EXPECT_EQ(ra[100], 0) << "must not land";
+  // Only the two legitimate writes executed: the bogus one was refused
+  // (as a stale duplicate on QP a's sequence, or by the bounds check).
+  EXPECT_EQ(tb.host(2).rnic().stats().writes, 2u);
+}
+
+}  // namespace
+}  // namespace xmem

@@ -1,0 +1,270 @@
+// Unit tests for the discrete-event engine: time units, event queue
+// ordering/cancellation, simulator run loops, RNG determinism.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+#include "sim/units.hpp"
+
+namespace xmem::sim {
+namespace {
+
+TEST(Time, UnitConstruction) {
+  EXPECT_EQ(nanoseconds(1), 1'000);
+  EXPECT_EQ(microseconds(1), 1'000'000);
+  EXPECT_EQ(milliseconds(1), 1'000'000'000);
+  EXPECT_EQ(seconds(1), 1'000'000'000'000);
+  EXPECT_EQ(microseconds(2.5), 2'500'000);
+  EXPECT_EQ(nanoseconds(0.5), 500);
+}
+
+TEST(Time, ConversionRoundTrip) {
+  EXPECT_DOUBLE_EQ(to_microseconds(microseconds(7)), 7.0);
+  EXPECT_DOUBLE_EQ(to_milliseconds(milliseconds(3)), 3.0);
+  EXPECT_DOUBLE_EQ(to_seconds(seconds(2)), 2.0);
+  EXPECT_DOUBLE_EQ(to_nanoseconds(nanoseconds(9)), 9.0);
+}
+
+TEST(Units, TransmissionTimeExact) {
+  // 1 byte at 40 Gb/s = 0.2 ns = 200 ps.
+  EXPECT_EQ(transmission_time(1, gbps(40)), 200);
+  // 1500 bytes at 40 Gb/s = 300 ns.
+  EXPECT_EQ(transmission_time(1500, gbps(40)), nanoseconds(300));
+  // Rounds up, never down: 8 bits / 3 Gb/s = 2666.67 ps -> 2667 ps.
+  EXPECT_EQ(transmission_time(1, gbps(3)), 2667);
+}
+
+TEST(Units, TransmissionTimeZeroBytes) {
+  EXPECT_EQ(transmission_time(0, gbps(40)), 0);
+}
+
+TEST(Units, AchievedRateInvertsTransmissionTime) {
+  const Bandwidth rate = gbps(40);
+  const std::int64_t bytes = 123456;
+  const Time t = transmission_time(bytes, rate);
+  const Bandwidth measured = achieved_rate(bytes, t);
+  EXPECT_NEAR(to_gbps(measured), 40.0, 0.01);
+}
+
+TEST(Units, AchievedRateZeroWindow) {
+  EXPECT_EQ(achieved_rate(1000, 0), 0);
+}
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(300, [&] { order.push_back(3); });
+  q.schedule(100, [&] { order.push_back(1); });
+  q.schedule(200, [&] { order.push_back(2); });
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakInInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(42, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.run_next();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  EventId id = q.schedule(10, [&] { ran = true; });
+  EXPECT_TRUE(id.pending());
+  id.cancel();
+  EXPECT_FALSE(id.pending());
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelIsIdempotentAndSafeAfterFire) {
+  EventQueue q;
+  EventId id = q.schedule(10, [] {});
+  q.run_next();
+  EXPECT_FALSE(id.pending());
+  id.cancel();  // no crash, no effect
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, EmptyReclaimsAllCancelled) {
+  EventQueue q;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 5; ++i) ids.push_back(q.schedule(i, [] {}));
+  for (auto& id : ids) id.cancel();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CallbackMaySchedule) {
+  EventQueue q;
+  int count = 0;
+  std::function<void()> chain = [&]() {
+    if (++count < 5) q.schedule(static_cast<Time>(count), chain);
+  };
+  q.schedule(0, chain);
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(count, 5);
+}
+
+TEST(Simulator, NowAdvancesWithEvents) {
+  Simulator sim;
+  Time seen = -1;
+  sim.schedule_at(microseconds(5), [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen, microseconds(5));
+  EXPECT_EQ(sim.now(), microseconds(5));
+}
+
+TEST(Simulator, ScheduleInIsRelative) {
+  Simulator sim;
+  std::vector<Time> stamps;
+  sim.schedule_in(100, [&] {
+    stamps.push_back(sim.now());
+    sim.schedule_in(50, [&] { stamps.push_back(sim.now()); });
+  });
+  sim.run();
+  ASSERT_EQ(stamps.size(), 2u);
+  EXPECT_EQ(stamps[0], 100);
+  EXPECT_EQ(stamps[1], 150);
+}
+
+TEST(Simulator, SchedulingIntoPastThrows) {
+  Simulator sim;
+  sim.schedule_at(100, [&] {
+    EXPECT_THROW(sim.schedule_at(50, [] {}), std::invalid_argument);
+  });
+  sim.run();
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sim.schedule_at(microseconds(i), [&] { ++fired; });
+  }
+  sim.run_until(microseconds(5));
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(sim.now(), microseconds(5));
+  sim.run();
+  EXPECT_EQ(fired, 10);
+}
+
+TEST(Simulator, StopEndsRun) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1, [&] {
+    ++fired;
+    sim.stop();
+  });
+  sim.schedule_at(2, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.stopped());
+  sim.run();  // resumes with remaining events
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.uniform(17), 17u);
+  }
+}
+
+TEST(Rng, UniformRangeInclusive) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform_range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, Uniform01InUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(13);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.2);
+}
+
+TEST(Zipf, UniformWhenSkewZero) {
+  Rng rng(17);
+  ZipfGenerator zipf(10, 0.0, rng);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[zipf()];
+  for (const int c : counts) EXPECT_NEAR(c, 5000, 600);
+}
+
+TEST(Zipf, SkewConcentratesOnLowRanks) {
+  Rng rng(19);
+  ZipfGenerator zipf(1000, 0.99, rng);
+  std::vector<int> counts(1000, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[zipf()];
+  // Rank 0 should dominate and the top-10 should hold a large share.
+  EXPECT_GT(counts[0], counts[100] * 5);
+  int top10 = 0;
+  for (int i = 0; i < 10; ++i) top10 += counts[i];
+  EXPECT_GT(top10, n / 4);
+}
+
+// Property sweep: transmission_time * rate recovers bytes for many sizes.
+class TransmissionRoundTrip : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(TransmissionRoundTrip, RateRecoversBytes) {
+  const std::int64_t bytes = GetParam();
+  for (const Bandwidth rate : {gbps(1), gbps(10), gbps(40), gbps(100)}) {
+    const Time t = transmission_time(bytes, rate);
+    // bits / time must equal rate within rounding of one picosecond.
+    const double expected_ps =
+        static_cast<double>(bytes) * 8.0 * 1e12 / static_cast<double>(rate);
+    EXPECT_NEAR(static_cast<double>(t), expected_ps, 1.0)
+        << "bytes=" << bytes << " rate=" << rate;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TransmissionRoundTrip,
+                         ::testing::Values(1, 60, 64, 128, 512, 1024, 1500,
+                                           1518, 4096, 9000, 65536, 1 << 20));
+
+}  // namespace
+}  // namespace xmem::sim

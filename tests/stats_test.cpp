@@ -1,0 +1,130 @@
+// Unit tests for the stats utilities.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/units.hpp"
+#include "stats/histogram.hpp"
+#include "stats/rate_meter.hpp"
+#include "stats/table_printer.hpp"
+
+namespace xmem::stats {
+namespace {
+
+TEST(Histogram, BasicMoments) {
+  Histogram h;
+  for (const double v : {1.0, 2.0, 3.0, 4.0, 5.0}) h.add(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 5.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 3.0);
+  EXPECT_NEAR(h.stddev(), std::sqrt(2.0), 1e-9);
+}
+
+TEST(Histogram, MedianOddAndEven) {
+  Histogram odd;
+  for (const double v : {5.0, 1.0, 3.0}) odd.add(v);
+  EXPECT_DOUBLE_EQ(odd.median(), 3.0);
+
+  Histogram even;
+  for (const double v : {1.0, 2.0, 3.0, 4.0}) even.add(v);
+  EXPECT_DOUBLE_EQ(even.median(), 2.5);
+}
+
+TEST(Histogram, PercentileEdges) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.add(i);
+  EXPECT_DOUBLE_EQ(h.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 100.0);
+  EXPECT_NEAR(h.p99(), 99.01, 0.01);
+  EXPECT_NEAR(h.percentile(50), 50.5, 1e-9);
+}
+
+TEST(Histogram, SingleSample) {
+  Histogram h;
+  h.add(42.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0), 42.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 42.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 42.0);
+  EXPECT_DOUBLE_EQ(h.stddev(), 0.0);
+}
+
+TEST(Histogram, ClearResets) {
+  Histogram h;
+  h.add(1.0);
+  h.clear();
+  EXPECT_TRUE(h.empty());
+  h.add(2.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 2.0);
+}
+
+TEST(Histogram, AddAfterPercentileQueryStaysCorrect) {
+  Histogram h;
+  h.add(10.0);
+  EXPECT_DOUBLE_EQ(h.median(), 10.0);
+  h.add(20.0);
+  h.add(30.0);
+  EXPECT_DOUBLE_EQ(h.median(), 20.0);  // sorted cache must invalidate
+}
+
+TEST(RateMeter, AverageRate) {
+  RateMeter m;
+  m.start(0);
+  // 1000 bytes over 1 us = 8 Gb/s.
+  m.record(sim::microseconds(1), 1000);
+  EXPECT_NEAR(sim::to_gbps(m.rate()), 8.0, 1e-9);
+  EXPECT_EQ(m.packets(), 1);
+}
+
+TEST(RateMeter, ExplicitWindowEnd) {
+  RateMeter m;
+  m.start(0);
+  m.record(sim::microseconds(1), 1000);
+  // Over a 2 us window the average halves.
+  EXPECT_NEAR(sim::to_gbps(m.rate(sim::microseconds(2))), 4.0, 1e-9);
+}
+
+TEST(RateMeter, PacketsPerSecond) {
+  RateMeter m;
+  m.start(0);
+  for (int i = 1; i <= 10; ++i) m.record(sim::microseconds(i), 100);
+  EXPECT_NEAR(m.packets_per_second(), 1e6, 1.0);
+}
+
+TEST(RateMeter, RestartResets) {
+  RateMeter m;
+  m.start(0);
+  m.record(sim::microseconds(1), 1000);
+  m.start(sim::microseconds(5));
+  EXPECT_EQ(m.bytes(), 0);
+  EXPECT_EQ(m.packets(), 0);
+}
+
+TEST(TablePrinter, RendersAlignedColumns) {
+  TablePrinter t({"size", "value"});
+  t.add_row({"64", "1.5"});
+  t.add_row({"1024", "12.25"});
+  const std::string out = t.render("demo");
+  EXPECT_NE(out.find("== demo =="), std::string::npos);
+  EXPECT_NE(out.find("size"), std::string::npos);
+  EXPECT_NE(out.find("1024"), std::string::npos);
+  // Header separator line present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TablePrinter, RejectsArityMismatch) {
+  TablePrinter t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TablePrinter, RejectsEmptyHeader) {
+  EXPECT_THROW(TablePrinter({}), std::invalid_argument);
+}
+
+TEST(TablePrinter, NumFormatsPrecision) {
+  EXPECT_EQ(TablePrinter::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::num(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace xmem::stats

@@ -1,0 +1,345 @@
+// Programmable-switch tests: match-action tables, registers, traffic
+// manager (shared buffer, drops, ECN, watchers), pipeline stage
+// semantics, L2 forwarding, inject and recirculate.
+#include <gtest/gtest.h>
+
+#include "control/testbed.hpp"
+#include "host/host.hpp"
+#include "host/sink.hpp"
+#include "host/traffic_gen.hpp"
+#include "switchsim/registers.hpp"
+#include "switchsim/switch.hpp"
+#include "switchsim/table.hpp"
+
+namespace xmem::switchsim {
+namespace {
+
+using control::Testbed;
+
+// ---------------------------------------------------------------- tables
+TEST(ExactMatchTable, InsertLookupEraseAndStats) {
+  ExactMatchTable t(4);
+  EXPECT_TRUE(t.insert({1, 2, 3}, Action{Action::Kind::kForward, 0, 7, {}, {}}));
+  const Action* hit = t.lookup(std::vector<std::uint8_t>{1, 2, 3});
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->port, 7);
+  EXPECT_EQ(t.lookup(std::vector<std::uint8_t>{9}), nullptr);
+  EXPECT_EQ(t.hits(), 1u);
+  EXPECT_EQ(t.misses(), 1u);
+  EXPECT_TRUE(t.erase(std::vector<std::uint8_t>{1, 2, 3}));
+  EXPECT_FALSE(t.erase(std::vector<std::uint8_t>{1, 2, 3}));
+}
+
+TEST(ExactMatchTable, CapacityModelsSram) {
+  ExactMatchTable t(2);
+  EXPECT_TRUE(t.insert({1}, Action{}));
+  EXPECT_TRUE(t.insert({2}, Action{}));
+  EXPECT_TRUE(t.full());
+  EXPECT_FALSE(t.insert({3}, Action{})) << "SRAM exhausted";
+  // Updating an existing key does not consume capacity.
+  EXPECT_TRUE(t.insert({2}, Action{Action::Kind::kDrop, 0, 0, {}, {}}));
+  EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(LpmTable, LongestPrefixWins) {
+  LpmTable t;
+  t.insert(0x0a000000, 8, Action{Action::Kind::kForward, 0, 1, {}, {}});
+  t.insert(0x0a0a0000, 16, Action{Action::Kind::kForward, 0, 2, {}, {}});
+  t.insert(0x0a0a0a00, 24, Action{Action::Kind::kForward, 0, 3, {}, {}});
+  EXPECT_EQ(t.lookup(0x0a0a0a05)->port, 3);
+  EXPECT_EQ(t.lookup(0x0a0a0505)->port, 2);
+  EXPECT_EQ(t.lookup(0x0a050505)->port, 1);
+  EXPECT_EQ(t.lookup(0x0b000000), nullptr);
+  EXPECT_EQ(t.size(), 3u);
+}
+
+TEST(LpmTable, DefaultRouteMatchesEverything) {
+  LpmTable t;
+  t.insert(0, 0, Action{Action::Kind::kForward, 0, 9, {}, {}});
+  EXPECT_EQ(t.lookup(0xffffffff)->port, 9);
+}
+
+TEST(TernaryTable, PriorityAndMasking) {
+  TernaryTable t;
+  // Match any key whose first byte is 0x0a, low priority.
+  t.insert({0x0a, 0x00}, {0xff, 0x00}, 1,
+           Action{Action::Kind::kForward, 0, 1, {}, {}});
+  // Exact two-byte match, higher priority.
+  t.insert({0x0a, 0x05}, {0xff, 0xff}, 10,
+           Action{Action::Kind::kForward, 0, 2, {}, {}});
+  const std::vector<std::uint8_t> exact{0x0a, 0x05};
+  const std::vector<std::uint8_t> wild{0x0a, 0x77};
+  EXPECT_EQ(t.lookup(exact)->port, 2);
+  EXPECT_EQ(t.lookup(wild)->port, 1);
+  const std::vector<std::uint8_t> miss{0x0b, 0x05};
+  EXPECT_EQ(t.lookup(miss), nullptr);
+}
+
+TEST(TernaryTable, SizeMismatchRejected) {
+  TernaryTable t;
+  EXPECT_FALSE(t.insert({1, 2}, {0xff}, 0, Action{}));
+}
+
+TEST(Registers, ReadWriteUpdateBounds) {
+  RegisterArray<std::uint32_t> regs(4, 7);
+  EXPECT_EQ(regs.read(0), 7u);
+  regs.write(2, 42);
+  EXPECT_EQ(regs.read(2), 42u);
+  EXPECT_EQ(regs.update(2, [](std::uint32_t v) { return v + 1; }), 43u);
+  EXPECT_THROW((void)regs.read(4), std::out_of_range);
+  EXPECT_THROW(regs.write(9, 0), std::out_of_range);
+}
+
+TEST(Action, SerializeParseRoundTrip) {
+  Action a;
+  a.kind = Action::Kind::kRewriteDst;
+  a.dscp = 12;
+  a.port = 3;
+  a.new_dst_mac = net::MacAddress::from_index(77);
+  a.new_dst_ip = net::Ipv4Address(10, 1, 2, 3);
+  std::vector<std::uint8_t> buf;
+  net::ByteWriter w(buf);
+  a.serialize(w);
+  ASSERT_EQ(buf.size(), Action::kSerializedBytes);
+  net::ByteReader r(buf);
+  EXPECT_EQ(Action::parse(r), a);
+}
+
+// --------------------------------------------------------- traffic manager
+TEST(TrafficManagerTest, SharedBufferAccounting) {
+  TrafficManager tm(2, {.shared_buffer_bytes = 1000});
+  EXPECT_TRUE(tm.enqueue(0, net::Packet(std::vector<std::uint8_t>(600, 0)), 0));
+  EXPECT_TRUE(tm.enqueue(1, net::Packet(std::vector<std::uint8_t>(400, 0)), 0));
+  EXPECT_EQ(tm.buffer_used(), 1000);
+  // Shared pool exhausted even though port 0's queue is "short".
+  EXPECT_FALSE(tm.enqueue(0, net::Packet(std::vector<std::uint8_t>(60, 0)), 0));
+  EXPECT_EQ(tm.port_stats(0).dropped, 1u);
+  auto p = tm.dequeue(1);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(tm.buffer_used(), 600);
+  EXPECT_FALSE(tm.dequeue(1).has_value());
+}
+
+TEST(TrafficManagerTest, FifoOrderPerPort) {
+  TrafficManager tm(1, {});
+  for (std::uint8_t i = 0; i < 5; ++i) {
+    net::Packet p(std::vector<std::uint8_t>(64, i));
+    tm.enqueue(0, std::move(p), 0);
+  }
+  for (std::uint8_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(tm.dequeue(0)->bytes()[0], i);
+  }
+}
+
+TEST(TrafficManagerTest, WatchersSeeEveryTransition) {
+  TrafficManager tm(1, {.shared_buffer_bytes = 100});
+  std::vector<QueueEvent> events;
+  tm.add_watcher([&](QueueEvent e, int port, std::int64_t) {
+    EXPECT_EQ(port, 0);
+    events.push_back(e);
+  });
+  tm.enqueue(0, net::Packet(std::vector<std::uint8_t>(80, 0)), 0);
+  tm.enqueue(0, net::Packet(std::vector<std::uint8_t>(80, 0)), 0);  // drop
+  tm.dequeue(0);
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0], QueueEvent::kEnqueue);
+  EXPECT_EQ(events[1], QueueEvent::kDrop);
+  EXPECT_EQ(events[2], QueueEvent::kDequeue);
+}
+
+TEST(TrafficManagerTest, MaxDepthHighWaterMark) {
+  TrafficManager tm(1, {});
+  tm.enqueue(0, net::Packet(std::vector<std::uint8_t>(100, 0)), 0);
+  tm.enqueue(0, net::Packet(std::vector<std::uint8_t>(100, 0)), 0);
+  tm.dequeue(0);
+  EXPECT_EQ(tm.port_stats(0).max_depth_bytes, 200);
+  EXPECT_EQ(tm.depth_bytes(0), 100);
+}
+
+TEST(TrafficManagerTest, EcnMarksEctPacketsAboveThreshold) {
+  TrafficManager tm(1, {.shared_buffer_bytes = 1 << 20,
+                        .ecn_mark_threshold_bytes = 100});
+  // An ECT(0) IPv4 packet below threshold: unmarked.
+  auto make = [] {
+    net::Packet p = net::build_udp_packet(
+        net::MacAddress::from_index(1), net::MacAddress::from_index(2),
+        net::Ipv4Address(1, 1, 1, 1), net::Ipv4Address(2, 2, 2, 2), 1, 2,
+        std::vector<std::uint8_t>(100, 0));
+    auto& b = p.mutable_bytes();
+    b[15] = (b[15] & ~0x3) | 0x2;  // set ECT(0) directly
+    net::rewrite_dscp(p, 0);       // refresh checksum
+    return p;
+  };
+  tm.enqueue(0, make(), 0);  // queue empty: no mark
+  tm.enqueue(0, make(), 0);  // queue at 142 bytes >= 100: mark
+  auto first = tm.dequeue(0);
+  auto second = tm.dequeue(0);
+  EXPECT_EQ(net::parse_packet(*first).ipv4->ecn, net::Ecn::kEct0);
+  EXPECT_EQ(net::parse_packet(*second).ipv4->ecn, net::Ecn::kCe);
+}
+
+// ----------------------------------------------------------- switch logic
+TEST(SwitchTest, L2ForwardingEndToEnd) {
+  Testbed tb;
+  host::PacketSink sink(tb.host(1));
+  host::CbrTrafficGen gen(tb.host(0),
+                          {.dst_mac = tb.host(1).mac(),
+                           .dst_ip = tb.host(1).ip(),
+                           .frame_size = 200,
+                           .rate = sim::gbps(1),
+                           .packet_limit = 50});
+  gen.start();
+  tb.sim().run();
+  EXPECT_EQ(sink.packets(), 50u);
+  EXPECT_EQ(sink.missing(), 0u);
+  EXPECT_EQ(tb.tor().stats().forwarded, 50u);
+}
+
+TEST(SwitchTest, NoRouteDrops) {
+  Testbed tb;
+  host::CbrTrafficGen gen(tb.host(0),
+                          {.dst_mac = net::MacAddress::from_index(999),
+                           .dst_ip = net::Ipv4Address(9, 9, 9, 9),
+                           .frame_size = 100,
+                           .rate = sim::gbps(1),
+                           .packet_limit = 3});
+  gen.start();
+  tb.sim().run();
+  EXPECT_EQ(tb.tor().stats().no_route_drops, 3u);
+}
+
+TEST(SwitchTest, StageCanDropAndConsume) {
+  Testbed tb;
+  int seen = 0;
+  tb.tor().add_ingress_stage("dropper", [&](PipelineContext& ctx) {
+    ++seen;
+    if (ctx.packet.meta().ingress_port == tb.port_of(0) && seen % 2 == 0) {
+      ctx.drop();
+    }
+  });
+  host::PacketSink sink(tb.host(1));
+  host::CbrTrafficGen gen(tb.host(0),
+                          {.dst_mac = tb.host(1).mac(),
+                           .dst_ip = tb.host(1).ip(),
+                           .frame_size = 100,
+                           .rate = sim::gbps(1),
+                           .packet_limit = 10});
+  gen.start();
+  tb.sim().run();
+  EXPECT_EQ(sink.packets(), 5u);
+  EXPECT_EQ(tb.tor().stats().stage_drops, 5u);
+}
+
+TEST(SwitchTest, StagesRunInOrderUntilVerdict) {
+  Testbed tb;
+  std::vector<int> order;
+  tb.tor().add_ingress_stage("first", [&](PipelineContext& ctx) {
+    order.push_back(1);
+    ctx.consume();
+  });
+  tb.tor().add_ingress_stage("second",
+                             [&](PipelineContext&) { order.push_back(2); });
+  host::CbrTrafficGen gen(tb.host(0),
+                          {.dst_mac = tb.host(1).mac(),
+                           .dst_ip = tb.host(1).ip(),
+                           .frame_size = 100,
+                           .rate = sim::gbps(1),
+                           .packet_limit = 1});
+  gen.start();
+  tb.sim().run();
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  EXPECT_EQ(tb.tor().stats().consumed, 1u);
+}
+
+TEST(SwitchTest, PipelineLatencyApplied) {
+  Testbed tb;
+  host::PacketSink sink(tb.host(1));
+  host::CbrTrafficGen gen(tb.host(0),
+                          {.dst_mac = tb.host(1).mac(),
+                           .dst_ip = tb.host(1).ip(),
+                           .frame_size = 64,
+                           .rate = sim::gbps(1),
+                           .packet_limit = 1});
+  gen.start();
+  tb.sim().run();
+  ASSERT_EQ(sink.latency_us().count(), 1u);
+  // One-way latency must include the configured pipeline latency.
+  const double min_us = sim::to_microseconds(
+      tb.tor().config().pipeline_latency + 2 * sim::nanoseconds(150));
+  EXPECT_GT(sink.latency_us().median(), min_us);
+}
+
+TEST(SwitchTest, InjectEmitsCraftedPacket) {
+  Testbed tb;
+  host::PacketSink sink(tb.host(2));
+  net::Packet crafted = net::build_udp_packet(
+      net::MacAddress::from_index(0), tb.host(2).mac(),
+      net::Ipv4Address::from_index(0), tb.host(2).ip(), 1, 2,
+      std::vector<std::uint8_t>(64, 0));
+  tb.sim().schedule_at(sim::microseconds(1), [&] {
+    tb.tor().inject(crafted.clone(), tb.port_of(2));
+  });
+  tb.sim().run();
+  EXPECT_EQ(sink.packets(), 1u);
+  EXPECT_EQ(tb.tor().stats().injected, 1u);
+}
+
+TEST(SwitchTest, RecirculateReentersIngress) {
+  Testbed tb;
+  int recirc_seen = 0;
+  tb.tor().add_ingress_stage("recirc-once", [&](PipelineContext& ctx) {
+    if (ctx.ingress_port == kRecirculatePort) {
+      ++recirc_seen;
+      return;  // second pass: forward normally
+    }
+    tb.tor().recirculate(ctx.packet.clone());
+    ctx.consume();
+  });
+  host::PacketSink sink(tb.host(1));
+  host::CbrTrafficGen gen(tb.host(0),
+                          {.dst_mac = tb.host(1).mac(),
+                           .dst_ip = tb.host(1).ip(),
+                           .frame_size = 100,
+                           .rate = sim::gbps(1),
+                           .packet_limit = 4});
+  gen.start();
+  tb.sim().run();
+  EXPECT_EQ(recirc_seen, 4);
+  EXPECT_EQ(sink.packets(), 4u);
+  EXPECT_EQ(tb.tor().stats().recirculated, 4u);
+}
+
+TEST(SwitchTest, BufferDropsWhenSharedPoolExhausted) {
+  Testbed::Config cfg;
+  cfg.switch_config.tm.shared_buffer_bytes = 10 * 1500;
+  Testbed tb(cfg);
+  // Two senders at full rate into one receiver: the 15 kB buffer drops.
+  host::PacketSink sink(tb.host(2));
+  host::CbrTrafficGen g0(tb.host(0), {.dst_mac = tb.host(2).mac(),
+                                      .dst_ip = tb.host(2).ip(),
+                                      .frame_size = 1500,
+                                      .rate = sim::gbps(40),
+                                      .packet_limit = 200});
+  host::CbrTrafficGen g1(tb.host(1), {.dst_mac = tb.host(2).mac(),
+                                      .dst_ip = tb.host(2).ip(),
+                                      .frame_size = 1500,
+                                      .rate = sim::gbps(40),
+                                      .packet_limit = 200});
+  g0.start();
+  g1.start();
+  tb.sim().run();
+  EXPECT_GT(tb.tor().tm().total_drops(), 0u);
+  EXPECT_LT(sink.packets(), 400u);
+  EXPECT_EQ(sink.packets() + tb.tor().tm().total_drops(), 400u);
+}
+
+TEST(SwitchTest, SetupRequiredBeforeUse) {
+  sim::Simulator sim;
+  ProgrammableSwitch sw(sim, "sw", {});
+  EXPECT_FALSE(sw.ready());
+  sw.setup();
+  EXPECT_TRUE(sw.ready());
+}
+
+}  // namespace
+}  // namespace xmem::switchsim

@@ -1,0 +1,155 @@
+// Topology-layer tests: port serialization pacing, link propagation,
+// loss injection, taps, counters.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+#include "topo/link.hpp"
+#include "topo/node.hpp"
+
+namespace xmem::topo {
+namespace {
+
+class SinkNode : public Node {
+ public:
+  using Node::Node;
+  void receive(net::Packet packet, int port) override {
+    arrivals.push_back({sim_->now(), port, packet.size()});
+  }
+  struct Arrival {
+    sim::Time when;
+    int port;
+    std::size_t size;
+  };
+  std::vector<Arrival> arrivals;
+};
+
+net::Packet frame_of(std::size_t size) {
+  return net::Packet(std::vector<std::uint8_t>(size, 0xab));
+}
+
+class TopoTest : public ::testing::Test {
+ protected:
+  TopoTest()
+      : a_(sim_, "a"), b_(sim_, "b"),
+        link_(connect(sim_, a_, b_, sim::gbps(40), sim::nanoseconds(100))) {}
+
+  sim::Simulator sim_;
+  SinkNode a_;
+  SinkNode b_;
+  std::unique_ptr<Link> link_;
+};
+
+TEST_F(TopoTest, DeliveryTimeIsSerializationPlusPropagation) {
+  a_.port(0).send(frame_of(1500));
+  sim_.run();
+  ASSERT_EQ(b_.arrivals.size(), 1u);
+  // wire = 1500 + 4 FCS + 20 gap = 1524 bytes at 40 Gb/s = 304.8 ns.
+  const sim::Time expected =
+      sim::transmission_time(1524, sim::gbps(40)) + sim::nanoseconds(100);
+  EXPECT_EQ(b_.arrivals[0].when, expected);
+  EXPECT_EQ(b_.arrivals[0].port, 0);
+}
+
+TEST_F(TopoTest, BackToBackFramesSerializeSequentially) {
+  a_.port(0).send(frame_of(1500));
+  a_.port(0).send(frame_of(1500));
+  sim_.run();
+  ASSERT_EQ(b_.arrivals.size(), 2u);
+  const sim::Time tx = sim::transmission_time(1524, sim::gbps(40));
+  EXPECT_EQ(b_.arrivals[1].when - b_.arrivals[0].when, tx);
+}
+
+TEST_F(TopoTest, FullDuplexDirectionsDoNotInterfere) {
+  a_.port(0).send(frame_of(1500));
+  b_.port(0).send(frame_of(1500));
+  sim_.run();
+  ASSERT_EQ(a_.arrivals.size(), 1u);
+  ASSERT_EQ(b_.arrivals.size(), 1u);
+  EXPECT_EQ(a_.arrivals[0].when, b_.arrivals[0].when);
+}
+
+TEST_F(TopoTest, MinimumFramePadsOnWire) {
+  a_.port(0).send(frame_of(10));
+  sim_.run();
+  // 10-byte frame still occupies 84 wire bytes.
+  const sim::Time expected =
+      sim::transmission_time(84, sim::gbps(40)) + sim::nanoseconds(100);
+  EXPECT_EQ(b_.arrivals[0].when, expected);
+}
+
+TEST_F(TopoTest, IdleCallbackFiresWhenFifoDrains) {
+  int idle_calls = 0;
+  a_.port(0).set_idle_callback([&] { ++idle_calls; });
+  a_.port(0).send(frame_of(100));
+  a_.port(0).send(frame_of(100));
+  sim_.run();
+  EXPECT_EQ(idle_calls, 1) << "fires once after the FIFO empties";
+  EXPECT_TRUE(a_.port(0).idle());
+}
+
+TEST_F(TopoTest, CountersTrackTraffic) {
+  a_.port(0).send(frame_of(100));
+  a_.port(0).send(frame_of(200));
+  sim_.run();
+  EXPECT_EQ(a_.port(0).tx_packets(), 2u);
+  EXPECT_EQ(a_.port(0).tx_bytes(), 300);
+  EXPECT_EQ(b_.port(0).rx_packets(), 2u);
+  EXPECT_EQ(b_.port(0).rx_bytes(), 300);
+}
+
+TEST_F(TopoTest, LossDropsDeterministically) {
+  link_->set_loss_rate(0.5, /*seed=*/7);
+  for (int i = 0; i < 1000; ++i) a_.port(0).send(frame_of(64));
+  sim_.run();
+  EXPECT_EQ(b_.arrivals.size() + link_->dropped_frames(), 1000u);
+  EXPECT_NEAR(static_cast<double>(link_->dropped_frames()), 500.0, 60.0);
+}
+
+TEST_F(TopoTest, LossRateValidation) {
+  EXPECT_THROW(link_->set_loss_rate(-0.1), std::invalid_argument);
+  EXPECT_THROW(link_->set_loss_rate(1.0), std::invalid_argument);
+}
+
+TEST_F(TopoTest, TapSeesEveryFrameIncludingDropped) {
+  link_->set_loss_rate(0.5, 3);
+  int tapped = 0;
+  link_->set_tap([&](const net::Packet&, sim::Time, int from_end) {
+    EXPECT_EQ(from_end, 0);
+    ++tapped;
+  });
+  for (int i = 0; i < 100; ++i) a_.port(0).send(frame_of(64));
+  sim_.run();
+  EXPECT_EQ(tapped, 100);
+}
+
+TEST_F(TopoTest, MeterOnTapMeasuresLinkRate) {
+  // Offered exactly at line rate, the tap-measured rate must match the
+  // link rate over the send window.
+  std::int64_t wire_bytes_total = 0;
+  link_->set_tap([&](const net::Packet& p, sim::Time, int) {
+    wire_bytes_total += p.wire_size();
+  });
+  for (int i = 0; i < 100; ++i) a_.port(0).send(frame_of(1500));
+  sim_.run();
+  const double gbps =
+      sim::to_gbps(sim::achieved_rate(wire_bytes_total,
+                                      sim_.now() - sim::nanoseconds(100)));
+  EXPECT_NEAR(gbps, 40.0, 0.1);
+}
+
+TEST(TopoPort, SendOnUnconnectedPortAsserts) {
+  sim::Simulator sim;
+  SinkNode n(sim, "lonely");
+  n.add_port();
+  EXPECT_FALSE(n.port(0).connected());
+#ifndef NDEBUG
+  EXPECT_DEATH(n.port(0).send(net::Packet(std::vector<std::uint8_t>(60, 0))),
+               "unconnected");
+#endif
+}
+
+}  // namespace
+}  // namespace xmem::topo
