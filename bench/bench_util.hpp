@@ -5,12 +5,18 @@
 //   - the measured rows through stats::TablePrinter,
 //   - a PASS/CHECK verdict line per headline claim so EXPERIMENTS.md can
 //     be filled mechanically.
+// Benches additionally accept `--json <path>`: every metric recorded via
+// BenchResults lands in <path> as {"results":[{metric,value,unit},...]},
+// so CI and plotting scripts consume numbers without scraping stdout.
 #pragma once
 
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "stats/table_printer.hpp"
+#include "telemetry/json.hpp"
 
 namespace xmem::bench {
 
@@ -30,5 +36,65 @@ inline void verdict(bool ok, const std::string& claim) {
 inline void note(const std::string& text) {
   std::printf("note: %s\n", text.c_str());
 }
+
+/// Machine-readable bench output. Construct from main's argv; if the
+/// command line carries `--json <path>`, every add() row is written
+/// there when write() runs (or at destruction).
+class BenchResults {
+ public:
+  BenchResults(int argc, char** argv) {
+    for (int i = 1; i + 1 < argc; ++i) {
+      if (std::string(argv[i]) == "--json") path_ = argv[i + 1];
+    }
+  }
+  BenchResults(const BenchResults&) = delete;
+  BenchResults& operator=(const BenchResults&) = delete;
+  ~BenchResults() { write(); }
+
+  void add(std::string metric, double value, std::string unit) {
+    rows_.push_back({std::move(metric), value, std::move(unit)});
+  }
+
+  [[nodiscard]] bool enabled() const { return !path_.empty(); }
+
+  /// Write the JSON file now (idempotent; a second call is a no-op).
+  void write() {
+    if (path_.empty() || written_) return;
+    written_ = true;
+    telemetry::json::JsonWriter w;
+    w.begin_object();
+    w.key("results");
+    w.begin_array();
+    for (const auto& row : rows_) {
+      w.begin_object();
+      w.kv("metric", row.metric);
+      w.kv("value", row.value);
+      w.kv("unit", row.unit);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path_.c_str());
+      return;
+    }
+    const std::string out = w.str();
+    std::fwrite(out.data(), 1, out.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("results written to %s\n", path_.c_str());
+  }
+
+ private:
+  struct Row {
+    std::string metric;
+    double value;
+    std::string unit;
+  };
+  std::string path_;
+  std::vector<Row> rows_;
+  bool written_ = false;
+};
 
 }  // namespace xmem::bench

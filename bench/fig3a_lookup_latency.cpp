@@ -77,7 +77,8 @@ double primitive_median_us(std::size_t frame_size) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchResults results(argc, argv);
   bench::banner("Fig. 3a", "lookup-table primitive latency overhead",
                 "the primitive adds only 1-2 us over an L2-switch baseline "
                 "across 64-1024 B packets");
@@ -98,6 +99,10 @@ int main() {
     table.add_row({std::to_string(size), stats::TablePrinter::num(base),
                    stats::TablePrinter::num(prim),
                    stats::TablePrinter::num(overhead)});
+    const std::string sz = std::to_string(size);
+    results.add("baseline_median/" + sz + "B", base, "us");
+    results.add("primitive_median/" + sz + "B", prim, "us");
+    results.add("overhead/" + sz + "B", overhead, "us");
   }
   table.print("Figure 3a: median end-to-end latency vs packet size");
 

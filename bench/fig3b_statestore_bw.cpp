@@ -97,7 +97,8 @@ Result run_primitive(std::size_t frame_size) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchResults results(argc, argv);
   bench::banner("Fig. 3b", "state-store primitive bandwidth overhead",
                 "F&A updates consume ~2.1 Gb/s on the switch-RNIC link, flat "
                 "across packet sizes (capped by RNIC atomic throughput); "
@@ -123,6 +124,12 @@ int main() {
                    stats::TablePrinter::num(r.accuracy_pct, 3),
                    stats::TablePrinter::num(r.goodput_gbps),
                    stats::TablePrinter::num(baseline)});
+    const std::string sz = std::to_string(size);
+    results.add("fa_request_bw/" + sz + "B", r.request_gbps, "Gb/s");
+    results.add("fa_response_bw/" + sz + "B", r.response_gbps, "Gb/s");
+    results.add("counter_accuracy/" + sz + "B", r.accuracy_pct, "%");
+    results.add("goodput/" + sz + "B", r.goodput_gbps, "Gb/s");
+    results.add("baseline_goodput/" + sz + "B", baseline, "Gb/s");
   }
   table.print("Figure 3b: Fetch-and-Add link bandwidth vs packet size");
 

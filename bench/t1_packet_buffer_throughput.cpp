@@ -161,7 +161,8 @@ double native_gbps(bool use_read, std::size_t message_bytes) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchResults results(argc, argv);
   bench::banner(
       "T1 (§5)", "packet-buffer primitive throughput",
       "store at 34.1 Gb/s, load+forward at 37.4 Gb/s, both lossless; "
@@ -184,10 +185,16 @@ int main() {
                  stats::TablePrinter::num(native_read), "-"});
   table.print("T1: packet-buffer microbenchmark, 1500 B MTU packets");
 
+  results.add("store_ceiling", store, "Gb/s");
+  results.add("load_forward", forward, "Gb/s");
+  results.add("native_write", native_write, "Gb/s");
+  results.add("native_read", native_read, "Gb/s");
+
   const double baseline_advantage = (native_best / forward - 1.0) * 100.0;
   std::printf("native baseline is %.1f%% faster than load+forward "
               "(paper: 4.4%%)\n",
               baseline_advantage);
+  results.add("native_advantage", baseline_advantage, "%");
 
   bench::verdict(store > 32.0 && store < 36.0,
                  "store ceiling lands near the paper's 34.1 Gb/s");

@@ -4,14 +4,22 @@
 // small 1.5 MB switch buffer. Run once without the primitive (watch the
 // drops), once with it (lossless), printing a live queue-depth trace.
 //
-//   $ ./example_incast_remote_buffer
+// With a trace path, the remote-buffer run records telemetry: one span
+// per RDMA op plus queue/ring counter tracks, written as Chrome
+// trace-event JSON — load it at https://ui.perfetto.dev.
+//
+//   $ ./example_incast_remote_buffer [--trace incast.json]
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "control/testbed.hpp"
 #include "core/packet_buffer.hpp"
 #include "host/sink.hpp"
 #include "host/traffic_gen.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/op_tracer.hpp"
+#include "telemetry/sampler.hpp"
 
 using namespace xmem;
 
@@ -20,7 +28,7 @@ namespace {
 constexpr int kSenders = 4;
 constexpr std::int64_t kBurstPerSender = 2 * sim::kMB;
 
-void run(bool with_remote_buffer) {
+void run(bool with_remote_buffer, const std::string& trace_path = "") {
   std::printf("\n--- %s ---\n", with_remote_buffer
                                     ? "WITH remote packet buffer (2 servers)"
                                     : "baseline drop-tail switch");
@@ -46,6 +54,18 @@ void run(bool with_remote_buffer) {
             .divert_threshold_bytes = 100 * 1500,
             .resume_threshold_bytes = 30 * 1500,
             .entry_bytes = 1536});
+  }
+
+  // Optional telemetry: registry for the final snapshot, tracer for the
+  // op-span timeline, sampler for the depth counter tracks.
+  telemetry::MetricsRegistry registry;
+  telemetry::OpTracer tracer(tb.sim(), "incast");
+  const bool tracing = !trace_path.empty();
+  if (tracing) {
+    tb.tor().register_metrics(registry, "switch0");
+    if (pb) {
+      pb->attach_telemetry(&registry, &tracer, "switch0/pktbuf");
+    }
   }
 
   host::PacketSink sink(tb.host(receiver));
@@ -79,6 +99,24 @@ void run(bool with_remote_buffer) {
   };
   tb.sim().schedule_at(sim::microseconds(100), trace);
 
+  // Counter tracks mirroring the printed trace: egress-queue depth and
+  // remote-ring depth, sampled until the incast settles.
+  telemetry::Sampler sampler(
+      tb.sim(), tracer,
+      {.period = sim::microseconds(25), .until = [&]() {
+         const bool backlog =
+             tb.tor().tm().depth_bytes(tb.port_of(receiver)) > 0 ||
+             (pb && pb->ring_depth() > 0);
+         return !incast.all_finished() || backlog;
+       }});
+  if (tracing) {
+    sampler.add_gauge(registry,
+                      "switch0/tm/port" + std::to_string(tb.port_of(receiver)) +
+                          "/queue_depth_bytes");
+    if (pb) sampler.add_gauge(registry, "switch0/pktbuf/ring_depth");
+    sampler.start();
+  }
+
   tb.sim().run();
 
   const std::uint64_t sent = incast.total_packets_sent();
@@ -95,15 +133,36 @@ void run(bool with_remote_buffer) {
                 static_cast<unsigned long long>(pb->stats().loaded),
                 static_cast<long long>(pb->stats().max_ring_depth));
   }
+  if (tracing) {
+    if (tracer.write_chrome_trace(trace_path)) {
+      std::printf("telemetry: %llu spans (%llu still open), %llu counter "
+                  "samples -> %s (load in https://ui.perfetto.dev)\n",
+                  static_cast<unsigned long long>(tracer.stats().spans_opened),
+                  static_cast<unsigned long long>(tracer.open_spans()),
+                  static_cast<unsigned long long>(
+                      tracer.stats().counter_samples),
+                  trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "telemetry: cannot write %s\n", trace_path.c_str());
+    }
+    const std::string metrics_path = trace_path + ".metrics.json";
+    if (registry.write_json(metrics_path)) {
+      std::printf("telemetry: metrics snapshot -> %s\n", metrics_path.c_str());
+    }
+  }
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string trace_path;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--trace") trace_path = argv[i + 1];
+  }
   std::printf("Incast: %d senders x %lld MB burst into one 40 Gb/s port, "
               "1.5 MB switch buffer\n",
               kSenders, static_cast<long long>(kBurstPerSender / sim::kMB));
   run(false);
-  run(true);
+  run(true, trace_path);
   return 0;
 }

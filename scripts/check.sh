@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Full pre-merge check: tier-1 build + tests, then the same suite under
+# AddressSanitizer + UndefinedBehaviorSanitizer (-DXMEM_SANITIZE).
+#
+#   $ scripts/check.sh            # both passes
+#   $ scripts/check.sh --fast     # tier-1 only, skip the sanitizer pass
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 4)"
+fast=0
+case "${1:-}" in
+  --fast) fast=1 ;;
+  "") ;;
+  *) echo "usage: $0 [--fast]" >&2; exit 2 ;;
+esac
+
+echo "== tier-1: build + ctest =="
+cmake -B "$repo/build" -S "$repo" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$repo/build" -j "$jobs"
+ctest --test-dir "$repo/build" --output-on-failure -j "$jobs"
+
+if [[ "$fast" == 1 ]]; then
+  echo "== OK (tier-1 only) =="
+  exit 0
+fi
+
+echo "== sanitizers: ASan + UBSan build + ctest =="
+cmake -B "$repo/build-asan" -S "$repo" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DXMEM_SANITIZE=address,undefined
+cmake --build "$repo/build-asan" -j "$jobs"
+ctest --test-dir "$repo/build-asan" --output-on-failure -j "$jobs"
+
+echo "== OK: tier-1 + sanitizer suites green =="

@@ -45,6 +45,42 @@ LookupTablePrimitive::LookupTablePrimitive(
                        [this](PipelineContext& ctx) { on_ingress(ctx); });
 }
 
+void LookupTablePrimitive::attach_telemetry(
+    telemetry::MetricsRegistry* registry, telemetry::OpTracer* tracer,
+    const std::string& prefix) {
+  if (registry != nullptr) {
+    auto counter = [&](const char* field, const std::uint64_t* value,
+                       const char* unit) {
+      registry->register_counter(
+          prefix + "/" + field,
+          [value]() { return static_cast<std::int64_t>(*value); }, unit);
+    };
+    counter("cache_hits", &stats_.cache_hits, "lookups");
+    counter("remote_lookups", &stats_.remote_lookups, "lookups");
+    counter("applied", &stats_.applied, "packets");
+    counter("no_entry_drops", &stats_.no_entry_drops, "packets");
+    counter("collision_drops", &stats_.collision_drops, "packets");
+    counter("cache_inserts", &stats_.cache_inserts, "entries");
+    counter("cache_evictions", &stats_.cache_evictions, "entries");
+    counter("held_packets", &stats_.held_packets, "packets");
+    counter("lost_responses", &stats_.lost_responses, "ops");
+    counter("oversized_drops", &stats_.oversized_drops, "packets");
+    registry->register_gauge(
+        prefix + "/outstanding",
+        [this]() {
+          return static_cast<double>(inflight_.size() + pending_.size());
+        },
+        "lookups");
+    registry->register_gauge(
+        prefix + "/cache_size",
+        [this]() { return static_cast<double>(cache_.size()); }, "entries");
+  }
+  for (std::size_t i = 0; i < channels_.size(); ++i) {
+    channels_[i]->attach_telemetry(registry, tracer,
+                                   prefix + "/shard" + std::to_string(i));
+  }
+}
+
 std::uint64_t LookupTablePrimitive::index_for_key(
     std::span<const std::uint8_t> key, std::size_t n_entries,
     std::uint64_t seed) {
@@ -184,6 +220,7 @@ void LookupTablePrimitive::handle_response(std::size_t shard,
     auto it = inflight_.find(ShardPsn{shard, msg.bth.psn});
     if (it == inflight_.end()) return;  // stale
     inflight_.erase(it);
+    channels_[shard]->trace_complete(msg.bth.psn);
 
     try {
       net::ByteReader r(msg.payload);
@@ -219,6 +256,7 @@ void LookupTablePrimitive::handle_response(std::size_t shard,
   if (it == pending_.end()) return;
   net::Packet packet = std::move(it->second);
   pending_.erase(it);
+  channels_[shard]->trace_complete(msg.bth.psn);
 
   try {
     net::ByteReader r(msg.payload);

@@ -100,6 +100,13 @@ class LookupTablePrimitive {
   [[nodiscard]] std::size_t table_entries() const { return n_entries_; }
   [[nodiscard]] std::size_t cache_size() const { return cache_.size(); }
 
+  /// Register every Stats field plus outstanding-lookup gauges under
+  /// `<prefix>/...`, with per-shard op-span tracks at `<prefix>/shard<i>`.
+  /// Either pointer may be null.
+  void attach_telemetry(telemetry::MetricsRegistry* registry,
+                        telemetry::OpTracer* tracer,
+                        const std::string& prefix);
+
   /// --- Control-plane population ---------------------------------------
   /// Hash `key` to its entry index (what the data plane computes).
   [[nodiscard]] static std::uint64_t index_for_key(

@@ -39,6 +39,39 @@ PacketBufferPrimitive::PacketBufferPrimitive(
   });
 }
 
+void PacketBufferPrimitive::attach_telemetry(
+    telemetry::MetricsRegistry* registry, telemetry::OpTracer* tracer,
+    const std::string& prefix) {
+  if (registry != nullptr) {
+    auto counter = [&](const char* field, const std::uint64_t* value,
+                       const char* unit) {
+      registry->register_counter(
+          prefix + "/" + field,
+          [value]() { return static_cast<std::int64_t>(*value); }, unit);
+    };
+    counter("stored", &stats_.stored, "packets");
+    counter("loaded", &stats_.loaded, "packets");
+    counter("ring_full_drops", &stats_.ring_full_drops, "packets");
+    counter("lost_loads", &stats_.lost_loads, "packets");
+    counter("read_retries", &stats_.read_retries, "ops");
+    counter("naks", &stats_.naks, "ops");
+    counter("ecn_marked", &stats_.ecn_marked, "packets");
+    registry->register_counter(
+        prefix + "/max_ring_depth",
+        [this]() { return stats_.max_ring_depth; }, "entries");
+    registry->register_gauge(
+        prefix + "/ring_depth",
+        [this]() { return static_cast<double>(ring_depth()); }, "entries");
+    registry->register_gauge(
+        prefix + "/diverting",
+        [this]() { return diverting_ ? 1.0 : 0.0; }, "bool");
+  }
+  for (std::size_t i = 0; i < channels_.size(); ++i) {
+    channels_[i]->attach_telemetry(registry, tracer,
+                                   prefix + "/chan" + std::to_string(i));
+  }
+}
+
 void PacketBufferPrimitive::set_load_enabled(bool enabled) {
   config_.load_enabled = enabled;
   if (enabled) maybe_issue_reads();
@@ -127,6 +160,7 @@ void PacketBufferPrimitive::handle_response(std::size_t channel_index,
     inflight_.erase(it);
     --inflight_per_channel_[channel_index];
     last_read_progress_ = switch_->simulator().now();
+    channels_[channel_index]->trace_complete(msg.bth.psn);
 
     // Decapsulate [u32 len][frame] back into the original packet.
     try {
@@ -148,6 +182,10 @@ void PacketBufferPrimitive::handle_response(std::size_t channel_index,
 
   if ((op == roce::Opcode::kAcknowledge) && msg.aeth && msg.aeth->is_nak()) {
     ++stats_.naks;
+    // The op's span stays open — either the timeout retransmits it
+    // (reliable) or the scavenger closes it as "lost" (best-effort).
+    channels_[channel_index]->trace_annotate(
+        msg.bth.psn, "nak", roce::to_string(msg.aeth->syndrome));
   }
 }
 
@@ -224,6 +262,9 @@ void PacketBufferPrimitive::on_timeout() {
     } else {
       // Best-effort: give up on the stalled READs so the drain keeps
       // moving; their packets are lost (counted in the drain loop).
+      for (const auto& [key, slot] : inflight_) {
+        channels_[key.channel]->trace_complete(key.psn, "lost");
+      }
       inflight_.clear();
       inflight_per_channel_.assign(channels_.size(), 0);
       drain_reorder_buffer();

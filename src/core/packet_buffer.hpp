@@ -107,6 +107,13 @@ class PacketBufferPrimitive {
   void set_load_enabled(bool enabled);
   [[nodiscard]] bool load_enabled() const { return config_.load_enabled; }
 
+  /// Register every Stats field plus live ring-depth/diverting gauges
+  /// under `<prefix>/...`, and give each stripe's channel an op-span
+  /// track at `<prefix>/chan<i>`. Either pointer may be null.
+  void attach_telemetry(telemetry::MetricsRegistry* registry,
+                        telemetry::OpTracer* tracer,
+                        const std::string& prefix);
+
  private:
   void on_ingress(switchsim::PipelineContext& ctx);
   void on_queue_event(switchsim::QueueEvent event, int port,

@@ -15,6 +15,53 @@ RdmaChannel::RdmaChannel(switchsim::ProgrammableSwitch& sw,
   assert(config_.switch_port >= 0 && "channel has no egress port");
 }
 
+void RdmaChannel::attach_telemetry(telemetry::MetricsRegistry* registry,
+                                   telemetry::OpTracer* tracer,
+                                   const std::string& prefix) {
+  if (registry != nullptr) {
+    registry->register_counter(
+        prefix + "/writes_sent",
+        [this]() { return static_cast<std::int64_t>(stats_.writes_sent); },
+        "ops");
+    registry->register_counter(
+        prefix + "/reads_sent",
+        [this]() { return static_cast<std::int64_t>(stats_.reads_sent); },
+        "ops");
+    registry->register_counter(
+        prefix + "/atomics_sent",
+        [this]() { return static_cast<std::int64_t>(stats_.atomics_sent); },
+        "ops");
+    registry->register_counter(
+        prefix + "/request_bytes", [this]() { return stats_.request_bytes; },
+        "bytes");
+    registry->register_counter(
+        prefix + "/payload_bytes", [this]() { return stats_.payload_bytes; },
+        "bytes");
+  }
+  if (tracer != nullptr) {
+    tracer_ = tracer;
+    track_ = tracer_->track(prefix);
+  }
+}
+
+void RdmaChannel::trace_begin(std::string_view verb, std::uint32_t psn,
+                              std::uint64_t bytes) {
+  if (tracer_ != nullptr) tracer_->begin_op(track_, verb, psn, bytes);
+}
+
+void RdmaChannel::trace_complete(std::uint32_t psn, std::string_view status) {
+  if (tracer_ != nullptr) tracer_->end_op(track_, psn, status);
+}
+
+void RdmaChannel::trace_retransmit(std::uint32_t psn) {
+  if (tracer_ != nullptr) tracer_->note_retransmit(track_, psn);
+}
+
+void RdmaChannel::trace_annotate(std::uint32_t psn, std::string_view key,
+                                 std::string_view value) {
+  if (tracer_ != nullptr) tracer_->annotate(track_, psn, key, value);
+}
+
 void RdmaChannel::inject(RoceMessage msg) {
   net::Packet frame =
       roce::build_roce_packet(config_.local, config_.remote, std::move(msg));
@@ -29,6 +76,7 @@ std::uint32_t RdmaChannel::post_write(std::uint64_t va,
   const std::size_t mtu = config_.path_mtu;
   const std::size_t segments =
       payload.empty() ? 1 : (payload.size() + mtu - 1) / mtu;
+  trace_begin("WRITE", first_psn, payload.size());
 
   for (std::size_t i = 0; i < segments; ++i) {
     RoceMessage msg;
@@ -61,6 +109,9 @@ std::uint32_t RdmaChannel::post_write(std::uint64_t va,
   next_psn_ = roce::psn_add(first_psn, static_cast<std::uint32_t>(segments));
   ++stats_.writes_sent;
   stats_.payload_bytes += static_cast<std::int64_t>(payload.size());
+  // Unacknowledged WRITEs get no response: their span closes at injection
+  // ("posted"), so fire-and-forget stores still appear on the timeline.
+  if (!ack_req) trace_complete(first_psn, "posted");
   return first_psn;
 }
 
@@ -73,6 +124,7 @@ std::uint32_t RdmaChannel::post_read(std::uint64_t va, std::uint32_t len) {
   const std::uint32_t psn = next_psn_;
   next_psn_ = roce::psn_add(next_psn_, read_segments(len));
   ++stats_.reads_sent;
+  trace_begin("READ", psn, len);
   inject(std::move(msg));
   return psn;
 }
@@ -84,6 +136,7 @@ void RdmaChannel::repost_read(std::uint64_t va, std::uint32_t len,
   msg.bth.dest_qp = config_.remote_qpn;
   msg.bth.psn = psn;
   msg.reth = roce::Reth{va, config_.rkey, len};
+  trace_retransmit(psn);
   inject(std::move(msg));
 }
 
@@ -97,6 +150,7 @@ std::uint32_t RdmaChannel::post_fetch_add(std::uint64_t va,
   const std::uint32_t psn = next_psn_;
   next_psn_ = roce::psn_add(next_psn_, 1);
   ++stats_.atomics_sent;
+  trace_begin("FETCH_ADD", psn, 8);
   inject(std::move(msg));
   return psn;
 }
@@ -112,6 +166,7 @@ std::uint32_t RdmaChannel::post_compare_swap(std::uint64_t va,
   const std::uint32_t psn = next_psn_;
   next_psn_ = roce::psn_add(next_psn_, 1);
   ++stats_.atomics_sent;
+  trace_begin("CMP_SWAP", psn, 8);
   inject(std::move(msg));
   return psn;
 }
@@ -123,6 +178,7 @@ void RdmaChannel::repost_fetch_add(std::uint64_t va, std::uint64_t add,
   msg.bth.dest_qp = config_.remote_qpn;
   msg.bth.psn = psn;
   msg.atomic_eth = roce::AtomicEth{va, config_.rkey, add, 0};
+  trace_retransmit(psn);
   inject(std::move(msg));
 }
 

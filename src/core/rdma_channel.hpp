@@ -8,10 +8,14 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "control/channel.hpp"
 #include "switchsim/switch.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/op_tracer.hpp"
 
 namespace xmem::core {
 
@@ -80,12 +84,38 @@ class RdmaChannel {
 
   [[nodiscard]] std::uint32_t next_psn() const { return next_psn_; }
 
+  /// --- Telemetry -------------------------------------------------------
+  /// Hook the channel into the telemetry layer. `registry` (nullable)
+  /// gets every Stats field as a counter under `<prefix>/...`; `tracer`
+  /// (nullable) records one span per posted verb on a track named
+  /// `prefix`, keyed by PSN. Both must outlive the channel's use; the
+  /// registry throws on a duplicate prefix.
+  void attach_telemetry(telemetry::MetricsRegistry* registry,
+                        telemetry::OpTracer* tracer,
+                        const std::string& prefix);
+  [[nodiscard]] telemetry::OpTracer* tracer() const { return tracer_; }
+
+  /// Close the span for `psn` — called by the owning primitive when it
+  /// matches the op's ACK / response / NAK. First close wins; stale
+  /// duplicates are ignored. No-op without an attached tracer.
+  void trace_complete(std::uint32_t psn, std::string_view status = "ok");
+  /// Record a retransmission of the still-open op (reliability paths).
+  void trace_retransmit(std::uint32_t psn);
+  /// Attach an annotation (e.g. a NAK cause that triggered a retransmit)
+  /// to the open span without closing it.
+  void trace_annotate(std::uint32_t psn, std::string_view key,
+                      std::string_view value);
+
  private:
   void inject(roce::RoceMessage msg);
+  void trace_begin(std::string_view verb, std::uint32_t psn,
+                   std::uint64_t bytes);
 
   switchsim::ProgrammableSwitch* switch_;
   control::RdmaChannelConfig config_;
   std::uint32_t next_psn_;  // the per-channel PSN register
+  telemetry::OpTracer* tracer_ = nullptr;
+  int track_ = -1;
   Stats stats_;
 };
 

@@ -35,6 +35,31 @@ StateStorePrimitive::StateStorePrimitive(switchsim::ProgrammableSwitch& sw,
                        [this](PipelineContext& ctx) { on_ingress(ctx); });
 }
 
+void StateStorePrimitive::attach_telemetry(
+    telemetry::MetricsRegistry* registry, telemetry::OpTracer* tracer,
+    const std::string& prefix) {
+  if (registry != nullptr) {
+    auto counter = [&](const char* field, const std::uint64_t* value,
+                       const char* unit) {
+      registry->register_counter(
+          prefix + "/" + field,
+          [value]() { return static_cast<std::int64_t>(*value); }, unit);
+    };
+    counter("sampled_packets", &stats_.sampled_packets, "packets");
+    counter("fetch_adds_sent", &stats_.fetch_adds_sent, "ops");
+    counter("acks_received", &stats_.acks_received, "ops");
+    counter("naks_received", &stats_.naks_received, "ops");
+    counter("accumulated", &stats_.accumulated, "counts");
+    counter("retransmits", &stats_.retransmits, "ops");
+    counter("max_outstanding_seen", &stats_.max_outstanding_seen, "ops");
+    counter("counts_in_flight_lost", &stats_.counts_in_flight_lost, "counts");
+    registry->register_gauge(
+        prefix + "/outstanding",
+        [this]() { return static_cast<double>(outstanding_); }, "ops");
+  }
+  channel_.attach_telemetry(registry, tracer, prefix + "/chan");
+}
+
 std::uint64_t StateStorePrimitive::unflushed() const {
   std::uint64_t n = 0;
   for (const auto& [idx, count] : accumulators_) n += count;
@@ -107,12 +132,27 @@ void StateStorePrimitive::handle_response(const roce::RoceMessage& msg) {
     --outstanding_;
     ++stats_.acks_received;
     last_progress_ = switch_->simulator().now();
+    channel_.trace_complete(msg.bth.psn);
     issue_from_accumulators();
     return;
   }
   if (op == roce::Opcode::kAcknowledge && msg.aeth && msg.aeth->is_nak()) {
     ++stats_.naks_received;
-    if (!config_.reliable) return;
+    const std::string nak_status =
+        std::string("nak:") + roce::to_string(msg.aeth->syndrome);
+    if (!config_.reliable) {
+      // No recovery: this NAK is the op's final word — close the span and
+      // reclaim the window slot now; the count it carried is lost.
+      channel_.trace_complete(msg.bth.psn, nak_status);
+      auto it = inflight_.find(msg.bth.psn);
+      if (it != inflight_.end()) {
+        stats_.counts_in_flight_lost += it->second.add;
+        inflight_.erase(it);
+        --outstanding_;
+        issue_from_accumulators();
+      }
+      return;
+    }
 
     if (msg.aeth->syndrome == roce::AckSyndrome::kNakInvalidRequest) {
       // A retransmitted atomic whose replay-cache entry has expired: the
@@ -123,10 +163,13 @@ void StateStorePrimitive::handle_response(const roce::RoceMessage& msg) {
         inflight_.erase(it);
         --outstanding_;
         last_progress_ = switch_->simulator().now();
+        channel_.trace_complete(msg.bth.psn, nak_status);
         issue_from_accumulators();
       }
       return;
     }
+    channel_.trace_annotate(msg.bth.psn, "nak",
+                            roce::to_string(msg.aeth->syndrome));
 
     // Sequence-error NAK: everything from the responder's expected PSN
     // (echoed in the NAK) onward was not executed. Retransmit just that
@@ -205,6 +248,7 @@ void StateStorePrimitive::on_timeout() {
       stats_.counts_in_flight_lost += inflight_.at(psn).add;
       inflight_.erase(psn);
       --outstanding_;
+      channel_.trace_complete(psn, "lost");
     }
     issue_from_accumulators();
   }

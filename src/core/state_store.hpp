@@ -81,6 +81,13 @@ class StateStorePrimitive {
   /// at the end of measurement runs.
   void flush();
 
+  /// Register every Stats field plus an outstanding-atomics gauge under
+  /// `<prefix>/...`, and trace one span per Fetch-and-Add on a track
+  /// named `<prefix>/chan`. Either pointer may be null.
+  void attach_telemetry(telemetry::MetricsRegistry* registry,
+                        telemetry::OpTracer* tracer,
+                        const std::string& prefix);
+
  private:
   void on_ingress(switchsim::PipelineContext& ctx);
   void handle_response(const roce::RoceMessage& msg);

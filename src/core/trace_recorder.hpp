@@ -90,6 +90,13 @@ class TraceRecorderPrimitive {
   /// Ship any partial batch (end of a measurement window).
   void flush();
 
+  /// Register every Stats field plus an unflushed-records gauge under
+  /// `<prefix>/...`; batch WRITEs get spans on `<prefix>/chan`. Either
+  /// pointer may be null.
+  void attach_telemetry(telemetry::MetricsRegistry* registry,
+                        telemetry::OpTracer* tracer,
+                        const std::string& prefix);
+
   /// Control-plane side: decode the `n` oldest available records from a
   /// region snapshot (n capped to what was captured).
   static std::vector<TraceRecord> read_log(

@@ -313,6 +313,22 @@ void Rnic::send_ack(QueuePair& qp, std::uint32_t psn, AckSyndrome syndrome,
     ++stats_.acks_sent;
   } else {
     ++stats_.naks_sent;
+    switch (syndrome) {
+      case AckSyndrome::kRnrNak: ++stats_.naks_rnr; break;
+      case AckSyndrome::kNakSequenceError:
+        ++stats_.naks_sequence_error;
+        break;
+      case AckSyndrome::kNakInvalidRequest:
+        ++stats_.naks_invalid_request;
+        break;
+      case AckSyndrome::kNakRemoteAccessError:
+        ++stats_.naks_remote_access_error;
+        break;
+      case AckSyndrome::kNakRemoteOpError:
+        ++stats_.naks_remote_op_error;
+        break;
+      case AckSyndrome::kAck: break;  // unreachable
+    }
   }
   transmit_(roce::build_roce_packet(self_, qp.remote, std::move(resp)));
 }
@@ -345,6 +361,42 @@ void Rnic::send_read_response(QueuePair& qp, std::uint32_t first_psn,
                         data.begin() + static_cast<std::ptrdiff_t>(offset + chunk));
     transmit_(roce::build_roce_packet(self_, qp.remote, std::move(resp)));
   }
+}
+
+void Rnic::register_metrics(telemetry::MetricsRegistry& registry,
+                            const std::string& prefix) {
+  auto counter = [&](const char* field, const std::uint64_t* value,
+                     const char* unit) {
+    registry.register_counter(
+        prefix + "/" + field,
+        [value]() { return static_cast<std::int64_t>(*value); }, unit);
+  };
+  counter("requests_received", &stats_.requests_received, "ops");
+  counter("requests_dropped_overflow", &stats_.requests_dropped_overflow,
+          "ops");
+  counter("corrupt_dropped", &stats_.corrupt_dropped, "ops");
+  counter("unknown_qp_dropped", &stats_.unknown_qp_dropped, "ops");
+  counter("writes", &stats_.writes, "ops");
+  counter("reads", &stats_.reads, "ops");
+  counter("atomics", &stats_.atomics, "ops");
+  counter("acks_sent", &stats_.acks_sent, "ops");
+  counter("naks_sent", &stats_.naks_sent, "ops");
+  counter("naks/rnr", &stats_.naks_rnr, "ops");
+  counter("naks/sequence_error", &stats_.naks_sequence_error, "ops");
+  counter("naks/invalid_request", &stats_.naks_invalid_request, "ops");
+  counter("naks/remote_access_error", &stats_.naks_remote_access_error,
+          "ops");
+  counter("naks/remote_op_error", &stats_.naks_remote_op_error, "ops");
+  counter("responses_dispatched", &stats_.responses_dispatched, "ops");
+  registry.register_counter(
+      prefix + "/bytes_written", [this]() { return stats_.bytes_written; },
+      "bytes");
+  registry.register_counter(
+      prefix + "/bytes_read", [this]() { return stats_.bytes_read; },
+      "bytes");
+  registry.register_gauge(
+      prefix + "/rx_queue_depth",
+      [this]() { return static_cast<double>(rx_queue_.size()); }, "ops");
 }
 
 }  // namespace xmem::rnic

@@ -25,6 +25,7 @@
 #include "roce/packet.hpp"
 #include "sim/simulator.hpp"
 #include "sim/units.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace xmem::rnic {
 
@@ -65,6 +66,12 @@ class Rnic {
     std::uint64_t atomics = 0;
     std::uint64_t acks_sent = 0;
     std::uint64_t naks_sent = 0;
+    // naks_sent broken down by cause (the AckSyndrome of the NAK).
+    std::uint64_t naks_rnr = 0;
+    std::uint64_t naks_sequence_error = 0;
+    std::uint64_t naks_invalid_request = 0;
+    std::uint64_t naks_remote_access_error = 0;
+    std::uint64_t naks_remote_op_error = 0;
     std::uint64_t responses_dispatched = 0;
     std::int64_t bytes_written = 0;
     std::int64_t bytes_read = 0;
@@ -96,6 +103,11 @@ class Rnic {
   /// Emit a pre-built frame through the host port (used by the requester
   /// engine, which shares the NIC's wire).
   void transmit(net::Packet frame) { transmit_(std::move(frame)); }
+
+  /// Register every Stats field (responder ops, per-cause NAKs, DMA byte
+  /// counts) under `<prefix>/...` plus an rx-queue-depth gauge.
+  void register_metrics(telemetry::MetricsRegistry& registry,
+                        const std::string& prefix);
 
  private:
   void pump();

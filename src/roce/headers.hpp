@@ -91,6 +91,20 @@ enum class AckSyndrome : std::uint8_t {
   kNakRemoteOpError = 0x63,      // NAK code 3
 };
 
+/// Short lower_snake name for a syndrome — telemetry tags spans and
+/// counters as "nak:<cause>" with these.
+[[nodiscard]] constexpr const char* to_string(AckSyndrome s) {
+  switch (s) {
+    case AckSyndrome::kAck: return "ack";
+    case AckSyndrome::kRnrNak: return "rnr";
+    case AckSyndrome::kNakSequenceError: return "sequence_error";
+    case AckSyndrome::kNakInvalidRequest: return "invalid_request";
+    case AckSyndrome::kNakRemoteAccessError: return "remote_access_error";
+    case AckSyndrome::kNakRemoteOpError: return "remote_op_error";
+  }
+  return "unknown";
+}
+
 struct Aeth {
   AckSyndrome syndrome = AckSyndrome::kAck;
   std::uint32_t msn = 0;  // 24-bit message sequence number

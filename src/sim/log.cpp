@@ -1,8 +1,35 @@
 #include "sim/log.hpp"
 
+#include <algorithm>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
+#include <optional>
 
 namespace xmem::sim {
+
+namespace {
+
+// Optional environment override, consulted exactly once when the global
+// Logger is constructed. Values: debug|info|warn|error|off.
+std::optional<LogLevel> level_from_env() {
+  const char* raw = std::getenv("XMEM_LOG_LEVEL");
+  if (raw == nullptr) return std::nullopt;
+  std::string v(raw);
+  std::transform(v.begin(), v.end(), v.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  if (v == "debug") return LogLevel::Debug;
+  if (v == "info") return LogLevel::Info;
+  if (v == "warn") return LogLevel::Warn;
+  if (v == "error") return LogLevel::Error;
+  if (v == "off") return LogLevel::Off;
+  std::fprintf(stderr, "XMEM_LOG_LEVEL: unknown level '%s' ignored "
+                       "(expected debug|info|warn|error|off)\n", raw);
+  return std::nullopt;
+}
+
+}  // namespace
 
 std::string_view to_string(LogLevel level) {
   switch (level) {
@@ -21,6 +48,7 @@ std::string_view to_string(LogLevel level) {
 }
 
 Logger::Logger() {
+  if (const auto env = level_from_env()) level_ = *env;
   sink_ = [](LogLevel level, const std::string& line) {
     std::fprintf(stderr, "[%.*s] %s\n",
                  static_cast<int>(to_string(level).size()),
@@ -40,9 +68,15 @@ void Logger::set_sink(Sink sink) {
 void Logger::log(LogLevel level, Time when, std::string_view component,
                  const std::string& message) {
   if (!enabled(level)) return;
-  std::ostringstream line;
-  line << to_microseconds(when) << "us " << component << ": " << message;
-  sink_(level, line.str());
+  // Fixed-width prefix so interleaved component logs line up: simulated
+  // time right-aligned in µs, component path left-aligned.
+  char prefix[64];
+  std::snprintf(prefix, sizeof(prefix), "%12.3fus %-18.*s ",
+                static_cast<double>(when) / static_cast<double>(kMicrosecond),
+                static_cast<int>(component.size()), component.data());
+  std::string line(prefix);
+  line += message;
+  sink_(level, line);
 }
 
 }  // namespace xmem::sim

@@ -8,8 +8,25 @@ namespace xmem::stats {
 
 void Histogram::add(double sample) {
   samples_.push_back(sample);
-  sum_ += sample;
-  sum_sq_ += sample * sample;
+  const double delta = sample - mean_;
+  mean_ += delta / static_cast<double>(samples_.size());
+  m2_ += delta * (sample - mean_);
+  sorted_valid_ = false;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.empty()) return;
+  if (empty()) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(samples_.size());
+  const double nb = static_cast<double>(other.samples_.size());
+  const double delta = other.mean_ - mean_;
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+  mean_ += delta * nb / (na + nb);
+  m2_ += other.m2_ + delta * delta * na * nb / (na + nb);
   sorted_valid_ = false;
 }
 
@@ -35,14 +52,14 @@ double Histogram::max() const {
 
 double Histogram::mean() const {
   assert(!empty());
-  return sum_ / static_cast<double>(samples_.size());
+  return mean_;
 }
 
 double Histogram::stddev() const {
   assert(!empty());
-  const double n = static_cast<double>(samples_.size());
-  const double m = sum_ / n;
-  const double var = std::max(0.0, sum_sq_ / n - m * m);
+  if (samples_.size() < 2) return 0.0;
+  const double var =
+      std::max(0.0, m2_ / static_cast<double>(samples_.size()));
   return std::sqrt(var);
 }
 
@@ -62,8 +79,8 @@ void Histogram::clear() {
   samples_.clear();
   sorted_.clear();
   sorted_valid_ = false;
-  sum_ = 0.0;
-  sum_sq_ = 0.0;
+  mean_ = 0.0;
+  m2_ = 0.0;
 }
 
 }  // namespace xmem::stats

@@ -21,7 +21,16 @@ class Histogram {
   [[nodiscard]] double min() const;
   [[nodiscard]] double max() const;
   [[nodiscard]] double mean() const;
+
+  /// Sample standard deviation via Welford's online algorithm (numerically
+  /// stable; the naive sum-of-squares form cancels catastrophically for
+  /// large-magnitude, low-variance latency samples). 0 for a single sample.
   [[nodiscard]] double stddev() const;
+
+  /// Fold `other`'s samples into this histogram. Moments are combined
+  /// with Chan's parallel update, so merge(a); merge(b) is equivalent to
+  /// having added every sample to one histogram.
+  void merge(const Histogram& other);
 
   /// Exact percentile via linear interpolation between closest ranks.
   /// p in [0, 100]. Precondition: !empty().
@@ -41,8 +50,9 @@ class Histogram {
   std::vector<double> samples_;
   mutable std::vector<double> sorted_;
   mutable bool sorted_valid_ = false;
-  double sum_ = 0.0;
-  double sum_sq_ = 0.0;
+  // Welford running moments: mean and sum of squared deviations (M2).
+  double mean_ = 0.0;
+  double m2_ = 0.0;
 };
 
 }  // namespace xmem::stats

@@ -20,6 +20,29 @@ void ProgrammableSwitch::setup() {
   }
 }
 
+void ProgrammableSwitch::register_metrics(telemetry::MetricsRegistry& registry,
+                                          const std::string& prefix) {
+  assert(ready() && "register_metrics before setup()");
+  auto counter = [&](const char* field, const std::uint64_t* value,
+                     const char* unit) {
+    registry.register_counter(
+        prefix + "/" + field,
+        [value]() { return static_cast<std::int64_t>(*value); }, unit);
+  };
+  counter("received", &stats_.received, "packets");
+  counter("parse_errors", &stats_.parse_errors, "packets");
+  counter("forwarded", &stats_.forwarded, "packets");
+  counter("stage_drops", &stats_.stage_drops, "packets");
+  counter("consumed", &stats_.consumed, "packets");
+  counter("no_route_drops", &stats_.no_route_drops, "packets");
+  counter("buffer_drops", &stats_.buffer_drops, "packets");
+  counter("injected", &stats_.injected, "packets");
+  counter("recirculated", &stats_.recirculated, "packets");
+  counter("pfc_xoff_sent", &stats_.pfc_xoff_sent, "frames");
+  counter("pfc_xon_sent", &stats_.pfc_xon_sent, "frames");
+  tm_->register_metrics(registry, prefix + "/tm");
+}
+
 void ProgrammableSwitch::add_ingress_stage(
     std::string name, std::function<void(PipelineContext&)> fn) {
   ingress_stages_.push_back(Stage{std::move(name), std::move(fn)});

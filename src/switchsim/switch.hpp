@@ -87,6 +87,12 @@ class ProgrammableSwitch : public topo::Node {
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] const Config& config() const { return config_; }
 
+  /// Register every Stats field under `<prefix>/...` and delegate the
+  /// traffic manager's per-port metrics to `<prefix>/tm/...`. Requires
+  /// setup() to have run.
+  void register_metrics(telemetry::MetricsRegistry& registry,
+                        const std::string& prefix);
+
   // topo::Node
   void receive(net::Packet packet, int port) override;
 

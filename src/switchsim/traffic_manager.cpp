@@ -68,4 +68,39 @@ std::uint64_t TrafficManager::total_drops() const {
   return n;
 }
 
+void TrafficManager::register_metrics(telemetry::MetricsRegistry& registry,
+                                      const std::string& prefix) {
+  for (std::size_t i = 0; i < queues_.size(); ++i) {
+    const std::string port = prefix + "/port" + std::to_string(i);
+    const PortStats* st = &stats_[i];
+    registry.register_counter(
+        port + "/enqueued",
+        [st]() { return static_cast<std::int64_t>(st->enqueued); },
+        "packets");
+    registry.register_counter(
+        port + "/dequeued",
+        [st]() { return static_cast<std::int64_t>(st->dequeued); },
+        "packets");
+    registry.register_counter(
+        port + "/dropped",
+        [st]() { return static_cast<std::int64_t>(st->dropped); }, "packets");
+    registry.register_counter(
+        port + "/dropped_bytes", [st]() { return st->dropped_bytes; },
+        "bytes");
+    registry.register_counter(
+        port + "/max_depth_bytes", [st]() { return st->max_depth_bytes; },
+        "bytes");
+    const PortQueue* q = &queues_[i];
+    registry.register_gauge(
+        port + "/queue_depth_bytes",
+        [q]() { return static_cast<double>(q->bytes); }, "bytes");
+    registry.register_gauge(
+        port + "/queue_depth_packets",
+        [q]() { return static_cast<double>(q->packets.size()); }, "packets");
+  }
+  registry.register_gauge(
+      prefix + "/buffer_used_bytes",
+      [this]() { return static_cast<double>(used_); }, "bytes");
+}
+
 }  // namespace xmem::switchsim

@@ -14,6 +14,7 @@
 
 #include "net/packet.hpp"
 #include "sim/time.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace xmem::switchsim {
 
@@ -72,6 +73,11 @@ class TrafficManager {
     return stats_[static_cast<std::size_t>(port)];
   }
   [[nodiscard]] std::uint64_t total_drops() const;
+
+  /// Register per-port PortStats counters and live queue-depth gauges as
+  /// `<prefix>/port<i>/...`, plus `<prefix>/buffer_used_bytes`.
+  void register_metrics(telemetry::MetricsRegistry& registry,
+                        const std::string& prefix);
 
  private:
   struct PortQueue {

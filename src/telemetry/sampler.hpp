@@ -1,0 +1,64 @@
+// Sampler: periodic gauge snapshots on the simulated clock.
+//
+// Spans capture *ops*; counter tracks capture *levels* — queue depth,
+// ring depth, outstanding atomics — which only change meaningfully over
+// time. The Sampler runs off the sim EventQueue: every `period` it reads
+// its configured series and pushes one counter sample per series into the
+// OpTracer, producing the depth curves Perfetto draws under the op
+// timeline.
+//
+// Because the simulator runs until its event queue drains, a sampler that
+// rescheduled forever would keep every experiment alive. Two stop
+// conditions: an explicit stop(), or a Config::until predicate — the
+// sampler takes one final sample after the predicate turns false, so the
+// trace always ends with the settled state.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/op_tracer.hpp"
+
+namespace xmem::telemetry {
+
+class Sampler {
+ public:
+  struct Config {
+    sim::Time period = sim::microseconds(10);
+    /// Keep sampling while this returns true (checked each tick). Unset
+    /// means "until stop() is called" — callers owning the run loop.
+    std::function<bool()> until;
+  };
+
+  Sampler(sim::Simulator& simulator, OpTracer& tracer, Config config);
+
+  /// Sample a registry gauge (by hierarchical name) into a counter track
+  /// of the same name. The gauge must already be registered.
+  void add_gauge(const MetricsRegistry& registry, const std::string& name);
+
+  /// Sample an arbitrary callback into counter track `series`.
+  void add(std::string series, std::function<double()> fn);
+
+  void start();
+  void stop();
+  [[nodiscard]] bool running() const { return running_; }
+  [[nodiscard]] std::uint64_t ticks() const { return ticks_; }
+
+ private:
+  void tick();
+  void sample_all();
+
+  sim::Simulator* sim_;
+  OpTracer* tracer_;
+  Config config_;
+  std::vector<std::pair<std::string, std::function<double()>>> series_;
+  sim::EventId pending_;
+  bool running_ = false;
+  std::uint64_t ticks_ = 0;
+};
+
+}  // namespace xmem::telemetry

@@ -30,6 +30,8 @@ void Link::deliver(int from_end, net::Packet packet, sim::Time when_serialized) 
   const End& to = ends_[1 - from_end];
   assert(to.node != nullptr && "Link::deliver on half-attached link");
 
+  tx_bytes_[from_end] += static_cast<std::int64_t>(packet.size());
+  ++tx_frames_[from_end];
   if (tap_) tap_(packet, when_serialized, from_end);
 
   if (loss_rate_ > 0.0 &&
@@ -46,6 +48,37 @@ void Link::deliver(int from_end, net::Packet packet, sim::Time when_serialized) 
         p.meta().ingress_port = to.port;
         to.node->receive(std::move(p), to.port);
       });
+}
+
+double Link::utilization(int end) const {
+  assert(end == 0 || end == 1);
+  const sim::Time now = sim_->now();
+  if (now <= 0 || rate_ <= 0) return 0.0;
+  const double sent_bits = 8.0 * static_cast<double>(tx_bytes_[end]);
+  const double capacity_bits = static_cast<double>(rate_) *
+                               (static_cast<double>(now) /
+                                static_cast<double>(sim::kSecond));
+  return sent_bits / capacity_bits;
+}
+
+void Link::register_metrics(telemetry::MetricsRegistry& registry,
+                            const std::string& prefix) {
+  for (int end = 0; end < 2; ++end) {
+    const std::string base = prefix + "/end" + std::to_string(end);
+    registry.register_counter(
+        base + "/tx_bytes", [this, end]() { return tx_bytes_[end]; },
+        "bytes");
+    registry.register_counter(
+        base + "/tx_frames",
+        [this, end]() { return static_cast<std::int64_t>(tx_frames_[end]); },
+        "frames");
+    registry.register_gauge(
+        base + "/utilization", [this, end]() { return utilization(end); },
+        "fraction");
+  }
+  registry.register_counter(
+      prefix + "/dropped_frames",
+      [this]() { return static_cast<std::int64_t>(dropped_); }, "frames");
 }
 
 std::unique_ptr<Link> connect(sim::Simulator& simulator, Node& a, Node& b,

@@ -6,10 +6,13 @@
 #include <cstdint>
 #include <functional>
 
+#include <string>
+
 #include "net/packet.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
 #include "sim/units.hpp"
+#include "telemetry/metrics.hpp"
 #include "topo/node.hpp"
 
 namespace xmem::topo {
@@ -38,6 +41,23 @@ class Link {
 
   [[nodiscard]] std::uint64_t dropped_frames() const { return dropped_; }
 
+  /// Bytes/frames that finished serializing from `end` (0 or 1),
+  /// counting frames the loss model then discarded.
+  [[nodiscard]] std::int64_t tx_bytes(int end) const {
+    return tx_bytes_[end];
+  }
+  [[nodiscard]] std::uint64_t tx_frames(int end) const {
+    return tx_frames_[end];
+  }
+  /// Fraction of the link's capacity used by `end` since t=0 (0 when the
+  /// simulation has not advanced).
+  [[nodiscard]] double utilization(int end) const;
+
+  /// Register both directions' tx counters, drop counter and live
+  /// utilization gauges as `<prefix>/end<0|1>/...`.
+  void register_metrics(telemetry::MetricsRegistry& registry,
+                        const std::string& prefix);
+
   /// Used by Port: ship a fully serialized frame to the far end.
   /// `when_serialized` is the time serialization completed.
   void deliver(int from_end, net::Packet packet, sim::Time when_serialized);
@@ -57,6 +77,8 @@ class Link {
   sim::Rng loss_rng_;
   Tap tap_;
   std::uint64_t dropped_ = 0;
+  std::int64_t tx_bytes_[2] = {0, 0};
+  std::uint64_t tx_frames_[2] = {0, 0};
 };
 
 /// Convenience: create a link on `simulator` connecting new ports on two

@@ -67,6 +67,52 @@ TEST(Histogram, AddAfterPercentileQueryStaysCorrect) {
   EXPECT_DOUBLE_EQ(h.median(), 20.0);  // sorted cache must invalidate
 }
 
+TEST(Histogram, MergeCombinesMomentsAndSamples) {
+  Histogram a;
+  for (const double v : {1.0, 2.0, 3.0}) a.add(v);
+  Histogram b;
+  for (const double v : {10.0, 20.0, 30.0, 40.0}) b.add(v);
+
+  Histogram reference;
+  for (const double v : {1.0, 2.0, 3.0, 10.0, 20.0, 30.0, 40.0}) {
+    reference.add(v);
+  }
+
+  a.merge(b);
+  EXPECT_EQ(a.count(), 7u);
+  EXPECT_DOUBLE_EQ(a.min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.max(), 40.0);
+  EXPECT_NEAR(a.mean(), reference.mean(), 1e-9);
+  EXPECT_NEAR(a.stddev(), reference.stddev(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.median(), reference.median());
+}
+
+TEST(Histogram, MergeWithEmptyEitherSide) {
+  Histogram empty;
+  Histogram h;
+  h.add(5.0);
+  h.add(7.0);
+
+  Histogram target;
+  target.merge(h);  // empty <- non-empty copies moments
+  EXPECT_EQ(target.count(), 2u);
+  EXPECT_DOUBLE_EQ(target.mean(), 6.0);
+
+  target.merge(empty);  // non-empty <- empty is a no-op
+  EXPECT_EQ(target.count(), 2u);
+  EXPECT_DOUBLE_EQ(target.mean(), 6.0);
+}
+
+TEST(Histogram, WelfordStableForLargeOffsets) {
+  // Naive sum-of-squares cancels catastrophically here; Welford doesn't.
+  Histogram h;
+  for (const double v : {1e9 + 4.0, 1e9 + 7.0, 1e9 + 13.0, 1e9 + 16.0}) {
+    h.add(v);
+  }
+  EXPECT_NEAR(h.mean(), 1e9 + 10.0, 1e-3);
+  EXPECT_NEAR(h.stddev(), std::sqrt(90.0 / 4.0), 1e-6);
+}
+
 TEST(RateMeter, AverageRate) {
   RateMeter m;
   m.start(0);
