@@ -1,34 +1,54 @@
 #!/usr/bin/env bash
-# Full pre-merge check: tier-1 build + tests, then the same suite under
-# AddressSanitizer + UndefinedBehaviorSanitizer (-DXMEM_SANITIZE).
+# Pre-merge check, also the only entry point CI is allowed to call:
+# tier-1 build + ctest, and/or the same suite under AddressSanitizer +
+# UndefinedBehaviorSanitizer (-DXMEM_SANITIZE).
 #
-#   $ scripts/check.sh            # both passes
-#   $ scripts/check.sh --fast     # tier-1 only, skip the sanitizer pass
+#   $ scripts/check.sh             # both passes (local pre-merge default)
+#   $ scripts/check.sh --tier1     # Release build + tier-1 ctest only
+#   $ scripts/check.sh --sanitize  # ASan+UBSan build + ctest only
+#   $ scripts/check.sh --fast      # alias for --tier1 (kept for habit)
+#
+# Exits nonzero the moment any build or test step fails (set -e +
+# pipefail; a trap prints a grep-able FAIL verdict), and ends with
+# exactly one "CHECK " verdict line either way, so CI and humans can
+# `grep '^CHECK '` instead of scraping build output.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 jobs="$(nproc 2>/dev/null || echo 4)"
-fast=0
+
+# Any failure under `set -e` lands here: one grep-able verdict, nonzero
+# exit propagated to the caller (CI job turns red).
+trap 'status=$?; if [[ $status -ne 0 ]]; then echo "CHECK FAIL (exit $status)"; fi' EXIT
+
+run_tier1=1
+run_sanitize=1
 case "${1:-}" in
-  --fast) fast=1 ;;
+  --tier1|--fast) run_sanitize=0 ;;
+  --sanitize) run_tier1=0 ;;
   "") ;;
-  *) echo "usage: $0 [--fast]" >&2; exit 2 ;;
+  *) echo "usage: $0 [--tier1|--sanitize|--fast]" >&2; exit 2 ;;
 esac
 
-echo "== tier-1: build + ctest =="
-cmake -B "$repo/build" -S "$repo" -DCMAKE_BUILD_TYPE=Release
-cmake --build "$repo/build" -j "$jobs"
-ctest --test-dir "$repo/build" --output-on-failure -j "$jobs"
-
-if [[ "$fast" == 1 ]]; then
-  echo "== OK (tier-1 only) =="
-  exit 0
+if [[ "$run_tier1" == 1 ]]; then
+  echo "== tier-1: Release build + ctest =="
+  cmake -B "$repo/build" -S "$repo" -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$repo/build" -j "$jobs"
+  ctest --test-dir "$repo/build" --output-on-failure -j "$jobs"
 fi
 
-echo "== sanitizers: ASan + UBSan build + ctest =="
-cmake -B "$repo/build-asan" -S "$repo" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-      -DXMEM_SANITIZE=address,undefined
-cmake --build "$repo/build-asan" -j "$jobs"
-ctest --test-dir "$repo/build-asan" --output-on-failure -j "$jobs"
+if [[ "$run_sanitize" == 1 ]]; then
+  echo "== sanitizers: ASan + UBSan build + ctest =="
+  cmake -B "$repo/build-asan" -S "$repo" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DXMEM_SANITIZE=address,undefined
+  cmake --build "$repo/build-asan" -j "$jobs"
+  ctest --test-dir "$repo/build-asan" --output-on-failure -j "$jobs"
+fi
 
-echo "== OK: tier-1 + sanitizer suites green =="
+if [[ "$run_tier1" == 1 && "$run_sanitize" == 1 ]]; then
+  echo "CHECK OK (tier1 + sanitize)"
+elif [[ "$run_tier1" == 1 ]]; then
+  echo "CHECK OK (tier1)"
+else
+  echo "CHECK OK (sanitize)"
+fi

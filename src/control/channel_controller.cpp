@@ -47,6 +47,22 @@ RdmaChannelConfig ChannelController::setup_channel(host::Host& server,
   return config;
 }
 
+std::vector<RdmaChannelConfig> ChannelController::setup_pool(
+    std::span<const PoolTarget> servers, const ChannelSpec& spec) {
+  if (servers.empty()) {
+    throw std::invalid_argument("setup_pool: empty server pool");
+  }
+  std::vector<RdmaChannelConfig> configs;
+  configs.reserve(servers.size());
+  for (const PoolTarget& target : servers) {
+    if (target.server == nullptr) {
+      throw std::invalid_argument("setup_pool: null server");
+    }
+    configs.push_back(setup_channel(*target.server, target.switch_port, spec));
+  }
+  return configs;
+}
+
 std::span<std::uint8_t> ChannelController::region_bytes(
     host::Host& server, const RdmaChannelConfig& config) {
   assert(server.has_rnic());

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "control/channel.hpp"
@@ -34,6 +35,20 @@ class ChannelController {
   /// from the switch through `switch_port`.
   RdmaChannelConfig setup_channel(host::Host& server, int switch_port,
                                   const ChannelSpec& spec);
+
+  /// One memory server in a sharded pool.
+  struct PoolTarget {
+    host::Host* server = nullptr;
+    int switch_port = -1;
+  };
+
+  /// Provision one channel per server, all with the same spec, in one
+  /// call — the control-plane step that stands up a core::ChannelSet.
+  /// The i-th returned config is shard i; every region is equally sized,
+  /// which the sharded primitives require. Throws std::invalid_argument
+  /// on an empty pool or a server without an RNIC.
+  std::vector<RdmaChannelConfig> setup_pool(
+      std::span<const PoolTarget> servers, const ChannelSpec& spec);
 
   /// Control-plane (initialization-time) access to a region's bytes on
   /// the server — used to pre-populate remote lookup tables and to read

@@ -1,16 +1,18 @@
 #include "control/testbed.hpp"
 
+#include <stdexcept>
+
 namespace xmem::control {
 
 Testbed::Testbed(Config config) {
   tor_ = std::make_unique<switchsim::ProgrammableSwitch>(
       sim_, "tor", config.switch_config);
 
-  for (int i = 0; i < config.hosts; ++i) {
-    const auto index = static_cast<std::uint16_t>(i + 1);
+  auto attach = [&](const std::string& name, std::uint16_t addr_index,
+                    bool with_rnic) {
     auto host = std::make_unique<host::Host>(
-        sim_, "h" + std::to_string(i), net::MacAddress::from_index(index),
-        net::Ipv4Address::from_index(index));
+        sim_, name, net::MacAddress::from_index(addr_index),
+        net::Ipv4Address::from_index(addr_index));
     int tor_port = -1;
     int host_port = -1;
     links_.push_back(topo::connect(sim_, *tor_, *host, config.link_rate,
@@ -18,16 +20,50 @@ Testbed::Testbed(Config config) {
                                    &host_port));
     tor_ports_.push_back(tor_port);
     tor_->set_l2_route(host->mac(), tor_port);
-    if (config.install_rnics) {
+    if (with_rnic) {
       host->install_rnic(config.nic, host_port);
     }
     hosts_.push_back(std::move(host));
+  };
+
+  for (int i = 0; i < config.hosts; ++i) {
+    attach("h" + std::to_string(i), static_cast<std::uint16_t>(i + 1),
+           config.install_rnics);
+  }
+  // Memory servers sit under the same ToR, after the regular hosts.
+  // They exist to serve RDMA, so they always get an RNIC.
+  memory_servers_ = config.memory_servers;
+  first_memory_host_ = config.hosts;
+  for (int i = 0; i < config.memory_servers; ++i) {
+    attach("m" + std::to_string(i),
+           static_cast<std::uint16_t>(config.hosts + i + 1),
+           /*with_rnic=*/true);
   }
 
   tor_->setup();
 
   controller_ = std::make_unique<ChannelController>(SwitchIdentity{
       net::MacAddress::from_index(0), net::Ipv4Address::from_index(0)});
+}
+
+std::vector<ChannelController::PoolTarget> Testbed::memory_pool() {
+  std::vector<ChannelController::PoolTarget> targets;
+  targets.reserve(static_cast<std::size_t>(memory_servers_));
+  for (int i = 0; i < memory_servers_; ++i) {
+    targets.push_back({&memory_server(i), memory_server_port(i)});
+  }
+  return targets;
+}
+
+std::vector<RdmaChannelConfig> Testbed::setup_memory_pool(
+    const ChannelController::ChannelSpec& spec) {
+  if (memory_servers_ == 0) {
+    throw std::invalid_argument(
+        "setup_memory_pool: testbed has no memory servers "
+        "(set Config::memory_servers)");
+  }
+  const auto targets = memory_pool();
+  return controller_->setup_pool(targets, spec);
 }
 
 }  // namespace xmem::control

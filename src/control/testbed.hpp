@@ -19,6 +19,11 @@ class Testbed {
  public:
   struct Config {
     int hosts = 3;
+    /// Dedicated memory servers attached under the ToR after the regular
+    /// hosts, one link each, RNICs always installed — the scale-out
+    /// topology a sharded ChannelSet runs against. Reachable through
+    /// memory_server(i) / setup_memory_pool().
+    int memory_servers = 0;
     sim::Bandwidth link_rate = sim::gbps(40);
     /// One-way propagation incl. PHY/serdes latency.
     sim::Time link_propagation = sim::nanoseconds(150);
@@ -46,6 +51,24 @@ class Testbed {
     return controller_->switch_identity();
   }
 
+  /// --- Memory-server pool (Config::memory_servers) --------------------
+  [[nodiscard]] int memory_server_count() const { return memory_servers_; }
+  /// The i-th memory server (i in [0, memory_server_count())).
+  [[nodiscard]] host::Host& memory_server(int i) {
+    return host(first_memory_host_ + i);
+  }
+  [[nodiscard]] int memory_server_port(int i) const {
+    return port_of(first_memory_host_ + i);
+  }
+  [[nodiscard]] topo::Link& memory_server_link(int i) {
+    return link_of(first_memory_host_ + i);
+  }
+  /// PoolTargets covering every attached memory server, in shard order.
+  [[nodiscard]] std::vector<ChannelController::PoolTarget> memory_pool();
+  /// One-call pool provisioning across all attached memory servers.
+  std::vector<RdmaChannelConfig> setup_memory_pool(
+      const ChannelController::ChannelSpec& spec);
+
  private:
   sim::Simulator sim_;
   std::unique_ptr<switchsim::ProgrammableSwitch> tor_;
@@ -53,6 +76,8 @@ class Testbed {
   std::vector<std::unique_ptr<topo::Link>> links_;
   std::vector<int> tor_ports_;
   std::unique_ptr<ChannelController> controller_;
+  int memory_servers_ = 0;
+  int first_memory_host_ = 0;
 };
 
 }  // namespace xmem::control

@@ -1,0 +1,195 @@
+#include "core/channel_set.hpp"
+
+#include <cassert>
+
+#include "sim/log.hpp"
+
+namespace xmem::core {
+
+ChannelSet::ChannelSet(switchsim::ProgrammableSwitch& sw,
+                       std::vector<control::RdmaChannelConfig> configs)
+    : ChannelSet(sw, std::move(configs), Config{}) {}
+
+ChannelSet::ChannelSet(switchsim::ProgrammableSwitch& sw,
+                       std::vector<control::RdmaChannelConfig> configs,
+                       Config config)
+    : switch_(&sw), config_(config) {
+  assert(!configs.empty() && "ChannelSet needs at least one channel");
+  assert(config_.down_after_timeouts > 0);
+  assert(config_.down_after_naks > 0);
+  shards_.reserve(configs.size());
+  for (auto& cfg : configs) {
+    Shard shard;
+    shard.channel = std::make_unique<RdmaChannel>(sw, std::move(cfg));
+    shards_.push_back(std::move(shard));
+  }
+}
+
+std::size_t ChannelSet::up_count() const {
+  std::size_t n = 0;
+  for (const auto& shard : shards_) n += shard.health == Health::kUp;
+  return n;
+}
+
+std::optional<std::size_t> ChannelSet::route(std::uint64_t key) {
+  const std::size_t s = home_shard(key);
+  if (shards_[s].health == Health::kDown) {
+    ++shards_[s].stats.routed_while_down;
+    return std::nullopt;
+  }
+  ++shards_[s].stats.ops_routed;
+  return s;
+}
+
+std::optional<std::size_t> ChannelSet::owner_of(
+    const roce::RoceMessage& msg) const {
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (shards_[i].channel->owns(msg)) return i;
+  }
+  return std::nullopt;
+}
+
+void ChannelSet::note_ok(std::size_t shard) {
+  Shard& s = shards_[shard];
+  s.consecutive_timeouts = 0;
+  s.consecutive_naks = 0;
+  if (s.health == Health::kDown) mark_up(shard);
+}
+
+void ChannelSet::note_timeout(std::size_t shard) {
+  Shard& s = shards_[shard];
+  ++s.stats.timeouts;
+  ++s.consecutive_timeouts;
+  if (s.health == Health::kUp &&
+      s.consecutive_timeouts >= config_.down_after_timeouts) {
+    mark_down(shard);
+  }
+}
+
+void ChannelSet::note_nak(std::size_t shard, roce::AckSyndrome syndrome) {
+  Shard& s = shards_[shard];
+  ++s.stats.naks;
+  s.consecutive_timeouts = 0;  // a NAK is still a response: the server lives
+  const bool broken = syndrome == roce::AckSyndrome::kNakRemoteAccessError ||
+                      syndrome == roce::AckSyndrome::kNakRemoteOpError;
+  if (!broken) {
+    s.consecutive_naks = 0;
+    if (s.health == Health::kDown) mark_up(shard);
+    return;
+  }
+  ++s.consecutive_naks;
+  if (s.health == Health::kUp &&
+      s.consecutive_naks >= config_.down_after_naks) {
+    mark_down(shard);
+  }
+}
+
+bool ChannelSet::maybe_probe_response(std::size_t shard,
+                                      const roce::RoceMessage& msg) {
+  Shard& s = shards_[shard];
+  if (s.probe_psns.empty() || !roce::is_read_response(msg.opcode())) {
+    return false;
+  }
+  auto it = s.probe_psns.find(msg.bth.psn);
+  if (it == s.probe_psns.end()) return false;
+  s.probe_psns.erase(it);
+  note_ok(shard);
+  return true;
+}
+
+void ChannelSet::mark_down(std::size_t shard) {
+  Shard& s = shards_[shard];
+  s.health = Health::kDown;
+  s.down_since = switch_->simulator().now();
+  ++s.stats.down_transitions;
+  XMEM_LOG(Info, switch_->simulator().now(), "channel-set")
+      << "shard " << shard << " marked DOWN";
+  schedule_probe();
+  if (health_fn_) health_fn_(shard, Health::kDown);
+}
+
+void ChannelSet::mark_up(std::size_t shard) {
+  Shard& s = shards_[shard];
+  s.health = Health::kUp;
+  s.last_outage = switch_->simulator().now() - s.down_since;
+  ++s.stats.up_transitions;
+  s.probe_psns.clear();
+  XMEM_LOG(Info, switch_->simulator().now(), "channel-set")
+      << "shard " << shard << " marked UP after "
+      << s.last_outage / sim::kMicrosecond << " us down";
+  if (health_fn_) health_fn_(shard, Health::kUp);
+}
+
+void ChannelSet::schedule_probe() {
+  if (probe_pending_ || config_.probe_interval <= 0) return;
+  probe_pending_ = true;
+  switch_->simulator().schedule_in(config_.probe_interval,
+                                   [this]() { on_probe_timer(); });
+}
+
+void ChannelSet::on_probe_timer() {
+  probe_pending_ = false;
+  bool any_down = false;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    Shard& s = shards_[i];
+    if (s.health != Health::kDown) continue;
+    any_down = true;
+    // Unanswered probes to a dead server accumulate; keep the tracking
+    // set bounded. A dropped entry only means an extremely late response
+    // reads as stale instead of as a probe — the next probe recovers.
+    if (s.probe_psns.size() > 1024) s.probe_psns.clear();
+    const std::uint32_t psn = s.channel->post_read(
+        s.channel->config().base_va, config_.probe_bytes);
+    // Probe spans would leak if the shard never answers; close them at
+    // injection and let health (not the tracer) track the outcome.
+    s.channel->trace_complete(psn, "probe");
+    s.probe_psns.insert(psn);
+    ++s.stats.probes_sent;
+  }
+  if (any_down) schedule_probe();
+}
+
+sim::Time ChannelSet::outage(std::size_t shard) const {
+  const Shard& s = shards_[shard];
+  if (s.health == Health::kDown) {
+    return switch_->simulator().now() - s.down_since;
+  }
+  return s.last_outage;
+}
+
+void ChannelSet::attach_telemetry(telemetry::MetricsRegistry* registry,
+                                  telemetry::OpTracer* tracer,
+                                  const std::string& prefix) {
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const std::string shard_prefix = prefix + "/shard" + std::to_string(i);
+    shards_[i].channel->attach_telemetry(registry, tracer, shard_prefix);
+    if (registry == nullptr) continue;
+    ShardStats* st = &shards_[i].stats;
+    auto counter = [&](const char* field, const std::uint64_t* value,
+                       const char* unit) {
+      registry->register_counter(
+          shard_prefix + "/" + field,
+          [value]() { return static_cast<std::int64_t>(*value); }, unit);
+    };
+    counter("ops_routed", &st->ops_routed, "ops");
+    counter("routed_while_down", &st->routed_while_down, "ops");
+    counter("timeouts", &st->timeouts, "ops");
+    counter("naks", &st->naks, "ops");
+    counter("down_transitions", &st->down_transitions, "transitions");
+    counter("up_transitions", &st->up_transitions, "transitions");
+    counter("probes_sent", &st->probes_sent, "ops");
+    registry->register_gauge(
+        shard_prefix + "/health",
+        [this, i]() { return is_up(i) ? 1.0 : 0.0; }, "bool");
+    registry->register_gauge(
+        shard_prefix + "/failover_duration",
+        [this, i]() { return static_cast<double>(outage(i)); }, "ps");
+  }
+  if (registry != nullptr) {
+    registry->register_gauge(
+        prefix + "/up_shards",
+        [this]() { return static_cast<double>(up_count()); }, "shards");
+  }
+}
+
+}  // namespace xmem::core

@@ -1,6 +1,7 @@
 #include "core/lookup_table.hpp"
 
 #include <cassert>
+#include <vector>
 
 #include "core/primitive.hpp"
 #include "net/bytes.hpp"
@@ -26,20 +27,24 @@ std::optional<std::vector<std::uint8_t>> five_tuple_key(
 LookupTablePrimitive::LookupTablePrimitive(
     switchsim::ProgrammableSwitch& sw,
     std::vector<control::RdmaChannelConfig> channels, Config config)
-    : switch_(&sw), config_(std::move(config)) {
-  assert(!channels.empty());
+    : switch_(&sw),
+      channels_(sw, std::move(channels), config.health),
+      config_(std::move(config)) {
   assert(config_.entry_bytes > kFrameOffset);
-  const std::size_t region_bytes = channels.front().region_bytes;
-  for (auto& cfg : channels) {
-    assert(cfg.region_bytes == region_bytes && "shards must be equal size");
-    assert(config_.entry_bytes <= cfg.path_mtu &&
+  const std::size_t region_bytes = channels_.at(0).config().region_bytes;
+  for (std::size_t i = 0; i < channels_.size(); ++i) {
+    assert(channels_.at(i).config().region_bytes == region_bytes &&
+           "shards must be equal size");
+    assert(config_.entry_bytes <= channels_.at(i).config().path_mtu &&
            "entries must fit one READ response segment");
-    channels_.push_back(std::make_unique<RdmaChannel>(sw, std::move(cfg)));
   }
   if (!config_.key_fn) config_.key_fn = five_tuple_key;
   entries_per_shard_ = region_bytes / config_.entry_bytes;
   n_entries_ = entries_per_shard_ * channels_.size();
   assert(n_entries_ > 0);
+  channels_.set_health_fn([this](std::size_t shard, ChannelSet::Health h) {
+    on_health_change(shard, h);
+  });
 
   sw.add_ingress_stage("lookup-table",
                        [this](PipelineContext& ctx) { on_ingress(ctx); });
@@ -65,20 +70,15 @@ void LookupTablePrimitive::attach_telemetry(
     counter("held_packets", &stats_.held_packets, "packets");
     counter("lost_responses", &stats_.lost_responses, "ops");
     counter("oversized_drops", &stats_.oversized_drops, "packets");
+    counter("degraded_passthrough", &stats_.degraded_passthrough, "packets");
     registry->register_gauge(
         prefix + "/outstanding",
-        [this]() {
-          return static_cast<double>(inflight_.size() + pending_.size());
-        },
-        "lookups");
+        [this]() { return static_cast<double>(outstanding()); }, "lookups");
     registry->register_gauge(
         prefix + "/cache_size",
         [this]() { return static_cast<double>(cache_.size()); }, "entries");
   }
-  for (std::size_t i = 0; i < channels_.size(); ++i) {
-    channels_[i]->attach_telemetry(registry, tracer,
-                                   prefix + "/shard" + std::to_string(i));
-  }
+  channels_.attach_telemetry(registry, tracer, prefix);
 }
 
 std::uint64_t LookupTablePrimitive::index_for_key(
@@ -134,12 +134,11 @@ LookupTablePrimitive::install_entry_sharded(
 
 void LookupTablePrimitive::on_ingress(PipelineContext& ctx) {
   if (auto msg = roce_view(ctx)) {
-    for (std::size_t shard = 0; shard < channels_.size(); ++shard) {
-      if (channels_[shard]->owns(*msg)) {
-        handle_response(shard, *msg);
-        ctx.consume();
-        return;
+    if (auto shard = channels_.owner_of(*msg)) {
+      if (!channels_.maybe_probe_response(*shard, *msg)) {
+        handle_response(*shard, *msg);
       }
+      ctx.consume();
     }
     return;
   }
@@ -168,14 +167,23 @@ void LookupTablePrimitive::on_ingress(PipelineContext& ctx) {
 
 void LookupTablePrimitive::remote_lookup(PipelineContext& ctx,
                                          std::span<const std::uint8_t> key) {
-  ++stats_.remote_lookups;
   const std::uint64_t idx =
       index_for_key(key, n_entries_, config_.hash_seed);
-  const std::size_t shard = static_cast<std::size_t>(idx % channels_.size());
+  const auto shard = channels_.route(idx);
+  if (!shard) {
+    // Home shard down: degrade to the local-miss default action — the
+    // packet passes through the pipeline un-looked-up instead of
+    // bouncing into a dead server. No rehash: the entry stays put for
+    // when the shard recovers.
+    ++stats_.degraded_passthrough;
+    return;
+  }
+  ++stats_.remote_lookups;
   const std::uint64_t slot = idx / channels_.size();
-  RdmaChannel& channel = *channels_[shard];
+  RdmaChannel& channel = channels_.at(*shard);
   const std::uint64_t va =
       channel.config().base_va + slot * config_.entry_bytes;
+  const sim::Time now = switch_->simulator().now();
 
   if (config_.mode == Mode::kBounce) {
     // Deposit the original packet into the entry's packet slot, then
@@ -197,19 +205,20 @@ void LookupTablePrimitive::remote_lookup(PipelineContext& ctx,
 
     const std::uint32_t psn = channel.post_read(
         va, static_cast<std::uint32_t>(config_.entry_bytes));
-    inflight_.emplace(ShardPsn{shard, psn}, true);
+    inflight_.emplace(ShardPsn{*shard, psn}, now);
     ctx.consume();
   } else {
     // Recirculate variant: hold the original, fetch only the action and
     // the key-check word.
     const std::uint32_t psn = channel.post_read(
         va, static_cast<std::uint32_t>(kLenOffset));
-    pending_.emplace(ShardPsn{shard, psn}, ctx.packet.clone());
+    pending_.emplace(ShardPsn{*shard, psn}, Held{ctx.packet.clone(), now});
     if (pending_.size() > stats_.held_packets) {
       stats_.held_packets = pending_.size();
     }
     ctx.consume();
   }
+  arm_timeout();
 }
 
 void LookupTablePrimitive::handle_response(std::size_t shard,
@@ -220,7 +229,8 @@ void LookupTablePrimitive::handle_response(std::size_t shard,
     auto it = inflight_.find(ShardPsn{shard, msg.bth.psn});
     if (it == inflight_.end()) return;  // stale
     inflight_.erase(it);
-    channels_[shard]->trace_complete(msg.bth.psn);
+    channels_.note_ok(shard);
+    channels_.at(shard).trace_complete(msg.bth.psn);
 
     try {
       net::ByteReader r(msg.payload);
@@ -254,9 +264,10 @@ void LookupTablePrimitive::handle_response(std::size_t shard,
   // Recirculate mode.
   auto it = pending_.find(ShardPsn{shard, msg.bth.psn});
   if (it == pending_.end()) return;
-  net::Packet packet = std::move(it->second);
+  net::Packet packet = std::move(it->second.packet);
   pending_.erase(it);
-  channels_[shard]->trace_complete(msg.bth.psn);
+  channels_.note_ok(shard);
+  channels_.at(shard).trace_complete(msg.bth.psn);
 
   try {
     net::ByteReader r(msg.payload);
@@ -279,6 +290,60 @@ void LookupTablePrimitive::handle_response(std::size_t shard,
   } catch (const net::BufferError&) {
     ++stats_.lost_responses;
   }
+}
+
+void LookupTablePrimitive::on_health_change(std::size_t shard,
+                                            ChannelSet::Health health) {
+  if (health == ChannelSet::Health::kUp) return;
+  // Down transition: every lookup in flight on this shard is now
+  // unanswerable. Reclaim the switch-side state at once instead of
+  // letting the scavenger expire it piecemeal; bounce-mode originals are
+  // already in the dead server's DRAM and are simply lost.
+  std::vector<ShardPsn> keys;
+  for (const auto& [key, sent_at] : inflight_) {
+    if (key.shard == shard) keys.push_back(key);
+  }
+  for (const auto& [key, held] : pending_) {
+    if (key.shard == shard) keys.push_back(key);
+  }
+  for (const ShardPsn& key : keys) {
+    inflight_.erase(key);
+    pending_.erase(key);
+    ++stats_.lost_responses;
+    channels_.at(shard).trace_complete(key.psn, "failover");
+  }
+}
+
+void LookupTablePrimitive::arm_timeout() {
+  if (timeout_.pending()) return;
+  timeout_ = switch_->simulator().schedule_in(config_.lookup_timeout,
+                                              [this]() { on_timeout(); });
+}
+
+void LookupTablePrimitive::on_timeout() {
+  if (inflight_.empty() && pending_.empty()) return;  // re-armed on next post
+  const sim::Time now = switch_->simulator().now();
+  std::vector<ShardPsn> stale;
+  for (const auto& [key, sent_at] : inflight_) {
+    if (now - sent_at >= config_.lookup_timeout) stale.push_back(key);
+  }
+  for (const auto& [key, held] : pending_) {
+    if (now - held.sent_at >= config_.lookup_timeout) stale.push_back(key);
+  }
+  for (const ShardPsn& key : stale) {
+    // A lookup abandoned: the packet it carried is gone either way
+    // (deposited remotely in bounce mode, held copy dropped in recirc
+    // mode). Each expiry is a timeout observation against its shard —
+    // unless an earlier observation already tripped the down transition,
+    // whose handler reclaimed the rest of the shard's keys.
+    const bool present =
+        inflight_.erase(key) > 0 || pending_.erase(key) > 0;
+    if (!present) continue;
+    ++stats_.lost_responses;
+    channels_.at(key.shard).trace_complete(key.psn, "lost");
+    channels_.note_timeout(key.shard);
+  }
+  arm_timeout();
 }
 
 std::optional<int> LookupTablePrimitive::apply_action(const Action& action,

@@ -15,8 +15,13 @@
 //
 // The table may be sharded across several memory servers ("We maintain
 // the complete virtual-to-physical address mapping table on servers in a
-// sharded fashion", §2.2): entry index i lives on shard i % K at slot
-// i / K, so capacity and lookup bandwidth scale with server count.
+// sharded fashion", §2.2) through a core::ChannelSet: entry index i lives
+// on shard i % K at slot i / K, so capacity and lookup bandwidth scale
+// with server count. When a shard is down, packets whose entry lives
+// there degrade to the local-miss default action — they pass through the
+// pipeline un-looked-up rather than bounce into a black hole — and a
+// timeout scavenger reclaims lookups that were in flight when the server
+// died (feeding the health state machine that detects the failure).
 //
 // Remote entry layout (entry_bytes total):
 //   [ 0..16)  Action (switchsim::Action serialized)
@@ -30,12 +35,11 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
-#include "core/rdma_channel.hpp"
+#include "core/channel_set.hpp"
 #include "switchsim/switch.hpp"
 
 namespace xmem::core {
@@ -59,6 +63,11 @@ class LookupTablePrimitive {
     std::size_t cache_capacity = 0;
     KeyFn key_fn;  // default: five-tuple
     std::uint64_t hash_seed = 0x9e3779b97f4a7c15ULL;
+    /// Outstanding lookups older than this are abandoned (their switch
+    /// state reclaimed) and reported to the shard's health machinery.
+    sim::Time lookup_timeout = sim::microseconds(100);
+    /// Failover thresholds/probing for the channel set.
+    ChannelSet::Config health;
   };
 
   struct Stats {
@@ -70,8 +79,9 @@ class LookupTablePrimitive {
     std::uint64_t cache_inserts = 0;
     std::uint64_t cache_evictions = 0;
     std::uint64_t held_packets = 0;     // recirculate-mode high-water mark
-    std::uint64_t lost_responses = 0;   // recirc pending never answered
+    std::uint64_t lost_responses = 0;   // lookups abandoned (timeout/failover)
     std::uint64_t oversized_drops = 0;  // packet too big for the entry slot
+    std::uint64_t degraded_passthrough = 0;  // home shard down: no lookup
   };
 
   // Entry layout constants.
@@ -84,7 +94,7 @@ class LookupTablePrimitive {
   LookupTablePrimitive(switchsim::ProgrammableSwitch& sw,
                        std::vector<control::RdmaChannelConfig> channels,
                        Config config);
-  /// Single-server convenience.
+  /// Single-server convenience (a pool of 1).
   LookupTablePrimitive(switchsim::ProgrammableSwitch& sw,
                        control::RdmaChannelConfig channel, Config config)
       : LookupTablePrimitive(
@@ -93,16 +103,22 @@ class LookupTablePrimitive {
 
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] const RdmaChannel& channel(std::size_t shard = 0) const {
-    return *channels_.at(shard);
+    return channels_.at(shard);
   }
+  [[nodiscard]] const ChannelSet& channels() const { return channels_; }
+  [[nodiscard]] ChannelSet& channels() { return channels_; }
   [[nodiscard]] std::size_t shard_count() const { return channels_.size(); }
   /// Total entries across all shards.
   [[nodiscard]] std::size_t table_entries() const { return n_entries_; }
   [[nodiscard]] std::size_t cache_size() const { return cache_.size(); }
+  /// Lookups currently in flight (bounce READs + held recirc originals).
+  [[nodiscard]] std::size_t outstanding() const {
+    return inflight_.size() + pending_.size();
+  }
 
   /// Register every Stats field plus outstanding-lookup gauges under
-  /// `<prefix>/...`, with per-shard op-span tracks at `<prefix>/shard<i>`.
-  /// Either pointer may be null.
+  /// `<prefix>/...`, and delegate per-shard channel + health metrics to
+  /// `<prefix>/shard<i>/...`. Either pointer may be null.
   void attach_telemetry(telemetry::MetricsRegistry* registry,
                         telemetry::OpTracer* tracer,
                         const std::string& prefix);
@@ -138,6 +154,9 @@ class LookupTablePrimitive {
   void handle_response(std::size_t shard, const roce::RoceMessage& msg);
   void remote_lookup(switchsim::PipelineContext& ctx,
                      std::span<const std::uint8_t> key);
+  void on_health_change(std::size_t shard, ChannelSet::Health health);
+  void arm_timeout();
+  void on_timeout();
   /// Apply `action` to `packet`; returns the egress port, or nullopt if
   /// the packet should be dropped.
   std::optional<int> apply_action(const switchsim::Action& action,
@@ -146,7 +165,7 @@ class LookupTablePrimitive {
                     const switchsim::Action& action);
 
   switchsim::ProgrammableSwitch* switch_;
-  std::vector<std::unique_ptr<RdmaChannel>> channels_;
+  ChannelSet channels_;
   Config config_;
   std::size_t n_entries_ = 0;         // total across shards
   std::size_t entries_per_shard_ = 0;
@@ -176,10 +195,15 @@ class LookupTablePrimitive {
           (static_cast<std::uint64_t>(k.shard) << 32) | k.psn);
     }
   };
-  // Bounce mode: outstanding READ keys (for dedupe/stats).
-  std::unordered_map<ShardPsn, bool, ShardPsnHash> inflight_;
+  // Bounce mode: outstanding READs and when they were posted.
+  std::unordered_map<ShardPsn, sim::Time, ShardPsnHash> inflight_;
   // Recirculate mode: held originals keyed by READ key.
-  std::unordered_map<ShardPsn, net::Packet, ShardPsnHash> pending_;
+  struct Held {
+    net::Packet packet;
+    sim::Time sent_at = 0;
+  };
+  std::unordered_map<ShardPsn, Held, ShardPsnHash> pending_;
+  sim::EventId timeout_;
 
   Stats stats_;
 };

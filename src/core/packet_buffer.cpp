@@ -1,6 +1,7 @@
 #include "core/packet_buffer.hpp"
 
 #include <cassert>
+#include <vector>
 
 #include "core/primitive.hpp"
 #include "net/bytes.hpp"
@@ -14,23 +15,26 @@ using switchsim::QueueEvent;
 PacketBufferPrimitive::PacketBufferPrimitive(
     switchsim::ProgrammableSwitch& sw,
     std::vector<control::RdmaChannelConfig> channels, Config config)
-    : switch_(&sw), config_(config) {
-  assert(!channels.empty());
+    : switch_(&sw),
+      channels_(sw, std::move(channels), config.health),
+      config_(config) {
   assert(config_.watch_port >= 0);
   assert(config_.entry_bytes >= 4 + net::kEthernetMinFrame);
 
-  const std::size_t region_bytes = channels.front().region_bytes;
-  for (auto& cfg : channels) {
-    assert(cfg.region_bytes == region_bytes &&
+  const std::size_t region_bytes = channels_.at(0).config().region_bytes;
+  for (std::size_t i = 0; i < channels_.size(); ++i) {
+    assert(channels_.at(i).config().region_bytes == region_bytes &&
            "stripes must be equally sized");
-    assert(config_.entry_bytes <= cfg.path_mtu &&
+    assert(config_.entry_bytes <= channels_.at(i).config().path_mtu &&
            "entries must fit one READ response segment");
-    channels_.push_back(std::make_unique<RdmaChannel>(sw, std::move(cfg)));
   }
   per_channel_slots_ = region_bytes / config_.entry_bytes;
   capacity_ = per_channel_slots_ * channels_.size();
   assert(capacity_ > 0);
   inflight_per_channel_.assign(channels_.size(), 0);
+  channels_.set_health_fn([this](std::size_t shard, ChannelSet::Health h) {
+    on_health_change(shard, h);
+  });
 
   sw.add_ingress_stage("packet-buffer",
                        [this](PipelineContext& ctx) { on_ingress(ctx); });
@@ -56,6 +60,7 @@ void PacketBufferPrimitive::attach_telemetry(
     counter("read_retries", &stats_.read_retries, "ops");
     counter("naks", &stats_.naks, "ops");
     counter("ecn_marked", &stats_.ecn_marked, "packets");
+    counter("dead_stripe_drops", &stats_.dead_stripe_drops, "packets");
     registry->register_counter(
         prefix + "/max_ring_depth",
         [this]() { return stats_.max_ring_depth; }, "entries");
@@ -66,10 +71,7 @@ void PacketBufferPrimitive::attach_telemetry(
         prefix + "/diverting",
         [this]() { return diverting_ ? 1.0 : 0.0; }, "bool");
   }
-  for (std::size_t i = 0; i < channels_.size(); ++i) {
-    channels_[i]->attach_telemetry(registry, tracer,
-                                   prefix + "/chan" + std::to_string(i));
-  }
+  channels_.attach_telemetry(registry, tracer, prefix);
 }
 
 void PacketBufferPrimitive::set_load_enabled(bool enabled) {
@@ -79,12 +81,11 @@ void PacketBufferPrimitive::set_load_enabled(bool enabled) {
 
 void PacketBufferPrimitive::on_ingress(PipelineContext& ctx) {
   if (auto msg = roce_view(ctx)) {
-    for (std::size_t i = 0; i < channels_.size(); ++i) {
-      if (channels_[i]->owns(*msg)) {
-        handle_response(i, *msg);
-        ctx.consume();
-        return;
+    if (auto shard = channels_.owner_of(*msg)) {
+      if (!channels_.maybe_probe_response(*shard, *msg)) {
+        handle_response(*shard, *msg);
       }
+      ctx.consume();
     }
     return;  // RoCE for someone else: leave it alone
   }
@@ -112,13 +113,24 @@ void PacketBufferPrimitive::store_packet(const net::Packet& packet) {
     ++stats_.ring_full_drops;  // remote buffer exhausted: best-effort drop
     return;
   }
+  const auto stripe = channels_.route(head_);
+  if (!stripe) {
+    // Drop-tail on the dead stripe: the slot is consumed as a hole so
+    // the ring keeps striping onto the surviving servers in order, but
+    // this packet is gone — a WRITE to a dead server lands nowhere.
+    reorder_.emplace(head_, net::Packet{});
+    ++head_;
+    ++stats_.dead_stripe_drops;
+    drain_reorder_buffer();
+    return;
+  }
   std::vector<std::uint8_t> entry;
   entry.reserve(4 + packet.size());
   net::ByteWriter w(entry);
   w.u32(static_cast<std::uint32_t>(packet.size()));
   w.bytes(packet.bytes());
 
-  channels_[channel_of(head_)]->post_write(slot_va(head_), entry);
+  channels_.at(*stripe).post_write(slot_va(head_), entry);
   ++head_;
   ++stats_.stored;
   const std::int64_t depth = static_cast<std::int64_t>(head_ - tail_);
@@ -133,12 +145,27 @@ void PacketBufferPrimitive::on_queue_event(QueueEvent event, int port,
 
 void PacketBufferPrimitive::maybe_issue_reads() {
   if (!config_.load_enabled) return;
+  bool punched_hole = false;
   while (next_read_slot_ < head_ &&
          switch_->tm().depth_bytes(config_.watch_port) <=
              config_.resume_threshold_bytes) {
+    if (reorder_.contains(next_read_slot_)) {
+      ++next_read_slot_;  // already a hole (dead-stripe store): skip
+      continue;
+    }
     const std::size_t chan = channel_of(next_read_slot_);
+    if (!channels_.is_up(chan)) {
+      if (config_.reliable_loads) break;  // hold: data survives in its DRAM
+      // Best-effort: the stored frame is unreachable; hole it so the
+      // drain keeps moving over the surviving stripes.
+      reorder_.emplace(next_read_slot_, net::Packet{});
+      ++stats_.lost_loads;
+      ++next_read_slot_;
+      punched_hole = true;
+      continue;
+    }
     if (inflight_per_channel_[chan] >= config_.read_pipeline_depth) break;
-    const std::uint32_t psn = channels_[chan]->post_read(
+    const std::uint32_t psn = channels_.at(chan).post_read(
         slot_va(next_read_slot_),
         static_cast<std::uint32_t>(config_.entry_bytes));
     inflight_.emplace(InflightKey{chan, psn}, next_read_slot_);
@@ -148,6 +175,7 @@ void PacketBufferPrimitive::maybe_issue_reads() {
     // as a scavenger so a lost final response cannot wedge the drain.
     arm_timeout();
   }
+  if (punched_hole) drain_reorder_buffer();
 }
 
 void PacketBufferPrimitive::handle_response(std::size_t channel_index,
@@ -160,7 +188,8 @@ void PacketBufferPrimitive::handle_response(std::size_t channel_index,
     inflight_.erase(it);
     --inflight_per_channel_[channel_index];
     last_read_progress_ = switch_->simulator().now();
-    channels_[channel_index]->trace_complete(msg.bth.psn);
+    channels_.note_ok(channel_index);
+    channels_.at(channel_index).trace_complete(msg.bth.psn);
 
     // Decapsulate [u32 len][frame] back into the original packet.
     try {
@@ -182,11 +211,48 @@ void PacketBufferPrimitive::handle_response(std::size_t channel_index,
 
   if ((op == roce::Opcode::kAcknowledge) && msg.aeth && msg.aeth->is_nak()) {
     ++stats_.naks;
+    channels_.note_nak(channel_index, msg.aeth->syndrome);
     // The op's span stays open — either the timeout retransmits it
     // (reliable) or the scavenger closes it as "lost" (best-effort).
-    channels_[channel_index]->trace_annotate(
+    channels_.at(channel_index).trace_annotate(
         msg.bth.psn, "nak", roce::to_string(msg.aeth->syndrome));
   }
+}
+
+void PacketBufferPrimitive::on_health_change(std::size_t shard,
+                                             ChannelSet::Health health) {
+  if (health == ChannelSet::Health::kUp) {
+    if (config_.reliable_loads) {
+      // The stripe is back and its DRAM still holds our frames:
+      // re-request everything that was outstanding when it died.
+      for (const auto& [key, slot] : inflight_) {
+        if (key.channel != shard) continue;
+        channels_.at(shard).repost_read(
+            slot_va(slot), static_cast<std::uint32_t>(config_.entry_bytes),
+            key.psn);
+        ++stats_.read_retries;
+      }
+    }
+    maybe_issue_reads();
+    return;
+  }
+  if (config_.reliable_loads) return;  // hold in-flight state for recovery
+  // Best-effort down transition: in-flight READs on this stripe will
+  // never answer — hole their slots now so the drain moves on.
+  std::vector<InflightKey> keys;
+  for (const auto& [key, slot] : inflight_) {
+    if (key.channel == shard) keys.push_back(key);
+  }
+  for (const InflightKey& key : keys) {
+    const std::uint64_t slot = inflight_.at(key);
+    inflight_.erase(key);
+    --inflight_per_channel_[shard];
+    reorder_.emplace(slot, net::Packet{});
+    ++stats_.lost_loads;
+    channels_.at(shard).trace_complete(key.psn, "failover");
+  }
+  drain_reorder_buffer();
+  maybe_issue_reads();
 }
 
 void PacketBufferPrimitive::drain_reorder_buffer() {
@@ -249,24 +315,44 @@ void PacketBufferPrimitive::on_timeout() {
   if (inflight_.empty()) return;
   const sim::Time now = switch_->simulator().now();
   if (now - last_read_progress_ >= config_.read_timeout) {
+    // Snapshot what was stalled *before* reporting: note_timeout() can
+    // trip a down transition whose handler reclaims entries and posts
+    // fresh READs, and those must not be swept up below.
+    std::vector<InflightKey> stale;
+    std::vector<bool> stalled(channels_.size(), false);
+    for (const auto& [key, slot] : inflight_) {
+      stale.push_back(key);
+      stalled[key.channel] = true;
+    }
+    // One timeout observation per stripe with stalled READs: this is
+    // what eventually trips a dead stripe's health state.
+    for (std::size_t chan = 0; chan < stalled.size(); ++chan) {
+      if (stalled[chan]) channels_.note_timeout(chan);
+    }
     if (config_.reliable_loads) {
       // Re-request every outstanding slot with its original PSN: the
       // responder re-serves duplicates and executes fresh PSNs, so this
-      // is safe whether the request or the response was lost.
-      for (const auto& [key, slot] : inflight_) {
-        channels_[key.channel]->repost_read(
-            slot_va(slot), static_cast<std::uint32_t>(config_.entry_bytes),
-            key.psn);
+      // is safe whether the request or the response was lost. Stripes
+      // that just failed over hold their slots until recovery.
+      for (const InflightKey& key : stale) {
+        auto it = inflight_.find(key);
+        if (it == inflight_.end() || !channels_.is_up(key.channel)) continue;
+        channels_.at(key.channel).repost_read(
+            slot_va(it->second),
+            static_cast<std::uint32_t>(config_.entry_bytes), key.psn);
         ++stats_.read_retries;
       }
     } else {
       // Best-effort: give up on the stalled READs so the drain keeps
-      // moving; their packets are lost (counted in the drain loop).
-      for (const auto& [key, slot] : inflight_) {
-        channels_[key.channel]->trace_complete(key.psn, "lost");
+      // moving; their packets are lost (counted in the drain loop). A
+      // down transition above may already have reclaimed some of them.
+      for (const InflightKey& key : stale) {
+        auto it = inflight_.find(key);
+        if (it == inflight_.end()) continue;
+        channels_.at(key.channel).trace_complete(key.psn, "lost");
+        inflight_.erase(it);
+        --inflight_per_channel_[key.channel];
       }
-      inflight_.clear();
-      inflight_per_channel_.assign(channels_.size(), 0);
       drain_reorder_buffer();
       maybe_issue_reads();
     }

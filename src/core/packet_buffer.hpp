@@ -10,10 +10,14 @@
 // queue keep going through the ring.
 //
 // The ring may be striped round-robin over several memory servers ("a
-// remote buffer located in one or multiple servers", §2.1): global slot g
-// lives on channel g % K at ring position g / K. Striping multiplies both
-// capacity and absorb bandwidth, which the 8-uplink incast of Fig. 1a
-// needs — the diverted surplus exceeds any single server link.
+// remote buffer located in one or multiple servers", §2.1) through a
+// core::ChannelSet: global slot g lives on stripe g % K at ring position
+// g / K. Striping multiplies both capacity and absorb bandwidth, which
+// the 8-uplink incast of Fig. 1a needs — the diverted surplus exceeds any
+// single server link. When a stripe's server dies the ring degrades to
+// drop-tail on that stripe: slots striped onto it become holes (counted
+// as drops) while the surviving stripes keep absorbing and draining, and
+// FIFO order over the survivors is preserved.
 //
 // Entry layout in remote memory: [u32 frame_len][frame bytes], one entry
 // per fixed-size slot.
@@ -21,11 +25,10 @@
 
 #include <cstdint>
 #include <map>
-#include <memory>
 #include <unordered_map>
 #include <vector>
 
-#include "core/rdma_channel.hpp"
+#include "core/channel_set.hpp"
 #include "switchsim/switch.hpp"
 
 namespace xmem::core {
@@ -46,7 +49,10 @@ class PacketBufferPrimitive {
     /// "response triggers the next request"). Applied per channel.
     int read_pipeline_depth = 8;
     /// §7 extension: recover lost READ data via re-request + reorder
-    /// buffer instead of treating it as a packet drop.
+    /// buffer instead of treating it as a packet drop. Across a stripe
+    /// failover, reliable mode holds the drain at the dead stripe until
+    /// it recovers (stored frames are preserved in its DRAM); best-effort
+    /// mode punches holes and keeps draining the survivors.
     bool reliable_loads = false;
     /// Loss-recovery / scavenge timer. Must sit well above the worst-case
     /// queueing delay on the memory link: during an incast, READs wait
@@ -64,6 +70,8 @@ class PacketBufferPrimitive {
     /// When > 0, packets re-injected while the ring holds more than this
     /// many entries get CE-marked (if ECT). 0 disables.
     std::int64_t ecn_mark_ring_depth = 0;
+    /// Failover thresholds/probing for the channel set.
+    ChannelSet::Config health;
   };
 
   struct Stats {
@@ -74,6 +82,7 @@ class PacketBufferPrimitive {
     std::uint64_t read_retries = 0;    // reliable-mode re-requests
     std::uint64_t naks = 0;
     std::uint64_t ecn_marked = 0;      // ring-depth CE marks applied
+    std::uint64_t dead_stripe_drops = 0;  // drop-tail on a down stripe
     std::int64_t max_ring_depth = 0;   // high-water mark, in entries
   };
 
@@ -83,7 +92,7 @@ class PacketBufferPrimitive {
   PacketBufferPrimitive(switchsim::ProgrammableSwitch& sw,
                         std::vector<control::RdmaChannelConfig> channels,
                         Config config);
-  /// Single-server convenience.
+  /// Single-server convenience (a pool of 1).
   PacketBufferPrimitive(switchsim::ProgrammableSwitch& sw,
                         control::RdmaChannelConfig channel, Config config)
       : PacketBufferPrimitive(
@@ -92,8 +101,10 @@ class PacketBufferPrimitive {
 
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] const RdmaChannel& channel(std::size_t i = 0) const {
-    return *channels_.at(i);
+    return channels_.at(i);
   }
+  [[nodiscard]] const ChannelSet& channels() const { return channels_; }
+  [[nodiscard]] ChannelSet& channels() { return channels_; }
   [[nodiscard]] std::size_t stripe_width() const { return channels_.size(); }
   /// Entries currently resident in remote memory.
   [[nodiscard]] std::int64_t ring_depth() const {
@@ -108,8 +119,8 @@ class PacketBufferPrimitive {
   [[nodiscard]] bool load_enabled() const { return config_.load_enabled; }
 
   /// Register every Stats field plus live ring-depth/diverting gauges
-  /// under `<prefix>/...`, and give each stripe's channel an op-span
-  /// track at `<prefix>/chan<i>`. Either pointer may be null.
+  /// under `<prefix>/...`, and delegate per-stripe channel + health
+  /// metrics to `<prefix>/shard<i>/...`. Either pointer may be null.
   void attach_telemetry(telemetry::MetricsRegistry* registry,
                         telemetry::OpTracer* tracer,
                         const std::string& prefix);
@@ -120,6 +131,7 @@ class PacketBufferPrimitive {
                       std::int64_t depth_bytes);
   void handle_response(std::size_t channel_index,
                        const roce::RoceMessage& msg);
+  void on_health_change(std::size_t shard, ChannelSet::Health health);
 
   void store_packet(const net::Packet& packet);
   void maybe_issue_reads();
@@ -132,12 +144,12 @@ class PacketBufferPrimitive {
   }
   [[nodiscard]] std::uint64_t slot_va(std::uint64_t slot) const {
     const std::uint64_t within = slot / channels_.size();
-    const auto& cfg = channels_[channel_of(slot)]->config();
+    const auto& cfg = channels_.at(channel_of(slot)).config();
     return cfg.base_va + (within % per_channel_slots_) * config_.entry_bytes;
   }
 
   switchsim::ProgrammableSwitch* switch_;
-  std::vector<std::unique_ptr<RdmaChannel>> channels_;
+  ChannelSet channels_;
   Config config_;
 
   // Ring state (all representable as P4 registers).
@@ -163,7 +175,10 @@ class PacketBufferPrimitive {
   std::unordered_map<InflightKey, std::uint64_t, InflightKeyHash>
       inflight_;                              // (chan, psn) -> slot
   std::vector<int> inflight_per_channel_;
-  std::map<std::uint64_t, net::Packet> reorder_;  // slot -> recovered frame
+  /// slot -> recovered frame; an empty Packet is a *hole* (that slot's
+  /// data is known lost — dead stripe or unrecovered READ) that the
+  /// drain skips over.
+  std::map<std::uint64_t, net::Packet> reorder_;
   sim::Time last_read_progress_ = 0;
   sim::EventId timeout_;
 

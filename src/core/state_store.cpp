@@ -11,14 +11,26 @@ namespace xmem::core {
 
 using switchsim::PipelineContext;
 
-StateStorePrimitive::StateStorePrimitive(switchsim::ProgrammableSwitch& sw,
-                                         control::RdmaChannelConfig channel,
-                                         Config config)
-    : switch_(&sw), channel_(sw, std::move(channel)), config_(std::move(config)) {
+StateStorePrimitive::StateStorePrimitive(
+    switchsim::ProgrammableSwitch& sw,
+    std::vector<control::RdmaChannelConfig> channels, Config config)
+    : switch_(&sw),
+      channels_(sw, std::move(channels), config.health),
+      config_(std::move(config)) {
   assert(config_.max_outstanding > 0);
   assert(config_.combining_window >= 1);
-  n_counters_ = channel_.config().region_bytes / 8;
+  const std::size_t region_bytes = channels_.at(0).config().region_bytes;
+  for (std::size_t i = 0; i < channels_.size(); ++i) {
+    assert(channels_.at(i).config().region_bytes == region_bytes &&
+           "shards must be equal size");
+  }
+  n_counters_ = (region_bytes / 8) * channels_.size();
   assert(n_counters_ > 0);
+  outstanding_.assign(channels_.size(), 0);
+  eligible_.resize(channels_.size());
+  channels_.set_health_fn([this](std::size_t shard, ChannelSet::Health h) {
+    on_health_change(shard, h);
+  });
 
   if (!config_.sample_fn) {
     const std::uint64_t n = n_counters_;
@@ -53,11 +65,21 @@ void StateStorePrimitive::attach_telemetry(
     counter("retransmits", &stats_.retransmits, "ops");
     counter("max_outstanding_seen", &stats_.max_outstanding_seen, "ops");
     counter("counts_in_flight_lost", &stats_.counts_in_flight_lost, "counts");
+    counter("failover_reissues", &stats_.failover_reissues, "counts");
     registry->register_gauge(
         prefix + "/outstanding",
-        [this]() { return static_cast<double>(outstanding_); }, "ops");
+        [this]() { return static_cast<double>(outstanding()); }, "ops");
+    registry->register_gauge(
+        prefix + "/unflushed",
+        [this]() { return static_cast<double>(unflushed()); }, "counts");
   }
-  channel_.attach_telemetry(registry, tracer, prefix + "/chan");
+  channels_.attach_telemetry(registry, tracer, prefix);
+}
+
+int StateStorePrimitive::outstanding() const {
+  int n = 0;
+  for (const int o : outstanding_) n += o;
+  return n;
 }
 
 std::uint64_t StateStorePrimitive::unflushed() const {
@@ -68,8 +90,10 @@ std::uint64_t StateStorePrimitive::unflushed() const {
 
 void StateStorePrimitive::on_ingress(PipelineContext& ctx) {
   if (auto msg = roce_view(ctx)) {
-    if (channel_.owns(*msg)) {
-      handle_response(*msg);
+    if (auto shard = channels_.owner_of(*msg)) {
+      if (!channels_.maybe_probe_response(*shard, *msg)) {
+        handle_response(*shard, *msg);
+      }
       ctx.consume();
     }
     return;
@@ -84,71 +108,91 @@ void StateStorePrimitive::on_ingress(PipelineContext& ctx) {
   record(*index);
 }
 
+void StateStorePrimitive::make_eligible(std::uint64_t index) {
+  if (eligible_set_.contains(index)) return;
+  eligible_[shard_of(index)].push_back(index);
+  eligible_set_.insert(index);
+}
+
 void StateStorePrimitive::record(std::uint64_t index) {
+  // Counts for a down home shard still accumulate below, but the refusal
+  // is visible in per-shard routing stats (issue() routes the healthy
+  // ones when they actually go out).
+  if (!channels_.is_up(shard_of(index))) (void)channels_.route(index);
   auto [it, inserted] = accumulators_.try_emplace(index, 0);
   it->second += 1;
-  if (it->second >= config_.combining_window &&
-      !eligible_set_.contains(index)) {
-    eligible_.push_back(index);
-    eligible_set_.insert(index);
-  }
+  if (it->second >= config_.combining_window) make_eligible(index);
   issue_from_accumulators();
 }
 
 void StateStorePrimitive::issue_from_accumulators() {
-  while (outstanding_ < config_.max_outstanding && !eligible_.empty()) {
-    const std::uint64_t index = eligible_.front();
-    eligible_.pop_front();
-    eligible_set_.erase(index);
-    auto it = accumulators_.find(index);
-    if (it == accumulators_.end() || it->second == 0) continue;
-    const std::uint64_t add = it->second;
-    accumulators_.erase(it);
-    if (add > 1) stats_.accumulated += add - 1;
-    issue(index, add);
+  for (std::size_t shard = 0; shard < channels_.size(); ++shard) {
+    // A down shard issues nothing: its counts stay in the accumulators —
+    // the window-full backpressure path doing double duty as the
+    // failover degraded mode — until the shard is marked up again.
+    if (!channels_.is_up(shard)) continue;
+    while (outstanding_[shard] < config_.max_outstanding &&
+           !eligible_[shard].empty()) {
+      const std::uint64_t index = eligible_[shard].front();
+      eligible_[shard].pop_front();
+      eligible_set_.erase(index);
+      auto it = accumulators_.find(index);
+      if (it == accumulators_.end() || it->second == 0) continue;
+      const std::uint64_t add = it->second;
+      accumulators_.erase(it);
+      if (add > 1) stats_.accumulated += add - 1;
+      issue(index, add);
+    }
   }
 }
 
 void StateStorePrimitive::issue(std::uint64_t index, std::uint64_t add) {
+  const auto shard = channels_.route(index);
+  assert(shard && "issue() only runs against healthy shards");
   const std::uint32_t psn =
-      channel_.post_fetch_add(counter_va(index), add);
-  ++outstanding_;
+      channels_.at(*shard).post_fetch_add(counter_va(index), add);
+  ++outstanding_[*shard];
   ++stats_.fetch_adds_sent;
-  if (static_cast<std::uint64_t>(outstanding_) >
+  if (static_cast<std::uint64_t>(outstanding_[*shard]) >
       stats_.max_outstanding_seen) {
-    stats_.max_outstanding_seen = static_cast<std::uint64_t>(outstanding_);
+    stats_.max_outstanding_seen =
+        static_cast<std::uint64_t>(outstanding_[*shard]);
   }
-  inflight_.emplace(
-      psn, Inflight{index, add, switch_->simulator().now()});
+  inflight_.emplace(ShardPsn{*shard, psn},
+                    Inflight{index, add, switch_->simulator().now()});
   arm_timeout();
 }
 
-void StateStorePrimitive::handle_response(const roce::RoceMessage& msg) {
+void StateStorePrimitive::handle_response(std::size_t shard,
+                                          const roce::RoceMessage& msg) {
+  RdmaChannel& channel = channels_.at(shard);
   const roce::Opcode op = msg.opcode();
   if (op == roce::Opcode::kAtomicAcknowledge) {
-    auto it = inflight_.find(msg.bth.psn);
+    auto it = inflight_.find(ShardPsn{shard, msg.bth.psn});
     if (it == inflight_.end()) return;  // duplicate/stale response
     inflight_.erase(it);
-    --outstanding_;
+    --outstanding_[shard];
     ++stats_.acks_received;
     last_progress_ = switch_->simulator().now();
-    channel_.trace_complete(msg.bth.psn);
+    channels_.note_ok(shard);
+    channel.trace_complete(msg.bth.psn);
     issue_from_accumulators();
     return;
   }
   if (op == roce::Opcode::kAcknowledge && msg.aeth && msg.aeth->is_nak()) {
     ++stats_.naks_received;
+    channels_.note_nak(shard, msg.aeth->syndrome);
     const std::string nak_status =
         std::string("nak:") + roce::to_string(msg.aeth->syndrome);
     if (!config_.reliable) {
       // No recovery: this NAK is the op's final word — close the span and
       // reclaim the window slot now; the count it carried is lost.
-      channel_.trace_complete(msg.bth.psn, nak_status);
-      auto it = inflight_.find(msg.bth.psn);
+      channel.trace_complete(msg.bth.psn, nak_status);
+      auto it = inflight_.find(ShardPsn{shard, msg.bth.psn});
       if (it != inflight_.end()) {
         stats_.counts_in_flight_lost += it->second.add;
         inflight_.erase(it);
-        --outstanding_;
+        --outstanding_[shard];
         issue_from_accumulators();
       }
       return;
@@ -158,53 +202,81 @@ void StateStorePrimitive::handle_response(const roce::RoceMessage& msg) {
       // A retransmitted atomic whose replay-cache entry has expired: the
       // responder executed it long ago, it just cannot replay the
       // original value. Counting-wise the op is complete.
-      auto it = inflight_.find(msg.bth.psn);
+      auto it = inflight_.find(ShardPsn{shard, msg.bth.psn});
       if (it != inflight_.end()) {
         inflight_.erase(it);
-        --outstanding_;
+        --outstanding_[shard];
         last_progress_ = switch_->simulator().now();
-        channel_.trace_complete(msg.bth.psn, nak_status);
+        channel.trace_complete(msg.bth.psn, nak_status);
         issue_from_accumulators();
       }
       return;
     }
-    channel_.trace_annotate(msg.bth.psn, "nak",
-                            roce::to_string(msg.aeth->syndrome));
+    channel.trace_annotate(msg.bth.psn, "nak",
+                           roce::to_string(msg.aeth->syndrome));
 
     // Sequence-error NAK: everything from the responder's expected PSN
     // (echoed in the NAK) onward was not executed. Retransmit just that
-    // suffix, in PSN order, and rate-limit bursts: every out-of-order
-    // arrival generates a NAK, and answering each with a full repost
-    // storm would feed on itself.
+    // suffix of this shard's window, in PSN order, and rate-limit bursts:
+    // every out-of-order arrival generates a NAK, and answering each with
+    // a full repost storm would feed on itself.
     const sim::Time now = switch_->simulator().now();
     if (now - last_goback_ < sim::microseconds(20)) return;
     last_goback_ = now;
 
     std::vector<std::uint32_t> psns;
     psns.reserve(inflight_.size());
-    for (const auto& [psn, op_state] : inflight_) {
-      if (roce::psn_distance(msg.bth.psn, psn) >= 0) psns.push_back(psn);
+    for (const auto& [key, op_state] : inflight_) {
+      if (key.shard == shard &&
+          roce::psn_distance(msg.bth.psn, key.psn) >= 0) {
+        psns.push_back(key.psn);
+      }
     }
     std::sort(psns.begin(), psns.end(),
               [&](std::uint32_t a, std::uint32_t b) {
                 return roce::psn_distance(a, b) > 0;
               });
     for (const std::uint32_t psn : psns) {
-      const auto& f = inflight_.at(psn);
-      channel_.repost_fetch_add(counter_va(f.index), f.add, psn);
+      const auto& f = inflight_.at(ShardPsn{shard, psn});
+      channel.repost_fetch_add(counter_va(f.index), f.add, psn);
       ++stats_.retransmits;
     }
   }
 }
 
 void StateStorePrimitive::flush() {
-  for (const auto& [index, count] : accumulators_) {
-    if (!eligible_set_.contains(index)) {
-      eligible_.push_back(index);
-      eligible_set_.insert(index);
+  for (const auto& [index, count] : accumulators_) make_eligible(index);
+  issue_from_accumulators();
+}
+
+void StateStorePrimitive::on_health_change(std::size_t shard,
+                                           ChannelSet::Health health) {
+  if (health == ChannelSet::Health::kUp) {
+    // The shard's deferred counts have been accumulating; drain them.
+    issue_from_accumulators();
+    return;
+  }
+  // Down transition: reclaim this shard's in-flight window. Reliable mode
+  // folds the adds back into the accumulators (re-issued on recovery:
+  // at-least-once across a failover); unreliable mode counts them lost.
+  std::vector<ShardPsn> keys;
+  for (const auto& [key, f] : inflight_) {
+    if (key.shard == shard) keys.push_back(key);
+  }
+  for (const ShardPsn& key : keys) {
+    const Inflight f = inflight_.at(key);
+    inflight_.erase(key);
+    --outstanding_[shard];
+    if (config_.reliable) {
+      accumulators_[f.index] += f.add;
+      stats_.failover_reissues += f.add;
+      make_eligible(f.index);
+      channels_.at(shard).trace_complete(key.psn, "failover");
+    } else {
+      stats_.counts_in_flight_lost += f.add;
+      channels_.at(shard).trace_complete(key.psn, "lost");
     }
   }
-  issue_from_accumulators();
 }
 
 void StateStorePrimitive::arm_timeout() {
@@ -220,35 +292,47 @@ void StateStorePrimitive::on_timeout() {
   const sim::Time now = switch_->simulator().now();
   if (config_.reliable) {
     if (now - last_progress_ >= config_.retransmit_timeout) {
-      // Replay the whole window in PSN order (an unordered replay would
-      // trip the responder's sequence check and NAK-storm).
-      std::vector<std::uint32_t> psns;
-      psns.reserve(inflight_.size());
-      for (const auto& [psn, f] : inflight_) psns.push_back(psn);
-      std::sort(psns.begin(), psns.end(),
-                [](std::uint32_t a, std::uint32_t b) {
-                  return roce::psn_distance(a, b) > 0;
-                });
+      // Replay each shard's whole window in PSN order (an unordered
+      // replay would trip the responder's sequence check and NAK-storm).
+      // Every silent replay round is one timeout observation per shard —
+      // what eventually flips a dead shard's health even in reliable
+      // mode.
+      std::vector<std::vector<std::uint32_t>> psns(channels_.size());
+      for (const auto& [key, f] : inflight_) psns[key.shard].push_back(key.psn);
       last_goback_ = now;
-      for (const std::uint32_t psn : psns) {
-        const auto& f = inflight_.at(psn);
-        channel_.repost_fetch_add(counter_va(f.index), f.add, psn);
-        ++stats_.retransmits;
+      for (std::size_t shard = 0; shard < psns.size(); ++shard) {
+        if (psns[shard].empty()) continue;
+        channels_.note_timeout(shard);
+        if (!channels_.is_up(shard)) continue;  // just failed over
+        std::sort(psns[shard].begin(), psns[shard].end(),
+                  [](std::uint32_t a, std::uint32_t b) {
+                    return roce::psn_distance(a, b) > 0;
+                  });
+        for (const std::uint32_t psn : psns[shard]) {
+          const auto& f = inflight_.at(ShardPsn{shard, psn});
+          channels_.at(shard).repost_fetch_add(counter_va(f.index), f.add,
+                                               psn);
+          ++stats_.retransmits;
+        }
       }
     }
   } else {
     // Unreliable mode: reclaim leaked window slots so the primitive keeps
     // working; the in-flight counts are simply lost, which is the
-    // accuracy degradation the paper's §7 discussion anticipates.
-    std::vector<std::uint32_t> stale;
-    for (const auto& [psn, f] : inflight_) {
-      if (now - f.sent_at >= config_.retransmit_timeout) stale.push_back(psn);
+    // accuracy degradation the paper's §7 discussion anticipates. Each
+    // expiry is a timeout observation against its shard's health.
+    std::vector<ShardPsn> stale;
+    for (const auto& [key, f] : inflight_) {
+      if (now - f.sent_at >= config_.retransmit_timeout) stale.push_back(key);
     }
-    for (const std::uint32_t psn : stale) {
-      stats_.counts_in_flight_lost += inflight_.at(psn).add;
-      inflight_.erase(psn);
-      --outstanding_;
-      channel_.trace_complete(psn, "lost");
+    for (const ShardPsn& key : stale) {
+      auto it = inflight_.find(key);
+      if (it == inflight_.end()) continue;  // reclaimed by a down transition
+      stats_.counts_in_flight_lost += it->second.add;
+      inflight_.erase(it);
+      --outstanding_[key.shard];
+      channels_.at(key.shard).trace_complete(key.psn, "lost");
+      channels_.note_timeout(key.shard);
     }
     issue_from_accumulators();
   }

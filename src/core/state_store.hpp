@@ -10,10 +10,20 @@
 // both the paper's backpressure mechanism and (generalized by
 // `combining_window`, §7) its bandwidth-reduction extension.
 //
+// The counter space may be sharded over several memory servers through a
+// core::ChannelSet: counter index i lives on shard i % K at slot i / K,
+// so capacity and (because each server's RNIC has its own atomic-rate
+// cap and outstanding window) aggregate update throughput scale with
+// server count. When a shard is down, its counters keep accumulating
+// locally — the same machinery as window-full backpressure — and flush
+// when the shard recovers.
+//
 // The optional reliability layer (§7) parses ACKs/NAKs: inflight adds are
 // remembered per PSN and retransmitted on NAK or timeout; together with
 // the responder's atomic replay cache this yields exactly-once counting
-// over a lossy link.
+// over a lossy link. Across a shard failover, reliable mode re-issues the
+// in-flight adds when the shard returns (at-least-once across failures);
+// unreliable mode counts them lost.
 #pragma once
 
 #include <cstdint>
@@ -21,7 +31,9 @@
 #include <functional>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
+#include "core/channel_set.hpp"
 #include "core/rdma_channel.hpp"
 #include "switchsim/switch.hpp"
 
@@ -35,7 +47,8 @@ class StateStorePrimitive {
       std::function<std::optional<std::uint64_t>(const net::Packet&)>;
 
   struct Config {
-    /// Maximum outstanding atomic requests (the RNIC's advertised limit).
+    /// Maximum outstanding atomic requests per shard (the RNIC's
+    /// advertised limit — each server enforces its own).
     int max_outstanding = 16;
     /// §7 combining: a flush carries up to this many packet counts per
     /// F&A. 1 reproduces the paper's per-packet behaviour with
@@ -48,6 +61,8 @@ class StateStorePrimitive {
     /// §7 reliability extension (see file comment).
     bool reliable = false;
     sim::Time retransmit_timeout = sim::microseconds(100);
+    /// Failover thresholds/probing for the channel set.
+    ChannelSet::Config health;
   };
 
   struct Stats {
@@ -57,70 +72,102 @@ class StateStorePrimitive {
     std::uint64_t naks_received = 0;
     std::uint64_t accumulated = 0;       // counts deferred to a later F&A
     std::uint64_t retransmits = 0;
-    std::uint64_t max_outstanding_seen = 0;
+    std::uint64_t max_outstanding_seen = 0;  // per-shard high-water mark
     std::uint64_t counts_in_flight_lost = 0;  // unreliable mode only
+    std::uint64_t failover_reissues = 0;  // reliable in-flight re-accumulated
   };
 
+  /// Sharded over `channels` (at least one; all regions equally sized).
   StateStorePrimitive(switchsim::ProgrammableSwitch& sw,
-                      control::RdmaChannelConfig channel, Config config);
+                      std::vector<control::RdmaChannelConfig> channels,
+                      Config config);
+  /// Single-server convenience (a pool of 1).
+  StateStorePrimitive(switchsim::ProgrammableSwitch& sw,
+                      control::RdmaChannelConfig channel, Config config)
+      : StateStorePrimitive(
+            sw, std::vector<control::RdmaChannelConfig>{std::move(channel)},
+            std::move(config)) {}
 
   [[nodiscard]] const Stats& stats() const { return stats_; }
-  [[nodiscard]] const RdmaChannel& channel() const { return channel_; }
-  /// Counter slots available in the remote region.
+  [[nodiscard]] const RdmaChannel& channel(std::size_t shard = 0) const {
+    return channels_.at(shard);
+  }
+  [[nodiscard]] const ChannelSet& channels() const { return channels_; }
+  [[nodiscard]] ChannelSet& channels() { return channels_; }
+  [[nodiscard]] std::size_t shard_count() const { return channels_.size(); }
+  /// Counter slots available across all shards.
   [[nodiscard]] std::uint64_t counters() const { return n_counters_; }
-  [[nodiscard]] int outstanding() const { return outstanding_; }
+  /// Total in-flight atomics across shards.
+  [[nodiscard]] int outstanding() const;
   /// Counts recorded locally but not yet flushed (accumulators + any
   /// combining residue).
   [[nodiscard]] std::uint64_t unflushed() const;
   /// True when every observed count has been sent and acknowledged.
   [[nodiscard]] bool quiescent() const {
-    return outstanding_ == 0 && unflushed() == 0;
+    return outstanding() == 0 && unflushed() == 0;
   }
 
-  /// Force-flush accumulators (subject to the outstanding window); used
-  /// at the end of measurement runs.
+  /// Force-flush accumulators (subject to the per-shard outstanding
+  /// window and shard health); used at the end of measurement runs.
   void flush();
 
   /// Register every Stats field plus an outstanding-atomics gauge under
-  /// `<prefix>/...`, and trace one span per Fetch-and-Add on a track
-  /// named `<prefix>/chan`. Either pointer may be null.
+  /// `<prefix>/...`, and delegate per-shard channel + health metrics to
+  /// `<prefix>/shard<i>/...`. Either pointer may be null.
   void attach_telemetry(telemetry::MetricsRegistry* registry,
                         telemetry::OpTracer* tracer,
                         const std::string& prefix);
 
  private:
   void on_ingress(switchsim::PipelineContext& ctx);
-  void handle_response(const roce::RoceMessage& msg);
+  void handle_response(std::size_t shard, const roce::RoceMessage& msg);
   void record(std::uint64_t index);
   void issue(std::uint64_t index, std::uint64_t add);
   void issue_from_accumulators();
   void arm_timeout();
   void on_timeout();
+  void on_health_change(std::size_t shard, ChannelSet::Health health);
+  void make_eligible(std::uint64_t index);
 
+  [[nodiscard]] std::size_t shard_of(std::uint64_t index) const {
+    return channels_.home_shard(index);
+  }
   [[nodiscard]] std::uint64_t counter_va(std::uint64_t index) const {
-    return channel_.config().base_va + index * 8;
+    const std::uint64_t slot = index / channels_.size();
+    return channels_.at(shard_of(index)).config().base_va + slot * 8;
   }
 
   switchsim::ProgrammableSwitch* switch_;
-  RdmaChannel channel_;
+  ChannelSet channels_;
   Config config_;
-  std::uint64_t n_counters_ = 0;
+  std::uint64_t n_counters_ = 0;  // total across shards
 
-  int outstanding_ = 0;
+  std::vector<int> outstanding_;  // per shard
   /// Local accumulators (index -> pending count); indices whose count
-  /// reached the combining window queue in eligible_ awaiting a free
-  /// outstanding slot.
+  /// reached the combining window queue per home shard in eligible_
+  /// awaiting a free outstanding slot on a healthy shard.
   std::unordered_map<std::uint64_t, std::uint64_t> accumulators_;
-  std::deque<std::uint64_t> eligible_;
+  std::vector<std::deque<std::uint64_t>> eligible_;  // per shard
   std::unordered_set<std::uint64_t> eligible_set_;
 
-  /// Reliability bookkeeping: PSN -> (counter index, add value).
+  /// Reliability bookkeeping: (shard, PSN) -> (counter index, add value).
+  struct ShardPsn {
+    std::size_t shard;
+    std::uint32_t psn;
+    bool operator==(const ShardPsn&) const = default;
+  };
+  struct ShardPsnHash {
+    std::size_t operator()(const ShardPsn& k) const noexcept {
+      return std::hash<std::uint64_t>{}(
+          (static_cast<std::uint64_t>(k.shard) << 32) | k.psn);
+    }
+  };
   struct Inflight {
     std::uint64_t index = 0;
     std::uint64_t add = 0;
     sim::Time sent_at = 0;
   };
-  std::unordered_map<std::uint32_t, Inflight> inflight_;
+  std::unordered_map<ShardPsn, Inflight, ShardPsnHash> inflight_;
   sim::EventId timeout_;
   sim::Time last_progress_ = 0;
   sim::Time last_goback_ = -sim::kSecond;  // NAK-repost rate limiter

@@ -48,6 +48,14 @@ void Rnic::set_response_handler(std::uint32_t qpn, ResponseHandler handler) {
   response_handlers_[qpn] = std::move(handler);
 }
 
+void Rnic::set_alive(bool alive) {
+  alive_ = alive;
+  if (!alive_) {
+    // Queued-but-unserved requests die with the NIC.
+    rx_queue_.clear();
+  }
+}
+
 bool Rnic::handle_frame(const net::Packet& frame) {
   // Cheap dispatch: only frames that structurally look like RoCE belong
   // to the NIC; everything else goes up the host stack.
@@ -69,6 +77,11 @@ bool Rnic::handle_frame(const net::Packet& frame) {
          dst_port == net::kRoceV2Port;
   }
   if (!v1 && !v2) return false;
+
+  if (!alive_) {
+    ++stats_.dead_dropped;
+    return true;  // a dead NIC still sinks its RoCE traffic
+  }
 
   auto msg = roce::parse_roce_packet(frame);
   if (!msg) {
@@ -130,6 +143,10 @@ sim::Time Rnic::service_time(const RoceMessage& msg) const {
 }
 
 void Rnic::execute(const RoceMessage& msg) {
+  if (!alive_) {
+    ++stats_.dead_dropped;  // killed while this op was in service
+    return;
+  }
   QueuePair* qp_ptr = find_qp(msg.bth.dest_qp);
   if (qp_ptr == nullptr || qp_ptr->state != QpState::kReadyToReceive) {
     ++stats_.unknown_qp_dropped;
@@ -374,6 +391,7 @@ void Rnic::register_metrics(telemetry::MetricsRegistry& registry,
   counter("requests_received", &stats_.requests_received, "ops");
   counter("requests_dropped_overflow", &stats_.requests_dropped_overflow,
           "ops");
+  counter("dead_dropped", &stats_.dead_dropped, "ops");
   counter("corrupt_dropped", &stats_.corrupt_dropped, "ops");
   counter("unknown_qp_dropped", &stats_.unknown_qp_dropped, "ops");
   counter("writes", &stats_.writes, "ops");

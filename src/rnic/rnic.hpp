@@ -59,6 +59,7 @@ class Rnic {
   struct Stats {
     std::uint64_t requests_received = 0;
     std::uint64_t requests_dropped_overflow = 0;
+    std::uint64_t dead_dropped = 0;  // frames discarded while !alive()
     std::uint64_t corrupt_dropped = 0;
     std::uint64_t unknown_qp_dropped = 0;
     std::uint64_t writes = 0;
@@ -94,6 +95,13 @@ class Rnic {
 
   /// Requester role: deliver responses addressed to `qpn` to `handler`.
   void set_response_handler(std::uint32_t qpn, ResponseHandler handler);
+
+  /// Fault injection: a dead NIC silently eats every RoCE frame and
+  /// answers nothing (the failure the sharding layer's failover is built
+  /// to survive). Reviving it keeps QP and memory state — the model of a
+  /// firmware hang or link flap rather than a power cycle.
+  void set_alive(bool alive);
+  [[nodiscard]] bool alive() const { return alive_; }
 
   /// --- Data plane -----------------------------------------------------
   /// Offer a received frame. Returns true if it was RoCE (consumed by the
@@ -136,6 +144,7 @@ class Rnic {
 
   std::deque<roce::RoceMessage> rx_queue_;
   bool serving_ = false;
+  bool alive_ = true;
   Stats stats_;
 };
 

@@ -284,9 +284,9 @@ TEST_F(TelemetryIntegrationTest, SnapshotExposesEveryPrimitiveStatsField) {
   // Every RdmaChannel::Stats field (via each primitive's channel).
   for (const char* field : {"writes_sent", "reads_sent", "atomics_sent",
                             "request_bytes", "payload_bytes"}) {
-    EXPECT_TRUE(by_name.count("switch0/statestore/chan/" + std::string(field)))
+    EXPECT_TRUE(by_name.count("switch0/statestore/shard0/" + std::string(field)))
         << field;
-    EXPECT_TRUE(by_name.count("switch0/pktbuf/chan0/" + std::string(field)))
+    EXPECT_TRUE(by_name.count("switch0/pktbuf/shard0/" + std::string(field)))
         << field;
     EXPECT_TRUE(by_name.count("switch0/tracerec/chan/" + std::string(field)))
         << field;
@@ -328,7 +328,7 @@ TEST_F(TelemetryIntegrationTest, CountersTrackPrimitiveActivity) {
   EXPECT_EQ(reg.read("ss/sampled_packets"),
             static_cast<double>(ss.stats().sampled_packets));
   EXPECT_GT(reg.read("ss/fetch_adds_sent"), 0.0);
-  EXPECT_EQ(reg.read("ss/chan/atomics_sent"),
+  EXPECT_EQ(reg.read("ss/shard0/atomics_sent"),
             reg.read("ss/fetch_adds_sent"));
   // Every atomic got a span, and all of them closed on their AtomicAck.
   EXPECT_EQ(tracer.stats().spans_opened, ss.stats().fetch_adds_sent);
