@@ -7,6 +7,8 @@
 #   $ scripts/check.sh --tier1     # Release build + tier-1 ctest only
 #   $ scripts/check.sh --sanitize  # ASan+UBSan build + ctest only
 #   $ scripts/check.sh --fast      # alias for --tier1 (kept for habit)
+#   $ scripts/check.sh --chaos     # Release build + chaos-labeled ctests
+#                                  # (fault injection + invariant suite)
 #
 # Exits nonzero the moment any build or test step fails (set -e +
 # pipefail; a trap prints a grep-able FAIL verdict), and ends with
@@ -23,11 +25,13 @@ trap 'status=$?; if [[ $status -ne 0 ]]; then echo "CHECK FAIL (exit $status)"; 
 
 run_tier1=1
 run_sanitize=1
+run_chaos=0
 case "${1:-}" in
   --tier1|--fast) run_sanitize=0 ;;
   --sanitize) run_tier1=0 ;;
+  --chaos) run_tier1=0; run_sanitize=0; run_chaos=1 ;;
   "") ;;
-  *) echo "usage: $0 [--tier1|--sanitize|--fast]" >&2; exit 2 ;;
+  *) echo "usage: $0 [--tier1|--sanitize|--fast|--chaos]" >&2; exit 2 ;;
 esac
 
 if [[ "$run_tier1" == 1 ]]; then
@@ -35,6 +39,13 @@ if [[ "$run_tier1" == 1 ]]; then
   cmake -B "$repo/build" -S "$repo" -DCMAKE_BUILD_TYPE=Release
   cmake --build "$repo/build" -j "$jobs"
   ctest --test-dir "$repo/build" --output-on-failure -j "$jobs"
+fi
+
+if [[ "$run_chaos" == 1 ]]; then
+  echo "== chaos: Release build + chaos-labeled ctest =="
+  cmake -B "$repo/build" -S "$repo" -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$repo/build" -j "$jobs"
+  ctest --test-dir "$repo/build" -L chaos --output-on-failure -j "$jobs"
 fi
 
 if [[ "$run_sanitize" == 1 ]]; then
@@ -49,6 +60,8 @@ if [[ "$run_tier1" == 1 && "$run_sanitize" == 1 ]]; then
   echo "CHECK OK (tier1 + sanitize)"
 elif [[ "$run_tier1" == 1 ]]; then
   echo "CHECK OK (tier1)"
+elif [[ "$run_chaos" == 1 ]]; then
+  echo "CHECK OK (chaos)"
 else
   echo "CHECK OK (sanitize)"
 fi

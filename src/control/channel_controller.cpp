@@ -47,6 +47,43 @@ RdmaChannelConfig ChannelController::setup_channel(host::Host& server,
   return config;
 }
 
+RdmaChannelConfig ChannelController::reconnect(host::Host& server,
+                                               const RdmaChannelConfig& old,
+                                               const ChannelSpec& spec) {
+  if (!server.has_rnic()) {
+    throw std::invalid_argument(
+        "ChannelController: memory server has no RNIC");
+  }
+  auto& nic = server.rnic();
+
+  // 1. Re-register the surviving DRAM under a fresh rkey.
+  rnic::MemoryRegion* region = nic.memory().reregister(old.rkey);
+  if (region == nullptr) {
+    throw std::invalid_argument("reconnect: unknown rkey");
+  }
+  assert(region->base_va() == old.base_va && "region moved across restart");
+
+  // 2. Fresh server QP, fresh switch QPN + UDP port: the old identifiers
+  //    died with the NIC epoch, and reusing them would let pre-crash
+  //    responses alias into the new channel.
+  rnic::QueuePair& qp = nic.create_qp();
+  const std::uint32_t switch_qpn = next_switch_qpn_++;
+  const std::uint16_t udp_port = next_udp_port_++;
+
+  RdmaChannelConfig config = old;
+  config.local = roce::RoceEndpoint{switch_identity_.mac, switch_identity_.ip,
+                                    udp_port};
+  config.local_qpn = switch_qpn;
+  config.remote_qpn = qp.qpn;
+  config.rkey = region->rkey();
+  config.initial_psn = spec.initial_psn;
+
+  nic.connect_qp(qp.qpn, config.local, switch_qpn, spec.initial_psn);
+  qp.tolerate_psn_gaps = spec.tolerate_psn_gaps;
+
+  return config;
+}
+
 std::vector<RdmaChannelConfig> ChannelController::setup_pool(
     std::span<const PoolTarget> servers, const ChannelSpec& spec) {
   if (servers.empty()) {

@@ -50,6 +50,18 @@ class ChannelController {
   std::vector<RdmaChannelConfig> setup_pool(
       std::span<const PoolTarget> servers, const ChannelSpec& spec);
 
+  /// Recovery path: rebuild a channel against a server whose RNIC has
+  /// been restart()ed (QPs gone, rkeys invalidated, DRAM intact). The
+  /// region identified by `old.rkey` is re-registered under a fresh rkey
+  /// — same bytes, same base VA — a fresh server QP is created and
+  /// connected, and a fresh switch QPN + UDP source port are allocated
+  /// so stale pre-crash responses can never match the new channel.
+  /// `spec.initial_psn` should be the requester's current next_psn so
+  /// in-flight reposts land as duplicates rather than as PSN gaps.
+  RdmaChannelConfig reconnect(host::Host& server,
+                              const RdmaChannelConfig& old,
+                              const ChannelSpec& spec);
+
   /// Control-plane (initialization-time) access to a region's bytes on
   /// the server — used to pre-populate remote lookup tables and to read
   /// back counters for verification.

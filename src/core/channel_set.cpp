@@ -97,6 +97,17 @@ bool ChannelSet::maybe_probe_response(std::size_t shard,
   return true;
 }
 
+void ChannelSet::reconnect(std::size_t shard,
+                           control::RdmaChannelConfig config) {
+  Shard& s = shards_[shard];
+  s.channel->reconfigure(std::move(config));
+  s.probe_psns.clear();
+  s.consecutive_timeouts = 0;
+  s.consecutive_naks = 0;
+  XMEM_LOG(Info, switch_->simulator().now(), "channel-set")
+      << "shard " << shard << " reconnected (fresh QPN/PSN/rkey)";
+}
+
 void ChannelSet::mark_down(std::size_t shard) {
   Shard& s = shards_[shard];
   s.health = Health::kDown;
@@ -134,16 +145,26 @@ void ChannelSet::on_probe_timer() {
     Shard& s = shards_[i];
     if (s.health != Health::kDown) continue;
     any_down = true;
-    // Unanswered probes to a dead server accumulate; keep the tracking
-    // set bounded. A dropped entry only means an extremely late response
-    // reads as stale instead of as a probe — the next probe recovers.
-    if (s.probe_psns.size() > 1024) s.probe_psns.clear();
-    const std::uint32_t psn = s.channel->post_read(
-        s.channel->config().base_va, config_.probe_bytes);
-    // Probe spans would leak if the shard never answers; close them at
-    // injection and let health (not the tracer) track the outcome.
-    s.channel->trace_complete(psn, "probe");
-    s.probe_psns.insert(psn);
+    if (s.probe_psns.empty()) {
+      const std::uint32_t psn = s.channel->post_read(
+          s.channel->config().base_va, config_.probe_bytes);
+      // Probe spans would leak if the shard never answers; close them at
+      // injection and let health (not the tracer) track the outcome.
+      s.channel->trace_complete(psn, "probe");
+      s.probe_psns.insert(psn);
+    } else {
+      // Retransmit the outstanding probe rather than posting a fresh
+      // one: on a strict-RC channel every lost probe would otherwise
+      // leave a sequence hole that no requester ever fills, wedging the
+      // stream until PSN wraparound. (max_tracked_probe_psns bounds the
+      // set as a backstop; with retransmission it never exceeds one.)
+      if (s.probe_psns.size() > config_.max_tracked_probe_psns) {
+        s.probe_psns.clear();
+        continue;
+      }
+      s.channel->repost_read(s.channel->config().base_va,
+                             config_.probe_bytes, *s.probe_psns.begin());
+    }
     ++s.stats.probes_sent;
   }
   if (any_down) schedule_probe();

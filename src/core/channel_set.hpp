@@ -52,6 +52,11 @@ class ChannelSet {
     sim::Time probe_interval = sim::milliseconds(1);
     /// Bytes fetched by each probe READ (from the region base).
     std::uint32_t probe_bytes = 8;
+    /// Unanswered probes to a dead server accumulate in a tracking set;
+    /// past this size the set is cleared (an extremely late response
+    /// then reads as stale instead of as a probe — the next probe
+    /// recovers). Chaos plans shrink this to exercise the cap.
+    std::size_t max_tracked_probe_psns = 1024;
   };
 
   struct ShardStats {
@@ -122,6 +127,14 @@ class ChannelSet {
   bool maybe_probe_response(std::size_t shard, const roce::RoceMessage& msg);
 
   void set_health_fn(HealthFn fn) { health_fn_ = std::move(fn); }
+
+  /// Swap in a rebuilt channel config for `shard` (after the control
+  /// plane reconnected against a restarted server). The shard's channel
+  /// is re-pointed at the fresh {QPN, PSN, rkey}, pending probe PSNs
+  /// and health streaks are cleared, but the shard STAYS in its current
+  /// health state — the next probe (or real response) through the new
+  /// channel proves the server back and flips it up.
+  void reconnect(std::size_t shard, control::RdmaChannelConfig config);
 
   [[nodiscard]] const ShardStats& shard_stats(std::size_t shard) const {
     return shards_[shard].stats;

@@ -70,6 +70,7 @@ void LookupTablePrimitive::attach_telemetry(
     counter("held_packets", &stats_.held_packets, "packets");
     counter("lost_responses", &stats_.lost_responses, "ops");
     counter("oversized_drops", &stats_.oversized_drops, "packets");
+    counter("duplicate_responses", &stats_.duplicate_responses, "ops");
     counter("degraded_passthrough", &stats_.degraded_passthrough, "packets");
     registry->register_gauge(
         prefix + "/outstanding",
@@ -227,7 +228,10 @@ void LookupTablePrimitive::handle_response(std::size_t shard,
 
   if (config_.mode == Mode::kBounce) {
     auto it = inflight_.find(ShardPsn{shard, msg.bth.psn});
-    if (it == inflight_.end()) return;  // stale
+    if (it == inflight_.end()) {
+      ++stats_.duplicate_responses;  // stale or duplicated delivery
+      return;
+    }
     inflight_.erase(it);
     channels_.note_ok(shard);
     channels_.at(shard).trace_complete(msg.bth.psn);
@@ -263,7 +267,10 @@ void LookupTablePrimitive::handle_response(std::size_t shard,
 
   // Recirculate mode.
   auto it = pending_.find(ShardPsn{shard, msg.bth.psn});
-  if (it == pending_.end()) return;
+  if (it == pending_.end()) {
+    ++stats_.duplicate_responses;  // stale or duplicated delivery
+    return;
+  }
   net::Packet packet = std::move(it->second.packet);
   pending_.erase(it);
   channels_.note_ok(shard);
@@ -299,6 +306,19 @@ void LookupTablePrimitive::on_health_change(std::size_t shard,
   // unanswerable. Reclaim the switch-side state at once instead of
   // letting the scavenger expire it piecemeal; bounce-mode originals are
   // already in the dead server's DRAM and are simply lost.
+  reclaim_shard(shard);
+}
+
+void LookupTablePrimitive::reconnect(std::size_t shard,
+                                     control::RdmaChannelConfig config) {
+  // Lookups in flight against the old NIC epoch will never answer
+  // through the new channel (fresh QPN, stale READ responses cannot
+  // alias it): reclaim them now instead of waiting for the scavenger.
+  reclaim_shard(shard);
+  channels_.reconnect(shard, std::move(config));
+}
+
+void LookupTablePrimitive::reclaim_shard(std::size_t shard) {
   std::vector<ShardPsn> keys;
   for (const auto& [key, sent_at] : inflight_) {
     if (key.shard == shard) keys.push_back(key);

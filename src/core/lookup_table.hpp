@@ -82,6 +82,7 @@ class LookupTablePrimitive {
     std::uint64_t lost_responses = 0;   // lookups abandoned (timeout/failover)
     std::uint64_t oversized_drops = 0;  // packet too big for the entry slot
     std::uint64_t degraded_passthrough = 0;  // home shard down: no lookup
+    std::uint64_t duplicate_responses = 0;   // stale/duplicated deliveries
   };
 
   // Entry layout constants.
@@ -123,6 +124,13 @@ class LookupTablePrimitive {
                         telemetry::OpTracer* tracer,
                         const std::string& prefix);
 
+  /// Swap in a rebuilt channel for `shard` after its server's RNIC was
+  /// restart()ed and ChannelController::reconnect produced `config`.
+  /// Lookups still in flight against the old epoch are reclaimed as
+  /// lost_responses first (their responses can never arrive on the new
+  /// queue pair).
+  void reconnect(std::size_t shard, control::RdmaChannelConfig config);
+
   /// --- Control-plane population ---------------------------------------
   /// Hash `key` to its entry index (what the data plane computes).
   [[nodiscard]] static std::uint64_t index_for_key(
@@ -155,6 +163,7 @@ class LookupTablePrimitive {
   void remote_lookup(switchsim::PipelineContext& ctx,
                      std::span<const std::uint8_t> key);
   void on_health_change(std::size_t shard, ChannelSet::Health health);
+  void reclaim_shard(std::size_t shard);
   void arm_timeout();
   void on_timeout();
   /// Apply `action` to `packet`; returns the egress port, or nullopt if

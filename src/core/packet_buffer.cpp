@@ -58,9 +58,12 @@ void PacketBufferPrimitive::attach_telemetry(
     counter("ring_full_drops", &stats_.ring_full_drops, "packets");
     counter("lost_loads", &stats_.lost_loads, "packets");
     counter("read_retries", &stats_.read_retries, "ops");
+    counter("write_retries", &stats_.write_retries, "ops");
+    counter("deferred_stores", &stats_.deferred_stores, "packets");
     counter("naks", &stats_.naks, "ops");
     counter("ecn_marked", &stats_.ecn_marked, "packets");
     counter("dead_stripe_drops", &stats_.dead_stripe_drops, "packets");
+    counter("duplicate_responses", &stats_.duplicate_responses, "ops");
     registry->register_counter(
         prefix + "/max_ring_depth",
         [this]() { return stats_.max_ring_depth; }, "entries");
@@ -113,8 +116,26 @@ void PacketBufferPrimitive::store_packet(const net::Packet& packet) {
     ++stats_.ring_full_drops;  // remote buffer exhausted: best-effort drop
     return;
   }
+  std::vector<std::uint8_t> entry;
+  entry.reserve(4 + packet.size());
+  net::ByteWriter w(entry);
+  w.u32(static_cast<std::uint32_t>(packet.size()));
+  w.bytes(packet.bytes());
+
   const auto stripe = channels_.route(head_);
   if (!stripe) {
+    if (config_.reliable_stores) {
+      // Defer, don't drop: the slot is allocated *now* so global FIFO
+      // order over the stripes survives, and the entry posts when the
+      // stripe revives.
+      unacked_slots_.insert(head_);
+      deferred_stores_.emplace(head_, std::move(entry));
+      ++head_;
+      ++stats_.deferred_stores;
+      const std::int64_t d = static_cast<std::int64_t>(head_ - tail_);
+      if (d > stats_.max_ring_depth) stats_.max_ring_depth = d;
+      return;
+    }
     // Drop-tail on the dead stripe: the slot is consumed as a hole so
     // the ring keeps striping onto the surviving servers in order, but
     // this packet is gone — a WRITE to a dead server lands nowhere.
@@ -124,13 +145,18 @@ void PacketBufferPrimitive::store_packet(const net::Packet& packet) {
     drain_reorder_buffer();
     return;
   }
-  std::vector<std::uint8_t> entry;
-  entry.reserve(4 + packet.size());
-  net::ByteWriter w(entry);
-  w.u32(static_cast<std::uint32_t>(packet.size()));
-  w.bytes(packet.bytes());
 
-  channels_.at(*stripe).post_write(slot_va(head_), entry);
+  if (config_.reliable_stores) {
+    const std::uint32_t psn = channels_.at(*stripe).post_write(
+        slot_va(head_), entry, /*ack_req=*/true);
+    unacked_slots_.insert(head_);
+    inflight_writes_.emplace(
+        InflightKey{*stripe, psn},
+        PendingWrite{head_, std::move(entry), switch_->simulator().now()});
+    arm_timeout();
+  } else {
+    channels_.at(*stripe).post_write(slot_va(head_), entry);
+  }
   ++head_;
   ++stats_.stored;
   const std::int64_t depth = static_cast<std::int64_t>(head_ - tail_);
@@ -152,6 +178,9 @@ void PacketBufferPrimitive::maybe_issue_reads() {
     if (reorder_.contains(next_read_slot_)) {
       ++next_read_slot_;  // already a hole (dead-stripe store): skip
       continue;
+    }
+    if (unacked_slots_.contains(next_read_slot_)) {
+      break;  // entry WRITE not acknowledged yet: reading would race it
     }
     const std::size_t chan = channel_of(next_read_slot_);
     if (!channels_.is_up(chan)) {
@@ -183,7 +212,10 @@ void PacketBufferPrimitive::handle_response(std::size_t channel_index,
   const roce::Opcode op = msg.opcode();
   if (roce::is_read_response(op)) {
     auto it = inflight_.find(InflightKey{channel_index, msg.bth.psn});
-    if (it == inflight_.end()) return;  // stale duplicate
+    if (it == inflight_.end()) {
+      ++stats_.duplicate_responses;  // stale or duplicated delivery
+      return;
+    }
     const std::uint64_t slot = it->second;
     inflight_.erase(it);
     --inflight_per_channel_[channel_index];
@@ -209,7 +241,33 @@ void PacketBufferPrimitive::handle_response(std::size_t channel_index,
     return;
   }
 
+  if (op == roce::Opcode::kAcknowledge &&
+      (!msg.aeth || !msg.aeth->is_nak())) {
+    // Positive ACK: completes a reliable-store WRITE.
+    auto it = inflight_writes_.find(InflightKey{channel_index, msg.bth.psn});
+    if (it == inflight_writes_.end()) {
+      ++stats_.duplicate_responses;  // stale or duplicated delivery
+      return;
+    }
+    const std::uint64_t slot = it->second.slot;
+    inflight_writes_.erase(it);
+    unacked_slots_.erase(slot);
+    last_read_progress_ = switch_->simulator().now();
+    channels_.note_ok(channel_index);
+    channels_.at(channel_index).trace_complete(msg.bth.psn);
+    maybe_issue_reads();
+    return;
+  }
+
   if ((op == roce::Opcode::kAcknowledge) && msg.aeth && msg.aeth->is_nak()) {
+    // Duplicated NAK frames must not double-count naks or the health
+    // streak.
+    if (!nak_dedup_.first_time(DedupWindow::key(
+            channel_index, msg.bth.psn, msg.aeth->msn,
+            static_cast<std::uint8_t>(msg.aeth->syndrome)))) {
+      ++stats_.duplicate_responses;
+      return;
+    }
     ++stats_.naks;
     channels_.note_nak(channel_index, msg.aeth->syndrome);
     // The op's span stays open — either the timeout retransmits it
@@ -219,9 +277,48 @@ void PacketBufferPrimitive::handle_response(std::size_t channel_index,
   }
 }
 
+void PacketBufferPrimitive::reconnect(std::size_t stripe,
+                                      control::RdmaChannelConfig config) {
+  channels_.reconnect(stripe, std::move(config));
+  // Any request in flight across the crash may have been lost, but the
+  // stripe's DRAM survived and duplicates are idempotent at the
+  // responder (WRITEs re-execute, READs re-serve), so rerun the
+  // up-transition recovery straight away rather than waiting a timeout
+  // round. If the health machinery marked the stripe down, the probe
+  // path runs the same recovery once it answers.
+  if (channels_.is_up(stripe)) {
+    on_health_change(stripe, ChannelSet::Health::kUp);
+  }
+}
+
 void PacketBufferPrimitive::on_health_change(std::size_t shard,
                                              ChannelSet::Health health) {
   if (health == ChannelSet::Health::kUp) {
+    if (config_.reliable_stores) {
+      // Unacknowledged WRITEs may or may not have landed before the
+      // stripe died; repost them (original PSN — the responder
+      // re-executes duplicates of self-contained writes idempotently).
+      for (const auto& [key, w] : inflight_writes_) {
+        if (key.channel != shard) continue;
+        channels_.at(shard).repost_write(slot_va(w.slot), w.entry, key.psn);
+        ++stats_.write_retries;
+      }
+      // Post the entries that were parked while the stripe was down.
+      std::vector<std::uint64_t> posted;
+      for (auto& [slot, entry] : deferred_stores_) {
+        if (channel_of(slot) != shard) continue;
+        const std::uint32_t psn = channels_.at(shard).post_write(
+            slot_va(slot), entry, /*ack_req=*/true);
+        inflight_writes_.emplace(
+            InflightKey{shard, psn},
+            PendingWrite{slot, std::move(entry),
+                         switch_->simulator().now()});
+        ++stats_.stored;
+        posted.push_back(slot);
+      }
+      for (const std::uint64_t slot : posted) deferred_stores_.erase(slot);
+      if (!posted.empty()) arm_timeout();
+    }
     if (config_.reliable_loads) {
       // The stripe is back and its DRAM still holds our frames:
       // re-request everything that was outstanding when it died.
@@ -312,22 +409,38 @@ void PacketBufferPrimitive::arm_timeout() {
 }
 
 void PacketBufferPrimitive::on_timeout() {
-  if (inflight_.empty()) return;
+  if (inflight_.empty() && inflight_writes_.empty()) return;
   const sim::Time now = switch_->simulator().now();
   if (now - last_read_progress_ >= config_.read_timeout) {
     // Snapshot what was stalled *before* reporting: note_timeout() can
     // trip a down transition whose handler reclaims entries and posts
     // fresh READs, and those must not be swept up below.
     std::vector<InflightKey> stale;
+    std::vector<InflightKey> stale_writes;
     std::vector<bool> stalled(channels_.size(), false);
     for (const auto& [key, slot] : inflight_) {
       stale.push_back(key);
       stalled[key.channel] = true;
     }
-    // One timeout observation per stripe with stalled READs: this is
+    for (const auto& [key, w] : inflight_writes_) {
+      stale_writes.push_back(key);
+      stalled[key.channel] = true;
+    }
+    // One timeout observation per stripe with stalled ops: this is
     // what eventually trips a dead stripe's health state.
     for (std::size_t chan = 0; chan < stalled.size(); ++chan) {
       if (stalled[chan]) channels_.note_timeout(chan);
+    }
+    // Retransmit unacknowledged entry WRITEs on live stripes (original
+    // PSN; duplicates are re-executed idempotently at the responder).
+    for (const InflightKey& key : stale_writes) {
+      auto it = inflight_writes_.find(key);
+      if (it == inflight_writes_.end() || !channels_.is_up(key.channel)) {
+        continue;
+      }
+      channels_.at(key.channel).repost_write(slot_va(it->second.slot),
+                                             it->second.entry, key.psn);
+      ++stats_.write_retries;
     }
     if (config_.reliable_loads) {
       // Re-request every outstanding slot with its original PSN: the

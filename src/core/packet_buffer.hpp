@@ -26,9 +26,11 @@
 #include <cstdint>
 #include <map>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "core/channel_set.hpp"
+#include "core/dedup_window.hpp"
 #include "switchsim/switch.hpp"
 
 namespace xmem::core {
@@ -48,6 +50,16 @@ class PacketBufferPrimitive {
     /// trigger generalized to a small pipeline; depth 1 is the literal
     /// "response triggers the next request"). Applied per channel.
     int read_pipeline_depth = 8;
+    /// Reliable stores: every entry WRITE requests an ACK and is
+    /// retransmitted (original PSN, kept in switch SRAM) until
+    /// acknowledged; a READ for a slot is gated until its WRITE is
+    /// acked, and a store aimed at a down stripe is *deferred* (slot
+    /// allocated immediately so global FIFO order survives; the entry
+    /// posts when the stripe revives) instead of dropped. Requires
+    /// gap-tolerant channels (reposts may arrive out of order). Combined
+    /// with reliable_loads this is the no-loss mode the chaos harness's
+    /// invariants assert.
+    bool reliable_stores = false;
     /// §7 extension: recover lost READ data via re-request + reorder
     /// buffer instead of treating it as a packet drop. Across a stripe
     /// failover, reliable mode holds the drain at the dead stripe until
@@ -80,9 +92,12 @@ class PacketBufferPrimitive {
     std::uint64_t ring_full_drops = 0; // remote buffer exhausted
     std::uint64_t lost_loads = 0;      // READ data lost (unreliable mode)
     std::uint64_t read_retries = 0;    // reliable-mode re-requests
+    std::uint64_t write_retries = 0;   // reliable-store retransmits
+    std::uint64_t deferred_stores = 0; // stores parked for a down stripe
     std::uint64_t naks = 0;
     std::uint64_t ecn_marked = 0;      // ring-depth CE marks applied
     std::uint64_t dead_stripe_drops = 0;  // drop-tail on a down stripe
+    std::uint64_t duplicate_responses = 0;  // stale/duplicated deliveries
     std::int64_t max_ring_depth = 0;   // high-water mark, in entries
   };
 
@@ -114,6 +129,14 @@ class PacketBufferPrimitive {
   /// Total slots across all stripes.
   [[nodiscard]] std::size_t ring_capacity() const { return capacity_; }
 
+  /// True when nothing is in flight or parked anywhere: the ring has
+  /// fully drained, every store was acknowledged and no READ or
+  /// deferred entry is pending.
+  [[nodiscard]] bool quiescent() const {
+    return tail_ == head_ && inflight_.empty() && inflight_writes_.empty() &&
+           deferred_stores_.empty();
+  }
+
   /// §5 microbenchmark control: gate the load path.
   void set_load_enabled(bool enabled);
   [[nodiscard]] bool load_enabled() const { return config_.load_enabled; }
@@ -124,6 +147,13 @@ class PacketBufferPrimitive {
   void attach_telemetry(telemetry::MetricsRegistry* registry,
                         telemetry::OpTracer* tracer,
                         const std::string& prefix);
+
+  /// Swap in a rebuilt channel for `stripe` after its server's RNIC was
+  /// restart()ed and ChannelController::reconnect produced `config`. The
+  /// restarted server still holds the stripe's DRAM, so outstanding
+  /// WRITEs/READs are reposted (duplicates are idempotent) rather than
+  /// reclaimed.
+  void reconnect(std::size_t stripe, control::RdmaChannelConfig config);
 
  private:
   void on_ingress(switchsim::PipelineContext& ctx);
@@ -175,6 +205,22 @@ class PacketBufferPrimitive {
   std::unordered_map<InflightKey, std::uint64_t, InflightKeyHash>
       inflight_;                              // (chan, psn) -> slot
   std::vector<int> inflight_per_channel_;
+
+  // Reliable-store bookkeeping (all empty unless reliable_stores).
+  struct PendingWrite {
+    std::uint64_t slot = 0;
+    std::vector<std::uint8_t> entry;  // kept for retransmission
+    sim::Time sent_at = 0;
+  };
+  std::unordered_map<InflightKey, PendingWrite, InflightKeyHash>
+      inflight_writes_;                       // (chan, psn) -> write
+  /// Slots whose entry WRITE is not yet acknowledged (or still
+  /// deferred); READs for them are gated.
+  std::unordered_set<std::uint64_t> unacked_slots_;
+  /// slot -> entry bytes parked while the slot's stripe is down.
+  std::map<std::uint64_t, std::vector<std::uint8_t>> deferred_stores_;
+  /// Duplicate NAK frames have no inflight entry to no-op against.
+  DedupWindow nak_dedup_;
   /// slot -> recovered frame; an empty Packet is a *hole* (that slot's
   /// data is known lost — dead stripe or unrecovered READ) that the
   /// drain skips over.

@@ -129,6 +129,29 @@ std::uint32_t RdmaChannel::post_read(std::uint64_t va, std::uint32_t len) {
   return psn;
 }
 
+void RdmaChannel::reconfigure(control::RdmaChannelConfig config) {
+  assert(config.switch_port >= 0 && "channel has no egress port");
+  config_ = std::move(config);
+  next_psn_ = config_.initial_psn & roce::kPsnMask;
+}
+
+void RdmaChannel::repost_write(std::uint64_t va,
+                               std::span<const std::uint8_t> payload,
+                               std::uint32_t psn, bool ack_req) {
+  assert(payload.size() <= config_.path_mtu &&
+         "repost_write: payload exceeds one MTU");
+  RoceMessage msg;
+  msg.bth.opcode = Opcode::kRdmaWriteOnly;
+  msg.bth.dest_qp = config_.remote_qpn;
+  msg.bth.psn = psn;
+  msg.bth.ack_req = ack_req;
+  msg.reth = roce::Reth{va, config_.rkey,
+                        static_cast<std::uint32_t>(payload.size())};
+  msg.payload.assign(payload.begin(), payload.end());
+  trace_retransmit(psn);
+  inject(std::move(msg));
+}
+
 void RdmaChannel::repost_read(std::uint64_t va, std::uint32_t len,
                               std::uint32_t psn) {
   RoceMessage msg;

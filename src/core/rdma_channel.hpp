@@ -59,6 +59,12 @@ class RdmaChannel {
   /// Does not advance the PSN register.
   void repost_read(std::uint64_t va, std::uint32_t len, std::uint32_t psn);
 
+  /// Retransmit a single-segment WRITE with its original PSN (reliable
+  /// stores). Does not advance the PSN register; the payload must fit in
+  /// one MTU so the repost is self-contained (ONLY opcode).
+  void repost_write(std::uint64_t va, std::span<const std::uint8_t> payload,
+                    std::uint32_t psn, bool ack_req = true);
+
   /// Craft and inject an atomic Fetch-and-Add of `add` at `va`.
   /// Returns the PSN used (the AtomicAck echoes it).
   std::uint32_t post_fetch_add(std::uint64_t va, std::uint64_t add);
@@ -83,6 +89,12 @@ class RdmaChannel {
   }
 
   [[nodiscard]] std::uint32_t next_psn() const { return next_psn_; }
+
+  /// Point the channel at a rebuilt remote endpoint (after
+  /// ChannelController::reconnect): swaps in the new config and resets
+  /// the PSN register to its initial_psn. Stats and telemetry
+  /// attachments persist across the swap.
+  void reconfigure(control::RdmaChannelConfig config);
 
   /// --- Telemetry -------------------------------------------------------
   /// Hook the channel into the telemetry layer. `registry` (nullable)

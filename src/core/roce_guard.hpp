@@ -1,0 +1,44 @@
+// RoceGuard: the switch-side ICRC verification stage.
+//
+// build_roce_packet crafts an ICRC over the invariant fields and
+// parse_roce_packet refuses frames whose ICRC does not match — but the
+// primitives' stages treat an unparseable RoCE frame as "not mine" and
+// let it fall through to L2 forwarding, so before this stage a corrupted
+// READ response would be *forwarded to a host* instead of dropped the
+// way real RoCE hardware drops it. Install RoceGuard ahead of every
+// primitive stage: frames that are structurally RoCEv2 but fail the
+// ICRC check are dropped there, counted, and never reach a primitive.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "switchsim/switch.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace xmem::core {
+
+class RoceGuard {
+ public:
+  struct Stats {
+    std::uint64_t checked = 0;        ///< RoCEv2 frames ICRC-verified.
+    std::uint64_t corrupt_dropped = 0;
+  };
+
+  /// Installs the "roce-guard" ingress stage. Must be added before any
+  /// primitive's stage (stages run in registration order).
+  explicit RoceGuard(switchsim::ProgrammableSwitch& sw);
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  /// Registers `<prefix>/{checked, corrupt_dropped}`.
+  void register_metrics(telemetry::MetricsRegistry& registry,
+                        const std::string& prefix);
+
+ private:
+  void stage(switchsim::PipelineContext& ctx);
+
+  Stats stats_;
+};
+
+}  // namespace xmem::core

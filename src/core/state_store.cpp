@@ -27,6 +27,7 @@ StateStorePrimitive::StateStorePrimitive(
   n_counters_ = (region_bytes / 8) * channels_.size();
   assert(n_counters_ > 0);
   outstanding_.assign(channels_.size(), 0);
+  last_progress_.assign(channels_.size(), 0);
   eligible_.resize(channels_.size());
   channels_.set_health_fn([this](std::size_t shard, ChannelSet::Health h) {
     on_health_change(shard, h);
@@ -66,6 +67,7 @@ void StateStorePrimitive::attach_telemetry(
     counter("max_outstanding_seen", &stats_.max_outstanding_seen, "ops");
     counter("counts_in_flight_lost", &stats_.counts_in_flight_lost, "counts");
     counter("failover_reissues", &stats_.failover_reissues, "counts");
+    counter("duplicate_responses", &stats_.duplicate_responses, "ops");
     registry->register_gauge(
         prefix + "/outstanding",
         [this]() { return static_cast<double>(outstanding()); }, "ops");
@@ -169,17 +171,28 @@ void StateStorePrimitive::handle_response(std::size_t shard,
   const roce::Opcode op = msg.opcode();
   if (op == roce::Opcode::kAtomicAcknowledge) {
     auto it = inflight_.find(ShardPsn{shard, msg.bth.psn});
-    if (it == inflight_.end()) return;  // duplicate/stale response
+    if (it == inflight_.end()) {
+      ++stats_.duplicate_responses;  // already completed: duplicate/stale
+      return;
+    }
     inflight_.erase(it);
     --outstanding_[shard];
     ++stats_.acks_received;
-    last_progress_ = switch_->simulator().now();
+    last_progress_[shard] = switch_->simulator().now();
     channels_.note_ok(shard);
     channel.trace_complete(msg.bth.psn);
     issue_from_accumulators();
     return;
   }
   if (op == roce::Opcode::kAcknowledge && msg.aeth && msg.aeth->is_nak()) {
+    // A duplicated NAK frame must not double-count naks_received or the
+    // shard's health streak, and must not trigger a second repost round.
+    if (!nak_dedup_.first_time(DedupWindow::key(
+            shard, msg.bth.psn, msg.aeth->msn,
+            static_cast<std::uint8_t>(msg.aeth->syndrome)))) {
+      ++stats_.duplicate_responses;
+      return;
+    }
     ++stats_.naks_received;
     channels_.note_nak(shard, msg.aeth->syndrome);
     const std::string nak_status =
@@ -206,7 +219,7 @@ void StateStorePrimitive::handle_response(std::size_t shard,
       if (it != inflight_.end()) {
         inflight_.erase(it);
         --outstanding_[shard];
-        last_progress_ = switch_->simulator().now();
+        last_progress_[shard] = switch_->simulator().now();
         channel.trace_complete(msg.bth.psn, nak_status);
         issue_from_accumulators();
       }
@@ -221,8 +234,17 @@ void StateStorePrimitive::handle_response(std::size_t shard,
     // every out-of-order arrival generates a NAK, and answering each with
     // a full repost storm would feed on itself.
     const sim::Time now = switch_->simulator().now();
-    if (now - last_goback_ < sim::microseconds(20)) return;
+    if (now - last_goback_ < config_.goback_min_interval) return;
     last_goback_ = now;
+
+    // The expected PSN may be a hole nobody will ever repost — a probe
+    // that consumed a PSN while the shard was down, or an op reclaimed
+    // at reconnect(). Fill it with a no-op READ so the responder's
+    // sequence check can walk past it; the real reposts follow.
+    if (!inflight_.contains(ShardPsn{shard, msg.bth.psn})) {
+      channel.repost_read(channel.config().base_va, 8, msg.bth.psn);
+      ++stats_.retransmits;
+    }
 
     std::vector<std::uint32_t> psns;
     psns.reserve(inflight_.size());
@@ -252,13 +274,59 @@ void StateStorePrimitive::flush() {
 void StateStorePrimitive::on_health_change(std::size_t shard,
                                            ChannelSet::Health health) {
   if (health == ChannelSet::Health::kUp) {
+    if (config_.reliable) {
+      // The window was held across the outage: replay it in PSN order so
+      // the responder's sequence check walks forward through the stream
+      // it remembers. Reclaiming here instead would leave PSN holes that
+      // no requester ever retransmits — a wedged strict-RC channel.
+      last_progress_[shard] = switch_->simulator().now();
+      replay_window(shard);
+    }
     // The shard's deferred counts have been accumulating; drain them.
     issue_from_accumulators();
     return;
   }
-  // Down transition: reclaim this shard's in-flight window. Reliable mode
-  // folds the adds back into the accumulators (re-issued on recovery:
-  // at-least-once across a failover); unreliable mode counts them lost.
+  // Down transition: best-effort mode reclaims the window, counting the
+  // in-flight adds lost. Reliable mode HOLDS it — the ops stay in
+  // inflight_ for replay on recovery, or are reclaimed by reconnect()
+  // when the server returns as a fresh epoch with an empty replay cache.
+  if (!config_.reliable) reclaim_shard(shard);
+}
+
+void StateStorePrimitive::replay_window(std::size_t shard) {
+  std::vector<std::uint32_t> psns;
+  for (const auto& [key, f] : inflight_) {
+    if (key.shard == shard) psns.push_back(key.psn);
+  }
+  if (psns.empty()) return;
+  last_goback_ = switch_->simulator().now();
+  std::sort(psns.begin(), psns.end(), [](std::uint32_t a, std::uint32_t b) {
+    return roce::psn_distance(a, b) > 0;
+  });
+  for (const std::uint32_t psn : psns) {
+    const auto& f = inflight_.at(ShardPsn{shard, psn});
+    channels_.at(shard).repost_fetch_add(counter_va(f.index), f.add, psn);
+    ++stats_.retransmits;
+  }
+}
+
+void StateStorePrimitive::reconnect(std::size_t shard,
+                                    control::RdmaChannelConfig config) {
+  // The new NIC epoch never executed this shard's in-flight atomics and
+  // its replay cache cannot answer their reposts — those would come back
+  // NAK invalid-request and be treated as completed, silently dropping
+  // the counts. Reclaim the window first (reliable mode re-accumulates
+  // the adds), then swap in the rebuilt channel and let anything
+  // reclaimed re-issue immediately if the shard is still routable.
+  reclaim_shard(shard);
+  channels_.reconnect(shard, std::move(config));
+  // The rebuilt channel counts as progress: don't let a stale stamp
+  // trigger an immediate replay round against the fresh epoch.
+  last_progress_[shard] = switch_->simulator().now();
+  issue_from_accumulators();
+}
+
+void StateStorePrimitive::reclaim_shard(std::size_t shard) {
   std::vector<ShardPsn> keys;
   for (const auto& [key, f] : inflight_) {
     if (key.shard == shard) keys.push_back(key);
@@ -291,30 +359,23 @@ void StateStorePrimitive::on_timeout() {
   }
   const sim::Time now = switch_->simulator().now();
   if (config_.reliable) {
-    if (now - last_progress_ >= config_.retransmit_timeout) {
-      // Replay each shard's whole window in PSN order (an unordered
-      // replay would trip the responder's sequence check and NAK-storm).
-      // Every silent replay round is one timeout observation per shard —
-      // what eventually flips a dead shard's health even in reliable
-      // mode.
-      std::vector<std::vector<std::uint32_t>> psns(channels_.size());
-      for (const auto& [key, f] : inflight_) psns[key.shard].push_back(key.psn);
-      last_goback_ = now;
-      for (std::size_t shard = 0; shard < psns.size(); ++shard) {
-        if (psns[shard].empty()) continue;
-        channels_.note_timeout(shard);
-        if (!channels_.is_up(shard)) continue;  // just failed over
-        std::sort(psns[shard].begin(), psns[shard].end(),
-                  [](std::uint32_t a, std::uint32_t b) {
-                    return roce::psn_distance(a, b) > 0;
-                  });
-        for (const std::uint32_t psn : psns[shard]) {
-          const auto& f = inflight_.at(ShardPsn{shard, psn});
-          channels_.at(shard).repost_fetch_add(counter_va(f.index), f.add,
-                                               psn);
-          ++stats_.retransmits;
-        }
-      }
+    // Replay each silent shard's whole window in PSN order (an unordered
+    // replay would trip the responder's sequence check and NAK-storm).
+    // Progress is judged per shard — a healthy shard's ACK stream must
+    // not mask a dead one — and every silent replay round is one timeout
+    // observation against that shard, which eventually flips a dead
+    // shard's health even in reliable mode.
+    std::vector<std::uint64_t> window(channels_.size(), 0);
+    for (const auto& [key, f] : inflight_) ++window[key.shard];
+    for (std::size_t shard = 0; shard < window.size(); ++shard) {
+      if (window[shard] == 0) continue;
+      if (now - last_progress_[shard] < config_.retransmit_timeout) continue;
+      channels_.note_timeout(shard);
+      // Replay even while the shard is marked down: the held window is
+      // exactly what the responder's sequence check is waiting on, and
+      // the recovery probe can only be answered once the stream has
+      // advanced past it.
+      replay_window(shard);
     }
   } else {
     // Unreliable mode: reclaim leaked window slots so the primitive keeps

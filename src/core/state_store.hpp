@@ -21,9 +21,12 @@
 // The optional reliability layer (§7) parses ACKs/NAKs: inflight adds are
 // remembered per PSN and retransmitted on NAK or timeout; together with
 // the responder's atomic replay cache this yields exactly-once counting
-// over a lossy link. Across a shard failover, reliable mode re-issues the
-// in-flight adds when the shard returns (at-least-once across failures);
-// unreliable mode counts them lost.
+// over a lossy link. Across a shard outage, reliable mode holds the
+// in-flight window and replays it in PSN order on recovery — still
+// exactly-once, since the responder's replay cache survives. Only
+// reconnect() to a restarted server (fresh epoch, empty replay cache)
+// reclaims the window, folding the adds back into the accumulators for
+// re-issue. Unreliable mode counts in-flight adds lost on any failover.
 #pragma once
 
 #include <cstdint>
@@ -34,6 +37,7 @@
 #include <vector>
 
 #include "core/channel_set.hpp"
+#include "core/dedup_window.hpp"
 #include "core/rdma_channel.hpp"
 #include "switchsim/switch.hpp"
 
@@ -61,6 +65,11 @@ class StateStorePrimitive {
     /// §7 reliability extension (see file comment).
     bool reliable = false;
     sim::Time retransmit_timeout = sim::microseconds(100);
+    /// Minimum spacing between NAK-triggered go-back-N repost rounds
+    /// (every out-of-order arrival generates a NAK; answering each with
+    /// a full repost storm would feed on itself). Chaos plans compress
+    /// this to speed up recovery under heavy loss.
+    sim::Time goback_min_interval = sim::microseconds(20);
     /// Failover thresholds/probing for the channel set.
     ChannelSet::Config health;
   };
@@ -75,6 +84,9 @@ class StateStorePrimitive {
     std::uint64_t max_outstanding_seen = 0;  // per-shard high-water mark
     std::uint64_t counts_in_flight_lost = 0;  // unreliable mode only
     std::uint64_t failover_reissues = 0;  // reliable in-flight re-accumulated
+    /// Responses (ACK or NAK) discarded as duplicates of one already
+    /// processed — the network delivered the same frame twice.
+    std::uint64_t duplicate_responses = 0;
   };
 
   /// Sharded over `channels` (at least one; all regions equally sized).
@@ -111,6 +123,13 @@ class StateStorePrimitive {
   /// window and shard health); used at the end of measurement runs.
   void flush();
 
+  /// Swap in a rebuilt channel for `shard` after its server's RNIC was
+  /// restart()ed and ChannelController::reconnect produced `config`.
+  /// The shard's in-flight atomics are reclaimed first — the new epoch's
+  /// replay cache cannot answer their reposts — with reliable mode
+  /// folding the adds back into the accumulators for re-issue.
+  void reconnect(std::size_t shard, control::RdmaChannelConfig config);
+
   /// Register every Stats field plus an outstanding-atomics gauge under
   /// `<prefix>/...`, and delegate per-shard channel + health metrics to
   /// `<prefix>/shard<i>/...`. Either pointer may be null.
@@ -127,6 +146,9 @@ class StateStorePrimitive {
   void arm_timeout();
   void on_timeout();
   void on_health_change(std::size_t shard, ChannelSet::Health health);
+  void reclaim_shard(std::size_t shard);
+  /// Repost a shard's whole held window in PSN order (reliable mode).
+  void replay_window(std::size_t shard);
   void make_eligible(std::uint64_t index);
 
   [[nodiscard]] std::size_t shard_of(std::uint64_t index) const {
@@ -168,8 +190,14 @@ class StateStorePrimitive {
     sim::Time sent_at = 0;
   };
   std::unordered_map<ShardPsn, Inflight, ShardPsnHash> inflight_;
+  /// NAKs have no inflight entry to make their second delivery a no-op,
+  /// so duplicate NAK frames are filtered explicitly before they can
+  /// double-count naks_received or the health streaks.
+  DedupWindow nak_dedup_;
   sim::EventId timeout_;
-  sim::Time last_progress_ = 0;
+  /// Per-shard: a healthy shard's ACK stream must not mask a silent one,
+  /// so replay rounds and timeout observations are gated per shard.
+  std::vector<sim::Time> last_progress_;
   sim::Time last_goback_ = -sim::kSecond;  // NAK-repost rate limiter
 
   Stats stats_;

@@ -1,0 +1,91 @@
+#include "faults/fault_plan.hpp"
+
+#include <algorithm>
+
+namespace xmem::faults {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kLinkUniformLoss: return "link_uniform_loss";
+    case FaultKind::kLinkBurstLoss: return "link_burst_loss";
+    case FaultKind::kLinkCorrupt: return "link_corrupt";
+    case FaultKind::kLinkDuplicate: return "link_duplicate";
+    case FaultKind::kLinkReorder: return "link_reorder";
+    case FaultKind::kLinkJitter: return "link_jitter";
+    case FaultKind::kLinkClear: return "link_clear";
+    case FaultKind::kRnicHang: return "rnic_hang";
+    case FaultKind::kRnicRevive: return "rnic_revive";
+    case FaultKind::kRnicRestart: return "rnic_restart";
+  }
+  return "unknown";
+}
+
+FaultPlan make_random_plan(const RandomPlanSpec& spec, std::uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  if (spec.link_targets.empty() || spec.end <= spec.start) return plan;
+
+  sim::Rng rng(seed);
+  const sim::Time span = spec.end - spec.start;
+  for (int i = 0; i < spec.episodes; ++i) {
+    const int link = spec.link_targets[rng.uniform(spec.link_targets.size())];
+    const sim::Time begin =
+        spec.start + static_cast<sim::Time>(
+                         rng.uniform(static_cast<std::uint64_t>(span)));
+    // Window length: 5–25% of the span, clipped to the plan's end.
+    const sim::Time length = static_cast<sim::Time>(
+        static_cast<double>(span) * (0.05 + 0.20 * rng.uniform01()));
+    const sim::Time finish = std::min(begin + length, spec.end);
+
+    switch (rng.uniform(5)) {
+      case 0:
+        plan.events.push_back(FaultEvent::uniform_loss(
+            begin, link, spec.max_loss * rng.uniform01()));
+        break;
+      case 1: {
+        // A bursty chain whose mean loss stays below max_loss: rare
+        // entry into a lossy bad state with geometric dwell time.
+        topo::GilbertElliott ge;
+        ge.exit_bad = 0.05 + 0.15 * rng.uniform01();
+        ge.loss_bad = 0.5 + 0.5 * rng.uniform01();
+        const double target_mean = spec.max_loss * rng.uniform01();
+        // mean = pi_bad * loss_bad  =>  solve enter_bad from pi_bad.
+        const double pi_bad =
+            std::min(0.5, target_mean / std::max(ge.loss_bad, 1e-9));
+        ge.enter_bad = pi_bad * ge.exit_bad / std::max(1.0 - pi_bad, 1e-9);
+        plan.events.push_back(FaultEvent::burst_loss(begin, link, ge));
+        break;
+      }
+      case 2:
+        plan.events.push_back(FaultEvent::duplicate(
+            begin, link, spec.max_duplicate * rng.uniform01()));
+        break;
+      case 3:
+        plan.events.push_back(FaultEvent::reorder(
+            begin, link, spec.max_reorder * rng.uniform01(),
+            sim::microseconds(1) +
+                static_cast<sim::Time>(rng.uniform(
+                    static_cast<std::uint64_t>(sim::microseconds(4))))));
+        break;
+      default:
+        plan.events.push_back(FaultEvent::jitter(
+            begin, link,
+            static_cast<sim::Time>(
+                rng.uniform(static_cast<std::uint64_t>(spec.max_jitter) + 1))));
+        break;
+    }
+    if (spec.max_corrupt > 0 && rng.chance(0.5)) {
+      plan.events.push_back(FaultEvent::corrupt(
+          begin, link, spec.max_corrupt * rng.uniform01()));
+    }
+    plan.events.push_back(FaultEvent::clear_link(finish, link));
+  }
+
+  std::stable_sort(plan.events.begin(), plan.events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at < b.at;
+                   });
+  return plan;
+}
+
+}  // namespace xmem::faults

@@ -1,0 +1,121 @@
+// Declarative fault plans for the chaos harness.
+//
+// A FaultPlan is a seeded list of timed events — "at t=300us, burst loss
+// on link 1", "at t=400us, hang server 2's RNIC", "at t=520us, restart
+// it" — that a FaultScheduler replays on the sim clock against the
+// topology. Plans are plain data: tests script them, make_random_plan()
+// generates seeded randomized ones, and both run identically.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/units.hpp"
+#include "topo/link.hpp"
+
+namespace xmem::faults {
+
+enum class FaultKind : std::uint8_t {
+  // Link faults: `target` is a scheduler link index, `direction` as in
+  // topo::Link (-1 both, 0/1 one end). Each event *composes* into the
+  // link's fault profile (corruption can overlay burst loss); kLinkClear
+  // resets the whole profile.
+  kLinkUniformLoss,
+  kLinkBurstLoss,
+  kLinkCorrupt,
+  kLinkDuplicate,
+  kLinkReorder,
+  kLinkJitter,
+  kLinkClear,
+  // RNIC faults: `target` is a scheduler server index. Hang = firmware
+  // hang (frames blackhole, state survives; set_alive(false)); revive
+  // undoes a hang in place; restart brings the NIC back as a new epoch
+  // (QPs gone, rkeys invalid) and fires the scheduler's restart hook so
+  // the control plane can reconnect.
+  kRnicHang,
+  kRnicRevive,
+  kRnicRestart,
+};
+
+[[nodiscard]] const char* to_string(FaultKind kind);
+
+struct FaultEvent {
+  sim::Time at = 0;
+  FaultKind kind = FaultKind::kLinkClear;
+  int target = 0;
+  int direction = -1;            // link faults only
+  double rate = 0.0;             // loss/corrupt/duplicate/reorder prob.
+  topo::GilbertElliott burst;    // kLinkBurstLoss only
+  sim::Time delay = 0;           // reorder extra delay / jitter max
+
+  // Scripting helpers — named constructors beat aggregate soup.
+  static FaultEvent uniform_loss(sim::Time at, int link, double rate,
+                                 int direction = -1) {
+    return {at, FaultKind::kLinkUniformLoss, link, direction, rate, {}, 0};
+  }
+  static FaultEvent burst_loss(sim::Time at, int link,
+                               topo::GilbertElliott ge, int direction = -1) {
+    return {at, FaultKind::kLinkBurstLoss, link, direction, 0.0, ge, 0};
+  }
+  static FaultEvent corrupt(sim::Time at, int link, double rate,
+                            int direction = -1) {
+    return {at, FaultKind::kLinkCorrupt, link, direction, rate, {}, 0};
+  }
+  static FaultEvent duplicate(sim::Time at, int link, double rate,
+                              int direction = -1) {
+    return {at, FaultKind::kLinkDuplicate, link, direction, rate, {}, 0};
+  }
+  static FaultEvent reorder(sim::Time at, int link, double rate,
+                            sim::Time extra_delay, int direction = -1) {
+    return {at,   FaultKind::kLinkReorder, link, direction,
+            rate, {},                      extra_delay};
+  }
+  static FaultEvent jitter(sim::Time at, int link, sim::Time max,
+                           int direction = -1) {
+    return {at, FaultKind::kLinkJitter, link, direction, 0.0, {}, max};
+  }
+  static FaultEvent clear_link(sim::Time at, int link) {
+    return {at, FaultKind::kLinkClear, link, -1, 0.0, {}, 0};
+  }
+  static FaultEvent rnic_hang(sim::Time at, int server) {
+    return {at, FaultKind::kRnicHang, server, -1, 0.0, {}, 0};
+  }
+  static FaultEvent rnic_revive(sim::Time at, int server) {
+    return {at, FaultKind::kRnicRevive, server, -1, 0.0, {}, 0};
+  }
+  static FaultEvent rnic_restart(sim::Time at, int server) {
+    return {at, FaultKind::kRnicRestart, server, -1, 0.0, {}, 0};
+  }
+};
+
+struct FaultPlan {
+  /// Seeds the links' fault RNGs (per-link, derived), so one plan replay
+  /// is bit-identical to the next.
+  std::uint64_t seed = 1;
+  std::vector<FaultEvent> events;
+};
+
+/// Knobs for make_random_plan: `episodes` randomized fault windows are
+/// placed in [start, end), each picking a link from `link_targets`, a
+/// fault kind, a rate below the matching cap, and a duration; every
+/// window ends with a kLinkClear. RNIC faults are NOT generated here —
+/// hang/restart timing interacts with invariants (an exactness check
+/// needs loss and hang windows disjoint), so tests script those
+/// explicitly and splice the lists.
+struct RandomPlanSpec {
+  sim::Time start = 0;
+  sim::Time end = sim::milliseconds(1);
+  int episodes = 4;
+  std::vector<int> link_targets;
+  double max_loss = 0.05;
+  double max_corrupt = 0.02;
+  double max_duplicate = 0.05;
+  double max_reorder = 0.05;
+  sim::Time max_jitter = sim::microseconds(1);
+};
+
+[[nodiscard]] FaultPlan make_random_plan(const RandomPlanSpec& spec,
+                                         std::uint64_t seed);
+
+}  // namespace xmem::faults

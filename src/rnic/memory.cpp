@@ -31,10 +31,27 @@ const MemoryRegion* MemoryManager::find(std::uint32_t rkey) const {
   return it == regions_.end() ? nullptr : it->second.get();
 }
 
+void MemoryManager::invalidate_all() {
+  for (auto& [rkey, region] : regions_) region->valid_ = false;
+}
+
+MemoryRegion* MemoryManager::reregister(std::uint32_t old_rkey) {
+  auto it = regions_.find(old_rkey);
+  if (it == regions_.end()) return nullptr;
+  std::unique_ptr<MemoryRegion> region = std::move(it->second);
+  regions_.erase(it);
+  const std::uint32_t rkey = next_rkey_++;
+  region->rkey_ = rkey;
+  region->valid_ = true;
+  MemoryRegion& ref = *region;
+  regions_.emplace(rkey, std::move(region));
+  return &ref;
+}
+
 MemStatus MemoryManager::check(std::uint32_t rkey, std::uint64_t va,
                                std::size_t len, Access wanted) const {
   const MemoryRegion* region = find(rkey);
-  if (region == nullptr) return MemStatus::kBadRkey;
+  if (region == nullptr || !region->valid()) return MemStatus::kBadRkey;
   if (!region->contains(va, len)) return MemStatus::kOutOfBounds;
   if (!has_access(region->access(), wanted)) return MemStatus::kAccessDenied;
   if (has_access(wanted, Access::kRemoteAtomic) && (va % 8) != 0) {

@@ -50,6 +50,9 @@ class MemoryRegion {
   [[nodiscard]] std::uint32_t rkey() const { return rkey_; }
   [[nodiscard]] std::size_t length() const { return data_.size(); }
   [[nodiscard]] Access access() const { return access_; }
+  /// An invalidated region (after Rnic::restart) keeps its bytes but
+  /// fails every remote-access check until re-registered.
+  [[nodiscard]] bool valid() const { return valid_; }
 
   [[nodiscard]] bool contains(std::uint64_t va, std::size_t len) const {
     return va >= base_va_ && va + len <= base_va_ + data_.size() &&
@@ -68,9 +71,12 @@ class MemoryRegion {
   }
 
  private:
+  friend class MemoryManager;
+
   std::uint64_t base_va_;
   std::uint32_t rkey_;
   Access access_;
+  bool valid_ = true;
   std::vector<std::uint8_t> data_;
 };
 
@@ -85,6 +91,16 @@ class MemoryManager {
   /// rkey -> region, or nullptr.
   [[nodiscard]] MemoryRegion* find(std::uint32_t rkey);
   [[nodiscard]] const MemoryRegion* find(std::uint32_t rkey) const;
+
+  /// Model an RNIC reset: every region's rkey stops validating remote
+  /// accesses until reregister() hands out a fresh one. Host DRAM (the
+  /// backing bytes) survives — only the NIC's translation state is lost.
+  void invalidate_all();
+
+  /// Re-register an invalidated region under a fresh rkey, preserving
+  /// its bytes, base VA and access rights. Returns nullptr if `old_rkey`
+  /// is unknown.
+  MemoryRegion* reregister(std::uint32_t old_rkey);
 
   /// Full remote-access check for an operation of `len` bytes at `va`.
   [[nodiscard]] MemStatus check(std::uint32_t rkey, std::uint64_t va,

@@ -56,6 +56,16 @@ void Rnic::set_alive(bool alive) {
   }
 }
 
+void Rnic::restart() {
+  rx_queue_.clear();
+  qps_.clear();
+  response_handlers_.clear();
+  memory_.invalidate_all();
+  alive_ = true;
+  ++epoch_;
+  ++stats_.restarts;
+}
+
 bool Rnic::handle_frame(const net::Packet& frame) {
   // Cheap dispatch: only frames that structurally look like RoCE belong
   // to the NIC; everything else goes up the host stack.
@@ -157,13 +167,18 @@ void Rnic::execute(const RoceMessage& msg) {
   const std::int32_t delta = roce::psn_distance(qp.epsn, msg.bth.psn);
   if (delta < 0) {
     // Duplicate (a retransmission). RC responder duplicate rules:
-    //  - WRITE: idempotent; re-ack so the requester makes progress.
+    //  - WRITE: idempotent; re-apply single-packet writes (they carry an
+    //    absolute {va, rkey}, so on a gap-tolerant QP a "duplicate" may
+    //    be a retransmission of a write the responder never applied) and
+    //    re-ack so the requester makes progress.
     //  - READ: re-execute — reads of registered memory are idempotent
     //    and the spec explicitly allows re-serving them.
     //  - Atomic: must NOT re-execute; answer from the replay cache.
     ++qp.duplicates_seen;
     const Opcode op = msg.opcode();
-    if (roce::is_write(op)) {
+    if (op == Opcode::kRdmaWriteOnly) {
+      execute_duplicate_write_only(qp, msg);
+    } else if (roce::is_write(op)) {
       if (msg.bth.ack_req) send_ack(qp, msg.bth.psn, AckSyndrome::kAck);
     } else if (roce::is_read_request(op)) {
       execute_read(qp, msg, /*advance_sequence=*/false);
@@ -200,6 +215,28 @@ void Rnic::execute(const RoceMessage& msg) {
   } else {
     ++stats_.unknown_qp_dropped;
   }
+}
+
+void Rnic::execute_duplicate_write_only(QueuePair& qp,
+                                        const RoceMessage& msg) {
+  assert(msg.reth.has_value());
+  const MemStatus status = memory_.check(msg.reth->rkey, msg.reth->va,
+                                         msg.reth->dma_len,
+                                         Access::kRemoteWrite);
+  if (status != MemStatus::kOk) {
+    ++qp.naks_sent;
+    send_ack(qp, msg.bth.psn, AckSyndrome::kNakRemoteAccessError);
+    return;
+  }
+  MemoryRegion* region = memory_.find(msg.reth->rkey);
+  if (!msg.payload.empty()) {
+    auto window = region->window(msg.reth->va, msg.payload.size());
+    std::copy(msg.payload.begin(), msg.payload.end(), window.begin());
+  }
+  // No epsn/msn advance: this PSN was already consumed by the sequence.
+  ++stats_.writes;
+  stats_.bytes_written += static_cast<std::int64_t>(msg.payload.size());
+  if (msg.bth.ack_req) send_ack(qp, msg.bth.psn, AckSyndrome::kAck);
 }
 
 void Rnic::execute_write(QueuePair& qp, const RoceMessage& msg) {
@@ -406,6 +443,7 @@ void Rnic::register_metrics(telemetry::MetricsRegistry& registry,
           "ops");
   counter("naks/remote_op_error", &stats_.naks_remote_op_error, "ops");
   counter("responses_dispatched", &stats_.responses_dispatched, "ops");
+  counter("restarts", &stats_.restarts, "restarts");
   registry.register_counter(
       prefix + "/bytes_written", [this]() { return stats_.bytes_written; },
       "bytes");

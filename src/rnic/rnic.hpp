@@ -74,6 +74,7 @@ class Rnic {
     std::uint64_t naks_remote_access_error = 0;
     std::uint64_t naks_remote_op_error = 0;
     std::uint64_t responses_dispatched = 0;
+    std::uint64_t restarts = 0;
     std::int64_t bytes_written = 0;
     std::int64_t bytes_read = 0;
   };
@@ -103,6 +104,17 @@ class Rnic {
   void set_alive(bool alive);
   [[nodiscard]] bool alive() const { return alive_; }
 
+  /// Fault recovery: bring the NIC back as a *new epoch*, the model of a
+  /// firmware reset or driver reload. All QPs and response handlers are
+  /// destroyed, every registered rkey is invalidated (host DRAM itself
+  /// survives — re-register to get a fresh rkey over the same bytes) and
+  /// the NIC comes up alive with an empty RX queue. The control plane
+  /// must reconnect: until it does, every stale request NAKs or drops.
+  void restart();
+  /// Incremented by each restart(); lets the control plane tell whether
+  /// a channel config predates the current NIC incarnation.
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+
   /// --- Data plane -----------------------------------------------------
   /// Offer a received frame. Returns true if it was RoCE (consumed by the
   /// NIC); false means the frame is ordinary traffic for the host stack.
@@ -127,6 +139,8 @@ class Rnic {
   void send_read_response(QueuePair& qp, std::uint32_t first_psn,
                           std::span<const std::uint8_t> data);
 
+  void execute_duplicate_write_only(QueuePair& qp,
+                                    const roce::RoceMessage& msg);
   void execute_write(QueuePair& qp, const roce::RoceMessage& msg);
   void execute_read(QueuePair& qp, const roce::RoceMessage& msg,
                     bool advance_sequence = true);
@@ -145,6 +159,7 @@ class Rnic {
   std::deque<roce::RoceMessage> rx_queue_;
   bool serving_ = false;
   bool alive_ = true;
+  std::uint64_t epoch_ = 0;
   Stats stats_;
 };
 

@@ -5,6 +5,15 @@
 
 namespace xmem::topo {
 
+namespace {
+
+/// First byte eligible for corruption: past Ethernet (14) + IPv4 (20) +
+/// UDP (8) headers, so a corrupted RoCE frame still parses as UDP but
+/// deterministically fails its ICRC check at the receiver.
+constexpr std::size_t kCorruptOffset = 42;
+
+}  // namespace
+
 void Link::attach(int end, Node& node, int port_index) {
   if (end != 0 && end != 1) {
     throw std::invalid_argument("Link::attach: end must be 0 or 1");
@@ -14,15 +23,48 @@ void Link::attach(int end, Node& node, int port_index) {
 }
 
 void Link::set_loss_rate(double rate, std::uint64_t seed, int direction) {
-  if (rate < 0.0 || rate >= 1.0) {
-    throw std::invalid_argument("Link::set_loss_rate: rate must be in [0,1)");
+  LinkFaultProfile profile;
+  profile.loss_rate = rate;
+  set_fault_profile(profile, seed, direction);
+}
+
+void Link::set_fault_profile(const LinkFaultProfile& profile,
+                             std::uint64_t seed, int direction) {
+  if (profile.loss_rate < 0.0 || profile.loss_rate >= 1.0) {
+    throw std::invalid_argument(
+        "Link::set_fault_profile: loss_rate must be in [0,1)");
   }
   if (direction < -1 || direction > 1) {
-    throw std::invalid_argument("Link::set_loss_rate: bad direction");
+    throw std::invalid_argument("Link::set_fault_profile: bad direction");
   }
-  loss_rate_ = rate;
-  loss_direction_ = direction;
-  loss_rng_.reseed(seed);
+  fault_ = profile;
+  fault_direction_ = direction;
+  burst_bad_ = false;
+  fault_rng_.reseed(seed);
+}
+
+bool Link::roll_loss() {
+  if (fault_.burst.has_value()) {
+    const GilbertElliott& ge = *fault_.burst;
+    // Advance the two-state chain once per frame, then roll the loss
+    // probability of the state we land in.
+    if (burst_bad_) {
+      if (fault_rng_.chance(ge.exit_bad)) burst_bad_ = false;
+    } else {
+      if (fault_rng_.chance(ge.enter_bad)) burst_bad_ = true;
+    }
+    const double p = burst_bad_ ? ge.loss_bad : ge.loss_good;
+    return p > 0.0 && fault_rng_.chance(p);
+  }
+  return fault_.loss_rate > 0.0 && fault_rng_.chance(fault_.loss_rate);
+}
+
+void Link::ship(const End& to, net::Packet packet, sim::Time when) {
+  sim_->schedule_at(when, [to, p = std::move(packet)]() mutable {
+    to.node->port(to.port).note_received(p);
+    p.meta().ingress_port = to.port;
+    to.node->receive(std::move(p), to.port);
+  });
 }
 
 void Link::deliver(int from_end, net::Packet packet, sim::Time when_serialized) {
@@ -34,20 +76,38 @@ void Link::deliver(int from_end, net::Packet packet, sim::Time when_serialized) 
   ++tx_frames_[from_end];
   if (tap_) tap_(packet, when_serialized, from_end);
 
-  if (loss_rate_ > 0.0 &&
-      (loss_direction_ == -1 || loss_direction_ == from_end) &&
-      loss_rng_.chance(loss_rate_)) {
-    ++dropped_;
-    return;
+  sim::Time arrival = when_serialized + propagation_;
+  if (fault_.active() && fault_applies(from_end)) {
+    if (roll_loss()) {
+      ++dropped_;
+      return;
+    }
+    if (fault_.corrupt_rate > 0.0 && fault_rng_.chance(fault_.corrupt_rate) &&
+        packet.size() > kCorruptOffset) {
+      auto& bytes = packet.mutable_bytes();
+      const std::size_t span = packet.size() - kCorruptOffset;
+      const std::size_t victim =
+          kCorruptOffset + static_cast<std::size_t>(fault_rng_.uniform(
+                               static_cast<std::uint64_t>(span)));
+      bytes[victim] ^= 0xff;
+      ++corrupted_;
+    }
+    if (fault_.jitter_max > 0) {
+      arrival += static_cast<sim::Time>(fault_rng_.uniform(
+          static_cast<std::uint64_t>(fault_.jitter_max) + 1));
+    }
+    if (fault_.reorder_rate > 0.0 && fault_rng_.chance(fault_.reorder_rate)) {
+      arrival += fault_.reorder_delay;
+      ++reordered_;
+    }
+    if (fault_.duplicate_rate > 0.0 &&
+        fault_rng_.chance(fault_.duplicate_rate)) {
+      ++duplicated_;
+      ship(to, packet, arrival + fault_.duplicate_gap);
+    }
   }
 
-  sim_->schedule_at(
-      when_serialized + propagation_,
-      [to, p = std::move(packet)]() mutable {
-        to.node->port(to.port).note_received(p);
-        p.meta().ingress_port = to.port;
-        to.node->receive(std::move(p), to.port);
-      });
+  ship(to, std::move(packet), arrival);
 }
 
 double Link::utilization(int end) const {
@@ -79,6 +139,15 @@ void Link::register_metrics(telemetry::MetricsRegistry& registry,
   registry.register_counter(
       prefix + "/dropped_frames",
       [this]() { return static_cast<std::int64_t>(dropped_); }, "frames");
+  registry.register_counter(
+      prefix + "/corrupted_frames",
+      [this]() { return static_cast<std::int64_t>(corrupted_); }, "frames");
+  registry.register_counter(
+      prefix + "/duplicated_frames",
+      [this]() { return static_cast<std::int64_t>(duplicated_); }, "frames");
+  registry.register_counter(
+      prefix + "/reordered_frames",
+      [this]() { return static_cast<std::int64_t>(reordered_); }, "frames");
 }
 
 std::unique_ptr<Link> connect(sim::Simulator& simulator, Node& a, Node& b,

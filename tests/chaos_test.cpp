@@ -1,0 +1,278 @@
+// The headline chaos scenario: all three primitives share one switch
+// while a seeded FaultPlan throws randomized burst loss, corruption,
+// duplication, reordering and jitter at the memory links, hangs one
+// memory server's RNIC mid-run and then restarts it (fresh epoch:
+// QPs gone, rkeys invalid) with the control plane reconnecting every
+// primitive's shard against the new epoch. At drain time the full
+// InvariantChecker suite must hold:
+//   - reliable state store counted every sampled packet exactly once,
+//   - every lookup is request/response-matched or attributed to a drop,
+//   - the reliable packet buffer preserved FIFO order with no loss,
+//   - no tracer span is left open,
+// and corrupted-ICRC frames are provably dropped (counter in the
+// MetricsRegistry).
+#include <gtest/gtest.h>
+
+#include "control/testbed.hpp"
+#include "core/lookup_table.hpp"
+#include "core/packet_buffer.hpp"
+#include "core/roce_guard.hpp"
+#include "core/state_store.hpp"
+#include "faults/fault_plan.hpp"
+#include "faults/fault_scheduler.hpp"
+#include "faults/invariants.hpp"
+#include "host/sink.hpp"
+#include "host/traffic_gen.hpp"
+#include "net/flow.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/op_tracer.hpp"
+
+namespace xmem {
+namespace {
+
+using control::ChannelController;
+using control::Testbed;
+
+constexpr std::uint64_t kFlowA = 5000;  // h0 -> h1, through the packet buffer
+constexpr std::uint64_t kFlowB = 1500;  // h0 -> h2, through the lookup table
+
+TEST(ChaosTest, SeededPlanWithRnicRestartPassesAllInvariants) {
+  Testbed::Config tbc;
+  tbc.hosts = 3;
+  tbc.memory_servers = 3;
+  Testbed tb(tbc);
+
+  telemetry::MetricsRegistry reg;
+  telemetry::OpTracer tracer(tb.sim());
+
+  // ICRC enforcement ahead of every primitive stage.
+  core::RoceGuard guard(tb.tor());
+  guard.register_metrics(reg, "guard");
+
+  // --- Primitives (stage order: guard, state store, lookup, buffer) ----
+  ChannelController::ChannelSpec ss_spec;
+  ss_spec.region_bytes = 4096;
+  ss_spec.tolerate_psn_gaps = false;  // strict RC for exactly-once
+  auto ss_configs = tb.setup_memory_pool(ss_spec);
+  core::StateStorePrimitive::Config ss_cfg;
+  ss_cfg.reliable = true;
+  {
+    auto next = std::make_shared<std::uint64_t>(0);
+    ss_cfg.sample_fn =
+        [next](const net::Packet& p) -> std::optional<std::uint64_t> {
+      auto tuple = net::extract_five_tuple(p);
+      if (!tuple || tuple->dst_port == net::kRoceV2Port) return std::nullopt;
+      return (*next)++ % 12;
+    };
+  }
+  core::StateStorePrimitive ss(tb.tor(), ss_configs, ss_cfg);
+  ss.attach_telemetry(&reg, &tracer, "ss");
+
+  ChannelController::ChannelSpec lt_spec;
+  lt_spec.region_bytes = 1 << 20;
+  auto lt_configs = tb.setup_memory_pool(lt_spec);
+  core::LookupTablePrimitive::Config lt_cfg;
+  lt_cfg.entry_bytes = 2048;
+  lt_cfg.cache_capacity = 0;  // the accounting invariant's form
+  lt_cfg.key_fn =
+      [](const net::Packet& p) -> std::optional<std::vector<std::uint8_t>> {
+    auto tuple = net::extract_five_tuple(p);
+    if (!tuple || tuple->dst_port != 9100) return std::nullopt;  // flow B only
+    const auto kb = tuple->key_bytes();
+    return std::vector<std::uint8_t>(kb.begin(), kb.end());
+  };
+  core::LookupTablePrimitive lt(tb.tor(), lt_configs, lt_cfg);
+  lt.attach_telemetry(&reg, &tracer, "lt");
+
+  ChannelController::ChannelSpec pb_spec;
+  pb_spec.region_bytes = 1 << 22;
+  auto pb_configs = tb.setup_memory_pool(pb_spec);
+  core::PacketBufferPrimitive::Config pb_cfg;
+  pb_cfg.watch_port = tb.port_of(1);
+  pb_cfg.divert_threshold_bytes = 0;  // every flow-A packet rides the ring
+  pb_cfg.resume_threshold_bytes = 10 * 1500;
+  pb_cfg.reliable_stores = true;
+  pb_cfg.reliable_loads = true;
+  pb_cfg.read_timeout = sim::microseconds(150);
+  core::PacketBufferPrimitive pb(tb.tor(), pb_configs, pb_cfg);
+  pb.attach_telemetry(&reg, &tracer, "pb");
+
+  // Populate the lookup entry for flow B: forward to h2's port.
+  net::FiveTuple tuple;
+  tuple.src_ip = tb.host(0).ip();
+  tuple.dst_ip = tb.host(2).ip();
+  tuple.src_port = 7100;
+  tuple.dst_port = 9100;
+  tuple.protocol = static_cast<std::uint8_t>(net::IpProto::kUdp);
+  const auto kb = tuple.key_bytes();
+  const std::vector<std::uint8_t> key(kb.begin(), kb.end());
+  {
+    std::vector<std::span<std::uint8_t>> regions;
+    for (int s = 0; s < 3; ++s) {
+      regions.push_back(ChannelController::region_bytes(
+          tb.memory_server(s), lt_configs[static_cast<std::size_t>(s)]));
+    }
+    switchsim::Action fwd;
+    fwd.kind = switchsim::Action::Kind::kForward;
+    fwd.port = static_cast<std::uint16_t>(tb.port_of(2));
+    core::LookupTablePrimitive::install_entry_sharded(
+        regions, lt_cfg.entry_bytes, key, fwd, lt_cfg.hash_seed);
+  }
+
+  // --- Fault plan: randomized episodes + scripted crash window ---------
+  // Randomized episodes hit the two memory links that stay up the whole
+  // run; the third link gets a scripted burst-loss + duplication window
+  // plus a low-rate corruption overlay so the ICRC path is provably
+  // exercised. The link is CLEARED three retransmit rounds before its
+  // server's RNIC hangs: an atomic that executed but lost its ACK is
+  // fundamentally ambiguous across an epoch change (the replay cache
+  // dies with the old epoch), so exactly-once requires that the crash
+  // only ever catches never-executed requests — which reconnect()
+  // reclaims and re-issues.
+  faults::RandomPlanSpec rnd;
+  rnd.start = sim::microseconds(50);
+  rnd.end = sim::microseconds(350);
+  rnd.episodes = 4;
+  rnd.link_targets = {0, 2};
+  rnd.max_loss = 0.05;
+  rnd.max_corrupt = 0.02;
+  rnd.max_duplicate = 0.1;
+  rnd.max_reorder = 0.05;
+  rnd.max_jitter = sim::nanoseconds(500);
+  faults::FaultPlan plan = faults::make_random_plan(rnd, /*seed=*/2026);
+
+  topo::GilbertElliott ge;
+  ge.enter_bad = 0.02;
+  ge.exit_bad = 0.1;
+  ge.loss_bad = 0.9;
+  plan.events.push_back(
+      faults::FaultEvent::corrupt(sim::microseconds(5), 1, 0.01));
+  plan.events.push_back(
+      faults::FaultEvent::burst_loss(sim::microseconds(100), 1, ge));
+  plan.events.push_back(
+      faults::FaultEvent::duplicate(sim::microseconds(120), 1, 0.15));
+  plan.events.push_back(
+      faults::FaultEvent::clear_link(sim::microseconds(350), 1));
+  plan.events.push_back(
+      faults::FaultEvent::rnic_hang(sim::microseconds(650), 1));
+  plan.events.push_back(
+      faults::FaultEvent::rnic_restart(sim::microseconds(1050), 1));
+
+  faults::FaultScheduler sched(tb.sim(), std::move(plan));
+  for (int i = 0; i < 3; ++i) {
+    sched.add_link(tb.memory_server_link(i));
+    sched.add_server(tb.memory_server(i).rnic());
+  }
+  sched.register_metrics(reg, "faults");
+  sched.set_restart_hook([&](int server) {
+    // Control-plane recovery: re-register each primitive's region under
+    // a fresh rkey, rebuild the channel (fresh QPN/PSN/UDP port) and
+    // hand it to the primitive, which reclaims or reposts whatever was
+    // in flight across the epoch change. initial_psn = the requester's
+    // next PSN so pre-crash reposts land as duplicates, not gaps.
+    host::Host& s = tb.memory_server(server);
+    const auto shard = static_cast<std::size_t>(server);
+
+    ChannelController::ChannelSpec spec = ss_spec;
+    spec.initial_psn = ss.channels().at(shard).next_psn();
+    ss_configs[shard] = tb.controller().reconnect(s, ss_configs[shard], spec);
+    ss.reconnect(shard, ss_configs[shard]);
+
+    spec = lt_spec;
+    spec.initial_psn = lt.channels().at(shard).next_psn();
+    lt_configs[shard] = tb.controller().reconnect(s, lt_configs[shard], spec);
+    lt.reconnect(shard, lt_configs[shard]);
+
+    spec = pb_spec;
+    spec.initial_psn = pb.channels().at(shard).next_psn();
+    pb_configs[shard] = tb.controller().reconnect(s, pb_configs[shard], spec);
+    pb.reconnect(shard, pb_configs[shard]);
+  });
+  sched.start();
+
+  // --- Traffic ---------------------------------------------------------
+  host::PacketSink sink_a(tb.host(1));
+  host::PacketSink sink_b(tb.host(2));
+  host::CbrTrafficGen gen_a(tb.host(0), {.dst_mac = tb.host(1).mac(),
+                                         .dst_ip = tb.host(1).ip(),
+                                         .src_port = 7000,
+                                         .dst_port = 9000,
+                                         .frame_size = 128,
+                                         .rate = sim::gbps(6),
+                                         .packet_limit = kFlowA});
+  host::CbrTrafficGen gen_b(tb.host(0), {.dst_mac = tb.host(2).mac(),
+                                         .dst_ip = tb.host(2).ip(),
+                                         .src_port = 7100,
+                                         .dst_port = 9100,
+                                         .frame_size = 128,
+                                         .rate = sim::gbps(2),
+                                         .packet_limit = kFlowB});
+  gen_a.start();
+  gen_b.start();
+  tb.sim().run();
+
+  // Drain: flush accumulators and let retransmit/probe timers finish.
+  auto all_quiet = [&]() {
+    return ss.quiescent() && pb.quiescent() && lt.outstanding() == 0;
+  };
+  for (int i = 0; i < 80 && !all_quiet(); ++i) {
+    ss.flush();
+    tb.sim().run_until(tb.sim().now() + sim::milliseconds(1));
+    tb.sim().run();
+  }
+
+  // --- The fault plan actually ran -------------------------------------
+  EXPECT_EQ(sched.stats().rnic_hangs, 1u);
+  EXPECT_EQ(sched.stats().rnic_restarts, 1u);
+  EXPECT_EQ(reg.read("faults/rnic_restarts"), 1.0);
+  EXPECT_EQ(tb.memory_server(1).rnic().epoch(), 1u);
+  EXPECT_GT(tb.memory_server_link(1).corrupted_frames(), 0u);
+  EXPECT_GT(tb.memory_server_link(1).duplicated_frames(), 0u);
+  EXPECT_GT(tb.memory_server_link(1).dropped_frames(), 0u);
+
+  // Corrupted-ICRC frames provably dropped, observed via the registry.
+  EXPECT_GT(reg.read("guard/corrupt_dropped"), 0.0);
+  EXPECT_GT(guard.stats().corrupt_dropped, 0u);
+
+  // The reliability machinery was exercised, not idle.
+  EXPECT_GT(ss.stats().retransmits, 0u);
+  EXPECT_GT(pb.stats().write_retries + pb.stats().read_retries, 0u);
+  EXPECT_GE(ss.channels().shard_stats(1).down_transitions, 1u);
+  EXPECT_TRUE(ss.channels().is_up(1));
+  EXPECT_EQ(pb.stats().ring_full_drops, 0u);
+  EXPECT_EQ(pb.stats().dead_stripe_drops, 0u)
+      << "reliable stores defer for a down stripe instead of dropping";
+
+  // --- Invariants ------------------------------------------------------
+  faults::InvariantChecker checker;
+  checker.require_state_store_exact(ss, [&]() {
+    std::uint64_t total = 0;
+    for (int s = 0; s < 3; ++s) {
+      auto region = ChannelController::region_bytes(
+          tb.memory_server(s), ss_configs[static_cast<std::size_t>(s)]);
+      for (std::size_t i = 0; i + 8 <= region.size(); i += 8) {
+        total += rnic::load_le64(region.subspan(i, 8));
+      }
+    }
+    return total;
+  });
+  checker.require_lookup_accounted(lt);
+  checker.require_packet_buffer_fifo(pb, sink_a);
+  checker.require_no_open_spans(tracer);
+  EXPECT_EQ(checker.size(), 8u);
+
+  const auto violations = checker.run();
+  EXPECT_TRUE(violations.empty())
+      << faults::InvariantChecker::describe(violations);
+
+  // End-to-end delivery: the protected flow arrived complete. Flow B
+  // reaches h2 either via an applied lookup action or via plain L2
+  // forwarding while the home shard was degraded.
+  EXPECT_EQ(sink_a.packets(), kFlowA);
+  EXPECT_EQ(sink_b.packets(),
+            lt.stats().applied + lt.stats().degraded_passthrough);
+  EXPECT_EQ(ss.stats().sampled_packets, kFlowA + kFlowB);
+}
+
+}  // namespace
+}  // namespace xmem
