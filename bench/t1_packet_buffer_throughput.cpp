@@ -123,10 +123,11 @@ double native_gbps(bool use_read, std::size_t message_bytes) {
   auto& server_qp = server.rnic().create_qp();
   auto& client = tb.host(0);
   auto& client_qp = client.rnic().create_qp();
-  server.rnic().connect_qp(server_qp.qpn, client.endpoint(), client_qp.qpn, 0);
+  server.rnic().connect_qp(server_qp.qpn, client.endpoint(), client_qp.qpn,
+                           roce::Psn(0));
   rnic::RcRequester requester(tb.sim(), client.rnic(), client_qp.qpn,
                               {.max_inflight_packets = 64});
-  requester.connect(server.endpoint(), server_qp.qpn, 0);
+  requester.connect(server.endpoint(), server_qp.qpn, roce::Psn(0));
 
   std::int64_t completed_bytes = 0;
   bool stop = false;

@@ -9,6 +9,13 @@
 #   $ scripts/check.sh --fast      # alias for --tier1 (kept for habit)
 #   $ scripts/check.sh --chaos     # Release build + chaos-labeled ctests
 #                                  # (fault injection + invariant suite)
+#   $ scripts/check.sh --lint      # xmem-lint over src/ + lint selftest
+#   $ scripts/check.sh --format    # clang-format check-only pass
+#   $ scripts/check.sh --tidy      # clang-tidy build (XMEM_TIDY=ON)
+#
+# --format and --tidy need clang tooling the dev container may not ship;
+# when the tool is absent they skip with an explicit "skipped" verdict
+# (CI installs the tools, so the real gate always runs there).
 #
 # Exits nonzero the moment any build or test step fails (set -e +
 # pipefail; a trap prints a grep-able FAIL verdict), and ends with
@@ -26,12 +33,19 @@ trap 'status=$?; if [[ $status -ne 0 ]]; then echo "CHECK FAIL (exit $status)"; 
 run_tier1=1
 run_sanitize=1
 run_chaos=0
+run_lint=0
+run_format=0
+run_tidy=0
 case "${1:-}" in
   --tier1|--fast) run_sanitize=0 ;;
   --sanitize) run_tier1=0 ;;
   --chaos) run_tier1=0; run_sanitize=0; run_chaos=1 ;;
+  --lint) run_tier1=0; run_sanitize=0; run_lint=1 ;;
+  --format) run_tier1=0; run_sanitize=0; run_format=1 ;;
+  --tidy) run_tier1=0; run_sanitize=0; run_tidy=1 ;;
   "") ;;
-  *) echo "usage: $0 [--tier1|--sanitize|--fast|--chaos]" >&2; exit 2 ;;
+  *) echo "usage: $0 [--tier1|--sanitize|--fast|--chaos|--lint|--format|--tidy]" >&2
+     exit 2 ;;
 esac
 
 if [[ "$run_tier1" == 1 ]]; then
@@ -56,12 +70,60 @@ if [[ "$run_sanitize" == 1 ]]; then
   ctest --test-dir "$repo/build-asan" --output-on-failure -j "$jobs"
 fi
 
+if [[ "$run_lint" == 1 ]]; then
+  echo "== lint: xmem-lint over src/ + fixture selftest =="
+  cmake -B "$repo/build" -S "$repo" -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$repo/build" --target xmem_lint -j "$jobs"
+  lint_bin="$repo/build/tools/xmem_lint/xmem_lint"
+  "$lint_bin" "$repo/src"
+  "$repo/tools/xmem_lint/selftest.sh" "$lint_bin" "$repo"
+fi
+
+format_skipped=0
+if [[ "$run_format" == 1 ]]; then
+  echo "== format: clang-format check-only pass =="
+  if command -v clang-format >/dev/null 2>&1; then
+    (cd "$repo" && git ls-files '*.hpp' '*.cpp' |
+       xargs clang-format --dry-run --Werror)
+  else
+    echo "clang-format not installed; skipping"
+    format_skipped=1
+  fi
+fi
+
+tidy_skipped=0
+if [[ "$run_tidy" == 1 ]]; then
+  echo "== tidy: clang-tidy build (XMEM_TIDY=ON) =="
+  if command -v clang-tidy >/dev/null 2>&1; then
+    cmake -B "$repo/build-tidy" -S "$repo" -DCMAKE_BUILD_TYPE=Release \
+          -DXMEM_TIDY=ON
+    cmake --build "$repo/build-tidy" -j "$jobs"
+  else
+    echo "clang-tidy not installed; skipping"
+    tidy_skipped=1
+  fi
+fi
+
 if [[ "$run_tier1" == 1 && "$run_sanitize" == 1 ]]; then
   echo "CHECK OK (tier1 + sanitize)"
 elif [[ "$run_tier1" == 1 ]]; then
   echo "CHECK OK (tier1)"
 elif [[ "$run_chaos" == 1 ]]; then
   echo "CHECK OK (chaos)"
+elif [[ "$run_lint" == 1 ]]; then
+  echo "CHECK OK (lint)"
+elif [[ "$run_format" == 1 ]]; then
+  if [[ "$format_skipped" == 1 ]]; then
+    echo "CHECK OK (format skipped: clang-format not installed)"
+  else
+    echo "CHECK OK (format)"
+  fi
+elif [[ "$run_tidy" == 1 ]]; then
+  if [[ "$tidy_skipped" == 1 ]]; then
+    echo "CHECK OK (tidy skipped: clang-tidy not installed)"
+  else
+    echo "CHECK OK (tidy)"
+  fi
 else
   echo "CHECK OK (sanitize)"
 fi

@@ -78,7 +78,7 @@ void CountSketchApp::pump() {
   while (outstanding_ < config_.max_outstanding && !queue_.empty()) {
     const Update u = queue_.front();
     queue_.pop_front();
-    const std::uint32_t psn = channel_.post_fetch_add(u.va, u.add);
+    const roce::Psn psn = channel_.post_fetch_add(u.va, u.add);
     inflight_.emplace(psn, true);
     ++outstanding_;
     ++stats_.fetch_adds_sent;

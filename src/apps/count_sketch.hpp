@@ -85,7 +85,7 @@ class CountSketchApp {
   };
   std::deque<Update> queue_;
   int outstanding_ = 0;
-  std::unordered_map<std::uint32_t, bool> inflight_;
+  std::unordered_map<roce::Psn, bool> inflight_;
   Stats stats_;
 };
 

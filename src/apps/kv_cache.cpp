@@ -110,7 +110,7 @@ void KvAcceleratorApp::on_ingress(PipelineContext& ctx) {
 
   ++stats_.gets_seen;
   const std::uint64_t idx = index_of(req->key, n_entries_);
-  const std::uint32_t psn = channel_.post_read(
+  const roce::Psn psn = channel_.post_read(
       channel_.config().base_va + idx * kKvEntryBytes, kKvEntryBytes);
   pending_.emplace(psn, Pending{ctx.packet.clone(), req->key});
   ctx.consume();

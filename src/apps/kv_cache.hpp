@@ -85,7 +85,7 @@ class KvAcceleratorApp {
     net::Packet request;
     std::uint64_t key = 0;
   };
-  std::unordered_map<std::uint32_t, Pending> pending_;  // psn -> request
+  std::unordered_map<roce::Psn, Pending> pending_;  // psn -> request
   Stats stats_;
 };
 

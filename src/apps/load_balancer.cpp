@@ -76,7 +76,7 @@ void L4LoadBalancer::on_ingress(PipelineContext& ctx) {
       net::flow_hash(*tuple, config_.hash_seed ^ backends_.size()) %
       backends_.size())];
 
-  const std::uint32_t psn = channel_.post_compare_swap(
+  const roce::Psn psn = channel_.post_compare_swap(
       channel_.config().base_va + slot * 8, 0, pack(check, chosen.id));
   Pending pending;
   pending.packet = std::move(ctx.packet);

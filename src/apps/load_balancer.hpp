@@ -104,7 +104,7 @@ class L4LoadBalancer {
     std::uint16_t chosen_backend_id = 0;
     std::vector<std::uint8_t> cache_key;
   };
-  std::unordered_map<std::uint32_t, Pending> pending_;  // CAS psn -> state
+  std::unordered_map<roce::Psn, Pending> pending_;  // CAS psn -> state
 
   // Local flow cache: five-tuple key bytes -> backend index.
   std::unordered_map<std::string, std::uint16_t> cache_;

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 
+#include "roce/headers.hpp"
 #include "roce/packet.hpp"
 
 namespace xmem::control {
@@ -33,7 +34,7 @@ struct RdmaChannelConfig {
   std::uint64_t base_va = 0;
   std::size_t region_bytes = 0;
   /// First PSN the responder expects.
-  std::uint32_t initial_psn = 0;
+  roce::Psn initial_psn;
   /// Path MTU agreed for the channel (bounds READ response segments).
   std::size_t path_mtu = 4096;
   /// Switch egress port that reaches the server RNIC.

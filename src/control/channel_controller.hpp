@@ -25,7 +25,7 @@ class ChannelController {
   struct ChannelSpec {
     std::size_t region_bytes = 1 << 20;
     rnic::Access access = rnic::Access::kAll;
-    std::uint32_t initial_psn = 0;
+    roce::Psn initial_psn;
     /// Best-effort channels (the paper's default) survive lost requests;
     /// strict RC sequencing is what the reliability extension needs.
     bool tolerate_psn_gaps = true;

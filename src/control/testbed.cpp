@@ -26,17 +26,21 @@ Testbed::Testbed(Config config) {
     hosts_.push_back(std::move(host));
   };
 
+  // Host names are built with append() rather than operator+: GCC 12's
+  // inlined char_traits path trips a spurious -Wrestrict on the latter.
   for (int i = 0; i < config.hosts; ++i) {
-    attach("h" + std::to_string(i), static_cast<std::uint16_t>(i + 1),
-           config.install_rnics);
+    std::string name("h");
+    name.append(std::to_string(i));
+    attach(name, static_cast<std::uint16_t>(i + 1), config.install_rnics);
   }
   // Memory servers sit under the same ToR, after the regular hosts.
   // They exist to serve RDMA, so they always get an RNIC.
   memory_servers_ = config.memory_servers;
   first_memory_host_ = config.hosts;
   for (int i = 0; i < config.memory_servers; ++i) {
-    attach("m" + std::to_string(i),
-           static_cast<std::uint16_t>(config.hosts + i + 1),
+    std::string name("m");
+    name.append(std::to_string(i));
+    attach(name, static_cast<std::uint16_t>(config.hosts + i + 1),
            /*with_rnic=*/true);
   }
 

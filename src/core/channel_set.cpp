@@ -146,7 +146,7 @@ void ChannelSet::on_probe_timer() {
     if (s.health != Health::kDown) continue;
     any_down = true;
     if (s.probe_psns.empty()) {
-      const std::uint32_t psn = s.channel->post_read(
+      const roce::Psn psn = s.channel->post_read(
           s.channel->config().base_va, config_.probe_bytes);
       // Probe spans would leak if the shard never answers; close them at
       // injection and let health (not the tracer) track the outcome.

@@ -124,7 +124,8 @@ class ChannelSet {
   /// True when `msg` answers one of this set's health probes — the
   /// caller should consume the packet and do nothing else. Flips a down
   /// shard up.
-  bool maybe_probe_response(std::size_t shard, const roce::RoceMessage& msg);
+  [[nodiscard]] bool maybe_probe_response(std::size_t shard,
+                                          const roce::RoceMessage& msg);
 
   void set_health_fn(HealthFn fn) { health_fn_ = std::move(fn); }
 
@@ -159,7 +160,7 @@ class ChannelSet {
     int consecutive_naks = 0;
     sim::Time down_since = 0;
     sim::Time last_outage = 0;
-    std::unordered_set<std::uint32_t> probe_psns;
+    std::unordered_set<roce::Psn> probe_psns;
     ShardStats stats;
   };
 

@@ -14,6 +14,8 @@
 #include <deque>
 #include <unordered_set>
 
+#include "roce/headers.hpp"
+
 namespace xmem::core {
 
 class DedupWindow {
@@ -23,7 +25,7 @@ class DedupWindow {
   /// True exactly once per identity within the window: the first call
   /// inserts and returns true, later calls return false until `id` is
   /// evicted by `capacity` newer identities.
-  bool first_time(std::uint64_t id) {
+  [[nodiscard]] bool first_time(std::uint64_t id) {
     if (seen_.count(id) != 0) return false;
     seen_.insert(id);
     order_.push_back(id);
@@ -39,11 +41,11 @@ class DedupWindow {
 
   /// Combine the fields that identify one response frame into a window
   /// identity. PSN and MSN are 24-bit, so the packing is collision-free.
-  static std::uint64_t key(std::size_t shard, std::uint32_t psn,
+  static std::uint64_t key(std::size_t shard, roce::Psn psn,
                            std::uint32_t msn, std::uint8_t kind) {
     return (static_cast<std::uint64_t>(shard) << 56) |
            (static_cast<std::uint64_t>(kind) << 48) |
-           (static_cast<std::uint64_t>(psn & 0xffffff) << 24) |
+           (static_cast<std::uint64_t>(psn.raw()) << 24) |
            static_cast<std::uint64_t>(msn & 0xffffff);
   }
 

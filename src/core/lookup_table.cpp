@@ -204,14 +204,14 @@ void LookupTablePrimitive::remote_lookup(PipelineContext& ctx,
     w.bytes(ctx.packet.bytes());
     channel.post_write(va + kLenOffset, deposit);
 
-    const std::uint32_t psn = channel.post_read(
+    const roce::Psn psn = channel.post_read(
         va, static_cast<std::uint32_t>(config_.entry_bytes));
     inflight_.emplace(ShardPsn{*shard, psn}, now);
     ctx.consume();
   } else {
     // Recirculate variant: hold the original, fetch only the action and
     // the key-check word.
-    const std::uint32_t psn = channel.post_read(
+    const roce::Psn psn = channel.post_read(
         va, static_cast<std::uint32_t>(kLenOffset));
     pending_.emplace(ShardPsn{*shard, psn}, Held{ctx.packet.clone(), now});
     if (pending_.size() > stats_.held_packets) {

@@ -168,8 +168,8 @@ class LookupTablePrimitive {
   void on_timeout();
   /// Apply `action` to `packet`; returns the egress port, or nullopt if
   /// the packet should be dropped.
-  std::optional<int> apply_action(const switchsim::Action& action,
-                                  net::Packet& packet);
+  [[nodiscard]] std::optional<int> apply_action(
+      const switchsim::Action& action, net::Packet& packet);
   void cache_insert(std::vector<std::uint8_t> key,
                     const switchsim::Action& action);
 
@@ -195,13 +195,13 @@ class LookupTablePrimitive {
   // per-channel.
   struct ShardPsn {
     std::size_t shard;
-    std::uint32_t psn;
+    roce::Psn psn;
     bool operator==(const ShardPsn&) const = default;
   };
   struct ShardPsnHash {
     std::size_t operator()(const ShardPsn& k) const noexcept {
       return std::hash<std::uint64_t>{}(
-          (static_cast<std::uint64_t>(k.shard) << 32) | k.psn);
+          (static_cast<std::uint64_t>(k.shard) << 32) | k.psn.raw());
     }
   };
   // Bounce mode: outstanding READs and when they were posted.

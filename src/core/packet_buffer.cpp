@@ -147,7 +147,7 @@ void PacketBufferPrimitive::store_packet(const net::Packet& packet) {
   }
 
   if (config_.reliable_stores) {
-    const std::uint32_t psn = channels_.at(*stripe).post_write(
+    const roce::Psn psn = channels_.at(*stripe).post_write(
         slot_va(head_), entry, /*ack_req=*/true);
     unacked_slots_.insert(head_);
     inflight_writes_.emplace(
@@ -194,7 +194,7 @@ void PacketBufferPrimitive::maybe_issue_reads() {
       continue;
     }
     if (inflight_per_channel_[chan] >= config_.read_pipeline_depth) break;
-    const std::uint32_t psn = channels_.at(chan).post_read(
+    const roce::Psn psn = channels_.at(chan).post_read(
         slot_va(next_read_slot_),
         static_cast<std::uint32_t>(config_.entry_bytes));
     inflight_.emplace(InflightKey{chan, psn}, next_read_slot_);
@@ -307,7 +307,7 @@ void PacketBufferPrimitive::on_health_change(std::size_t shard,
       std::vector<std::uint64_t> posted;
       for (auto& [slot, entry] : deferred_stores_) {
         if (channel_of(slot) != shard) continue;
-        const std::uint32_t psn = channels_.at(shard).post_write(
+        const roce::Psn psn = channels_.at(shard).post_write(
             slot_va(slot), entry, /*ack_req=*/true);
         inflight_writes_.emplace(
             InflightKey{shard, psn},

@@ -192,13 +192,13 @@ class PacketBufferPrimitive {
   // Outstanding READ bookkeeping.
   struct InflightKey {
     std::size_t channel;
-    std::uint32_t psn;
+    roce::Psn psn;
     bool operator==(const InflightKey&) const = default;
   };
   struct InflightKeyHash {
     std::size_t operator()(const InflightKey& k) const noexcept {
       return std::hash<std::uint64_t>{}(
-          (static_cast<std::uint64_t>(k.channel) << 32) | k.psn);
+          (static_cast<std::uint64_t>(k.channel) << 32) | k.psn.raw());
     }
   };
   std::uint64_t next_read_slot_ = 0;  // next slot to request (monotonic)

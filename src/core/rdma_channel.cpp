@@ -11,7 +11,7 @@ using roce::RoceMessage;
 RdmaChannel::RdmaChannel(switchsim::ProgrammableSwitch& sw,
                          control::RdmaChannelConfig config)
     : switch_(&sw), config_(std::move(config)),
-      next_psn_(config_.initial_psn & roce::kPsnMask) {
+      next_psn_(config_.initial_psn) {
   assert(config_.switch_port >= 0 && "channel has no egress port");
 }
 
@@ -44,20 +44,20 @@ void RdmaChannel::attach_telemetry(telemetry::MetricsRegistry* registry,
   }
 }
 
-void RdmaChannel::trace_begin(std::string_view verb, std::uint32_t psn,
+void RdmaChannel::trace_begin(std::string_view verb, roce::Psn psn,
                               std::uint64_t bytes) {
   if (tracer_ != nullptr) tracer_->begin_op(track_, verb, psn, bytes);
 }
 
-void RdmaChannel::trace_complete(std::uint32_t psn, std::string_view status) {
+void RdmaChannel::trace_complete(roce::Psn psn, std::string_view status) {
   if (tracer_ != nullptr) tracer_->end_op(track_, psn, status);
 }
 
-void RdmaChannel::trace_retransmit(std::uint32_t psn) {
+void RdmaChannel::trace_retransmit(roce::Psn psn) {
   if (tracer_ != nullptr) tracer_->note_retransmit(track_, psn);
 }
 
-void RdmaChannel::trace_annotate(std::uint32_t psn, std::string_view key,
+void RdmaChannel::trace_annotate(roce::Psn psn, std::string_view key,
                                  std::string_view value) {
   if (tracer_ != nullptr) tracer_->annotate(track_, psn, key, value);
 }
@@ -69,10 +69,10 @@ void RdmaChannel::inject(RoceMessage msg) {
   switch_->inject(std::move(frame), config_.switch_port);
 }
 
-std::uint32_t RdmaChannel::post_write(std::uint64_t va,
-                                      std::span<const std::uint8_t> payload,
-                                      bool ack_req) {
-  const std::uint32_t first_psn = next_psn_;
+roce::Psn RdmaChannel::post_write(std::uint64_t va,
+                                  std::span<const std::uint8_t> payload,
+                                  bool ack_req) {
+  const roce::Psn first_psn = next_psn_;
   const std::size_t mtu = config_.path_mtu;
   const std::size_t segments =
       payload.empty() ? 1 : (payload.size() + mtu - 1) / mtu;
@@ -115,13 +115,13 @@ std::uint32_t RdmaChannel::post_write(std::uint64_t va,
   return first_psn;
 }
 
-std::uint32_t RdmaChannel::post_read(std::uint64_t va, std::uint32_t len) {
+roce::Psn RdmaChannel::post_read(std::uint64_t va, std::uint32_t len) {
   RoceMessage msg;
   msg.bth.opcode = Opcode::kRdmaReadRequest;
   msg.bth.dest_qp = config_.remote_qpn;
   msg.bth.psn = next_psn_;
   msg.reth = roce::Reth{va, config_.rkey, len};
-  const std::uint32_t psn = next_psn_;
+  const roce::Psn psn = next_psn_;
   next_psn_ = roce::psn_add(next_psn_, read_segments(len));
   ++stats_.reads_sent;
   trace_begin("READ", psn, len);
@@ -132,12 +132,12 @@ std::uint32_t RdmaChannel::post_read(std::uint64_t va, std::uint32_t len) {
 void RdmaChannel::reconfigure(control::RdmaChannelConfig config) {
   assert(config.switch_port >= 0 && "channel has no egress port");
   config_ = std::move(config);
-  next_psn_ = config_.initial_psn & roce::kPsnMask;
+  next_psn_ = config_.initial_psn;
 }
 
 void RdmaChannel::repost_write(std::uint64_t va,
                                std::span<const std::uint8_t> payload,
-                               std::uint32_t psn, bool ack_req) {
+                               roce::Psn psn, bool ack_req) {
   assert(payload.size() <= config_.path_mtu &&
          "repost_write: payload exceeds one MTU");
   RoceMessage msg;
@@ -153,7 +153,7 @@ void RdmaChannel::repost_write(std::uint64_t va,
 }
 
 void RdmaChannel::repost_read(std::uint64_t va, std::uint32_t len,
-                              std::uint32_t psn) {
+                              roce::Psn psn) {
   RoceMessage msg;
   msg.bth.opcode = Opcode::kRdmaReadRequest;
   msg.bth.dest_qp = config_.remote_qpn;
@@ -163,14 +163,13 @@ void RdmaChannel::repost_read(std::uint64_t va, std::uint32_t len,
   inject(std::move(msg));
 }
 
-std::uint32_t RdmaChannel::post_fetch_add(std::uint64_t va,
-                                          std::uint64_t add) {
+roce::Psn RdmaChannel::post_fetch_add(std::uint64_t va, std::uint64_t add) {
   RoceMessage msg;
   msg.bth.opcode = Opcode::kFetchAdd;
   msg.bth.dest_qp = config_.remote_qpn;
   msg.bth.psn = next_psn_;
   msg.atomic_eth = roce::AtomicEth{va, config_.rkey, add, 0};
-  const std::uint32_t psn = next_psn_;
+  const roce::Psn psn = next_psn_;
   next_psn_ = roce::psn_add(next_psn_, 1);
   ++stats_.atomics_sent;
   trace_begin("FETCH_ADD", psn, 8);
@@ -178,15 +177,15 @@ std::uint32_t RdmaChannel::post_fetch_add(std::uint64_t va,
   return psn;
 }
 
-std::uint32_t RdmaChannel::post_compare_swap(std::uint64_t va,
-                                             std::uint64_t compare,
-                                             std::uint64_t swap) {
+roce::Psn RdmaChannel::post_compare_swap(std::uint64_t va,
+                                         std::uint64_t compare,
+                                         std::uint64_t swap) {
   RoceMessage msg;
   msg.bth.opcode = Opcode::kCompareSwap;
   msg.bth.dest_qp = config_.remote_qpn;
   msg.bth.psn = next_psn_;
   msg.atomic_eth = roce::AtomicEth{va, config_.rkey, swap, compare};
-  const std::uint32_t psn = next_psn_;
+  const roce::Psn psn = next_psn_;
   next_psn_ = roce::psn_add(next_psn_, 1);
   ++stats_.atomics_sent;
   trace_begin("CMP_SWAP", psn, 8);
@@ -195,7 +194,7 @@ std::uint32_t RdmaChannel::post_compare_swap(std::uint64_t va,
 }
 
 void RdmaChannel::repost_fetch_add(std::uint64_t va, std::uint64_t add,
-                                   std::uint32_t psn) {
+                                   roce::Psn psn) {
   RoceMessage msg;
   msg.bth.opcode = Opcode::kFetchAdd;
   msg.bth.dest_qp = config_.remote_qpn;

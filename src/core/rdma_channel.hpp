@@ -46,40 +46,39 @@ class RdmaChannel {
   /// Craft and inject an RDMA WRITE of `payload` to remote `va`.
   /// Returns the PSN used. Multi-MTU payloads are segmented
   /// FIRST/MIDDLE/LAST exactly as an RNIC requester would.
-  std::uint32_t post_write(std::uint64_t va,
-                           std::span<const std::uint8_t> payload,
-                           bool ack_req = false);
+  roce::Psn post_write(std::uint64_t va,
+                       std::span<const std::uint8_t> payload,
+                       bool ack_req = false);
 
   /// Craft and inject an RDMA READ request for [va, va+len).
   /// Returns the PSN of the request; the response's first packet carries
   /// the same PSN. Consumes ceil(len/mtu) PSNs.
-  std::uint32_t post_read(std::uint64_t va, std::uint32_t len);
+  roce::Psn post_read(std::uint64_t va, std::uint32_t len);
 
   /// Retransmit a READ with its original PSN (reliability extensions).
   /// Does not advance the PSN register.
-  void repost_read(std::uint64_t va, std::uint32_t len, std::uint32_t psn);
+  void repost_read(std::uint64_t va, std::uint32_t len, roce::Psn psn);
 
   /// Retransmit a single-segment WRITE with its original PSN (reliable
   /// stores). Does not advance the PSN register; the payload must fit in
   /// one MTU so the repost is self-contained (ONLY opcode).
   void repost_write(std::uint64_t va, std::span<const std::uint8_t> payload,
-                    std::uint32_t psn, bool ack_req = true);
+                    roce::Psn psn, bool ack_req = true);
 
   /// Craft and inject an atomic Fetch-and-Add of `add` at `va`.
   /// Returns the PSN used (the AtomicAck echoes it).
-  std::uint32_t post_fetch_add(std::uint64_t va, std::uint64_t add);
+  roce::Psn post_fetch_add(std::uint64_t va, std::uint64_t add);
 
   /// Retransmit a Fetch-and-Add with its original PSN (reliability
   /// extension). Does not advance the PSN register.
-  void repost_fetch_add(std::uint64_t va, std::uint64_t add,
-                        std::uint32_t psn);
+  void repost_fetch_add(std::uint64_t va, std::uint64_t add, roce::Psn psn);
 
   /// Craft and inject an atomic Compare-and-Swap: if the 8 bytes at `va`
   /// equal `compare`, they become `swap`; the AtomicAck returns the
   /// prior value either way. This is what lets the *data plane* claim a
   /// remote table slot atomically (e.g. connection-table inserts).
-  std::uint32_t post_compare_swap(std::uint64_t va, std::uint64_t compare,
-                                  std::uint64_t swap);
+  roce::Psn post_compare_swap(std::uint64_t va, std::uint64_t compare,
+                              std::uint64_t swap);
 
   /// Number of READ response segments `len` bytes will arrive in.
   [[nodiscard]] std::uint32_t read_segments(std::uint32_t len) const {
@@ -88,7 +87,7 @@ class RdmaChannel {
         (len + config_.path_mtu - 1) / config_.path_mtu);
   }
 
-  [[nodiscard]] std::uint32_t next_psn() const { return next_psn_; }
+  [[nodiscard]] roce::Psn next_psn() const { return next_psn_; }
 
   /// Point the channel at a rebuilt remote endpoint (after
   /// ChannelController::reconnect): swaps in the new config and resets
@@ -110,22 +109,22 @@ class RdmaChannel {
   /// Close the span for `psn` — called by the owning primitive when it
   /// matches the op's ACK / response / NAK. First close wins; stale
   /// duplicates are ignored. No-op without an attached tracer.
-  void trace_complete(std::uint32_t psn, std::string_view status = "ok");
+  void trace_complete(roce::Psn psn, std::string_view status = "ok");
   /// Record a retransmission of the still-open op (reliability paths).
-  void trace_retransmit(std::uint32_t psn);
+  void trace_retransmit(roce::Psn psn);
   /// Attach an annotation (e.g. a NAK cause that triggered a retransmit)
   /// to the open span without closing it.
-  void trace_annotate(std::uint32_t psn, std::string_view key,
+  void trace_annotate(roce::Psn psn, std::string_view key,
                       std::string_view value);
 
  private:
   void inject(roce::RoceMessage msg);
-  void trace_begin(std::string_view verb, std::uint32_t psn,
+  void trace_begin(std::string_view verb, roce::Psn psn,
                    std::uint64_t bytes);
 
   switchsim::ProgrammableSwitch* switch_;
   control::RdmaChannelConfig config_;
-  std::uint32_t next_psn_;  // the per-channel PSN register
+  roce::Psn next_psn_;  // the per-channel PSN register
   telemetry::OpTracer* tracer_ = nullptr;
   int track_ = -1;
   Stats stats_;

@@ -151,7 +151,7 @@ void StateStorePrimitive::issue_from_accumulators() {
 void StateStorePrimitive::issue(std::uint64_t index, std::uint64_t add) {
   const auto shard = channels_.route(index);
   assert(shard && "issue() only runs against healthy shards");
-  const std::uint32_t psn =
+  const roce::Psn psn =
       channels_.at(*shard).post_fetch_add(counter_va(index), add);
   ++outstanding_[*shard];
   ++stats_.fetch_adds_sent;
@@ -246,7 +246,7 @@ void StateStorePrimitive::handle_response(std::size_t shard,
       ++stats_.retransmits;
     }
 
-    std::vector<std::uint32_t> psns;
+    std::vector<roce::Psn> psns;
     psns.reserve(inflight_.size());
     for (const auto& [key, op_state] : inflight_) {
       if (key.shard == shard &&
@@ -254,11 +254,10 @@ void StateStorePrimitive::handle_response(std::size_t shard,
         psns.push_back(key.psn);
       }
     }
-    std::sort(psns.begin(), psns.end(),
-              [&](std::uint32_t a, std::uint32_t b) {
-                return roce::psn_distance(a, b) > 0;
-              });
-    for (const std::uint32_t psn : psns) {
+    std::sort(psns.begin(), psns.end(), [&](roce::Psn a, roce::Psn b) {
+      return roce::psn_lt(a, b);
+    });
+    for (const roce::Psn psn : psns) {
       const auto& f = inflight_.at(ShardPsn{shard, psn});
       channel.repost_fetch_add(counter_va(f.index), f.add, psn);
       ++stats_.retransmits;
@@ -294,16 +293,16 @@ void StateStorePrimitive::on_health_change(std::size_t shard,
 }
 
 void StateStorePrimitive::replay_window(std::size_t shard) {
-  std::vector<std::uint32_t> psns;
+  std::vector<roce::Psn> psns;
   for (const auto& [key, f] : inflight_) {
     if (key.shard == shard) psns.push_back(key.psn);
   }
   if (psns.empty()) return;
   last_goback_ = switch_->simulator().now();
-  std::sort(psns.begin(), psns.end(), [](std::uint32_t a, std::uint32_t b) {
-    return roce::psn_distance(a, b) > 0;
+  std::sort(psns.begin(), psns.end(), [](roce::Psn a, roce::Psn b) {
+    return roce::psn_lt(a, b);
   });
-  for (const std::uint32_t psn : psns) {
+  for (const roce::Psn psn : psns) {
     const auto& f = inflight_.at(ShardPsn{shard, psn});
     channels_.at(shard).repost_fetch_add(counter_va(f.index), f.add, psn);
     ++stats_.retransmits;

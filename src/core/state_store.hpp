@@ -175,13 +175,13 @@ class StateStorePrimitive {
   /// Reliability bookkeeping: (shard, PSN) -> (counter index, add value).
   struct ShardPsn {
     std::size_t shard;
-    std::uint32_t psn;
+    roce::Psn psn;
     bool operator==(const ShardPsn&) const = default;
   };
   struct ShardPsnHash {
     std::size_t operator()(const ShardPsn& k) const noexcept {
       return std::hash<std::uint64_t>{}(
-          (static_cast<std::uint64_t>(k.shard) << 32) | k.psn);
+          (static_cast<std::uint64_t>(k.shard) << 32) | k.psn.raw());
     }
   };
   struct Inflight {

@@ -32,6 +32,8 @@ struct EthernetHeader {
   MacAddress src;
   std::uint16_t ether_type = 0;
 
+  static constexpr std::size_t kWireBytes = kEthernetHeaderBytes;
+
   void serialize(ByteWriter& w) const;
   static EthernetHeader parse(ByteReader& r);
 
@@ -42,6 +44,9 @@ struct EthernetHeader {
 
   bool operator==(const EthernetHeader&) const = default;
 };
+static_assert(EthernetHeader::kWireBytes ==
+                  2 * std::tuple_size_v<std::array<std::uint8_t, 6>> + 2,
+              "Ethernet II header is 14 bytes");
 
 /// Total link occupancy of a frame whose in-buffer size is `frame_bytes`
 /// (header + payload, no FCS): adds FCS, minimum-size padding, preamble

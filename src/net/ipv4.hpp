@@ -35,6 +35,8 @@ struct Ipv4Header {
   Ipv4Address src;
   Ipv4Address dst;
 
+  static constexpr std::size_t kWireBytes = kIpv4HeaderBytes;
+
   /// Serializes with a freshly computed header checksum.
   void serialize(ByteWriter& w) const;
 
@@ -48,5 +50,7 @@ struct Ipv4Header {
 
   bool operator==(const Ipv4Header&) const = default;
 };
+static_assert(Ipv4Header::kWireBytes == 12 + 2 * sizeof(std::uint32_t),
+              "IPv4 header without options is 20 bytes");
 
 }  // namespace xmem::net

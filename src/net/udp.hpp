@@ -17,6 +17,8 @@ struct UdpHeader {
   std::uint16_t length = 0;  // header + payload
   std::uint16_t checksum = 0;  // RoCEv2 sets this to 0 (allowed by RFC 768)
 
+  static constexpr std::size_t kWireBytes = kUdpHeaderBytes;
+
   void serialize(ByteWriter& w) const {
     w.u16(src_port);
     w.u16(dst_port);
@@ -35,5 +37,7 @@ struct UdpHeader {
 
   bool operator==(const UdpHeader&) const = default;
 };
+static_assert(UdpHeader::kWireBytes == 4 * sizeof(std::uint16_t),
+              "UDP header is 8 bytes");
 
 }  // namespace xmem::net

@@ -100,7 +100,7 @@ class MemoryManager {
   /// Re-register an invalidated region under a fresh rkey, preserving
   /// its bytes, base VA and access rights. Returns nullptr if `old_rkey`
   /// is unknown.
-  MemoryRegion* reregister(std::uint32_t old_rkey);
+  [[nodiscard]] MemoryRegion* reregister(std::uint32_t old_rkey);
 
   /// Full remote-access check for an operation of `len` bytes at `va`.
   [[nodiscard]] MemStatus check(std::uint32_t rkey, std::uint64_t va,

@@ -9,6 +9,7 @@
 #include <deque>
 #include <unordered_map>
 
+#include "roce/headers.hpp"
 #include "roce/packet.hpp"
 
 namespace xmem::rnic {
@@ -28,8 +29,8 @@ struct QueuePair {
   std::uint32_t remote_qpn = 0;
 
   /// Responder sequence state.
-  std::uint32_t epsn = 0;  // next expected request PSN (24-bit)
-  std::uint32_t msn = 0;   // completed-message counter, echoed in AETH
+  roce::Psn epsn;         // next expected request PSN
+  std::uint32_t msn = 0;  // completed-message counter, echoed in AETH
 
   /// Largest read/atomic responder concurrency advertised (informational;
   /// the requester enforces it).
@@ -59,10 +60,10 @@ struct QueuePair {
   /// original value instead of executing twice (exactly-once semantics).
   struct AtomicReplayCache {
     static constexpr std::size_t kCapacity = 64;
-    std::unordered_map<std::uint32_t, std::uint64_t> by_psn;
-    std::deque<std::uint32_t> order;
+    std::unordered_map<roce::Psn, std::uint64_t> by_psn;
+    std::deque<roce::Psn> order;
 
-    void remember(std::uint32_t psn, std::uint64_t original) {
+    void remember(roce::Psn psn, std::uint64_t original) {
       if (by_psn.size() >= kCapacity) {
         by_psn.erase(order.front());
         order.pop_front();
@@ -70,7 +71,7 @@ struct QueuePair {
       by_psn.emplace(psn, original);
       order.push_back(psn);
     }
-    [[nodiscard]] const std::uint64_t* find(std::uint32_t psn) const {
+    [[nodiscard]] const std::uint64_t* find(roce::Psn psn) const {
       auto it = by_psn.find(psn);
       return it == by_psn.end() ? nullptr : &it->second;
     }

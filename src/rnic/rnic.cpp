@@ -30,12 +30,12 @@ QueuePair& Rnic::create_qp() {
 }
 
 void Rnic::connect_qp(std::uint32_t qpn, const roce::RoceEndpoint& remote,
-                      std::uint32_t remote_qpn, std::uint32_t expected_psn) {
+                      std::uint32_t remote_qpn, roce::Psn expected_psn) {
   QueuePair* qp = find_qp(qpn);
   assert(qp != nullptr && "connect_qp: unknown QPN");
   qp->remote = remote;
   qp->remote_qpn = remote_qpn;
-  qp->epsn = expected_psn & roce::kPsnMask;
+  qp->epsn = expected_psn;
   qp->state = QpState::kReadyToReceive;
 }
 
@@ -310,7 +310,7 @@ void Rnic::execute_read(QueuePair& qp, const RoceMessage& msg,
 
   const std::size_t segments =
       len == 0 ? 1 : (len + qp.path_mtu - 1) / qp.path_mtu;
-  const std::uint32_t first_psn = msg.bth.psn;
+  const roce::Psn first_psn = msg.bth.psn;
   if (advance_sequence) {
     qp.epsn = roce::psn_add(qp.epsn, static_cast<std::uint32_t>(segments));
     qp.msn = (qp.msn + 1) & 0xffffff;
@@ -352,13 +352,13 @@ void Rnic::execute_atomic(QueuePair& qp, const RoceMessage& msg) {
   send_ack(qp, msg.bth.psn, AckSyndrome::kAck, original);
 }
 
-void Rnic::send_ack(QueuePair& qp, std::uint32_t psn, AckSyndrome syndrome,
+void Rnic::send_ack(QueuePair& qp, roce::Psn psn, AckSyndrome syndrome,
                     std::optional<std::uint64_t> atomic_original) {
   RoceMessage resp;
   resp.bth.opcode = atomic_original.has_value() ? Opcode::kAtomicAcknowledge
                                                 : Opcode::kAcknowledge;
   resp.bth.dest_qp = qp.remote_qpn;
-  resp.bth.psn = psn & roce::kPsnMask;
+  resp.bth.psn = psn;
   resp.aeth = roce::Aeth{syndrome, qp.msn};
   if (atomic_original) {
     resp.atomic_ack = roce::AtomicAckEth{*atomic_original};
@@ -387,7 +387,7 @@ void Rnic::send_ack(QueuePair& qp, std::uint32_t psn, AckSyndrome syndrome,
   transmit_(roce::build_roce_packet(self_, qp.remote, std::move(resp)));
 }
 
-void Rnic::send_read_response(QueuePair& qp, std::uint32_t first_psn,
+void Rnic::send_read_response(QueuePair& qp, roce::Psn first_psn,
                               std::span<const std::uint8_t> data) {
   const std::size_t mtu = qp.path_mtu;
   const std::size_t segments =

@@ -91,7 +91,7 @@ class Rnic {
   QueuePair& create_qp();
   /// Bind a local QP to its peer and arm the responder.
   void connect_qp(std::uint32_t qpn, const roce::RoceEndpoint& remote,
-                  std::uint32_t remote_qpn, std::uint32_t expected_psn);
+                  std::uint32_t remote_qpn, roce::Psn expected_psn);
   [[nodiscard]] QueuePair* find_qp(std::uint32_t qpn);
 
   /// Requester role: deliver responses addressed to `qpn` to `handler`.
@@ -118,7 +118,7 @@ class Rnic {
   /// --- Data plane -----------------------------------------------------
   /// Offer a received frame. Returns true if it was RoCE (consumed by the
   /// NIC); false means the frame is ordinary traffic for the host stack.
-  bool handle_frame(const net::Packet& frame);
+  [[nodiscard]] bool handle_frame(const net::Packet& frame);
 
   /// Emit a pre-built frame through the host port (used by the requester
   /// engine, which shares the NIC's wire).
@@ -134,9 +134,9 @@ class Rnic {
   void execute(const roce::RoceMessage& msg);
   [[nodiscard]] sim::Time service_time(const roce::RoceMessage& msg) const;
 
-  void send_ack(QueuePair& qp, std::uint32_t psn, roce::AckSyndrome syndrome,
+  void send_ack(QueuePair& qp, roce::Psn psn, roce::AckSyndrome syndrome,
                 std::optional<std::uint64_t> atomic_original = std::nullopt);
-  void send_read_response(QueuePair& qp, std::uint32_t first_psn,
+  void send_read_response(QueuePair& qp, roce::Psn first_psn,
                           std::span<const std::uint8_t> data);
 
   void execute_duplicate_write_only(QueuePair& qp,

@@ -19,11 +19,10 @@ RcRequester::RcRequester(sim::Simulator& simulator, Rnic& nic,
 }
 
 void RcRequester::connect(const roce::RoceEndpoint& remote,
-                          std::uint32_t remote_qpn,
-                          std::uint32_t initial_psn) {
+                          std::uint32_t remote_qpn, roce::Psn initial_psn) {
   remote_ = remote;
   remote_qpn_ = remote_qpn;
-  next_psn_ = initial_psn & roce::kPsnMask;
+  next_psn_ = initial_psn;
   lowest_unacked_ = next_psn_;
   sent_psn_ = next_psn_;
   connected_ = true;
@@ -195,14 +194,14 @@ void RcRequester::on_response(const RoceMessage& msg) {
       go_back_n();
       return;
     }
-    const std::uint32_t acked_through = roce::psn_add(msg.bth.psn, 1);
+    const roce::Psn acked_through = roce::psn_add(msg.bth.psn, 1);
     if (roce::psn_distance(lowest_unacked_, acked_through) > 0) {
       lowest_unacked_ = acked_through;
     }
     // Mark write / atomic WQEs whose last PSN is covered.
     for (auto& wqe : wqes_) {
       if (!wqe.started || wqe.done) continue;
-      const std::uint32_t last_psn =
+      const roce::Psn last_psn =
           roce::psn_add(wqe.first_psn, wqe.packet_count - 1);
       const bool covered = roce::psn_distance(last_psn, msg.bth.psn) >= 0;
       if (!covered) break;  // later WQEs cannot be covered either
@@ -239,7 +238,7 @@ void RcRequester::on_response(const RoceMessage& msg) {
       ++wqe.read_segments_received;
       if (wqe.read_segments_received == wqe.packet_count) {
         wqe.done = true;
-        const std::uint32_t after =
+        const roce::Psn after =
             roce::psn_add(wqe.first_psn, wqe.packet_count);
         if (roce::psn_distance(lowest_unacked_, after) > 0) {
           lowest_unacked_ = after;

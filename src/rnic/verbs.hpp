@@ -48,7 +48,7 @@ class RcRequester {
   /// Bind to the peer. `initial_psn` seeds the send PSN; the peer's QP
   /// must expect the same value.
   void connect(const roce::RoceEndpoint& remote, std::uint32_t remote_qpn,
-               std::uint32_t initial_psn);
+               roce::Psn initial_psn);
 
   void post_write(std::uint64_t remote_va, std::uint32_t rkey,
                   std::vector<std::uint8_t> data, CompletionFn on_complete,
@@ -81,7 +81,7 @@ class RcRequester {
 
     // Assigned when the WQE starts transmitting.
     bool started = false;
-    std::uint32_t first_psn = 0;
+    roce::Psn first_psn;
     std::uint32_t packet_count = 0;  // PSNs this WQE occupies
     std::uint32_t packets_sent = 0;
     std::vector<std::uint8_t> read_buffer;
@@ -110,9 +110,9 @@ class RcRequester {
 
   roce::RoceEndpoint remote_;
   std::uint32_t remote_qpn_ = 0;
-  std::uint32_t next_psn_ = 0;       // next PSN to assign to a WQE
-  std::uint32_t sent_psn_ = 0;       // first PSN not yet transmitted
-  std::uint32_t lowest_unacked_ = 0; // oldest PSN awaiting an ACK
+  roce::Psn next_psn_;        // next PSN to assign to a WQE
+  roce::Psn sent_psn_;        // first PSN not yet transmitted
+  roce::Psn lowest_unacked_;  // oldest PSN awaiting an ACK
   bool connected_ = false;
 
   std::deque<Wqe> wqes_;  // front = oldest outstanding

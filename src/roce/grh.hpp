@@ -23,6 +23,8 @@ struct Grh {
   std::array<std::uint8_t, 16> sgid = {};
   std::array<std::uint8_t, 16> dgid = {};
 
+  static constexpr std::size_t kWireBytes = kGrhBytes;
+
   void serialize(net::ByteWriter& w) const;
   static Grh parse(net::ByteReader& r);
 
@@ -31,5 +33,8 @@ struct Grh {
 
   bool operator==(const Grh&) const = default;
 };
+static_assert(Grh::kWireBytes ==
+                  2 * sizeof(std::array<std::uint8_t, 16>) + 8,
+              "GRH wire layout is 40 bytes");
 
 }  // namespace xmem::roce

@@ -11,7 +11,7 @@ void Bth::serialize(net::ByteWriter& w) const {
   w.u8(0);  // resv8a
   w.u24(dest_qp & 0xffffff);
   w.u8(ack_req ? 0x80 : 0x00);  // A bit + resv7
-  w.u24(psn & kPsnMask);
+  w.u24(psn.raw());
 }
 
 Bth Bth::parse(net::ByteReader& r) {
@@ -26,7 +26,7 @@ Bth Bth::parse(net::ByteReader& r) {
   r.u8();  // resv8a
   h.dest_qp = r.u24();
   h.ack_req = (r.u8() & 0x80) != 0;
-  h.psn = r.u24();
+  h.psn = Psn(r.u24());
   return h;
 }
 

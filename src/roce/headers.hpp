@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 
 #include "net/bytes.hpp"
 #include "roce/opcodes.hpp"
@@ -23,18 +24,52 @@ inline constexpr std::size_t kAethBytes = 4;
 inline constexpr std::size_t kAtomicAckEthBytes = 8;
 inline constexpr std::size_t kIcrcBytes = 4;
 
-/// 24-bit packet sequence number arithmetic (PSNs wrap).
 inline constexpr std::uint32_t kPsnMask = 0xffffff;
-[[nodiscard]] constexpr std::uint32_t psn_add(std::uint32_t psn,
-                                              std::uint32_t delta) {
-  return (psn + delta) & kPsnMask;
+
+/// 24-bit packet sequence number. PSN space is circular, so any raw
+/// relational comparison is a wraparound bug by construction — the
+/// operators are deleted and ordering is only expressible through
+/// psn_lt / psn_ge / psn_distance below. Equality and hashing are
+/// well-defined and allowed (inflight maps key on exact PSNs).
+class Psn {
+ public:
+  constexpr Psn() = default;
+  constexpr explicit Psn(std::uint32_t raw) : raw_(raw & kPsnMask) {}
+
+  [[nodiscard]] constexpr std::uint32_t raw() const { return raw_; }
+
+  constexpr bool operator==(const Psn&) const = default;
+
+  friend bool operator<(Psn, Psn) = delete;
+  friend bool operator<=(Psn, Psn) = delete;
+  friend bool operator>(Psn, Psn) = delete;
+  friend bool operator>=(Psn, Psn) = delete;
+
+ private:
+  std::uint32_t raw_ = 0;  // invariant: always masked to 24 bits
+};
+
+[[nodiscard]] constexpr Psn psn_add(Psn psn, std::uint32_t delta) {
+  return Psn(psn.raw() + delta);
 }
-/// Signed distance from `a` to `b` in PSN space (positive if b is ahead).
-[[nodiscard]] constexpr std::int32_t psn_distance(std::uint32_t a,
-                                                  std::uint32_t b) {
-  const std::uint32_t diff = (b - a) & kPsnMask;
+
+/// Signed circular distance from `a` to `b` (positive if b is ahead).
+/// Not a strict weak ordering over the full wrap circle — never use it
+/// as a map comparator; key containers on raw() instead.
+[[nodiscard]] constexpr std::int32_t psn_distance(Psn a, Psn b) {
+  const std::uint32_t diff = (b.raw() - a.raw()) & kPsnMask;
   return diff < 0x800000 ? static_cast<std::int32_t>(diff)
                          : static_cast<std::int32_t>(diff) - 0x1000000;
+}
+
+/// True when `a` strictly precedes `b` on the wrap circle.
+[[nodiscard]] constexpr bool psn_lt(Psn a, Psn b) {
+  return psn_distance(a, b) > 0;
+}
+
+/// True when `a` is at or ahead of `b` on the wrap circle.
+[[nodiscard]] constexpr bool psn_ge(Psn a, Psn b) {
+  return psn_distance(b, a) >= 0;
 }
 
 /// Base Transport Header.
@@ -47,13 +82,16 @@ struct Bth {
   std::uint16_t pkey = 0xffff;  // default partition key
   std::uint32_t dest_qp = 0;    // 24 bits
   bool ack_req = false;
-  std::uint32_t psn = 0;  // 24 bits
+  Psn psn;
+
+  static constexpr std::size_t kWireBytes = kBthBytes;
 
   void serialize(net::ByteWriter& w) const;
   static Bth parse(net::ByteReader& r);
 
   bool operator==(const Bth&) const = default;
 };
+static_assert(Bth::kWireBytes == 12, "BTH wire layout is 12 bytes");
 
 /// RDMA Extended Transport Header: where and how much.
 struct Reth {
@@ -61,11 +99,14 @@ struct Reth {
   std::uint32_t rkey = 0;     // memory region access key
   std::uint32_t dma_len = 0;  // total bytes of the operation
 
+  static constexpr std::size_t kWireBytes = kRethBytes;
+
   void serialize(net::ByteWriter& w) const;
   static Reth parse(net::ByteReader& r);
 
   bool operator==(const Reth&) const = default;
 };
+static_assert(Reth::kWireBytes == 16, "RETH wire layout is 16 bytes");
 
 /// Atomic Extended Transport Header (always a 64-bit operand).
 struct AtomicEth {
@@ -74,11 +115,15 @@ struct AtomicEth {
   std::uint64_t swap_add = 0;  // add operand for FetchAdd, swap for CmpSwap
   std::uint64_t compare = 0;   // only meaningful for CmpSwap
 
+  static constexpr std::size_t kWireBytes = kAtomicEthBytes;
+
   void serialize(net::ByteWriter& w) const;
   static AtomicEth parse(net::ByteReader& r);
 
   bool operator==(const AtomicEth&) const = default;
 };
+static_assert(AtomicEth::kWireBytes == 28,
+              "AtomicETH wire layout is 28 bytes");
 
 /// ACK Extended Transport Header syndromes (upper 3 bits select the
 /// class; low 5 bits carry credits or an error code).
@@ -109,6 +154,8 @@ struct Aeth {
   AckSyndrome syndrome = AckSyndrome::kAck;
   std::uint32_t msn = 0;  // 24-bit message sequence number
 
+  static constexpr std::size_t kWireBytes = kAethBytes;
+
   void serialize(net::ByteWriter& w) const;
   static Aeth parse(net::ByteReader& r);
 
@@ -116,15 +163,27 @@ struct Aeth {
 
   bool operator==(const Aeth&) const = default;
 };
+static_assert(Aeth::kWireBytes == 4, "AETH wire layout is 4 bytes");
 
 /// Atomic ACK payload: the value read before the atomic applied.
 struct AtomicAckEth {
   std::uint64_t original_value = 0;
+
+  static constexpr std::size_t kWireBytes = kAtomicAckEthBytes;
 
   void serialize(net::ByteWriter& w) const;
   static AtomicAckEth parse(net::ByteReader& r);
 
   bool operator==(const AtomicAckEth&) const = default;
 };
+static_assert(AtomicAckEth::kWireBytes == 8,
+              "AtomicAckETH wire layout is 8 bytes");
 
 }  // namespace xmem::roce
+
+template <>
+struct std::hash<xmem::roce::Psn> {
+  std::size_t operator()(xmem::roce::Psn psn) const noexcept {
+    return std::hash<std::uint32_t>{}(psn.raw());
+  }
+};

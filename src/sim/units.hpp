@@ -21,7 +21,10 @@ constexpr Bandwidth gbps(T v) {
   return static_cast<Bandwidth>(v) * kGigabitPerSecond;
 }
 constexpr Bandwidth gbps(double v) {
-  return static_cast<Bandwidth>(v * static_cast<double>(kGigabitPerSecond) + 0.5);
+  // Round half away from zero: adding +0.5 unconditionally would pull
+  // negative rates (deltas, headroom math) toward +infinity instead.
+  const double scaled = v * static_cast<double>(kGigabitPerSecond);
+  return static_cast<Bandwidth>(scaled + (scaled < 0.0 ? -0.5 : 0.5));
 }
 template <std::integral T>
 constexpr Bandwidth mbps(T v) {
@@ -59,7 +62,9 @@ constexpr Bandwidth achieved_rate(std::int64_t bytes, Time elapsed) {
   const long double bps = static_cast<long double>(bytes) * 8.0L *
                           static_cast<long double>(kSecond) /
                           static_cast<long double>(elapsed);
-  return static_cast<Bandwidth>(bps);
+  // Round to nearest: truncation understates every measured rate by up
+  // to a full bit/s, which shows up as off-by-one in throughput goldens.
+  return static_cast<Bandwidth>(bps + 0.5L);
 }
 
 }  // namespace xmem::sim

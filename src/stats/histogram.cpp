@@ -65,10 +65,15 @@ double Histogram::stddev() const {
 
 double Histogram::percentile(double p) const {
   assert(!empty());
-  assert(p >= 0.0 && p <= 100.0);
   ensure_sorted();
   if (sorted_.size() == 1) return sorted_.front();
-  const double rank = p / 100.0 * static_cast<double>(sorted_.size() - 1);
+  // Clamp instead of asserting the domain: callers compute p from float
+  // ratios that can land epsilon outside [0, 100], and in NDEBUG builds
+  // a negative rank would cast to a huge std::size_t (UB) before the
+  // bounds were ever checked.
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const double rank =
+      clamped / 100.0 * static_cast<double>(sorted_.size() - 1);
   const auto lo = static_cast<std::size_t>(rank);
   const std::size_t hi = std::min(lo + 1, sorted_.size() - 1);
   const double frac = rank - static_cast<double>(lo);

@@ -27,7 +27,7 @@ int OpTracer::track(const std::string& name) {
   return tid;
 }
 
-void OpTracer::begin_op(int track, std::string_view name, std::uint32_t psn,
+void OpTracer::begin_op(int track, std::string_view name, roce::Psn psn,
                         std::uint64_t bytes) {
   const Key key{track, psn};
   auto it = open_.find(key);
@@ -45,7 +45,7 @@ void OpTracer::begin_op(int track, std::string_view name, std::uint32_t psn,
   ++stats_.spans_opened;
 }
 
-void OpTracer::end_op(int track, std::uint32_t psn, std::string_view status) {
+void OpTracer::end_op(int track, roce::Psn psn, std::string_view status) {
   auto it = open_.find(Key{track, psn});
   if (it == open_.end()) {
     ++stats_.duplicate_closes;
@@ -66,14 +66,14 @@ void OpTracer::end_op(int track, std::uint32_t psn, std::string_view status) {
   ++stats_.spans_closed;
 }
 
-void OpTracer::note_retransmit(int track, std::uint32_t psn) {
+void OpTracer::note_retransmit(int track, roce::Psn psn) {
   auto it = open_.find(Key{track, psn});
   if (it == open_.end()) return;
   ++it->second.retransmits;
   ++stats_.retransmits;
 }
 
-void OpTracer::annotate(int track, std::uint32_t psn, std::string_view key,
+void OpTracer::annotate(int track, roce::Psn psn, std::string_view key,
                         std::string_view value) {
   auto it = open_.find(Key{track, psn});
   if (it == open_.end()) return;
@@ -87,7 +87,7 @@ void OpTracer::annotate(int track, std::uint32_t psn, std::string_view key,
       Annotation{std::string(key), std::string(value)});
 }
 
-bool OpTracer::op_open(int track, std::uint32_t psn) const {
+bool OpTracer::op_open(int track, roce::Psn psn) const {
   return open_.count(Key{track, psn}) > 0;
 }
 
@@ -141,7 +141,7 @@ std::string OpTracer::chrome_trace_json() const {
     w.kv("dur", to_trace_us(s.duration));
     w.key("args");
     w.begin_object();
-    w.kv("psn", static_cast<std::int64_t>(s.psn));
+    w.kv("psn", static_cast<std::int64_t>(s.psn.raw()));
     w.kv("bytes", s.bytes);
     w.kv("status", std::string_view(s.status));
     if (s.retransmits > 0) {

@@ -26,6 +26,7 @@
 #include <string_view>
 #include <vector>
 
+#include "roce/headers.hpp"
 #include "sim/simulator.hpp"
 
 namespace xmem::telemetry {
@@ -51,24 +52,24 @@ class OpTracer {
   /// Open a span for op `name` (verb mnemonic) with key (track, psn).
   /// `bytes` is the op's payload/DMA size, recorded in args. Opening an
   /// already-open key counts as a retransmit annotation, not a new span.
-  void begin_op(int track, std::string_view name, std::uint32_t psn,
+  void begin_op(int track, std::string_view name, roce::Psn psn,
                 std::uint64_t bytes);
 
   /// Close the span (track, psn) with the given status. The first close
   /// wins; subsequent closes are counted and ignored. Closing a key with
   /// no open span is a no-op (stale duplicate responses).
-  void end_op(int track, std::uint32_t psn, std::string_view status = "ok");
+  void end_op(int track, roce::Psn psn, std::string_view status = "ok");
 
   /// Record a retransmission of the (still open) op. No-op if closed.
-  void note_retransmit(int track, std::uint32_t psn);
+  void note_retransmit(int track, roce::Psn psn);
 
   /// Attach a NAK cause (or any annotation) to the open span without
   /// closing it — used when a NAK triggers a retransmit rather than
   /// abandoning the op. The annotation survives into the span's args.
-  void annotate(int track, std::uint32_t psn, std::string_view key,
+  void annotate(int track, roce::Psn psn, std::string_view key,
                 std::string_view value);
 
-  [[nodiscard]] bool op_open(int track, std::uint32_t psn) const;
+  [[nodiscard]] bool op_open(int track, roce::Psn psn) const;
   [[nodiscard]] std::size_t open_spans() const { return open_.size(); }
 
   /// Sample a counter track ("tm/port2/queue_depth_bytes") at sim-now.
@@ -81,7 +82,7 @@ class OpTracer {
   /// Spans still open are emitted with dur up to sim-now and
   /// status="open" (they stay visible in Perfetto rather than vanishing).
   [[nodiscard]] std::string chrome_trace_json() const;
-  bool write_chrome_trace(const std::string& path) const;
+  [[nodiscard]] bool write_chrome_trace(const std::string& path) const;
 
  private:
   struct Annotation {
@@ -93,7 +94,7 @@ class OpTracer {
     sim::Time start = 0;
     sim::Time duration = 0;
     int tid = 0;
-    std::uint32_t psn = 0;
+    roce::Psn psn;
     std::uint64_t bytes = 0;
     std::uint32_t retransmits = 0;
     std::string status;
@@ -118,10 +119,13 @@ class OpTracer {
   };
   struct Key {
     int track = 0;
-    std::uint32_t psn = 0;
+    roce::Psn psn;
+    // raw() order is map-ordering only (deterministic export); it is NOT
+    // wrap-aware protocol order, which psn_distance cannot provide either
+    // (not a strict weak ordering over the wrap circle).
     bool operator<(const Key& o) const {
       if (track != o.track) return track < o.track;
-      return psn < o.psn;
+      return psn.raw() < o.psn.raw();
     }
   };
 

@@ -34,6 +34,19 @@ void Link::set_fault_profile(const LinkFaultProfile& profile,
     throw std::invalid_argument(
         "Link::set_fault_profile: loss_rate must be in [0,1)");
   }
+  if (profile.corrupt_rate < 0.0 || profile.corrupt_rate > 1.0 ||
+      profile.duplicate_rate < 0.0 || profile.duplicate_rate > 1.0 ||
+      profile.reorder_rate < 0.0 || profile.reorder_rate > 1.0) {
+    throw std::invalid_argument(
+        "Link::set_fault_profile: fault rates must be in [0,1]");
+  }
+  // Negative delays would schedule the affected frame *before* it
+  // finished serializing — the simulator would deliver it in the past.
+  if (profile.jitter_max < 0 || profile.duplicate_gap < 0 ||
+      profile.reorder_delay < 0) {
+    throw std::invalid_argument(
+        "Link::set_fault_profile: delays must be non-negative");
+  }
   if (direction < -1 || direction > 1) {
     throw std::invalid_argument("Link::set_fault_profile: bad direction");
   }

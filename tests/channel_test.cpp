@@ -109,7 +109,7 @@ TEST_F(ChannelTest, MultiMtuWriteSegmentsFromSwitch) {
     ASSERT_EQ(region()[i], big[i]) << i;
   }
   // PSN advanced by 3 segments (4096+4096+1808).
-  EXPECT_EQ(channel_->next_psn(), 3u);
+  EXPECT_EQ(channel_->next_psn(), roce::Psn(3));
 }
 
 TEST_F(ChannelTest, PsnRegisterTracksReadSegments) {
@@ -119,7 +119,7 @@ TEST_F(ChannelTest, PsnRegisterTracksReadSegments) {
   EXPECT_EQ(channel_->read_segments(4097), 2u);
   tb_.sim().schedule_at(0, [&] { channel_->post_read(config_.base_va, 9000); });
   tb_.sim().run();
-  EXPECT_EQ(channel_->next_psn(), 3u);
+  EXPECT_EQ(channel_->next_psn(), roce::Psn(3));
   EXPECT_EQ(responses_.size(), 3u);
 }
 

@@ -61,7 +61,9 @@ TEST(FaultPlanTest, RandomPlanIsSeededDeterministicAndBounded) {
     EXPECT_TRUE(e.target == 0 || e.target == 2);
     EXPECT_GE(e.at, spec.start);
     EXPECT_LE(e.at, spec.end);
-    if (i > 0) EXPECT_GE(e.at, a.events[i - 1].at);
+    if (i > 0) {
+      EXPECT_GE(e.at, a.events[i - 1].at);
+    }
     if (e.kind == faults::FaultKind::kLinkClear) ++clears;
   }
   EXPECT_EQ(clears, spec.episodes) << "every episode must end in a clear";
@@ -360,15 +362,16 @@ TEST_F(FaultInjectionTest, RepostKeepsOriginalPsnAndResponderExecutesOnce) {
   core::RdmaChannel ch(tb_->tor(), configs[0]);
   ch.attach_telemetry(nullptr, &tracer, "ch");
 
-  const std::uint32_t psn0 = ch.post_fetch_add(configs[0].base_va, 5);
-  EXPECT_EQ(ch.next_psn(), psn0 + 1);
+  const roce::Psn psn0 = ch.post_fetch_add(configs[0].base_va, 5);
+  EXPECT_EQ(ch.next_psn(), roce::psn_add(psn0, 1));
   ch.repost_fetch_add(configs[0].base_va, 5, psn0);
-  EXPECT_EQ(ch.next_psn(), psn0 + 1) << "repost must not advance the PSN";
+  EXPECT_EQ(ch.next_psn(), roce::psn_add(psn0, 1))
+      << "repost must not advance the PSN";
   EXPECT_EQ(tracer.stats().retransmits, 1u);
 
-  const std::uint32_t psn1 = ch.post_read(configs[0].base_va, 64);
+  const roce::Psn psn1 = ch.post_read(configs[0].base_va, 64);
   ch.repost_read(configs[0].base_va, 64, psn1);
-  EXPECT_EQ(ch.next_psn(), psn1 + 1);
+  EXPECT_EQ(ch.next_psn(), roce::psn_add(psn1, 1));
   EXPECT_EQ(tracer.stats().retransmits, 2u);
 
   tb_->sim().run();

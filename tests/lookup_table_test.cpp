@@ -120,10 +120,12 @@ TEST_F(LookupTableTest, LocalCacheAbsorbsRepeatTraffic) {
 TEST_F(LookupTableTest, CacheEvictionIsFifo) {
   auto& lt = make_primitive({.cache_capacity = 2});
   // Three distinct flows (distinct source ports), each with an entry.
-  for (std::uint16_t port : {7000, 7001, 7002}) {
+  for (const std::uint16_t port : {std::uint16_t{7000}, std::uint16_t{7001},
+                                  std::uint16_t{7002}}) {
     install(flow_key(port, 9000), dscp_forward_action(5));
   }
-  for (std::uint16_t port : {7000, 7001, 7002}) {
+  for (const std::uint16_t port : {std::uint16_t{7000}, std::uint16_t{7001},
+                                  std::uint16_t{7002}}) {
     send_packets(3, sim::mbps(100), port);
   }
   EXPECT_EQ(lt.stats().cache_inserts, 3u);

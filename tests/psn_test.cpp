@@ -1,0 +1,99 @@
+// Wrap-safety tests for the roce::Psn strong type: ordering helpers
+// across the 24-bit 0xFFFFFF -> 0 boundary, signed circular distance,
+// and DedupWindow keying with wrapped sequence numbers.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "core/dedup_window.hpp"
+#include "roce/headers.hpp"
+
+namespace xmem::roce {
+namespace {
+
+TEST(Psn, ConstructorMasksTo24Bits) {
+  EXPECT_EQ(Psn(0x1000000).raw(), 0u);
+  EXPECT_EQ(Psn(0x1234567).raw(), 0x234567u);
+  EXPECT_EQ(Psn(kPsnMask).raw(), kPsnMask);
+}
+
+TEST(Psn, AddWrapsAroundTheBoundary) {
+  EXPECT_EQ(psn_add(Psn(kPsnMask), 1), Psn(0));
+  EXPECT_EQ(psn_add(Psn(kPsnMask), 5), Psn(4));
+  EXPECT_EQ(psn_add(Psn(0xfffffe), 3), Psn(1));
+  EXPECT_EQ(psn_add(Psn(10), 0), Psn(10));
+}
+
+TEST(Psn, DistanceIsSignedAndCircular) {
+  EXPECT_EQ(psn_distance(Psn(5), Psn(9)), 4);
+  EXPECT_EQ(psn_distance(Psn(9), Psn(5)), -4);
+  EXPECT_EQ(psn_distance(Psn(7), Psn(7)), 0);
+  // Across the wrap: 0xFFFFFF -> 2 is 3 forward, not 0xFFFFFD back.
+  EXPECT_EQ(psn_distance(Psn(kPsnMask), Psn(2)), 3);
+  EXPECT_EQ(psn_distance(Psn(2), Psn(kPsnMask)), -3);
+  // Half-circle split: +0x7FFFFF is the farthest forward distance.
+  EXPECT_EQ(psn_distance(Psn(0), Psn(0x7fffff)), 0x7fffff);
+  EXPECT_EQ(psn_distance(Psn(0), Psn(0x800000)), -0x800000);
+}
+
+TEST(Psn, OrderingHelpersAreWrapSafe) {
+  // A raw < would call 0 "before" 0xFFFFFF; protocol order says the
+  // opposite when they are one apart across the wrap.
+  EXPECT_TRUE(psn_lt(Psn(kPsnMask), Psn(0)));
+  EXPECT_FALSE(psn_lt(Psn(0), Psn(kPsnMask)));
+  EXPECT_TRUE(psn_lt(Psn(0xfffff0), Psn(0x00000f)));
+  EXPECT_FALSE(psn_lt(Psn(5), Psn(5)));
+
+  EXPECT_TRUE(psn_ge(Psn(0), Psn(kPsnMask)));
+  EXPECT_TRUE(psn_ge(Psn(5), Psn(5)));
+  EXPECT_FALSE(psn_ge(Psn(kPsnMask), Psn(0)));
+}
+
+TEST(Psn, OrderingConsistentWithAddNearWrap) {
+  Psn psn(0xfffffd);
+  for (int i = 0; i < 6; ++i) {
+    const Psn next = psn_add(psn, 1);
+    EXPECT_TRUE(psn_lt(psn, next)) << "step " << i;
+    EXPECT_TRUE(psn_ge(next, psn)) << "step " << i;
+    EXPECT_EQ(psn_distance(psn, next), 1) << "step " << i;
+    psn = next;
+  }
+  EXPECT_EQ(psn, Psn(3));
+}
+
+TEST(Psn, HashesDistinctlyAndUsableInSets) {
+  std::unordered_set<Psn> seen;
+  seen.insert(Psn(0));
+  seen.insert(Psn(kPsnMask));
+  seen.insert(Psn(0x1000000));  // masks to 0 — duplicate
+  EXPECT_EQ(seen.size(), 2u);
+  EXPECT_TRUE(seen.count(Psn(0)) != 0);
+  EXPECT_TRUE(seen.count(Psn(kPsnMask)) != 0);
+}
+
+TEST(DedupWindowPsn, WrappedPsnsKeyDistinctly) {
+  core::DedupWindow window(16);
+  // The same PSN value reached by wrapping is the same identity...
+  const std::uint64_t a =
+      core::DedupWindow::key(0, Psn(0x1000001), /*msn=*/7, /*kind=*/1);
+  const std::uint64_t b =
+      core::DedupWindow::key(0, Psn(1), /*msn=*/7, /*kind=*/1);
+  EXPECT_EQ(a, b);
+  EXPECT_TRUE(window.first_time(a));
+  EXPECT_FALSE(window.first_time(b));
+
+  // ...while neighbours across the wrap stay distinct in every field.
+  const std::uint64_t hi =
+      core::DedupWindow::key(0, Psn(kPsnMask), /*msn=*/7, /*kind=*/1);
+  const std::uint64_t lo =
+      core::DedupWindow::key(0, Psn(0), /*msn=*/7, /*kind=*/1);
+  EXPECT_NE(hi, lo);
+  EXPECT_TRUE(window.first_time(hi));
+  EXPECT_TRUE(window.first_time(lo));
+  // Shard and kind perturb the key independently of the PSN bits.
+  EXPECT_NE(core::DedupWindow::key(1, Psn(0), 7, 1), lo);
+  EXPECT_NE(core::DedupWindow::key(0, Psn(0), 7, 2), lo);
+}
+
+}  // namespace
+}  // namespace xmem::roce

@@ -73,11 +73,13 @@ class ResponderTest : public ::testing::Test {
         [this](net::Packet p) { out_.push_back(std::move(p)); });
     mr_ = &nic_->memory().register_region(64 * 1024, Access::kAll);
     qp_ = &nic_->create_qp();
-    nic_->connect_qp(qp_->qpn, peer_ep_, kPeerQpn, /*expected_psn=*/0);
+    nic_->connect_qp(qp_->qpn, peer_ep_, kPeerQpn,
+                     /*expected_psn=*/roce::Psn(0));
   }
 
   void deliver(RoceMessage msg) {
-    nic_->handle_frame(roce::build_roce_packet(peer_ep_, nic_ep_, std::move(msg)));
+    ASSERT_TRUE(nic_->handle_frame(
+        roce::build_roce_packet(peer_ep_, nic_ep_, std::move(msg))));
     sim_.run();
   }
 
@@ -96,7 +98,7 @@ class ResponderTest : public ::testing::Test {
     RoceMessage m;
     m.bth.opcode = Opcode::kRdmaWriteOnly;
     m.bth.dest_qp = qp_->qpn;
-    m.bth.psn = psn;
+    m.bth.psn = roce::Psn(psn);
     m.bth.ack_req = ack_req;
     m.reth = roce::Reth{va, mr_->rkey(),
                         static_cast<std::uint32_t>(payload.size())};
@@ -109,7 +111,7 @@ class ResponderTest : public ::testing::Test {
     RoceMessage m;
     m.bth.opcode = Opcode::kRdmaReadRequest;
     m.bth.dest_qp = qp_->qpn;
-    m.bth.psn = psn;
+    m.bth.psn = roce::Psn(psn);
     m.reth = roce::Reth{va, mr_->rkey(), len};
     return m;
   }
@@ -119,7 +121,7 @@ class ResponderTest : public ::testing::Test {
     RoceMessage m;
     m.bth.opcode = Opcode::kFetchAdd;
     m.bth.dest_qp = qp_->qpn;
-    m.bth.psn = psn;
+    m.bth.psn = roce::Psn(psn);
     m.atomic_eth = roce::AtomicEth{va, mr_->rkey(), add, 0};
     return m;
   }
@@ -143,7 +145,7 @@ TEST_F(ResponderTest, WriteOnlyLandsInMemory) {
   EXPECT_EQ(mr_->bytes()[19], 4);
   EXPECT_EQ(nic_->stats().writes, 1u);
   EXPECT_TRUE(out_.empty()) << "no ACK without ack_req";
-  EXPECT_EQ(qp_->epsn, 1u);
+  EXPECT_EQ(qp_->epsn, roce::Psn(1));
 }
 
 TEST_F(ResponderTest, WriteWithAckReqGetsAck) {
@@ -151,7 +153,7 @@ TEST_F(ResponderTest, WriteWithAckReqGetsAck) {
   auto resp = responses();
   ASSERT_EQ(resp.size(), 1u);
   EXPECT_EQ(resp[0].opcode(), Opcode::kAcknowledge);
-  EXPECT_EQ(resp[0].bth.psn, 0u);
+  EXPECT_EQ(resp[0].bth.psn, roce::Psn(0));
   EXPECT_EQ(resp[0].bth.dest_qp, kPeerQpn);
   EXPECT_EQ(resp[0].aeth->syndrome, AckSyndrome::kAck);
   EXPECT_EQ(resp[0].aeth->msn, 1u);
@@ -162,7 +164,7 @@ TEST_F(ResponderTest, MultiPacketWriteReassembles) {
   RoceMessage first;
   first.bth.opcode = Opcode::kRdmaWriteFirst;
   first.bth.dest_qp = qp_->qpn;
-  first.bth.psn = 0;
+  first.bth.psn = roce::Psn(0);
   first.reth = roce::Reth{va, mr_->rkey(), 12};
   first.payload = {1, 1, 1, 1};
   deliver(std::move(first));
@@ -170,14 +172,14 @@ TEST_F(ResponderTest, MultiPacketWriteReassembles) {
   RoceMessage middle;
   middle.bth.opcode = Opcode::kRdmaWriteMiddle;
   middle.bth.dest_qp = qp_->qpn;
-  middle.bth.psn = 1;
+  middle.bth.psn = roce::Psn(1);
   middle.payload = {2, 2, 2, 2};
   deliver(std::move(middle));
 
   RoceMessage last;
   last.bth.opcode = Opcode::kRdmaWriteLast;
   last.bth.dest_qp = qp_->qpn;
-  last.bth.psn = 2;
+  last.bth.psn = roce::Psn(2);
   last.bth.ack_req = true;
   last.payload = {3, 3, 3, 3};
   deliver(std::move(last));
@@ -186,7 +188,7 @@ TEST_F(ResponderTest, MultiPacketWriteReassembles) {
   EXPECT_EQ(bytes[100], 1);
   EXPECT_EQ(bytes[104], 2);
   EXPECT_EQ(bytes[108], 3);
-  EXPECT_EQ(qp_->epsn, 3u);
+  EXPECT_EQ(qp_->epsn, roce::Psn(3));
   EXPECT_EQ(qp_->writes_executed, 1u);  // one *message*
   ASSERT_EQ(responses().size(), 1u);
 }
@@ -199,11 +201,11 @@ TEST_F(ResponderTest, ReadSingleSegment) {
   auto resp = responses();
   ASSERT_EQ(resp.size(), 1u);
   EXPECT_EQ(resp[0].opcode(), Opcode::kRdmaReadResponseOnly);
-  EXPECT_EQ(resp[0].bth.psn, 0u);
+  EXPECT_EQ(resp[0].bth.psn, roce::Psn(0));
   ASSERT_EQ(resp[0].payload.size(), 4u);
   EXPECT_EQ(resp[0].payload[0], 0xde);
   EXPECT_EQ(resp[0].payload[3], 0xad);
-  EXPECT_EQ(qp_->epsn, 1u);
+  EXPECT_EQ(qp_->epsn, roce::Psn(1));
 }
 
 TEST_F(ResponderTest, ReadSegmentsAtPathMtu) {
@@ -214,15 +216,15 @@ TEST_F(ResponderTest, ReadSegmentsAtPathMtu) {
   EXPECT_EQ(resp[0].opcode(), Opcode::kRdmaReadResponseFirst);
   EXPECT_EQ(resp[1].opcode(), Opcode::kRdmaReadResponseMiddle);
   EXPECT_EQ(resp[2].opcode(), Opcode::kRdmaReadResponseLast);
-  EXPECT_EQ(resp[0].bth.psn, 0u);
-  EXPECT_EQ(resp[1].bth.psn, 1u);
-  EXPECT_EQ(resp[2].bth.psn, 2u);
+  EXPECT_EQ(resp[0].bth.psn, roce::Psn(0));
+  EXPECT_EQ(resp[1].bth.psn, roce::Psn(1));
+  EXPECT_EQ(resp[2].bth.psn, roce::Psn(2));
   EXPECT_EQ(resp[0].payload.size(), 4096u);
   EXPECT_EQ(resp[2].payload.size(), 10000u - 2 * 4096u);
   EXPECT_FALSE(resp[1].aeth.has_value());
   ASSERT_TRUE(resp[2].aeth.has_value());
   // A READ consumes one PSN per response segment.
-  EXPECT_EQ(qp_->epsn, 3u);
+  EXPECT_EQ(qp_->epsn, roce::Psn(3));
 }
 
 TEST_F(ResponderTest, FetchAddReturnsOriginalAndApplies) {
@@ -263,7 +265,7 @@ TEST_F(ResponderTest, DuplicateReadReServed) {
   out_.clear();
   deliver(read_request(0, mr_->base_va(), 8));  // duplicate
   EXPECT_EQ(responses().size(), 1u);
-  EXPECT_EQ(qp_->epsn, 1u) << "duplicate must not advance epsn";
+  EXPECT_EQ(qp_->epsn, roce::Psn(1)) << "duplicate must not advance epsn";
 }
 
 TEST_F(ResponderTest, PsnGapNaksInStrictMode) {
@@ -272,7 +274,7 @@ TEST_F(ResponderTest, PsnGapNaksInStrictMode) {
   ASSERT_EQ(resp.size(), 1u);
   EXPECT_EQ(resp[0].opcode(), Opcode::kAcknowledge);
   EXPECT_EQ(resp[0].aeth->syndrome, AckSyndrome::kNakSequenceError);
-  EXPECT_EQ(resp[0].bth.psn, 0u) << "NAK carries the expected PSN";
+  EXPECT_EQ(resp[0].bth.psn, roce::Psn(0)) << "NAK carries the expected PSN";
   EXPECT_EQ(nic_->stats().writes, 0u);
 }
 
@@ -281,7 +283,7 @@ TEST_F(ResponderTest, PsnGapToleratedWhenConfigured) {
   deliver(write_only(5, mr_->base_va(), {7}));
   EXPECT_EQ(nic_->stats().writes, 1u);
   EXPECT_EQ(mr_->bytes()[0], 7);
-  EXPECT_EQ(qp_->epsn, 6u);
+  EXPECT_EQ(qp_->epsn, roce::Psn(6));
 }
 
 TEST_F(ResponderTest, BadRkeyNaksRemoteAccess) {
@@ -330,9 +332,9 @@ TEST_F(ResponderTest, RxQueueOverflowDrops) {
   // Stuff more requests in one instant than the queue holds.
   const std::size_t depth = profile_.rx_queue_depth;
   for (std::size_t i = 0; i < depth + 10; ++i) {
-    nic_->handle_frame(roce::build_roce_packet(
+    EXPECT_TRUE(nic_->handle_frame(roce::build_roce_packet(
         peer_ep_, nic_ep_,
-        fetch_add(static_cast<std::uint32_t>(i), mr_->base_va(), 1)));
+        fetch_add(static_cast<std::uint32_t>(i), mr_->base_va(), 1))));
   }
   sim_.run();
   // The first request moves straight into service, so the NIC absorbs
@@ -344,10 +346,10 @@ TEST_F(ResponderTest, RxQueueOverflowDrops) {
 TEST_F(ResponderTest, AtomicRateModelPacesService) {
   // Two atomics delivered back to back complete one atomic_overhead
   // apart (plus the 8-byte DMA cost).
-  nic_->handle_frame(roce::build_roce_packet(peer_ep_, nic_ep_,
-                                             fetch_add(0, mr_->base_va(), 1)));
-  nic_->handle_frame(roce::build_roce_packet(peer_ep_, nic_ep_,
-                                             fetch_add(1, mr_->base_va(), 1)));
+  EXPECT_TRUE(nic_->handle_frame(roce::build_roce_packet(
+      peer_ep_, nic_ep_, fetch_add(0, mr_->base_va(), 1))));
+  EXPECT_TRUE(nic_->handle_frame(roce::build_roce_packet(
+      peer_ep_, nic_ep_, fetch_add(1, mr_->base_va(), 1))));
   sim_.run();
   ASSERT_EQ(out_.size(), 2u);
   const sim::Time per_op = profile_.atomic_overhead +

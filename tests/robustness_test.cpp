@@ -30,7 +30,7 @@ TEST(RoceFuzz, SingleBitFlipsNeverParseValid) {
   RoceMessage msg;
   msg.bth.opcode = Opcode::kRdmaWriteOnly;
   msg.bth.dest_qp = 0x42;
-  msg.bth.psn = 77;
+  msg.bth.psn = roce::Psn(77);
   msg.reth = roce::Reth{0x1000, 0xaa, 32};
   msg.payload.assign(32, 0x5a);
   const net::Packet frame = roce::build_roce_packet(ep(1), ep(2), msg);
@@ -69,7 +69,7 @@ TEST(RoceFuzz, TruncationsNeverCrashResponder) {
   auto& nic = tb.host(2).rnic();
   auto& mr = nic.memory().register_region(4096, rnic::Access::kAll);
   auto& qp = nic.create_qp();
-  nic.connect_qp(qp.qpn, ep(1), 0x99, 0);
+  nic.connect_qp(qp.qpn, ep(1), 0x99, roce::Psn(0));
 
   RoceMessage msg;
   msg.bth.opcode = Opcode::kRdmaWriteOnly;
@@ -84,7 +84,7 @@ TEST(RoceFuzz, TruncationsNeverCrashResponder) {
         std::vector<std::uint8_t>(frame.bytes().begin(),
                                   frame.bytes().begin() +
                                       static_cast<std::ptrdiff_t>(len)));
-    EXPECT_NO_THROW(nic.handle_frame(truncated));
+    EXPECT_NO_THROW((void)nic.handle_frame(truncated));
   }
   tb.sim().run();
   EXPECT_EQ(nic.stats().writes, 0u) << "no truncation may execute";

@@ -53,17 +53,17 @@ TEST(Opcodes, ExtensionHeaderPresence) {
 }
 
 TEST(Psn, AddWraps24Bits) {
-  EXPECT_EQ(psn_add(0xfffffe, 1), 0xffffffu);
-  EXPECT_EQ(psn_add(0xffffff, 1), 0u);
-  EXPECT_EQ(psn_add(0xffffff, 2), 1u);
+  EXPECT_EQ(psn_add(Psn(0xfffffe), 1), Psn(0xffffff));
+  EXPECT_EQ(psn_add(Psn(0xffffff), 1), Psn(0));
+  EXPECT_EQ(psn_add(Psn(0xffffff), 2), Psn(1));
 }
 
 TEST(Psn, DistanceSigned) {
-  EXPECT_EQ(psn_distance(5, 10), 5);
-  EXPECT_EQ(psn_distance(10, 5), -5);
-  EXPECT_EQ(psn_distance(0xffffff, 0), 1);
-  EXPECT_EQ(psn_distance(0, 0xffffff), -1);
-  EXPECT_EQ(psn_distance(7, 7), 0);
+  EXPECT_EQ(psn_distance(Psn(5), Psn(10)), 5);
+  EXPECT_EQ(psn_distance(Psn(10), Psn(5)), -5);
+  EXPECT_EQ(psn_distance(Psn(0xffffff), Psn(0)), 1);
+  EXPECT_EQ(psn_distance(Psn(0), Psn(0xffffff)), -1);
+  EXPECT_EQ(psn_distance(Psn(7), Psn(7)), 0);
 }
 
 TEST(Headers, BthRoundTrip) {
@@ -74,7 +74,7 @@ TEST(Headers, BthRoundTrip) {
   h.pkey = 0x1234;
   h.dest_qp = 0xabcdef;
   h.ack_req = true;
-  h.psn = 0x123456;
+  h.psn = Psn(0x123456);
   std::vector<std::uint8_t> buf;
   net::ByteWriter w(buf);
   h.serialize(w);
@@ -137,7 +137,7 @@ TEST(RocePacket, WriteOnlyRoundTrip) {
   RoceMessage msg;
   msg.bth.opcode = Opcode::kRdmaWriteOnly;
   msg.bth.dest_qp = 0x11;
-  msg.bth.psn = 42;
+  msg.bth.psn = Psn(42);
   msg.reth = Reth{0x1000, 0xaa, 5};
   msg.payload = {1, 2, 3, 4, 5};
 
@@ -145,7 +145,7 @@ TEST(RocePacket, WriteOnlyRoundTrip) {
   auto parsed = parse_roce_packet(frame);
   ASSERT_TRUE(parsed.has_value());
   EXPECT_EQ(parsed->opcode(), Opcode::kRdmaWriteOnly);
-  EXPECT_EQ(parsed->bth.psn, 42u);
+  EXPECT_EQ(parsed->bth.psn, Psn(42));
   EXPECT_EQ(parsed->reth->va, 0x1000u);
   EXPECT_EQ(parsed->payload, msg.payload);
 }
@@ -266,7 +266,7 @@ TEST_P(OpcodeRoundTrip, BuildParseIdentity) {
   RoceMessage msg;
   msg.bth.opcode = param.op;
   msg.bth.dest_qp = 0x99;
-  msg.bth.psn = 7;
+  msg.bth.psn = Psn(7);
   if (has_reth(param.op)) msg.reth = Reth{0x800, 0x33, 256};
   if (has_atomic_eth(param.op)) msg.atomic_eth = AtomicEth{0x808, 0x33, 5, 0};
   if (has_aeth(param.op)) msg.aeth = Aeth{AckSyndrome::kAck, 3};

@@ -55,6 +55,22 @@ TEST(Units, AchievedRateZeroWindow) {
   EXPECT_EQ(achieved_rate(1000, 0), 0);
 }
 
+TEST(Units, FractionalGbpsRoundsHalfAwayFromZero) {
+  // Regression: the old +0.5-then-truncate rounding pulled negative
+  // rates toward +infinity, so a rate delta of -0.5 Gb/s lost a bit.
+  EXPECT_EQ(gbps(0.5), 500'000'000);
+  EXPECT_EQ(gbps(-0.5), -500'000'000);
+  EXPECT_EQ(gbps(-1.5), -gbps(1.5));
+  EXPECT_EQ(gbps(0.0), 0);
+}
+
+TEST(Units, AchievedRateRoundsToNearest) {
+  // 1 byte over 3 s = 8/3 bit/s = 2.67: rounds to 3, not truncates to 2.
+  EXPECT_EQ(achieved_rate(1, 3 * kSecond), 3);
+  // 1 byte over 6 s = 4/3 bit/s = 1.33: still rounds down.
+  EXPECT_EQ(achieved_rate(1, 6 * kSecond), 1);
+}
+
 TEST(EventQueue, RunsInTimeOrder) {
   EventQueue q;
   std::vector<int> order;

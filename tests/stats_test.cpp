@@ -40,6 +40,16 @@ TEST(Histogram, PercentileEdges) {
   EXPECT_NEAR(h.percentile(50), 50.5, 1e-9);
 }
 
+TEST(Histogram, PercentileClampsOutOfDomainRanks) {
+  // Regression: callers compute p from float ratios that can land an
+  // epsilon outside [0, 100]; in NDEBUG builds the negative rank used to
+  // cast to a huge std::size_t before any bounds check.
+  Histogram h;
+  for (int i = 1; i <= 10; ++i) h.add(i);
+  EXPECT_DOUBLE_EQ(h.percentile(-1e-9), 1.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0 + 1e-9), 10.0);
+}
+
 TEST(Histogram, SingleSample) {
   Histogram h;
   h.add(42.0);

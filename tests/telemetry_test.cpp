@@ -120,11 +120,11 @@ TEST(OpTracer, SpanClosesOnceAndKeepsFirstStatus) {
   OpTracer tracer(sim);
   const int t = tracer.track("chan0");
 
-  tracer.begin_op(t, "READ", 100, 2048);
-  EXPECT_TRUE(tracer.op_open(t, 100));
-  tracer.end_op(t, 100, "nak:remote_access_error");
-  tracer.end_op(t, 100, "ok");  // late duplicate ACK: ignored
-  EXPECT_FALSE(tracer.op_open(t, 100));
+  tracer.begin_op(t, "READ", roce::Psn(100), 2048);
+  EXPECT_TRUE(tracer.op_open(t, roce::Psn(100)));
+  tracer.end_op(t, roce::Psn(100), "nak:remote_access_error");
+  tracer.end_op(t, roce::Psn(100), "ok");  // late duplicate ACK: ignored
+  EXPECT_FALSE(tracer.op_open(t, roce::Psn(100)));
   EXPECT_EQ(tracer.stats().spans_opened, 1u);
   EXPECT_EQ(tracer.stats().spans_closed, 1u);
   EXPECT_EQ(tracer.stats().duplicate_closes, 1u);
@@ -146,13 +146,13 @@ TEST(OpTracer, RetransmitAnnotatesInsteadOfReopening) {
   OpTracer tracer(sim);
   const int t = tracer.track("chan0");
 
-  tracer.begin_op(t, "FETCH_ADD", 7, 8);
-  tracer.annotate(t, 7, "nak", "sequence_error");
-  tracer.note_retransmit(t, 7);
-  tracer.begin_op(t, "FETCH_ADD", 7, 8);  // repost of the same PSN
+  tracer.begin_op(t, "FETCH_ADD", roce::Psn(7), 8);
+  tracer.annotate(t, roce::Psn(7), "nak", "sequence_error");
+  tracer.note_retransmit(t, roce::Psn(7));
+  tracer.begin_op(t, "FETCH_ADD", roce::Psn(7), 8);  // repost of the same PSN
   EXPECT_EQ(tracer.stats().spans_opened, 1u);
   EXPECT_EQ(tracer.stats().retransmits, 2u);
-  tracer.end_op(t, 7);
+  tracer.end_op(t, roce::Psn(7));
 
   const auto doc = json::parse(tracer.chrome_trace_json());
   for (const auto& e : doc.at("traceEvents").array()) {
@@ -167,7 +167,7 @@ TEST(OpTracer, OpenSpansExportWithOpenStatus) {
   sim::Simulator sim;
   OpTracer tracer(sim);
   const int t = tracer.track("chan0");
-  tracer.begin_op(t, "READ", 1, 64);
+  tracer.begin_op(t, "READ", roce::Psn(1), 64);
   sim.schedule_in(sim::microseconds(5), []() {});
   sim.run();
 

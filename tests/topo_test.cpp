@@ -113,6 +113,33 @@ TEST_F(TopoTest, LossRateValidation) {
   EXPECT_THROW(link_->set_loss_rate(1.0), std::invalid_argument);
 }
 
+TEST_F(TopoTest, FaultProfileRejectsNegativeDelaysAndBadRates) {
+  // Regression: a negative reorder/duplicate/jitter delay would schedule
+  // the frame before it finished serializing — delivery in the past.
+  LinkFaultProfile p;
+  p.reorder_delay = -sim::nanoseconds(1);
+  p.reorder_rate = 0.1;
+  EXPECT_THROW(link_->set_fault_profile(p), std::invalid_argument);
+  p = LinkFaultProfile{};
+  p.duplicate_gap = -1;
+  EXPECT_THROW(link_->set_fault_profile(p), std::invalid_argument);
+  p = LinkFaultProfile{};
+  p.jitter_max = -1;
+  EXPECT_THROW(link_->set_fault_profile(p), std::invalid_argument);
+  p = LinkFaultProfile{};
+  p.corrupt_rate = 1.5;
+  EXPECT_THROW(link_->set_fault_profile(p), std::invalid_argument);
+  p = LinkFaultProfile{};
+  p.duplicate_rate = -0.1;
+  EXPECT_THROW(link_->set_fault_profile(p), std::invalid_argument);
+  // A fully in-range profile still installs.
+  p = LinkFaultProfile{};
+  p.corrupt_rate = 0.5;
+  p.jitter_max = sim::nanoseconds(10);
+  link_->set_fault_profile(p);
+  EXPECT_TRUE(link_->fault_profile().active());
+}
+
 TEST_F(TopoTest, TapSeesEveryFrameIncludingDropped) {
   link_->set_loss_rate(0.5, 3);
   int tapped = 0;

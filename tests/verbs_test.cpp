@@ -23,10 +23,12 @@ class VerbsTest : public ::testing::Test {
     client_qp_ = &client.rnic().create_qp();
 
     server.rnic().connect_qp(server_qp_->qpn, client.endpoint(),
-                             client_qp_->qpn, /*expected_psn=*/100);
+                             client_qp_->qpn,
+                             /*expected_psn=*/roce::Psn(100));
     requester_ = std::make_unique<RcRequester>(tb_.sim(), client.rnic(),
                                                client_qp_->qpn);
-    requester_->connect(server.endpoint(), server_qp_->qpn, 100);
+    requester_->connect(server.endpoint(), server_qp_->qpn,
+                        roce::Psn(100));
   }
 
   Testbed tb_;
@@ -67,7 +69,7 @@ TEST_F(VerbsTest, LargeWriteSegmentsAndReassembles) {
   }
   // 20000 bytes at MTU 4096 = 5 packets, one message.
   EXPECT_EQ(server_qp_->writes_executed, 1u);
-  EXPECT_EQ(server_qp_->epsn, 105u);
+  EXPECT_EQ(server_qp_->epsn, roce::Psn(105));
 }
 
 TEST_F(VerbsTest, ReadReturnsData) {
@@ -198,10 +200,11 @@ TEST_F(VerbsTest, WindowLimitsInflight) {
   auto& qp2 = client.rnic().create_qp();
   auto& server = tb_.host(1);
   auto& sqp2 = server.rnic().create_qp();
-  server.rnic().connect_qp(sqp2.qpn, client.endpoint(), qp2.qpn, 0);
+  server.rnic().connect_qp(sqp2.qpn, client.endpoint(), qp2.qpn,
+                           roce::Psn(0));
   RcRequester small_window(tb_.sim(), client.rnic(), qp2.qpn,
                            {.max_inflight_packets = 4});
-  small_window.connect(server.endpoint(), sqp2.qpn, 0);
+  small_window.connect(server.endpoint(), sqp2.qpn, roce::Psn(0));
 
   int completed = 0;
   for (int i = 0; i < 20; ++i) {

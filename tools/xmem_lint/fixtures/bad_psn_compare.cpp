@@ -1,0 +1,27 @@
+// Known-bad fixture: raw relational operators on PSN-named values.
+// xmem-lint must flag every comparison below (rule: psn-compare).
+#include <cstdint>
+
+namespace fixture {
+
+struct Bth {
+  std::uint32_t psn = 0;
+};
+
+struct QueuePair {
+  std::uint32_t epsn = 0;
+};
+
+bool in_order(const Bth& bth, const QueuePair& qp) {
+  return bth.psn < qp.epsn;  // BAD: wraps at 0xFFFFFF
+}
+
+bool acked(std::uint32_t last_psn, std::uint32_t acked_psn) {
+  return acked_psn >= last_psn;  // BAD
+}
+
+bool window_open(std::uint32_t next_psn, std::uint32_t limit) {
+  return next_psn <= limit;  // BAD
+}
+
+}  // namespace fixture

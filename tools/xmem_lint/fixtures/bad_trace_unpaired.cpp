@@ -1,0 +1,15 @@
+// Known-bad fixture: a TU that opens tracer spans and never closes
+// them. xmem-lint must flag the trace_begin (rule: trace-pair).
+namespace fixture {
+
+class Tracer {
+ public:
+  void trace_begin(int track, int psn);
+};
+
+void leak_a_span(Tracer& tracer) {
+  tracer.trace_begin(0, 42);
+  // No trace_complete / trace_retransmit anywhere in this TU.
+}
+
+}  // namespace fixture

@@ -1,0 +1,24 @@
+// Known-bad fixture: building a wire header by blasting struct bytes
+// onto the packet instead of going through net::ByteWriter.
+// xmem-lint must flag both lines below (rule: wire-bytes).
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace fixture {
+
+struct Bth {
+  std::uint8_t opcode = 0;
+  std::uint32_t psn = 0;
+};
+
+void emit(std::vector<std::uint8_t>& packet, const Bth& bth) {
+  packet.resize(sizeof(Bth));
+  std::memcpy(packet.data(), &bth, sizeof(bth));  // BAD
+}
+
+const Bth* peek(const std::vector<std::uint8_t>& frame) {
+  return reinterpret_cast<const Bth*>(frame.data());  // BAD
+}
+
+}  // namespace fixture

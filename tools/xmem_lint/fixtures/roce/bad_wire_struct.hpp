@@ -1,0 +1,22 @@
+// Known-bad fixture: an on-wire struct (it has a serialize(ByteWriter&)
+// member) in a roce/ path with no static_assert pinning its layout.
+// xmem-lint must flag the struct (rule: wire-assert).
+#pragma once
+
+#include <cstdint>
+
+namespace net {
+class ByteWriter;
+}
+
+namespace fixture {
+
+struct ExtHeader {
+  std::uint32_t token = 0;
+  std::uint16_t flags = 0;
+
+  void serialize(net::ByteWriter& w) const;
+};
+// Missing: static_assert(ExtHeader::kWireBytes == 6, "...");
+
+}  // namespace fixture

@@ -1,0 +1,421 @@
+// xmem-lint: protocol-invariant static analysis for the xmem tree.
+//
+// Four rules, each encoding an invariant the type system alone cannot
+// (or could silently stop) enforcing:
+//
+//   psn-compare   PSN-named values must never meet a raw relational
+//                 operator: 24-bit sequence numbers wrap, so `<` is
+//                 wrong half the circle away. Ordering goes through
+//                 roce::psn_lt / psn_ge / psn_distance (roce/headers.hpp
+//                 itself, which defines them, is exempt).
+//   trace-pair    A TU that opens tracer spans (trace_begin) must also
+//                 close them (trace_complete or trace_retransmit
+//                 somewhere in the same TU), or every op leaks an open
+//                 span.
+//   wire-bytes    Wire headers are built and parsed only through the
+//                 net::bytes Writer/Reader. memcpy / reinterpret_cast
+//                 is banned outright under net/ and roce/, and anywhere
+//                 a line touches packet/frame/wire/payload bytes.
+//   wire-assert   Every on-wire struct under roce/ and net/ (anything
+//                 with a serialize(ByteWriter&) member) must be named in
+//                 a static_assert pinning its wire layout.
+//
+// Violations can be locally waived with a trailing
+// `// xmem-lint: allow(<rule>)` comment — the escape hatch for the rare
+// justified cast (e.g. pcap's ostream::write).
+//
+// The scanner is token-level, not a parser: it strips comments and
+// string literals, then applies per-line and per-file checks. It relies
+// on the repo's enforced formatting (binary operators spaced, template
+// brackets not) to tell `a < b` from `vector<T>`.
+#include <algorithm>
+#include <cctype>
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Violation {
+  std::string path;
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool contains_word(const std::string& s, const std::string& word) {
+  std::size_t pos = 0;
+  while ((pos = s.find(word, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !is_ident_char(s[pos - 1]);
+    const std::size_t end = pos + word.size();
+    const bool right_ok = end >= s.size() || !is_ident_char(s[end]);
+    if (left_ok && right_ok) return true;
+    pos = end;
+  }
+  return false;
+}
+
+/// Identifier naming that marks a value as a protocol sequence number.
+/// Case-sensitive on purpose: the strong type roce::Psn is fine to
+/// mention anywhere; it is the lowercase *variables* that carry values.
+bool psn_named(const std::string& name) {
+  if (name == "psn" || name == "epsn") return true;
+  if (name.size() > 4 && name.compare(name.size() - 4, 4, "_psn") == 0) {
+    return true;
+  }
+  if (name.size() > 4 && name.compare(0, 4, "psn_") == 0) return true;
+  return false;
+}
+
+/// The blessed wrap-safe helpers whose *results* may be compared.
+bool blessed_psn_helper(const std::string& name) {
+  static const std::set<std::string> kHelpers = {"psn_lt", "psn_ge",
+                                                "psn_add", "psn_distance"};
+  return kHelpers.count(name) != 0;
+}
+
+/// Replace string/char literals and comments with spaces so token scans
+/// cannot match inside them. `in_block` carries /* */ state across lines.
+std::string strip_noise(const std::string& line, bool& in_block) {
+  std::string out(line.size(), ' ');
+  std::size_t i = 0;
+  while (i < line.size()) {
+    if (in_block) {
+      if (line.compare(i, 2, "*/") == 0) {
+        in_block = false;
+        i += 2;
+      } else {
+        ++i;
+      }
+      continue;
+    }
+    if (line.compare(i, 2, "//") == 0) break;
+    if (line.compare(i, 2, "/*") == 0) {
+      in_block = true;
+      i += 2;
+      continue;
+    }
+    if (line[i] == '"' || line[i] == '\'') {
+      const char quote = line[i];
+      ++i;
+      while (i < line.size() && line[i] != quote) {
+        i += (line[i] == '\\') ? 2 : 1;
+      }
+      ++i;
+      continue;
+    }
+    out[i] = line[i];
+    ++i;
+  }
+  return out;
+}
+
+/// Does the raw line (or, for statements too long to carry a trailing
+/// comment, the line right before it) carry an
+/// `xmem-lint: allow(<rule>)` waiver?
+bool waived(const std::string& raw_line, const std::string& prev_line,
+            const std::string& rule) {
+  const std::string tag = "xmem-lint: allow(" + rule + ")";
+  return raw_line.find(tag) != std::string::npos ||
+         prev_line.find(tag) != std::string::npos;
+}
+
+/// Walk back from `pos` (exclusive) over one operand: an identifier
+/// chain (`a.b->c[i]`), or a call result (`f(...)`). Returns the final
+/// name component and whether the operand is a function call.
+struct Operand {
+  std::string name;
+  bool is_call = false;
+  bool valid = false;
+};
+
+Operand left_operand(const std::string& s, std::size_t pos) {
+  Operand op;
+  std::size_t i = pos;
+  while (i > 0 && s[i - 1] == ' ') --i;
+  if (i == 0) return op;
+  if (s[i - 1] == ')' || s[i - 1] == ']') {
+    // Balance back across the bracketed tail, then read the name.
+    int depth = 0;
+    while (i > 0) {
+      const char c = s[i - 1];
+      if (c == ')' || c == ']') ++depth;
+      if (c == '(' || c == '[') {
+        --depth;
+        if (depth == 0) {
+          op.is_call = (c == '(');
+          --i;
+          break;
+        }
+      }
+      --i;
+    }
+  }
+  std::size_t end = i;
+  while (i > 0 && is_ident_char(s[i - 1])) --i;
+  if (i == end) return op;
+  op.name = s.substr(i, end - i);
+  op.valid = true;
+  return op;
+}
+
+Operand right_operand(const std::string& s, std::size_t pos) {
+  Operand op;
+  std::size_t i = pos;
+  while (i < s.size() && s[i] == ' ') ++i;
+  // Skip dereference/address-of/sign prefixes.
+  while (i < s.size() && (s[i] == '*' || s[i] == '&' || s[i] == '-' ||
+                          s[i] == '+' || s[i] == '!')) {
+    ++i;
+  }
+  std::size_t start = i;
+  std::size_t name_start = i;
+  while (i < s.size() &&
+         (is_ident_char(s[i]) || s[i] == ':' || s[i] == '.' ||
+          (s[i] == '-' && i + 1 < s.size() && s[i + 1] == '>'))) {
+    if (s[i] == ':' || s[i] == '.') {
+      name_start = i + 1;
+    } else if (s[i] == '-') {
+      ++i;  // consume the '>' of '->'
+      name_start = i + 1;
+    }
+    ++i;
+  }
+  if (i == start) return op;
+  op.name = s.substr(name_start, i - name_start);
+  op.is_call = i < s.size() && s[i] == '(';
+  op.valid = !op.name.empty();
+  return op;
+}
+
+/// R1: raw relational operators over PSN-named operands. Relies on the
+/// formatting convention that binary operators carry a space on both
+/// sides while template angle brackets do not.
+void check_psn_compare(const std::string& path, std::size_t lineno,
+                       const std::string& raw, const std::string& prev,
+                       const std::string& code,
+                       std::vector<Violation>& out) {
+  for (std::size_t i = 1; i + 1 < code.size(); ++i) {
+    const char c = code[i];
+    if (c != '<' && c != '>') continue;
+    std::size_t op_end = i + 1;
+    if (op_end < code.size() && code[op_end] == '=') ++op_end;
+    // Not a binary relational op unless spaced on both sides: rules out
+    // templates (`map<K, V>`), arrows, shifts and comparisons fused
+    // into other tokens.
+    if (code[i - 1] != ' ' || op_end >= code.size() ||
+        code[op_end] != ' ') {
+      continue;  // also rules out '<<', '>>', '->' and '<=>'
+    }
+    const Operand lhs = left_operand(code, i - 1);
+    const Operand rhs = right_operand(code, op_end + 1);
+    for (const Operand& operand : {lhs, rhs}) {
+      if (!operand.valid || !psn_named(operand.name)) continue;
+      if (operand.is_call && blessed_psn_helper(operand.name)) continue;
+      if (waived(raw, prev, "psn-compare")) continue;
+      out.push_back({path, lineno, "psn-compare",
+                     "raw relational operator on PSN-named value '" +
+                         operand.name +
+                         "'; use roce::psn_lt/psn_ge/psn_distance"});
+      break;
+    }
+  }
+}
+
+/// R3: memcpy / reinterpret_cast where wire bytes live.
+void check_wire_bytes(const std::string& path, std::size_t lineno,
+                      const std::string& raw, const std::string& prev,
+                      const std::string& code, bool in_wire_dir,
+                      std::vector<Violation>& out) {
+  const bool has_cast = code.find("memcpy(") != std::string::npos ||
+                        code.find("reinterpret_cast<") != std::string::npos;
+  if (!has_cast || waived(raw, prev, "wire-bytes")) return;
+  const bool touches_wire_words =
+      contains_word(code, "packet") || contains_word(code, "frame") ||
+      contains_word(code, "wire") || contains_word(code, "payload");
+  if (in_wire_dir || touches_wire_words) {
+    out.push_back({path, lineno, "wire-bytes",
+                   "wire bytes must go through net::ByteWriter/ByteReader, "
+                   "not memcpy/reinterpret_cast"});
+  }
+}
+
+struct FileReport {
+  std::vector<Violation> violations;
+};
+
+bool in_dir(const std::string& path, const std::string& dir) {
+  return path.find("/" + dir + "/") != std::string::npos ||
+         path.compare(0, dir.size() + 1, dir + "/") == 0;
+}
+
+void lint_file(const fs::path& file, std::vector<Violation>& out) {
+  std::ifstream in(file);
+  if (!in) {
+    out.push_back({file.string(), 0, "io", "cannot open file"});
+    return;
+  }
+  const std::string path = file.generic_string();
+  const bool wire_dir = in_dir(path, "net") || in_dir(path, "roce");
+  const bool psn_defs_file =
+      path.size() >= 16 &&
+      path.compare(path.size() - 16, 16, "roce/headers.hpp") == 0;
+
+  std::string rawline;
+  std::string prevline;
+  std::size_t lineno = 0;
+  bool in_block = false;
+
+  // trace-pair state.
+  std::size_t first_begin_line = 0;
+  bool begin_waived = false;
+  bool has_complete = false;
+
+  // wire-assert state: struct nesting and serialize() attribution.
+  struct OpenStruct {
+    std::string name;
+    int depth = 0;
+  };
+  std::vector<OpenStruct> struct_stack;
+  int depth = 0;
+  struct WireStruct {
+    std::string name;
+    std::size_t line = 0;
+    bool waived = false;
+  };
+  std::vector<WireStruct> wire_structs;
+  std::vector<std::string> asserted;  // static_assert text blocks
+  bool in_assert = false;
+
+  while (std::getline(in, rawline)) {
+    ++lineno;
+    const std::string code = strip_noise(rawline, in_block);
+
+    if (!psn_defs_file) {
+      check_psn_compare(path, lineno, rawline, prevline, code, out);
+    }
+    check_wire_bytes(path, lineno, rawline, prevline, code, wire_dir, out);
+
+    if (code.find("trace_begin") != std::string::npos) {
+      if (first_begin_line == 0) first_begin_line = lineno;
+      begin_waived =
+          begin_waived || waived(rawline, prevline, "trace-pair");
+    }
+    if (code.find("trace_complete") != std::string::npos ||
+        code.find("trace_retransmit") != std::string::npos) {
+      has_complete = true;
+    }
+
+    if (wire_dir) {
+      // Track struct scopes well enough to attribute serialize() members.
+      const int depth_before = depth;
+      for (const char c : code) {
+        if (c == '{') ++depth;
+        if (c == '}') --depth;
+      }
+      for (const char* kw : {"struct ", "class "}) {
+        std::size_t pos = code.find(kw);
+        if (pos == std::string::npos) continue;
+        if (pos >= 5 && code.compare(pos - 5, 5, "enum ") == 0) continue;
+        std::size_t n = pos + std::string(kw).size();
+        std::size_t name_end = n;
+        while (name_end < code.size() && is_ident_char(code[name_end])) {
+          ++name_end;
+        }
+        if (name_end == n) continue;
+        if (code.find('{', name_end) == std::string::npos) continue;
+        struct_stack.push_back(
+            {code.substr(n, name_end - n), depth_before + 1});
+      }
+      while (!struct_stack.empty() && depth < struct_stack.back().depth) {
+        struct_stack.pop_back();
+      }
+      if (code.find("serialize(") != std::string::npos &&
+          code.find("ByteWriter") != std::string::npos &&
+          !struct_stack.empty()) {
+        wire_structs.push_back({struct_stack.back().name, lineno,
+                                waived(rawline, prevline, "wire-assert")});
+      }
+      if (code.find("static_assert") != std::string::npos) in_assert = true;
+      if (in_assert) {
+        if (asserted.empty() ||
+            code.find("static_assert") != std::string::npos) {
+          asserted.emplace_back();
+        }
+        asserted.back() += code + "\n";
+        if (code.find(';') != std::string::npos) in_assert = false;
+      }
+    }
+    prevline = rawline;
+  }
+
+  if (first_begin_line != 0 && !has_complete && !begin_waived) {
+    out.push_back({path, first_begin_line, "trace-pair",
+                   "trace_begin without trace_complete/trace_retransmit in "
+                   "this TU leaks open spans"});
+  }
+  for (const WireStruct& ws : wire_structs) {
+    if (ws.waived) continue;
+    const bool pinned =
+        std::any_of(asserted.begin(), asserted.end(),
+                    [&](const std::string& block) {
+                      return contains_word(block, ws.name);
+                    });
+    if (!pinned) {
+      out.push_back({path, ws.line, "wire-assert",
+                     "on-wire struct '" + ws.name +
+                         "' has no static_assert pinning its layout"});
+    }
+  }
+}
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: xmem_lint <file-or-dir>...\n";
+    return 2;
+  }
+  std::vector<fs::path> files;
+  for (int i = 1; i < argc; ++i) {
+    const fs::path p(argv[i]);
+    if (fs::is_directory(p)) {
+      for (const auto& entry : fs::recursive_directory_iterator(p)) {
+        if (entry.is_regular_file() && lintable(entry.path())) {
+          files.push_back(entry.path());
+        }
+      }
+    } else {
+      files.push_back(p);
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<Violation> violations;
+  for (const fs::path& f : files) lint_file(f, violations);
+
+  for (const Violation& v : violations) {
+    std::cerr << v.path << ":" << v.line << ": [" << v.rule << "] "
+              << v.message << "\n";
+  }
+  std::cout << "xmem-lint: " << files.size() << " files, "
+            << violations.size() << " violation"
+            << (violations.size() == 1 ? "" : "s") << "\n";
+  return violations.empty() ? 0 : 1;
+}

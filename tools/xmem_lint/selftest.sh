@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# xmem-lint self-test: the analyzer must pass the real tree and fail on
+# every known-bad fixture (catching each fixture's specific rule).
+#
+# Usage: selftest.sh <path-to-xmem_lint-binary> <repo-root>
+set -euo pipefail
+
+LINT="$1"
+ROOT="$2"
+FIXTURES="$ROOT/tools/xmem_lint/fixtures"
+
+fail() {
+  echo "xmem-lint selftest: $*" >&2
+  exit 1
+}
+
+# 1. The real tree is clean.
+"$LINT" "$ROOT/src" >/dev/null || fail "src/ should lint clean"
+
+# 2. Each fixture trips its rule.
+expect_rule() {
+  local fixture="$1" rule="$2" out
+  out=$("$LINT" "$fixture" 2>&1 >/dev/null) &&
+    fail "$fixture should have violations"
+  grep -q "\[$rule\]" <<<"$out" ||
+    fail "$fixture should trip rule '$rule' (got: $out)"
+}
+
+expect_rule "$FIXTURES/bad_psn_compare.cpp" psn-compare
+expect_rule "$FIXTURES/bad_trace_unpaired.cpp" trace-pair
+expect_rule "$FIXTURES/bad_wire_memcpy.cpp" wire-bytes
+expect_rule "$FIXTURES/roce/bad_wire_struct.hpp" wire-assert
+
+# 3. The waiver comment suppresses (tested on a generated snippet).
+tmp=$(mktemp --suffix=.cpp)
+trap 'rm -f "$tmp"' EXIT
+cat >"$tmp" <<'EOF'
+#include <cstring>
+void f(unsigned char* packet, const void* h) {
+  std::memcpy(packet, h, 4);  // xmem-lint: allow(wire-bytes)
+}
+EOF
+"$LINT" "$tmp" >/dev/null || fail "allow() waiver should suppress"
+
+echo "xmem-lint selftest: OK"
