@@ -64,7 +64,7 @@ Outcome run(double stored_fraction) {
         tb.host(0).mac(), tb.host(2).mac(), tb.host(0).ip(), tb.host(2).ip(),
         5555, apps::kKvUdpPort, req.serialize()));
   };
-  tb.host(0).set_app([&](net::Packet p, int) {
+  tb.host(0).set_app([&](net::Packet&& p, int) {
     const std::size_t overhead = net::kEthernetHeaderBytes +
                                  net::kIpv4HeaderBytes + net::kUdpHeaderBytes;
     auto reply = apps::KvRequest::parse(p.bytes().subspan(overhead));

@@ -10,6 +10,8 @@
 // to linearly until demand is met, while counting stays exact.
 #include <cstdio>
 
+#include <chrono>
+
 #include "bench_util.hpp"
 #include "control/testbed.hpp"
 #include "core/state_store.hpp"
@@ -20,6 +22,10 @@
 using namespace xmem;
 
 namespace {
+
+// Engine events across every Testbed this bench creates; main() folds
+// the total and an events/sec rate into the --json output.
+std::uint64_t g_sim_events = 0;
 
 constexpr std::uint64_t kCounters = 64;
 
@@ -80,6 +86,8 @@ Result run(int servers) {
     }
   }
 
+  g_sim_events += tb.sim().queue().scheduled_count();
+
   Result r;
   r.mops = static_cast<double>(completed_in_window) /
            (static_cast<double>(window) / sim::kSecond) / 1e6;
@@ -95,6 +103,7 @@ Result run(int servers) {
 
 int main(int argc, char** argv) {
   bench::BenchResults results(argc, argv);
+  const auto wall_start = std::chrono::steady_clock::now();
   bench::banner("A7", "sharded state store scale-out (1/2/4/8 servers)",
                 "single-server atomics cap at a few Mops; pooling servers "
                 "multiplies the cap (§2.1/§2.2 multi-server deployments)");
@@ -121,6 +130,13 @@ int main(int argc, char** argv) {
   }
   table.print("A7: F&A throughput vs memory-server pool size");
 
+  const double wall = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - wall_start)
+                          .count();
+  results.add("sim_events", static_cast<double>(g_sim_events), "events");
+  results.add("sim_events_per_sec",
+              wall > 0 ? static_cast<double>(g_sim_events) / wall : 0,
+              "events/s");
   bench::verdict(speedup4 > 3.0,
                  "4-server pool delivers >3x single-server F&A throughput");
   bench::verdict(worst_accuracy == 1.0,

@@ -3,7 +3,16 @@
 // Not a paper table: these keep the substrate honest. Header
 // encode/decode, ICRC, table lookups, the event engine and the hash
 // functions are the per-packet costs every simulated experiment pays.
+//
+// The EventQueue* and Packet* benches are the perf-gate's pinned hot
+// paths: schedule/fire, schedule/cancel churn at three dead fractions,
+// clone, clone+truncate-to-64B and parse. scripts/bench.sh runs them
+// with `--json <path>` (translated below into google-benchmark's JSON
+// reporter) and bench/perf_gate folds the numbers into BENCH_*.json.
 #include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
 
 #include "net/checksum.hpp"
 #include "net/flow.hpp"
@@ -113,6 +122,96 @@ void BM_EventQueueChurn(benchmark::State& state) {
 }
 BENCHMARK(BM_EventQueueChurn);
 
+/// The engine's bread and butter: schedule a batch of near-future events
+/// (mixed offsets so the heap actually reorders) and drain it. Items/sec
+/// is events fired per second.
+void BM_EventQueueScheduleFire(benchmark::State& state) {
+  sim::EventQueue queue;
+  const int batch = static_cast<int>(state.range(0));
+  sim::Time t = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < batch; ++i) {
+      queue.schedule(t + (i % 7) * 10 + i / 7, [] {});
+    }
+    while (!queue.empty()) queue.run_next();
+    t += 1000;
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EventQueueScheduleFire)->Arg(64)->Arg(4096);
+
+/// Timer-heavy workloads (retransmit timers that almost always get
+/// cancelled) stress the dead-entry path: schedule a batch, cancel a
+/// fraction, drain the survivors. Arg is the dead percentage.
+void BM_EventQueueCancelChurn(benchmark::State& state) {
+  sim::EventQueue queue;
+  sim::Rng rng(42);
+  const int dead_pct = static_cast<int>(state.range(0));
+  constexpr int kBatch = 1024;
+  std::vector<sim::EventId> ids;
+  ids.reserve(kBatch);
+  sim::Time t = 0;
+  for (auto _ : state) {
+    ids.clear();
+    for (int i = 0; i < kBatch; ++i) {
+      ids.push_back(queue.schedule(t + i, [] {}));
+    }
+    for (auto& id : ids) {
+      if (rng.uniform(100) < static_cast<std::uint64_t>(dead_pct)) {
+        id.cancel();
+      }
+    }
+    while (!queue.empty()) queue.run_next();
+    t += kBatch;
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_EventQueueCancelChurn)->Arg(10)->Arg(50)->Arg(90);
+
+net::Packet make_mtu_packet() {
+  const std::vector<std::uint8_t> payload(1458, 0x5a);
+  return net::build_udp_packet(
+      net::MacAddress::from_index(1), net::MacAddress::from_index(2),
+      net::Ipv4Address(10, 0, 0, 1), net::Ipv4Address(10, 0, 0, 2), 1, 2,
+      payload);
+}
+
+/// The switch clone operation on a full MTU frame.
+void BM_PacketClone(benchmark::State& state) {
+  const net::Packet p = make_mtu_packet();
+  for (auto _ : state) {
+    net::Packet c = p.clone();
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PacketClone);
+
+/// The state-store hot path: clone a tracked frame, then truncate the
+/// copy to a 64 B header stub (the paper's clone-and-truncate).
+void BM_PacketCloneTruncate64(benchmark::State& state) {
+  const net::Packet p = make_mtu_packet();
+  for (auto _ : state) {
+    net::Packet c = p.clone();
+    c.truncate(64);
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PacketCloneTruncate64);
+
+/// Header-stack parse of a full frame (every switch pipeline pass pays
+/// this).
+void BM_ParsePacket(benchmark::State& state) {
+  const net::Packet p = make_mtu_packet();
+  for (auto _ : state) {
+    auto parsed = net::parse_packet(p);
+    benchmark::DoNotOptimize(parsed);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ParsePacket);
+
 void BM_UdpPacketBuild(benchmark::State& state) {
   const std::vector<std::uint8_t> payload(1458, 0);
   for (auto _ : state) {
@@ -136,4 +235,26 @@ BENCHMARK(BM_ZipfSample);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+/// Custom main instead of BENCHMARK_MAIN(): the repo-wide bench flag
+/// `--json <path>` is translated into google-benchmark's JSON reporter
+/// so perf_gate consumes one flag convention across all benches.
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json" && i + 1 < argc) {
+      args.push_back(std::string("--benchmark_out=") + argv[i + 1]);
+      args.emplace_back("--benchmark_out_format=json");
+      ++i;
+      continue;
+    }
+    args.emplace_back(argv[i]);
+  }
+  std::vector<char*> argp;
+  argp.reserve(args.size());
+  for (auto& a : args) argp.push_back(a.data());
+  int n = static_cast<int>(argp.size());
+  benchmark::Initialize(&n, argp.data());
+  if (benchmark::ReportUnrecognizedArguments(n, argp.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -14,6 +14,8 @@
 #include <cstdio>
 #include <functional>
 
+#include <chrono>
+
 #include "bench_util.hpp"
 #include "control/testbed.hpp"
 #include "core/packet_buffer.hpp"
@@ -24,6 +26,10 @@
 using namespace xmem;
 
 namespace {
+
+// Engine events across every Testbed this bench creates; main() folds
+// the total and an events/sec rate into the --json output.
+std::uint64_t g_sim_events = 0;
 
 constexpr std::size_t kFrame = 1500;
 
@@ -52,6 +58,7 @@ bool store_lossless_at(sim::Bandwidth rate) {
   tb.sim().run_until(sim::milliseconds(2));
   gen.stop();
   tb.sim().run();
+  g_sim_events += tb.sim().queue().scheduled_count();
   const auto& nic = tb.host(2).rnic().stats();
   return nic.requests_dropped_overflow == 0 &&
          pb.stats().ring_full_drops == 0 &&
@@ -108,6 +115,7 @@ double load_forward_gbps(std::uint64_t packets) {
   if (sink.packets() != packets || pb.stats().lost_loads != 0) {
     std::fprintf(stderr, "drain lost packets\n");
   }
+  g_sim_events += tb.sim().queue().scheduled_count();
   const sim::Time elapsed = sink.last_arrival() - start;
   return sim::to_gbps(
       sim::achieved_rate(static_cast<std::int64_t>(packets * kFrame), elapsed));
@@ -157,6 +165,7 @@ double native_gbps(bool use_read, std::size_t message_bytes) {
   stop = true;
   const double gbps = sim::to_gbps(sim::achieved_rate(completed_bytes, window));
   tb.sim().run();
+  g_sim_events += tb.sim().queue().scheduled_count();
   return gbps;
 }
 
@@ -164,6 +173,7 @@ double native_gbps(bool use_read, std::size_t message_bytes) {
 
 int main(int argc, char** argv) {
   bench::BenchResults results(argc, argv);
+  const auto wall_start = std::chrono::steady_clock::now();
   bench::banner(
       "T1 (§5)", "packet-buffer primitive throughput",
       "store at 34.1 Gb/s, load+forward at 37.4 Gb/s, both lossless; "
@@ -197,6 +207,13 @@ int main(int argc, char** argv) {
               baseline_advantage);
   results.add("native_advantage", baseline_advantage, "%");
 
+  const double wall = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - wall_start)
+                          .count();
+  results.add("sim_events", static_cast<double>(g_sim_events), "events");
+  results.add("sim_events_per_sec",
+              wall > 0 ? static_cast<double>(g_sim_events) / wall : 0,
+              "events/s");
   bench::verdict(store > 32.0 && store < 36.0,
                  "store ceiling lands near the paper's 34.1 Gb/s");
   bench::verdict(forward > 36.0 && forward < 39.0,

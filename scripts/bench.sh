@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Run the pinned perf benches through bench/perf_gate and maintain the
+# repo's perf trajectory file (BENCH_PR5.json).
+#
+#   scripts/bench.sh                  # run pinned set, merge as 'post',
+#                                     # then compare against 'baseline'
+#   scripts/bench.sh --tag baseline   # (re)record the baseline entries
+#   scripts/bench.sh --compare        # compare only, no re-run
+#   scripts/bench.sh --summary        # markdown table for README
+#
+# Environment: BUILD_DIR (default: build), BENCH_FILE (default:
+# BENCH_PR5.json), BENCH_TOLERANCE (default 0.10), BENCH_FAIL_FACTOR
+# (default 2.0).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD=${BUILD_DIR:-build}
+FILE=${BENCH_FILE:-BENCH_PR5.json}
+TOLERANCE=${BENCH_TOLERANCE:-0.10}
+FAIL_FACTOR=${BENCH_FAIL_FACTOR:-2.0}
+GATE="$BUILD/bench/perf_gate"
+# The m1 subset pinned by the perf gate: event-engine and packet hot paths.
+M1_FILTER='EventQueueScheduleFire|EventQueueCancelChurn|PacketClone|PacketCloneTruncate64|BM_ParsePacket'
+
+mode=run
+tag=post
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --summary) mode=summary ;;
+    --compare) mode=compare ;;
+    --tag) tag=$2; shift ;;
+    --file) FILE=$2; shift ;;
+    *) echo "bench.sh: unknown argument '$1'" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+if [[ $mode == summary ]]; then
+  exec "$GATE" summary --file "$FILE"
+fi
+if [[ $mode == compare ]]; then
+  exec "$GATE" compare --file "$FILE" --tolerance "$TOLERANCE" \
+    --fail-factor "$FAIL_FACTOR"
+fi
+
+cmake --build "$BUILD" -j --target perf_gate m1_micro \
+  t1_packet_buffer_throughput fig3b_statestore_bw a7_shard_scale >/dev/null
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+"$GATE" run --bin "$BUILD/bench/m1_micro" --label m1_micro \
+  --out "$tmp/m1_micro.json" -- --benchmark_filter="$M1_FILTER"
+"$GATE" run --bin "$BUILD/bench/t1_packet_buffer_throughput" --label t1 \
+  --out "$tmp/t1.json"
+"$GATE" run --bin "$BUILD/bench/fig3b_statestore_bw" --label fig3b \
+  --out "$tmp/fig3b.json"
+"$GATE" run --bin "$BUILD/bench/a7_shard_scale" --label a7 \
+  --out "$tmp/a7.json"
+
+"$GATE" merge --out "$FILE" --tag "$tag" \
+  "$tmp/m1_micro.json" "$tmp/t1.json" "$tmp/fig3b.json" "$tmp/a7.json"
+
+if [[ $tag == post ]]; then
+  "$GATE" compare --file "$FILE" --tolerance "$TOLERANCE" \
+    --fail-factor "$FAIL_FACTOR"
+fi

@@ -10,6 +10,11 @@
 #   $ scripts/check.sh --chaos     # Release build + chaos-labeled ctests
 #                                  # (fault injection + invariant suite)
 #   $ scripts/check.sh --lint      # xmem-lint over src/ + lint selftest
+#   $ scripts/check.sh --bench     # perf gate: re-run the pinned bench
+#                                  # set and compare against the committed
+#                                  # baseline in BENCH_PR5.json (warn past
+#                                  # BENCH_TOLERANCE, fail past
+#                                  # BENCH_FAIL_FACTOR)
 #   $ scripts/check.sh --format    # clang-format check-only pass
 #   $ scripts/check.sh --tidy      # clang-tidy build (XMEM_TIDY=ON)
 #
@@ -36,6 +41,7 @@ run_chaos=0
 run_lint=0
 run_format=0
 run_tidy=0
+run_bench=0
 case "${1:-}" in
   --tier1|--fast) run_sanitize=0 ;;
   --sanitize) run_tier1=0 ;;
@@ -43,8 +49,9 @@ case "${1:-}" in
   --lint) run_tier1=0; run_sanitize=0; run_lint=1 ;;
   --format) run_tier1=0; run_sanitize=0; run_format=1 ;;
   --tidy) run_tier1=0; run_sanitize=0; run_tidy=1 ;;
+  --bench) run_tier1=0; run_sanitize=0; run_bench=1 ;;
   "") ;;
-  *) echo "usage: $0 [--tier1|--sanitize|--fast|--chaos|--lint|--format|--tidy]" >&2
+  *) echo "usage: $0 [--tier1|--sanitize|--fast|--chaos|--lint|--format|--tidy|--bench]" >&2
      exit 2 ;;
 esac
 
@@ -77,6 +84,14 @@ if [[ "$run_lint" == 1 ]]; then
   lint_bin="$repo/build/tools/xmem_lint/xmem_lint"
   "$lint_bin" "$repo/src"
   "$repo/tools/xmem_lint/selftest.sh" "$lint_bin" "$repo"
+fi
+
+if [[ "$run_bench" == 1 ]]; then
+  echo "== bench: pinned perf set vs committed baseline =="
+  cmake -B "$repo/build" -S "$repo" -DCMAKE_BUILD_TYPE=Release
+  # bench.sh re-records the 'post' entries and runs perf_gate compare,
+  # which exits nonzero only past BENCH_FAIL_FACTOR (default 2.0x).
+  "$repo/scripts/bench.sh"
 fi
 
 format_skipped=0
@@ -112,6 +127,8 @@ elif [[ "$run_chaos" == 1 ]]; then
   echo "CHECK OK (chaos)"
 elif [[ "$run_lint" == 1 ]]; then
   echo "CHECK OK (lint)"
+elif [[ "$run_bench" == 1 ]]; then
+  echo "CHECK OK (bench)"
 elif [[ "$run_format" == 1 ]]; then
   if [[ "$format_skipped" == 1 ]]; then
     echo "CHECK OK (format skipped: clang-format not installed)"

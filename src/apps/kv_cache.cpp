@@ -152,7 +152,7 @@ void KvAcceleratorApp::handle_response(const roce::RoceMessage& msg) {
 KvBackend::KvBackend(host::Host& host, std::span<std::uint8_t> region,
                      Config config)
     : host_(&host), region_(region), config_(config) {
-  host.set_app([this](net::Packet packet, int) { on_packet(std::move(packet)); });
+  host.set_app([this](net::Packet&& packet, int) { on_packet(std::move(packet)); });
 }
 
 void KvBackend::put(std::uint64_t key, std::uint64_t value) {
@@ -160,7 +160,7 @@ void KvBackend::put(std::uint64_t key, std::uint64_t value) {
   KvAcceleratorApp::store_entry(region_, key, value);
 }
 
-void KvBackend::on_packet(net::Packet packet) {
+void KvBackend::on_packet(net::Packet&& packet) {
   auto req = kv_view(packet);
   if (!req) return;
 

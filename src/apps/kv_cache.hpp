@@ -106,7 +106,7 @@ class KvBackend {
   [[nodiscard]] std::uint64_t cpu_puts() const { return cpu_puts_; }
 
  private:
-  void on_packet(net::Packet packet);
+  void on_packet(net::Packet&& packet);
 
   host::Host* host_;
   std::span<std::uint8_t> region_;

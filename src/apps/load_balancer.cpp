@@ -136,7 +136,7 @@ void L4LoadBalancer::handle_response(const roce::RoceMessage& msg) {
   forward_to(std::move(pending.packet), backend_id);
 }
 
-void L4LoadBalancer::forward_to(net::Packet packet,
+void L4LoadBalancer::forward_to(net::Packet&& packet,
                                 std::uint16_t backend_id) {
   auto it = by_id_.find(backend_id);
   if (it == by_id_.end()) {
@@ -144,7 +144,7 @@ void L4LoadBalancer::forward_to(net::Packet packet,
     return;
   }
   const Backend& backend = it->second;
-  auto& bytes = packet.mutable_bytes();
+  const auto bytes = packet.mutable_bytes();
   const auto& mac = backend.mac.octets();
   std::copy(mac.begin(), mac.end(), bytes.begin());
   net::rewrite_dst_ip(packet, backend.ip);

@@ -87,7 +87,7 @@ class L4LoadBalancer {
  private:
   void on_ingress(switchsim::PipelineContext& ctx);
   void handle_response(const roce::RoceMessage& msg);
-  void forward_to(net::Packet packet, std::uint16_t backend_id);
+  void forward_to(net::Packet&& packet, std::uint16_t backend_id);
   [[nodiscard]] std::uint64_t conn_check(const net::FiveTuple& tuple) const;
 
   switchsim::ProgrammableSwitch* switch_;

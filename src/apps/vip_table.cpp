@@ -55,14 +55,14 @@ std::size_t populate_vip_region(std::span<std::uint8_t> region,
 
 SoftwareVSwitch::SoftwareVSwitch(host::Host& host, Config config)
     : host_(&host), config_(config) {
-  host.set_app([this](net::Packet packet, int) { on_packet(std::move(packet)); });
+  host.set_app([this](net::Packet&& packet, int) { on_packet(std::move(packet)); });
 }
 
 void SoftwareVSwitch::add_mapping(const VipMapping& mapping) {
   mappings_[mapping.virtual_ip] = mapping;
 }
 
-void SoftwareVSwitch::on_packet(net::Packet packet) {
+void SoftwareVSwitch::on_packet(net::Packet&& packet) {
   if (queue_.size() >= config_.queue_limit) {
     ++dropped_;
     return;

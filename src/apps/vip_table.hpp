@@ -61,7 +61,7 @@ class SoftwareVSwitch {
   [[nodiscard]] std::uint64_t unknown_vip() const { return unknown_vip_; }
 
  private:
-  void on_packet(net::Packet packet);
+  void on_packet(net::Packet&& packet);
   void pump();
 
   host::Host* host_;

@@ -378,7 +378,7 @@ std::optional<int> LookupTablePrimitive::apply_action(const Action& action,
       return action.port;
     case Action::Kind::kRewriteDst: {
       // Virtual -> physical translation: rewrite L2 and L3 destination.
-      auto& bytes = packet.mutable_bytes();
+      const auto bytes = packet.mutable_bytes();
       const auto& mac = action.new_dst_mac.octets();
       std::copy(mac.begin(), mac.end(), bytes.begin());
       net::rewrite_dst_ip(packet, action.new_dst_ip);

@@ -18,10 +18,10 @@ constexpr std::size_t kEchoBytes = 8;
 
 EcnEchoReceiver::EcnEchoReceiver(Host& host, Config config, Forward next)
     : host_(&host), config_(config), next_(std::move(next)) {
-  host.set_app([this](net::Packet packet, int) { on_packet(std::move(packet)); });
+  host.set_app([this](net::Packet&& packet, int) { on_packet(std::move(packet)); });
 }
 
-void EcnEchoReceiver::on_packet(net::Packet packet) {
+void EcnEchoReceiver::on_packet(net::Packet&& packet) {
   auto parsed = net::extract_five_tuple(packet);
   if (parsed) {
     ++window_seen_;
@@ -58,7 +58,7 @@ DctcpSender::DctcpSender(Host& host, Config config)
     : host_(&host), config_(config), rate_(config.traffic.rate),
       min_seen_(config.traffic.rate) {
   assert(config_.min_rate > 0);
-  host.set_app([this](net::Packet packet, int) {
+  host.set_app([this](net::Packet&& packet, int) {
     auto tuple = net::extract_five_tuple(packet);
     if (!tuple || tuple->dst_port != kEcnEchoPort) return;
     const std::size_t overhead = net::kEthernetHeaderBytes +

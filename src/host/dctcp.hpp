@@ -42,7 +42,7 @@ class EcnEchoReceiver {
   [[nodiscard]] std::uint64_t echoes_sent() const { return echoes_; }
 
  private:
-  void on_packet(net::Packet packet);
+  void on_packet(net::Packet&& packet);
 
   Host* host_;
   Config config_;

@@ -15,17 +15,17 @@ rnic::Rnic& Host::install_rnic(rnic::NicProfile profile, int port_index) {
   assert(rnic_ == nullptr && "host already has an RNIC");
   rnic_ = std::make_unique<rnic::Rnic>(
       *sim_, endpoint(), profile,
-      [this, port_index](net::Packet packet) {
+      [this, port_index](net::Packet&& packet) {
         send(std::move(packet), port_index);
       });
   return *rnic_;
 }
 
-void Host::send(net::Packet packet, int port_index) {
+void Host::send(net::Packet&& packet, int port_index) {
   port(port_index).send(std::move(packet));
 }
 
-void Host::receive(net::Packet packet, int port) {
+void Host::receive(net::Packet&& packet, int port) {
   ++rx_frames_;
   if (auto pfc = net::parse_pfc_frame(packet)) {
     // Flow control is honored by the MAC, not the CPU: pause this

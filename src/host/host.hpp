@@ -19,7 +19,7 @@ namespace xmem::host {
 class Host : public topo::Node {
  public:
   /// Handler for frames delivered to the software stack (non-RoCE).
-  using AppHandler = std::function<void(net::Packet packet, int port)>;
+  using AppHandler = std::function<void(net::Packet&& packet, int port)>;
 
   Host(sim::Simulator& simulator, std::string name, net::MacAddress mac,
        net::Ipv4Address ip);
@@ -42,7 +42,7 @@ class Host : public topo::Node {
   void set_app(AppHandler handler) { app_ = std::move(handler); }
 
   /// Transmit a frame out of `port_index`.
-  void send(net::Packet packet, int port_index = 0);
+  void send(net::Packet&& packet, int port_index = 0);
 
   /// Packets the host CPU had to handle (software stack deliveries).
   [[nodiscard]] std::uint64_t cpu_packets() const { return cpu_packets_; }
@@ -52,7 +52,7 @@ class Host : public topo::Node {
   [[nodiscard]] std::uint64_t rx_frames() const { return rx_frames_; }
 
   // topo::Node
-  void receive(net::Packet packet, int port) override;
+  void receive(net::Packet&& packet, int port) override;
 
  private:
   net::MacAddress mac_;

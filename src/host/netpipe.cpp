@@ -7,7 +7,7 @@ namespace xmem::host {
 LatencyProbe::LatencyProbe(Host& source, Host& sink, Config config)
     : source_(&source), sink_(&sink), config_(config) {
   sink_->set_app(
-      [this](net::Packet packet, int) { on_arrival(packet); });
+      [this](net::Packet&& packet, int) { on_arrival(packet); });
 }
 
 void LatencyProbe::start() {

@@ -6,7 +6,7 @@ namespace xmem::host {
 
 PacketSink::PacketSink(Host& host, bool install) : host_(&host) {
   if (install) {
-    host.set_app([this](net::Packet packet, int) { accept(packet); });
+    host.set_app([this](net::Packet&& packet, int) { accept(packet); });
   }
 }
 

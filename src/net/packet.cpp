@@ -53,7 +53,7 @@ Packet build_udp_packet(const MacAddress& src_mac, const MacAddress& dst_mac,
 namespace {
 
 /// Recompute and patch the IPv4 header checksum at `ip_offset`.
-void refresh_ip_checksum(std::vector<std::uint8_t>& bytes,
+void refresh_ip_checksum(std::span<std::uint8_t> bytes,
                          std::size_t ip_offset) {
   bytes[ip_offset + 10] = 0;
   bytes[ip_offset + 11] = 0;
@@ -74,7 +74,7 @@ bool is_ipv4_frame(const Packet& p) {
 
 bool rewrite_dscp(Packet& p, std::uint8_t dscp) {
   if (!is_ipv4_frame(p)) return false;
-  auto& bytes = p.mutable_bytes();
+  const auto bytes = p.mutable_bytes();
   const std::size_t ip = kEthernetHeaderBytes;
   bytes[ip + 1] = static_cast<std::uint8_t>((dscp << 2) |
                                             (bytes[ip + 1] & 0x3));
@@ -84,7 +84,7 @@ bool rewrite_dscp(Packet& p, std::uint8_t dscp) {
 
 bool set_ecn(Packet& p, Ecn ecn) {
   if (!is_ipv4_frame(p)) return false;
-  auto& bytes = p.mutable_bytes();
+  const auto bytes = p.mutable_bytes();
   const std::size_t ip = kEthernetHeaderBytes;
   bytes[ip + 1] = static_cast<std::uint8_t>(
       (bytes[ip + 1] & ~0x3) | static_cast<std::uint8_t>(ecn));
@@ -94,7 +94,7 @@ bool set_ecn(Packet& p, Ecn ecn) {
 
 bool rewrite_dst_ip(Packet& p, const Ipv4Address& dst) {
   if (!is_ipv4_frame(p)) return false;
-  auto& bytes = p.mutable_bytes();
+  const auto bytes = p.mutable_bytes();
   const std::size_t ip = kEthernetHeaderBytes;
   const std::uint32_t v = dst.value();
   bytes[ip + 16] = static_cast<std::uint8_t>(v >> 24);

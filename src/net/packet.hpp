@@ -1,12 +1,20 @@
-// Packet: owned wire bytes plus simulation metadata.
+// Packet: copy-on-write wire bytes plus simulation metadata.
 //
 // Packets carry real serialized headers end to end; every component that
 // wants header fields parses the bytes (and re-serializes if it mutates
 // them). That discipline is what lets the benches measure true on-wire
 // overheads instead of assumed ones.
+//
+// Storage is copy-on-write: clone() (the switch clone primitive) is a
+// refcount bump, truncate() on a clone is a lazy O(1) slice, and any
+// mutation goes through ensure_unique(), which detaches by copying only
+// the retained prefix. The paper's state-store clone-and-truncate path —
+// executed for every tracked packet — therefore costs two pointer copies
+// instead of a 1500-byte allocation.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
@@ -31,30 +39,67 @@ struct PacketMeta {
 class Packet {
  public:
   Packet() = default;
-  explicit Packet(std::vector<std::uint8_t> bytes) : data_(std::move(bytes)) {}
+  explicit Packet(std::vector<std::uint8_t> bytes)
+      : data_(std::make_shared<std::vector<std::uint8_t>>(std::move(bytes))),
+        size_(data_->size()) {}
 
-  [[nodiscard]] std::size_t size() const { return data_.size(); }
-  [[nodiscard]] std::span<const std::uint8_t> bytes() const { return data_; }
-  [[nodiscard]] std::vector<std::uint8_t>& mutable_bytes() { return data_; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  [[nodiscard]] std::span<const std::uint8_t> bytes() const {
+    return data_ ? std::span<const std::uint8_t>(data_->data(), size_)
+                 : std::span<const std::uint8_t>();
+  }
+
+  /// Writable view of the bytes. Detaches from any clones first, so a
+  /// mutation never bleeds into another packet sharing the storage. A
+  /// span (not the vector) on purpose: resizing the underlying buffer
+  /// behind the packet's back would desync the logical size.
+  [[nodiscard]] std::span<std::uint8_t> mutable_bytes() {
+    ensure_unique();
+    return data_ ? std::span<std::uint8_t>(data_->data(), size_)
+                 : std::span<std::uint8_t>();
+  }
 
   [[nodiscard]] PacketMeta& meta() { return meta_; }
   [[nodiscard]] const PacketMeta& meta() const { return meta_; }
 
   /// Link occupancy of this packet (incl. FCS, padding, preamble, IFG).
-  [[nodiscard]] std::int64_t wire_size() const {
-    return wire_bytes(data_.size());
-  }
+  [[nodiscard]] std::int64_t wire_size() const { return wire_bytes(size_); }
 
-  /// Deep copy (the switch clone operation).
+  /// The switch clone operation: O(1), shares the byte storage with this
+  /// packet until either side mutates.
   [[nodiscard]] Packet clone() const { return *this; }
 
-  /// Drop all bytes past `len` (the switch truncate operation).
+  /// Drop all bytes past `len` (the switch truncate operation). On a
+  /// packet sharing storage with clones this is a lazy O(1) slice; on
+  /// uniquely-owned storage it materializes the retained prefix so a
+  /// 64-byte stub does not pin the original frame's allocation.
   void truncate(std::size_t len) {
-    if (len < data_.size()) data_.resize(len);
+    if (!data_ || len >= size_) return;
+    if (data_.use_count() > 1) {
+      size_ = len;  // lazy: donors keep the bytes alive anyway
+    } else {
+      data_ = std::make_shared<std::vector<std::uint8_t>>(
+          data_->begin(),
+          data_->begin() + static_cast<std::ptrdiff_t>(len));
+      size_ = len;
+    }
+  }
+
+  /// Make this packet the sole owner of its bytes, copying only the
+  /// retained prefix [0, size()). Idempotent; called by mutable_bytes().
+  void ensure_unique() {
+    if (!data_) return;
+    if (data_.use_count() > 1 || data_->size() != size_) {
+      data_ = std::make_shared<std::vector<std::uint8_t>>(
+          data_->begin(),
+          data_->begin() + static_cast<std::ptrdiff_t>(size_));
+    }
   }
 
  private:
-  std::vector<std::uint8_t> data_;
+  std::shared_ptr<std::vector<std::uint8_t>> data_;
+  std::size_t size_ = 0;
   PacketMeta meta_;
 };
 

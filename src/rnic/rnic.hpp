@@ -51,7 +51,7 @@ struct NicProfile {
 
 class Rnic {
  public:
-  using TransmitFn = std::function<void(net::Packet)>;
+  using TransmitFn = std::function<void(net::Packet&&)>;
   /// Requester-role callback: invoked for every response arriving on a
   /// given QPN (ACK, NAK, READ response, atomic ACK).
   using ResponseHandler = std::function<void(const roce::RoceMessage&)>;
@@ -122,7 +122,7 @@ class Rnic {
 
   /// Emit a pre-built frame through the host port (used by the requester
   /// engine, which shares the NIC's wire).
-  void transmit(net::Packet frame) { transmit_(std::move(frame)); }
+  void transmit(net::Packet&& frame) { transmit_(std::move(frame)); }
 
   /// Register every Stats field (responder ops, per-cause NAKs, DMA byte
   /// counts) under `<prefix>/...` plus an rx-queue-depth gauge.

@@ -53,9 +53,10 @@ class Simulator {
   [[nodiscard]] bool stopped() const { return stopped_; }
 
   /// Pending-event introspection (mostly for tests).
-  [[nodiscard]] bool idle() { return queue_.empty(); }
+  [[nodiscard]] bool idle() const { return queue_.empty(); }
   [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
   EventQueue& queue() { return queue_; }
+  [[nodiscard]] const EventQueue& queue() const { return queue_; }
 
  private:
   EventQueue queue_;

@@ -93,7 +93,7 @@ void ProgrammableSwitch::pfc_broadcast(bool xoff) {
   }
 }
 
-void ProgrammableSwitch::receive(net::Packet packet, int port) {
+void ProgrammableSwitch::receive(net::Packet&& packet, int port) {
   assert(ready() && "ProgrammableSwitch::setup() was not called");
   ++stats_.received;
   PipelineContext ctx;
@@ -106,7 +106,7 @@ void ProgrammableSwitch::receive(net::Packet packet, int port) {
                     });
 }
 
-void ProgrammableSwitch::recirculate(net::Packet packet) {
+void ProgrammableSwitch::recirculate(net::Packet&& packet) {
   assert(ready());
   ++stats_.recirculated;
   PipelineContext ctx;
@@ -163,13 +163,13 @@ std::optional<int> ProgrammableSwitch::l2_route_for(
   return it->second;
 }
 
-void ProgrammableSwitch::inject(net::Packet packet, int port) {
+void ProgrammableSwitch::inject(net::Packet&& packet, int port) {
   assert(ready());
   ++stats_.injected;
   enqueue_for_egress(std::move(packet), port);
 }
 
-void ProgrammableSwitch::enqueue_for_egress(net::Packet packet, int port) {
+void ProgrammableSwitch::enqueue_for_egress(net::Packet&& packet, int port) {
   assert(port >= 0 && port < port_count());
   if (!tm_->enqueue(port, std::move(packet), sim_->now())) {
     ++stats_.buffer_drops;

@@ -77,10 +77,10 @@ class ProgrammableSwitch : public topo::Node {
 
   /// --- Packet operations for primitives ------------------------------
   /// Enqueue a pipeline-crafted packet for egress on `port`.
-  void inject(net::Packet packet, int port);
+  void inject(net::Packet&& packet, int port);
   /// Re-run ingress for `packet` after the recirculation delay; its
   /// ingress_port is kRecirculatePort.
-  void recirculate(net::Packet packet);
+  void recirculate(net::Packet&& packet);
 
   /// --- Introspection --------------------------------------------------
   [[nodiscard]] TrafficManager& tm() { return *tm_; }
@@ -94,12 +94,12 @@ class ProgrammableSwitch : public topo::Node {
                         const std::string& prefix);
 
   // topo::Node
-  void receive(net::Packet packet, int port) override;
+  void receive(net::Packet&& packet, int port) override;
 
  private:
   void run_ingress(PipelineContext ctx);
   void resolve_l2(PipelineContext& ctx);
-  void enqueue_for_egress(net::Packet packet, int port);
+  void enqueue_for_egress(net::Packet&& packet, int port);
   void service_port(int port);
 
   void pfc_broadcast(bool xoff);

@@ -9,7 +9,7 @@ TrafficManager::TrafficManager(int port_count, Config config)
       queues_(static_cast<std::size_t>(port_count)),
       stats_(static_cast<std::size_t>(port_count)) {}
 
-bool TrafficManager::enqueue(int port, net::Packet packet, sim::Time now) {
+bool TrafficManager::enqueue(int port, net::Packet&& packet, sim::Time now) {
   assert(port >= 0 && static_cast<std::size_t>(port) < queues_.size());
   auto& q = queues_[static_cast<std::size_t>(port)];
   auto& st = stats_[static_cast<std::size_t>(port)];
@@ -25,7 +25,7 @@ bool TrafficManager::enqueue(int port, net::Packet packet, sim::Time now) {
   if (config_.ecn_mark_threshold_bytes > 0 &&
       q.bytes >= config_.ecn_mark_threshold_bytes) {
     // DCTCP-style marking: set CE if the packet is ECN-capable.
-    auto& bytes = packet.mutable_bytes();
+    const auto bytes = packet.mutable_bytes();
     if (packet.size() >= net::kEthernetHeaderBytes + net::kIpv4HeaderBytes &&
         bytes[12] == 0x08 && bytes[13] == 0x00) {
       const std::size_t tos_at = net::kEthernetHeaderBytes + 1;

@@ -40,7 +40,7 @@ class TrafficManager {
 
   /// Enqueue for egress on `port`; returns false (drop) when the shared
   /// buffer is exhausted.
-  bool enqueue(int port, net::Packet packet, sim::Time now);
+  bool enqueue(int port, net::Packet&& packet, sim::Time now);
 
   /// Pop the head-of-line packet for `port` (nullopt if empty).
   std::optional<net::Packet> dequeue(int port);

@@ -1,0 +1,51 @@
+// Telemetry bindings for the simulation kernel.
+//
+// Lives in telemetry/ (not sim/) because sim/ is the dependency root:
+// the event queue cannot know about MetricsRegistry without inverting
+// the layering. Experiments that already snapshot a registry call
+// register_sim_metrics() once and get the engine's counters alongside
+// their component metrics.
+#pragma once
+
+#include <string>
+
+#include "sim/simulator.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace xmem::telemetry {
+
+/// Export the engine's health counters under `prefix`:
+///   <prefix>/events_scheduled   counter  events ever scheduled
+///   <prefix>/events_executed    counter  events ever fired
+///   <prefix>/events_live        gauge    pending (non-cancelled) events
+///   <prefix>/queue_size_bound   gauge    heap entries incl. dead ones
+///
+/// The gap between size_bound and live is the cancelled-but-unreclaimed
+/// debt the queue is carrying; compaction keeps it below half the heap.
+inline void register_sim_metrics(MetricsRegistry& registry,
+                                 const sim::Simulator& simulator,
+                                 const std::string& prefix = "sim") {
+  const sim::Simulator* sim = &simulator;
+  registry.register_counter(
+      prefix + "/events_scheduled",
+      [sim]() {
+        return static_cast<std::int64_t>(sim->queue().scheduled_count());
+      },
+      "events");
+  registry.register_counter(
+      prefix + "/events_executed",
+      [sim]() {
+        return static_cast<std::int64_t>(sim->events_executed());
+      },
+      "events");
+  registry.register_gauge(
+      prefix + "/events_live",
+      [sim]() { return static_cast<double>(sim->queue().live_count()); },
+      "events");
+  registry.register_gauge(
+      prefix + "/queue_size_bound",
+      [sim]() { return static_cast<double>(sim->queue().size_bound()); },
+      "events");
+}
+
+}  // namespace xmem::telemetry

@@ -72,7 +72,7 @@ bool Link::roll_loss() {
   return fault_.loss_rate > 0.0 && fault_rng_.chance(fault_.loss_rate);
 }
 
-void Link::ship(const End& to, net::Packet packet, sim::Time when) {
+void Link::ship(const End& to, net::Packet&& packet, sim::Time when) {
   sim_->schedule_at(when, [to, p = std::move(packet)]() mutable {
     to.node->port(to.port).note_received(p);
     p.meta().ingress_port = to.port;
@@ -80,7 +80,7 @@ void Link::ship(const End& to, net::Packet packet, sim::Time when) {
   });
 }
 
-void Link::deliver(int from_end, net::Packet packet, sim::Time when_serialized) {
+void Link::deliver(int from_end, net::Packet&& packet, sim::Time when_serialized) {
   assert(from_end == 0 || from_end == 1);
   const End& to = ends_[1 - from_end];
   assert(to.node != nullptr && "Link::deliver on half-attached link");
@@ -97,7 +97,7 @@ void Link::deliver(int from_end, net::Packet packet, sim::Time when_serialized) 
     }
     if (fault_.corrupt_rate > 0.0 && fault_rng_.chance(fault_.corrupt_rate) &&
         packet.size() > kCorruptOffset) {
-      auto& bytes = packet.mutable_bytes();
+      const auto bytes = packet.mutable_bytes();
       const std::size_t span = packet.size() - kCorruptOffset;
       const std::size_t victim =
           kCorruptOffset + static_cast<std::size_t>(fault_rng_.uniform(
@@ -116,7 +116,7 @@ void Link::deliver(int from_end, net::Packet packet, sim::Time when_serialized) 
     if (fault_.duplicate_rate > 0.0 &&
         fault_rng_.chance(fault_.duplicate_rate)) {
       ++duplicated_;
-      ship(to, packet, arrival + fault_.duplicate_gap);
+      ship(to, packet.clone(), arrival + fault_.duplicate_gap);
     }
   }
 

@@ -122,7 +122,7 @@ class Link {
 
   /// Used by Port: ship a fully serialized frame to the far end.
   /// `when_serialized` is the time serialization completed.
-  void deliver(int from_end, net::Packet packet, sim::Time when_serialized);
+  void deliver(int from_end, net::Packet&& packet, sim::Time when_serialized);
 
  private:
   struct End {
@@ -134,7 +134,7 @@ class Link {
     return fault_direction_ == -1 || fault_direction_ == from_end;
   }
   [[nodiscard]] bool roll_loss();
-  void ship(const End& to, net::Packet packet, sim::Time when);
+  void ship(const End& to, net::Packet&& packet, sim::Time when);
 
   sim::Simulator* sim_;
   sim::Bandwidth rate_;

@@ -42,7 +42,7 @@ class Port {
 
   /// Queue a packet for transmission. Unbounded FIFO: callers that need
   /// bounded queues (the switch) check idle() and buffer themselves.
-  void send(net::Packet packet);
+  void send(net::Packet&& packet);
 
   /// Invoked when a transmission finishes and the FIFO is empty — the
   /// hook the switch traffic manager uses to pull the next packet.
@@ -103,7 +103,7 @@ class Node {
   Node& operator=(const Node&) = delete;
 
   /// A frame has fully arrived on `port`.
-  virtual void receive(net::Packet packet, int port) = 0;
+  virtual void receive(net::Packet&& packet, int port) = 0;
 
   /// Create a new port, returning its index.
   int add_port() {

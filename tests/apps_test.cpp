@@ -195,7 +195,7 @@ class KvTest : public ::testing::Test {
         tb_.host(2), ChannelController::region_bytes(tb_.host(2), channel_),
         KvBackend::Config{});
     // Client-side response capture.
-    tb_.host(0).set_app([this](net::Packet p, int) {
+    tb_.host(0).set_app([this](net::Packet&& p, int) {
       const std::size_t overhead = net::kEthernetHeaderBytes +
                                    net::kIpv4HeaderBytes +
                                    net::kUdpHeaderBytes;

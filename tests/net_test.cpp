@@ -249,6 +249,61 @@ TEST(Packet, TruncateShrinksOnly) {
   EXPECT_EQ(p.size(), 10u);
 }
 
+TEST(Packet, CloneSharesStorageUntilMutation) {
+  Packet p(std::vector<std::uint8_t>(1500, 0x5a));
+  Packet c = p.clone();
+  EXPECT_EQ(c.bytes().data(), p.bytes().data());  // refcount bump, no copy
+  c.mutable_bytes()[0] = 0x11;
+  EXPECT_NE(c.bytes().data(), p.bytes().data());  // CoW detached
+  EXPECT_EQ(p.bytes()[0], 0x5a);
+}
+
+// The state-store regression: a clone truncated to a header stub must keep
+// exactly the retained prefix, and the donor packet must stay bit-identical
+// through the clone, the truncate, and a later mutation of the stub.
+TEST(Packet, TruncatedCloneKeepsPrefixAndDonorIntact) {
+  std::vector<std::uint8_t> original(1500);
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    original[i] = static_cast<std::uint8_t>(i * 31 + 7);
+  }
+  Packet p(original);
+
+  Packet stub = p.clone();
+  stub.truncate(64);
+  ASSERT_EQ(stub.size(), 64u);
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(stub.bytes()[i], original[i]) << "stub byte " << i;
+  }
+
+  stub.mutable_bytes()[0] ^= 0xff;
+  ASSERT_EQ(p.size(), original.size());
+  EXPECT_TRUE(std::equal(p.bytes().begin(), p.bytes().end(),
+                         original.begin()));
+}
+
+// Truncating uniquely-owned storage must materialize the prefix rather
+// than resize in place, so a 64 B stub does not pin the 1500 B buffer.
+TEST(Packet, TruncateOnUniqueStorageMaterializes) {
+  Packet p(std::vector<std::uint8_t>(1500, 0x5a));
+  const std::uint8_t* before = p.bytes().data();
+  p.truncate(64);
+  EXPECT_EQ(p.size(), 64u);
+  EXPECT_NE(p.bytes().data(), before);  // fresh, right-sized allocation
+}
+
+TEST(Packet, LazySliceDetachesOnMutationAfterDonorDies) {
+  Packet stub;
+  {
+    Packet donor(std::vector<std::uint8_t>{1, 2, 3, 4, 5, 6, 7, 8});
+    stub = donor.clone();
+    stub.truncate(4);  // lazy slice while donor is alive
+  }
+  const auto view = stub.mutable_bytes();  // detach: copies only [0, 4)
+  ASSERT_EQ(view.size(), 4u);
+  EXPECT_EQ(view[3], 4);
+  EXPECT_EQ(stub.bytes().size(), 4u);
+}
+
 TEST(Packet, RewriteDscpKeepsChecksumValid) {
   Packet p = build_udp_packet(MacAddress::from_index(1),
                               MacAddress::from_index(2),

@@ -1,9 +1,16 @@
 // Unit tests for the discrete-event engine: time units, event queue
-// ordering/cancellation, simulator run loops, RNG determinism.
+// ordering/cancellation, simulator run loops, RNG determinism — plus the
+// determinism suite that pins the engine's (time, seq) contract across
+// engine rewrites (golden counters from a fixed-seed incast run).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <utility>
 #include <vector>
 
+#include "control/testbed.hpp"
+#include "host/sink.hpp"
+#include "host/traffic_gen.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/log.hpp"
 #include "sim/rng.hpp"
@@ -119,6 +126,64 @@ TEST(EventQueue, EmptyReclaimsAllCancelled) {
   EXPECT_TRUE(q.empty());
 }
 
+TEST(EventQueue, LiveCountTracksCancellations) {
+  EventQueue q;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(q.schedule(static_cast<Time>(i + 1), [] {}));
+  }
+  EXPECT_EQ(q.live_count(), 100u);
+  // Cancel 30 from the back half so the front stays live and the dead
+  // count stays under the compaction threshold.
+  for (int i = 60; i < 90; ++i) ids[static_cast<std::size_t>(i)].cancel();
+  EXPECT_EQ(q.live_count(), 70u);
+  EXPECT_EQ(q.size_bound(), 100u);  // dead entries not yet reclaimed
+  std::size_t fired = 0;
+  while (!q.empty()) {
+    q.run_next();
+    ++fired;
+  }
+  EXPECT_EQ(fired, 70u);
+  EXPECT_EQ(q.live_count(), 0u);
+}
+
+TEST(EventQueue, BulkCancellationCompactsHeap) {
+  EventQueue q;
+  std::vector<EventId> ids;
+  std::vector<Time> expected;
+  for (int i = 0; i < 200; ++i) {
+    ids.push_back(q.schedule(static_cast<Time>(i + 1), [] {}));
+  }
+  // Kill 150 of 200: beyond both compaction triggers (>= 64 dead and
+  // dead >= half the heap), so the sweep must run and shed the entries.
+  for (int i = 0; i < 200; ++i) {
+    if (i % 4 != 0) {
+      ids[static_cast<std::size_t>(i)].cancel();
+    } else {
+      expected.push_back(static_cast<Time>(i + 1));
+    }
+  }
+  EXPECT_EQ(q.live_count(), 50u);
+  // Compaction fires mid-stream (at 100 dead of 200); the sub-threshold
+  // tail of later cancellations may still sit in the heap.
+  EXPECT_LT(q.size_bound(), 200u);
+  EXPECT_LE(q.size_bound() - q.live_count(), 50u);
+  std::vector<Time> fired;
+  while (!q.empty()) fired.push_back(q.run_next());
+  EXPECT_EQ(fired, expected);  // survivors still drain in time order
+}
+
+TEST(EventQueue, LargeCaptureCallbackIsBoxedAndFires) {
+  EventQueue q;
+  std::array<char, 200> big{};  // larger than InlineFunction's inline buffer
+  big[0] = 42;
+  big[199] = 7;
+  int sum = 0;
+  q.schedule(1, [big, &sum] { sum = big[0] + big[199]; });
+  q.run_next();
+  EXPECT_EQ(sum, 49);
+}
+
 TEST(EventQueue, CallbackMaySchedule) {
   EventQueue q;
   int count = 0;
@@ -186,6 +251,139 @@ TEST(Simulator, StopEndsRun) {
   EXPECT_TRUE(sim.stopped());
   sim.run();  // resumes with remaining events
   EXPECT_EQ(fired, 2);
+}
+
+// --- Determinism suite -----------------------------------------------
+//
+// The engine's documented contract: events fire in (time, schedule
+// order). These tests pin that contract hard enough that an engine
+// rewrite (heap layout, pooling, callback storage) cannot change any
+// simulation result without tripping them.
+
+TEST(Determinism, ManySameTimeEventsFireInScheduleOrder) {
+  EventQueue q;
+  constexpr int kN = 1000;
+  std::vector<int> order;
+  order.reserve(kN);
+  for (int i = 0; i < kN; ++i) {
+    q.schedule(777, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.run_next();
+  ASSERT_EQ(order.size(), static_cast<std::size_t>(kN));
+  for (int i = 0; i < kN; ++i) {
+    ASSERT_EQ(order[static_cast<std::size_t>(i)], i) << "at index " << i;
+  }
+}
+
+TEST(Determinism, CancelRescheduleStressKeepsOrdering) {
+  // Deterministic churn: schedule batches at pseudo-random times, cancel
+  // a third, reschedule replacements (which take fresh sequence numbers),
+  // then drain. The survivors must fire in exact (time, schedule-order)
+  // order — computed here as a stable sort by time over the survivors in
+  // schedule order.
+  EventQueue q;
+  Rng rng(2024);
+  struct Scheduled {
+    EventId id;
+    Time at = 0;
+    std::uint64_t tag = 0;
+    bool cancelled = false;
+  };
+  std::vector<Scheduled> all;
+  std::vector<std::uint64_t> fired;
+  std::uint64_t tag = 0;
+  auto schedule_one = [&](Time at) {
+    const std::uint64_t my = tag++;
+    EventId id = q.schedule(at, [&fired, my] { fired.push_back(my); });
+    all.push_back({id, at, my, false});
+  };
+  for (int round = 0; round < 20; ++round) {
+    for (int i = 0; i < 50; ++i) {
+      schedule_one(static_cast<Time>(rng.uniform(199)));
+    }
+    for (auto& s : all) {
+      if (!s.cancelled && rng.uniform(3) == 0) {
+        s.id.cancel();
+        s.cancelled = true;
+        EXPECT_FALSE(s.id.pending());
+      }
+    }
+    // Replacements for half the cancellations, at fresh times.
+    for (int i = 0; i < 8; ++i) {
+      schedule_one(static_cast<Time>(rng.uniform(199)));
+    }
+  }
+  while (!q.empty()) q.run_next();
+
+  std::vector<std::pair<Time, std::uint64_t>> expected;
+  for (const auto& s : all) {
+    if (!s.cancelled) expected.push_back({s.at, s.tag});
+  }
+  std::stable_sort(expected.begin(), expected.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  ASSERT_EQ(fired.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_EQ(fired[i], expected[i].second) << "at index " << i;
+  }
+}
+
+TEST(Determinism, SlotReuseAfterDrainKeepsIdsStale) {
+  // Fire a full batch, then schedule a second batch (which may reuse the
+  // first batch's pooled storage): first-batch handles must stay dead
+  // and cancelling them must not touch the second batch.
+  EventQueue q;
+  std::vector<EventId> first;
+  int fired = 0;
+  for (int i = 0; i < 32; ++i) {
+    first.push_back(q.schedule(i, [&fired] { ++fired; }));
+  }
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(fired, 32);
+  std::vector<EventId> second;
+  for (int i = 0; i < 32; ++i) {
+    second.push_back(q.schedule(100 + i, [&fired] { ++fired; }));
+  }
+  for (auto& id : first) {
+    EXPECT_FALSE(id.pending());
+    id.cancel();  // must be a no-op against recycled storage
+  }
+  for (auto& id : second) EXPECT_TRUE(id.pending());
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(fired, 64);
+}
+
+TEST(Determinism, GoldenIncastCounters) {
+  // Scaled-down F1a: 4 senders each burst 1 MB at 40 Gb/s toward one
+  // receiver behind a 2 MB shared-buffer ToR, fixed jitter seed. Every
+  // counter below is a golden captured from the pre-pool engine
+  // (std::priority_queue entries + deep-copy packets); an engine swap
+  // must reproduce them bit-for-bit or it changed simulation behaviour.
+  control::Testbed::Config cfg;
+  cfg.hosts = 5;
+  cfg.switch_config.tm.shared_buffer_bytes = 2 * kMB;
+  control::Testbed tb(cfg);
+  const int receiver = 4;
+  host::PacketSink sink(tb.host(receiver));
+  std::vector<host::Host*> senders;
+  for (int i = 0; i < 4; ++i) senders.push_back(&tb.host(i));
+  host::IncastCoordinator incast(
+      senders, {.dst_mac = tb.host(receiver).mac(),
+                .dst_ip = tb.host(receiver).ip(),
+                .frame_size = 1500,
+                .burst_bytes_per_sender = 1 * kMB,
+                .sender_rate = gbps(40),
+                .start_jitter = microseconds(5)});
+  incast.start(0);
+  tb.sim().run();
+
+  EXPECT_EQ(incast.total_packets_sent(), 2668u);
+  EXPECT_EQ(sink.packets(), 2013u);
+  EXPECT_EQ(tb.tor().stats().buffer_drops, 655u);
+  EXPECT_EQ(sink.last_arrival(), 615286514);
+  EXPECT_EQ(tb.sim().events_executed(), 14706u);
+  EXPECT_EQ(tb.sim().queue().scheduled_count(), 14706u);
 }
 
 TEST(Rng, DeterministicAcrossInstances) {

@@ -168,7 +168,7 @@ TEST(TrafficManagerTest, EcnMarksEctPacketsAboveThreshold) {
         net::MacAddress::from_index(1), net::MacAddress::from_index(2),
         net::Ipv4Address(1, 1, 1, 1), net::Ipv4Address(2, 2, 2, 2), 1, 2,
         std::vector<std::uint8_t>(100, 0));
-    auto& b = p.mutable_bytes();
+    const auto b = p.mutable_bytes();
     b[15] = (b[15] & ~0x3) | 0x2;  // set ECT(0) directly
     net::rewrite_dscp(p, 0);       // refresh checksum
     return p;

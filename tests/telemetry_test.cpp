@@ -18,6 +18,7 @@
 #include "telemetry/metrics.hpp"
 #include "telemetry/op_tracer.hpp"
 #include "telemetry/sampler.hpp"
+#include "telemetry/sim_metrics.hpp"
 
 namespace xmem::telemetry {
 namespace {
@@ -92,6 +93,25 @@ TEST(MetricsRegistry, UnregisterPrefix) {
   EXPECT_FALSE(reg.contains("a/x"));
   EXPECT_TRUE(reg.contains("b/x"));
   EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(MetricsRegistry, SimMetricsExportEngineCounters) {
+  sim::Simulator simulator;
+  MetricsRegistry reg;
+  register_sim_metrics(reg, simulator);
+
+  const sim::EventId keep = simulator.schedule_in(10, [] {});
+  const sim::EventId dead = simulator.schedule_in(20, [] {});
+  dead.cancel();
+  (void)keep;
+  EXPECT_EQ(reg.read("sim/events_scheduled"), 2.0);
+  EXPECT_EQ(reg.read("sim/events_live"), 1.0);
+  EXPECT_EQ(reg.read("sim/events_executed"), 0.0);
+
+  simulator.run();
+  EXPECT_EQ(reg.read("sim/events_executed"), 1.0);
+  EXPECT_EQ(reg.read("sim/events_live"), 0.0);
+  EXPECT_EQ(reg.read("sim/queue_size_bound"), 0.0);
 }
 
 TEST(MetricsRegistry, JsonExportRoundTrips) {

@@ -15,7 +15,7 @@ namespace {
 class SinkNode : public Node {
  public:
   using Node::Node;
-  void receive(net::Packet packet, int port) override {
+  void receive(net::Packet&& packet, int port) override {
     arrivals.push_back({sim_->now(), port, packet.size()});
   }
   struct Arrival {

@@ -1,0 +1,24 @@
+// Fixture: net::Packet crossing a function boundary by value. The CoW
+// storage makes the copy cheap enough to hide, which is exactly why the
+// lint insists ownership transfer is spelled out.
+namespace net {
+class Packet {};
+}  // namespace net
+
+void deliver(net::Packet packet, int port);  // BAD: by-value parameter
+
+struct Handler {
+  void on_packet(net::Packet frame) {  // BAD: by-value parameter
+    (void)frame;
+  }
+};
+
+// These are fine and must not trip the rule:
+void inspect(const net::Packet& packet);
+void consume(net::Packet&& packet);
+net::Packet make_packet();
+
+void local_decl() {
+  net::Packet scratch;  // local declaration, not a parameter
+  (void)scratch;
+}

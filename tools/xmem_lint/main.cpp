@@ -19,6 +19,11 @@
 //   wire-assert   Every on-wire struct under roce/ and net/ (anything
 //                 with a serialize(ByteWriter&) member) must be named in
 //                 a static_assert pinning its wire layout.
+//   packet-value  net::Packet must not cross a function boundary by
+//                 value: the copy-on-write storage makes an implicit
+//                 copy cheap enough to hide, so ownership transfer has
+//                 to be spelled out — `const Packet&`, `Packet&&`, or an
+//                 explicit clone() at the call site.
 //
 // Violations can be locally waived with a trailing
 // `// xmem-lint: allow(<rule>)` comment — the escape hatch for the rare
@@ -251,6 +256,47 @@ void check_wire_bytes(const std::string& path, std::size_t lineno,
   }
 }
 
+/// R5: `Packet <name>` in a parameter position (the identifier after the
+/// type is followed by ',' or ')'). Local declarations end in '=', ';',
+/// '(' or ':', so they fall through; references and templates fail the
+/// next-token-is-identifier test.
+void check_packet_value(const std::string& path, std::size_t lineno,
+                        const std::string& raw, const std::string& prev,
+                        const std::string& code,
+                        std::vector<Violation>& out) {
+  std::size_t pos = 0;
+  while ((pos = code.find("Packet", pos)) != std::string::npos) {
+    const std::size_t end = pos + 6;
+    const bool word_boundary =
+        (pos == 0 || !is_ident_char(code[pos - 1])) &&
+        (end >= code.size() || !is_ident_char(code[end]));
+    if (!word_boundary) {  // ParsedPacket, PacketMeta, ...
+      pos = end;
+      continue;
+    }
+    std::size_t i = end;
+    while (i < code.size() && code[i] == ' ') ++i;
+    if (i >= code.size() || !is_ident_char(code[i])) {  // 'Packet&', '<...>'
+      pos = end;
+      continue;
+    }
+    std::size_t name_end = i;
+    while (name_end < code.size() && is_ident_char(code[name_end])) {
+      ++name_end;
+    }
+    std::size_t j = name_end;
+    while (j < code.size() && code[j] == ' ') ++j;
+    if (j < code.size() && (code[j] == ',' || code[j] == ')') &&
+        !waived(raw, prev, "packet-value")) {
+      out.push_back({path, lineno, "packet-value",
+                     "'Packet " + code.substr(i, name_end - i) +
+                         "' passed by value; use const Packet&, Packet&&, "
+                         "or an explicit clone() at the call site"});
+    }
+    pos = end;
+  }
+}
+
 struct FileReport {
   std::vector<Violation> violations;
 };
@@ -306,6 +352,7 @@ void lint_file(const fs::path& file, std::vector<Violation>& out) {
       check_psn_compare(path, lineno, rawline, prevline, code, out);
     }
     check_wire_bytes(path, lineno, rawline, prevline, code, wire_dir, out);
+    check_packet_value(path, lineno, rawline, prevline, code, out);
 
     if (code.find("trace_begin") != std::string::npos) {
       if (first_begin_line == 0) first_begin_line = lineno;
