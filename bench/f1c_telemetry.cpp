@@ -8,8 +8,18 @@
 //       beyond what dedicated switch registers could hold,
 //   (3) a Count Sketch running against the same remote store, with
 //       heavy-hitter estimation error reported,
-//   (4) the bandwidth cost and the zero-CPU property.
+//   (4) the bandwidth cost and the zero-CPU property,
+//   (5) the cost of the observability layer itself: the identical
+//       scenario runs three ways — telemetry dormant; the always-on
+//       plane (INT tagging on every hop, an IntCollector at the sink, a
+//       TimeSeriesRecorder sampling every registry metric, an armed
+//       FlightRecorder); and deep tracing (always-on plus per-op spans
+//       mirrored into the flight ring). The perf gate holds the
+//       always-on plane < 3% (int_overhead_pct) and pins the absolute
+//       rates; deep tracing is reported as the price of a debugging
+//       session.
 #include <algorithm>
+#include <ctime>
 #include <cstdio>
 #include <vector>
 
@@ -21,6 +31,11 @@
 #include "host/traffic_gen.hpp"
 #include "net/flow.hpp"
 #include "sim/rng.hpp"
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/int_collector.hpp"
+#include "telemetry/op_tracer.hpp"
+#include "telemetry/sim_metrics.hpp"
+#include "telemetry/timeseries.hpp"
 
 using namespace xmem;
 
@@ -40,6 +55,7 @@ class FlowWorkload {
   }
 
   void start() { send_next(); }
+  [[nodiscard]] bool done() const { return sent_ >= kPackets; }
   [[nodiscard]] const std::vector<std::uint64_t>& truth() const {
     return truth_;
   }
@@ -70,13 +86,251 @@ class FlowWorkload {
   std::vector<std::uint64_t> truth_;
 };
 
+struct ScenarioResult {
+  // Scenario outcome (identical across both runs by determinism).
+  std::uint64_t total_counted = 0;
+  std::uint64_t exact_flows = 0;
+  std::uint64_t audited_flows = 0;
+  double worst_rel_err = 0;
+  std::int64_t fa_wire_bytes = 0;
+  sim::Time traffic_end = 0;
+  std::uint64_t cpu_packets = 0;
+  std::vector<std::pair<double, double>> top10;  // truth, estimate
+  // Engine cost. CPU time, not wall: the run is single-threaded, so
+  // process CPU time measures the same work while staying stable when
+  // the machine is shared. Per-slice times let the caller assemble a
+  // noise-robust total (see main).
+  double cpu_seconds = 0;
+  std::vector<double> slice_cpu;
+  std::uint64_t sim_events = 0;
+  // Observability-run extras (zero on the bare run).
+  std::uint64_t int_tagged = 0;
+  std::uint64_t int_hop_records = 0;
+  std::int64_t int_wire_bytes = 0;
+  double path_p99_us = 0;
+  std::uint64_t ts_ticks = 0;
+  std::size_t ts_series = 0;
+  std::uint64_t flight_events = 0;
+  std::uint64_t trace_spans = 0;
+  std::size_t flow_entries = 0;
+
+  [[nodiscard]] double events_per_sec() const {
+    return cpu_seconds > 0 ? static_cast<double>(sim_events) / cpu_seconds
+                           : 0.0;
+  }
+};
+
+double cpu_now_seconds() {
+  timespec ts{};
+  clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+/// kBare: telemetry constructed but dormant. kObs: the always-on plane —
+/// INT tagging + aggregate collection, metric sampling, armed flight
+/// recorder. kDeep: kObs plus the opt-in depth — a per-flow table at the
+/// sink and per-op span tracing mirrored into the flight ring — the
+/// debugging configuration, reported but not perf-gated.
+enum class Mode { kBare, kObs, kDeep };
+
+/// One full scenario instance, steppable in 1 ms sim slices. The driver
+/// constructs one instance per mode and advances them ROUND-ROBIN, one
+/// slice each: slice i of every mode executes within microseconds of
+/// wall time of the others, so machine interference (hypervisor steal,
+/// frequency excursions) lands on all modes' slice i nearly equally and
+/// cancels out of the per-slice cost ratio.
+class Scenario {
+ public:
+  explicit Scenario(Mode mode)
+      : mode_(mode),
+        // Host 2 is a dedicated memory server: its link is RDMA-fabric
+        // infrastructure, which enable_int() leaves unmonitored.
+        tb_({.hosts = 2, .memory_servers = 1}),
+        exact_channel_(tb_.controller().setup_channel(
+            tb_.host(2), tb_.port_of(2), {.region_bytes = 4 * kFlows * 8})),
+        store_(tb_.tor(), exact_channel_, {}),
+        sketch_channel_(tb_.controller().setup_channel(
+            tb_.host(2), tb_.port_of(2), {.region_bytes = 3 * 4096 * 8})),
+        sketch_(tb_.tor(), sketch_channel_, {.rows = 3}),
+        sink_(tb_.host(1)),
+        tracer_(tb_.sim()),
+        flight_(tb_.sim()),
+        recorder_(tb_.sim(),
+                  telemetry::TimeSeriesRecorder::Config{
+                      .period = sim::microseconds(250), .capacity = 4096}),
+        workload_(tb_, sim::gbps(1)) {
+    tb_.link_of(2).set_tap([this](const net::Packet& p, sim::Time,
+                                  int from_end) {
+      if (from_end == 0) r_.fa_wire_bytes += p.wire_size();
+    });
+
+    // The observability layer is CONSTRUCTED identically in every mode —
+    // registry, collector, recorder rings, flight buffer — and only
+    // ACTIVATED in the measured ones. That mirrors how the feature ships
+    // (the machinery exists; the question is what turning it on costs)
+    // and keeps the modes' heap layouts identical, which single-run A/B
+    // timing is otherwise surprisingly sensitive to.
+    flight_.set_registry(&registry_);
+    tracer_.set_flight_recorder(&flight_);
+    telemetry::register_sim_metrics(registry_, tb_.sim());
+    tb_.tor().register_metrics(registry_, "tor");
+    tb_.link_of(2).register_metrics(registry_, "link2");
+    // The per-op tracer only attaches in kDeep: span bookkeeping costs a
+    // map insert/erase plus a retained span per op, which is
+    // debug-session money, not always-on money. The metric callbacks
+    // register either way.
+    store_.attach_telemetry(&registry_,
+                            mode == Mode::kDeep ? &tracer_ : nullptr, "store");
+    collector_.register_metrics(registry_, "int");
+    recorder_.track_prefix(registry_, "");  // every counter and gauge
+    recorder_.track_rate(registry_, "sim/events_executed", "events/s");
+    if (mode != Mode::kBare) {
+      tb_.enable_int();
+      sink_.set_int_collector(&collector_);
+      recorder_.start();
+    }
+    workload_.start();
+  }
+
+  // The tap lambda captures `this`.
+  Scenario(const Scenario&) = delete;
+  Scenario& operator=(const Scenario&) = delete;
+
+  /// Advance one 250 us sim slice, timing it. Returns false once the
+  /// workload has sent everything and both primitives drained (the
+  /// sketch's 16-op atomics window means its deferred queue keeps
+  /// draining well past the last packet). The recorder (when on) keeps
+  /// the event queue populated forever, so the sim must be driven in
+  /// bounded slices rather than run-to-empty — and identical slicing in
+  /// every mode keeps the events/s comparison honest. Slices are short
+  /// (~2 ms of CPU) so the round-robin driver rotates modes fast: the
+  /// shorter the rotation, the more equally interference lands on every
+  /// mode's copy of a slice. A hard cap bounds the run if the sim ever
+  /// failed to drain.
+  bool step() {
+    if (finished_ || r_.slice_cpu.size() >= 8000) return false;
+    const double slice_start = cpu_now_seconds();
+    tb_.sim().run_until(tb_.sim().now() + sim::microseconds(250));
+    r_.slice_cpu.push_back(cpu_now_seconds() - slice_start);
+    if (workload_.done()) {
+      if (store_.quiescent() && sketch_.quiescent()) {
+        finished_ = true;
+        return false;
+      }
+      store_.flush();
+    }
+    return true;
+  }
+
+  [[nodiscard]] const std::vector<double>& slices() const {
+    return r_.slice_cpu;
+  }
+
+  /// Audit the run and return its result (call once, after stepping to
+  /// completion).
+  ScenarioResult finish(const std::string& timeseries_path) {
+    r_.traffic_end = tb_.sim().now();
+    for (const double s : r_.slice_cpu) r_.cpu_seconds += s;
+    r_.sim_events = tb_.sim().events_executed();
+    recorder_.stop();
+
+    // Audit the exact counters: every flow's remote counter must equal
+    // the ground truth (collisions DO alias counters — count aliased
+    // flows separately).
+    auto region =
+        control::ChannelController::region_bytes(tb_.host(2), exact_channel_);
+    const std::uint64_t n_counters = region.size() / 8;
+    for (std::size_t i = 0; i + 8 <= region.size(); i += 8) {
+      r_.total_counted += rnic::load_le64(region.subspan(i, 8));
+    }
+    for (std::uint64_t f = 0; f < kFlows; ++f) {
+      if (workload_.truth()[f] == 0) continue;
+      ++r_.audited_flows;
+      const auto tuple = workload_.tuple_of(f);
+      const std::uint64_t idx =
+          net::flow_hash(tuple, 0x517cc1b727220a95ULL) % n_counters;
+      const std::uint64_t counted =
+          rnic::load_le64(region.subspan(idx * 8, 8));
+      if (counted >= workload_.truth()[f]) {
+        ++r_.exact_flows;  // >= under aliasing
+      }
+    }
+
+    // Sketch estimates for the top-10 flows.
+    auto sketch_region =
+        control::ChannelController::region_bytes(tb_.host(2), sketch_channel_);
+    std::vector<std::uint64_t> ranks(kFlows);
+    for (std::uint64_t f = 0; f < kFlows; ++f) ranks[f] = f;
+    std::sort(ranks.begin(), ranks.end(),
+              [&](std::uint64_t a, std::uint64_t b) {
+                return workload_.truth()[a] > workload_.truth()[b];
+              });
+    for (int rank = 0; rank < 10; ++rank) {
+      const std::uint64_t f = ranks[static_cast<std::size_t>(rank)];
+      const double truth = static_cast<double>(workload_.truth()[f]);
+      const double est = static_cast<double>(sketch_.estimate(
+          sketch_region, net::flow_hash(workload_.tuple_of(f))));
+      r_.worst_rel_err =
+          std::max(r_.worst_rel_err, std::abs(est - truth) / truth);
+      r_.top10.emplace_back(truth, est);
+    }
+    r_.cpu_packets = tb_.host(2).cpu_packets();
+
+    if (mode_ != Mode::kBare) {
+      r_.int_tagged = collector_.tagged_packets();
+      r_.int_hop_records = collector_.hop_records();
+      r_.int_wire_bytes = collector_.wire_bytes();
+      if (!collector_.path_latency_us().empty()) {
+        r_.path_p99_us = collector_.path_latency_us().p99();
+      }
+      r_.ts_ticks = recorder_.ticks();
+      r_.ts_series = recorder_.series_count();
+      r_.flight_events = flight_.total_recorded();
+      r_.trace_spans = tracer_.stats().spans_closed;
+      r_.flow_entries = collector_.flows().size();
+      if (!timeseries_path.empty()) {
+        if (recorder_.write_json(timeseries_path)) {
+          std::printf("time series written to %s\n", timeseries_path.c_str());
+        }
+      }
+    }
+    return r_;
+  }
+
+ private:
+  Mode mode_;
+  ScenarioResult r_;
+  control::Testbed tb_;
+  control::RdmaChannelConfig exact_channel_;
+  core::StateStorePrimitive store_;
+  control::RdmaChannelConfig sketch_channel_;
+  apps::CountSketchApp sketch_;
+  host::PacketSink sink_;
+  telemetry::MetricsRegistry registry_;
+  telemetry::OpTracer tracer_;
+  telemetry::FlightRecorder flight_;
+  telemetry::IntCollector collector_{telemetry::IntCollector::Config{
+      // The flow table is opt-in depth: the always-on plane collects
+      // aggregates only, skipping the per-packet hash + probe.
+      .max_flows = mode_ == Mode::kDeep ? std::size_t{256} : std::size_t{0}}};
+  telemetry::TimeSeriesRecorder recorder_;
+  FlowWorkload workload_;
+  bool finished_ = false;
+};
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::banner(
       "F1c (§2.3)", "network telemetry on remote state",
       "counter capacity grows ~1000x (100 GB DRAM vs <100 MB SRAM); "
       "per-packet counting with 100% accuracy and zero CPU");
+  bench::BenchResults results(argc, argv);
+  std::string ts_path;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--timeseries") ts_path = argv[i + 1];
+  }
 
   // (1) Capacity arithmetic, the paper's own 1000x comparison.
   stats::TablePrinter capacity({"state location", "memory", "8 B counters"});
@@ -84,99 +338,180 @@ int main() {
   capacity.add_row({"one server's reserved DRAM", "100 GB", "12,500 M"});
   capacity.print("F1c-a: counter capacity");
 
-  // (2) Exact per-flow counters over remote memory.
-  control::Testbed tb;
-  auto exact_channel = tb.controller().setup_channel(
-      tb.host(2), tb.port_of(2), {.region_bytes = 4 * kFlows * 8});
-  core::StateStorePrimitive store(tb.tor(), exact_channel, {});
-  // (3) A Count Sketch sharing the same switch, second channel.
-  auto sketch_channel = tb.controller().setup_channel(
-      tb.host(2), tb.port_of(2), {.region_bytes = 3 * 4096 * 8});
-  apps::CountSketchApp sketch(tb.tor(), sketch_channel, {.rows = 3});
-
-  std::int64_t fa_wire_bytes = 0;
-  tb.link_of(2).set_tap([&](const net::Packet& p, sim::Time, int from_end) {
-    if (from_end == 0) fa_wire_bytes += p.wire_size();
-  });
-
-  host::PacketSink sink(tb.host(1));
-  FlowWorkload workload(tb, sim::gbps(1));
-  workload.start();
-  tb.sim().run();
-  const sim::Time traffic_end = tb.sim().now();
-  for (int i = 0; i < 50 && !store.quiescent(); ++i) {
-    store.flush();
-    tb.sim().run_until(tb.sim().now() + sim::milliseconds(1));
-    tb.sim().run();
+  // (2)-(4) The scenario, bare: exact counting + sketch, no telemetry.
+  // (5) Identical scenario under the full observability layer. Timing at
+  // the sub-second scale these runs take is noisy on a shared machine
+  // (hypervisor steal contaminates even process CPU time), so each rep
+  // steps all three modes' sims round-robin, one timed 1 ms slice each:
+  // slice i of every mode runs back-to-back in wall time, putting the
+  // same interference on each. Across kReps reps the per-slice MINIMUM
+  // is that slice's clean execution (the sim is deterministic, so slice
+  // i repeats identical work), and clean slices drive the comparison.
+  constexpr int kReps = 7;
+  ScenarioResult bare, obs, deep;
+  std::vector<double> off_min, on_min, deep_min;
+  auto fold_min = [](std::vector<double>& acc, const std::vector<double>& s) {
+    if (acc.empty()) {
+      acc = s;
+      return;
+    }
+    for (std::size_t i = 0; i < acc.size() && i < s.size(); ++i)
+      acc[i] = std::min(acc[i], s[i]);
+  };
+  for (int rep = 0; rep < kReps; ++rep) {
+    Scenario bare_run(Mode::kBare);
+    Scenario obs_run(Mode::kObs);
+    Scenario deep_run(Mode::kDeep);
+    bool active = true;
+    while (active) {
+      active = bare_run.step();
+      active = obs_run.step() || active;
+      active = deep_run.step() || active;
+    }
+    fold_min(off_min, bare_run.slices());
+    fold_min(on_min, obs_run.slices());
+    fold_min(deep_min, deep_run.slices());
+    if (rep == kReps - 1) {
+      bare = bare_run.finish("");
+      obs = obs_run.finish(ts_path);
+      deep = deep_run.finish("");
+    }
   }
+  bare.cpu_seconds = 0;
+  obs.cpu_seconds = 0;
+  deep.cpu_seconds = 0;
+  for (const double s : off_min) bare.cpu_seconds += s;
+  for (const double s : on_min) obs.cpu_seconds += s;
+  for (const double s : deep_min) deep.cpu_seconds += s;
 
-  // Audit the exact counters: every flow's remote counter must equal the
-  // ground truth (no hash collisions thanks to 4x slots? collisions DO
-  // alias counters — count aliased flows separately).
-  auto region =
-      control::ChannelController::region_bytes(tb.host(2), exact_channel);
-  const std::uint64_t n_counters = region.size() / 8;
-  std::uint64_t total_counted = 0;
-  for (std::size_t i = 0; i + 8 <= region.size(); i += 8) {
-    total_counted += rnic::load_le64(region.subspan(i, 8));
-  }
-  std::uint64_t exact_flows = 0;
-  std::uint64_t audited_flows = 0;
-  for (std::uint64_t f = 0; f < kFlows; ++f) {
-    if (workload.truth()[f] == 0) continue;
-    ++audited_flows;
-    const auto tuple = workload.tuple_of(f);
-    const std::uint64_t idx =
-        net::flow_hash(tuple, 0x517cc1b727220a95ULL) % n_counters;
-    const std::uint64_t counted =
-        rnic::load_le64(region.subspan(idx * 8, 8));
-    if (counted >= workload.truth()[f]) ++exact_flows;  // >= under aliasing
-  }
-
-  // Sketch estimates for the top-10 flows.
-  auto sketch_region =
-      control::ChannelController::region_bytes(tb.host(2), sketch_channel);
-  std::vector<std::uint64_t> ranks(kFlows);
-  for (std::uint64_t f = 0; f < kFlows; ++f) ranks[f] = f;
-  std::sort(ranks.begin(), ranks.end(), [&](std::uint64_t a, std::uint64_t b) {
-    return workload.truth()[a] > workload.truth()[b];
-  });
-  double worst_rel_err = 0;
   stats::TablePrinter hh({"flow rank", "true count", "sketch estimate",
                           "rel. error"});
-  for (int r = 0; r < 10; ++r) {
-    const std::uint64_t f = ranks[static_cast<std::size_t>(r)];
-    const double truth = static_cast<double>(workload.truth()[f]);
-    const double est = static_cast<double>(
-        sketch.estimate(sketch_region, net::flow_hash(workload.tuple_of(f))));
-    const double rel = std::abs(est - truth) / truth;
-    worst_rel_err = std::max(worst_rel_err, rel);
-    hh.add_row({std::to_string(r + 1), stats::TablePrinter::num(truth, 0),
+  for (std::size_t i = 0; i < bare.top10.size(); ++i) {
+    const auto [truth, est] = bare.top10[i];
+    hh.add_row({std::to_string(i + 1), stats::TablePrinter::num(truth, 0),
                 stats::TablePrinter::num(est, 0),
-                stats::TablePrinter::num(100 * rel) + "%"});
+                stats::TablePrinter::num(100 * std::abs(est - truth) / truth) +
+                    "%"});
   }
 
   stats::TablePrinter table({"metric", "value"});
   table.add_row({"packets observed", std::to_string(kPackets)});
   table.add_row({"exact counters: sum over region",
-                 std::to_string(total_counted)});
+                 std::to_string(bare.total_counted)});
   table.add_row({"flows audited exact (incl. aliased)",
-                 std::to_string(exact_flows) + "/" +
-                     std::to_string(audited_flows)});
+                 std::to_string(bare.exact_flows) + "/" +
+                     std::to_string(bare.audited_flows)});
   table.add_row({"F&A wire bandwidth (both primitives)",
                  stats::TablePrinter::num(sim::to_gbps(sim::achieved_rate(
-                     fa_wire_bytes, traffic_end))) + " Gb/s"});
+                     bare.fa_wire_bytes, bare.traffic_end))) + " Gb/s"});
   table.add_row({"memory-server CPU packets",
-                 std::to_string(tb.host(2).cpu_packets())});
+                 std::to_string(bare.cpu_packets)});
   table.print("F1c-b: exact per-flow counting over remote DRAM");
   hh.print("F1c-c: Count Sketch heavy hitters (remote sketch)");
 
-  bench::verdict(total_counted == kPackets,
+  // (5) Observability overhead: the same simulation dormant vs always-on
+  // vs deep-traced. The always-on plane is what the perf gate holds to
+  // < 3%; per-op span tracing is reported alongside as the documented
+  // price of a debugging session.
+  //
+  // The overhead estimator is deliberately two-layer robust: slice i
+  // repeats identical work in every rep, so the per-slice minimum is
+  // that slice's clean time — but a slice unlucky in all kReps reps
+  // still carries interference, and summing slices lets one such
+  // outlier swing the total by a percent. So the cost ratio is the
+  // MEDIAN over slices of (mode_min_i / bare_min_i): a contaminated
+  // slice moves one rank, not the estimate. overhead_pct is floored at
+  // 1.0 so the perf-gate ratio (2x fail) bounds it at 2% absolute
+  // rather than amplifying noise.
+  const double off_rate = bare.events_per_sec();
+  const double on_rate = obs.events_per_sec();
+  const double deep_rate = deep.events_per_sec();
+  auto median_cpu_ratio = [](const std::vector<double>& mode,
+                             const std::vector<double>& off) {
+    std::vector<double> ratios;
+    const std::size_t n = std::min(mode.size(), off.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      if (off[i] > 0.0) ratios.push_back(mode[i] / off[i]);
+    }
+    if (ratios.empty()) return 1.0;
+    std::sort(ratios.begin(), ratios.end());
+    return ratios[ratios.size() / 2];
+  };
+  // events/s overhead = 1 - (events_ratio / cpu_ratio): the active modes
+  // execute slightly MORE sim events (sampler ticks), which the rate
+  // comparison credits back.
+  auto overhead_vs_bare = [&](const ScenarioResult& mode,
+                              const std::vector<double>& mode_min) {
+    const double cpu_ratio = median_cpu_ratio(mode_min, off_min);
+    const double ev_ratio = bare.sim_events > 0
+                                ? static_cast<double>(mode.sim_events) /
+                                      static_cast<double>(bare.sim_events)
+                                : 1.0;
+    return 100.0 * (1.0 - ev_ratio / cpu_ratio);
+  };
+  const double raw_overhead = overhead_vs_bare(obs, on_min);
+  const double deep_overhead = overhead_vs_bare(deep, deep_min);
+  const double overhead_pct = std::max(1.0, raw_overhead);
+
+  stats::TablePrinter cost({"metric", "dormant", "always-on", "deep trace"});
+  cost.add_row({"sim events", std::to_string(bare.sim_events),
+                std::to_string(obs.sim_events),
+                std::to_string(deep.sim_events)});
+  cost.add_row({"events/s", stats::TablePrinter::num(off_rate, 0),
+                stats::TablePrinter::num(on_rate, 0),
+                stats::TablePrinter::num(deep_rate, 0)});
+  cost.add_row({"INT-tagged packets", "0", std::to_string(obs.int_tagged),
+                std::to_string(deep.int_tagged)});
+  cost.add_row({"INT hop records", "0", std::to_string(obs.int_hop_records),
+                std::to_string(deep.int_hop_records)});
+  cost.add_row({"INT wire overhead (accounted)", "0",
+                std::to_string(obs.int_wire_bytes) + " B",
+                std::to_string(deep.int_wire_bytes) + " B"});
+  cost.add_row({"path latency p99", "-",
+                stats::TablePrinter::num(obs.path_p99_us) + " us",
+                stats::TablePrinter::num(deep.path_p99_us) + " us"});
+  cost.add_row({"time-series", "-",
+                std::to_string(obs.ts_series) + " series x " +
+                    std::to_string(obs.ts_ticks) + " ticks",
+                "same"});
+  cost.add_row({"per-flow table entries", "0", "0 (aggregate-only)",
+                std::to_string(deep.flow_entries)});
+  cost.add_row({"op spans closed", "0", "0",
+                std::to_string(deep.trace_spans)});
+  cost.add_row({"flight-recorder events", "0",
+                std::to_string(obs.flight_events),
+                std::to_string(deep.flight_events)});
+  cost.add_row({"events/s overhead", "-",
+                stats::TablePrinter::num(raw_overhead) + "%",
+                stats::TablePrinter::num(deep_overhead) + "%"});
+  cost.print("F1c-d: observability cost (always-on plane vs deep tracing)");
+
+  results.add("int_off/sim_events_per_sec", off_rate, "events/s");
+  results.add("int_on/sim_events_per_sec", on_rate, "events/s");
+  results.add("int_overhead_pct", overhead_pct, "pct");
+  results.add("int_on/tagged_packets", static_cast<double>(obs.int_tagged),
+              "packets");
+  results.add("int_on/hop_records", static_cast<double>(obs.int_hop_records),
+              "records");
+  results.add("int_on/wire_bytes", static_cast<double>(obs.int_wire_bytes),
+              "bytes");
+
+  bench::verdict(bare.total_counted == kPackets,
                  "exact store counted every packet exactly once (100%)");
-  bench::verdict(exact_flows == audited_flows,
+  bench::verdict(bare.exact_flows == bare.audited_flows,
                  "every audited flow counter is complete");
-  bench::verdict(worst_rel_err < 0.15,
+  bench::verdict(bare.worst_rel_err < 0.15,
                  "sketch top-10 estimates within 15% of ground truth");
-  bench::verdict(tb.host(2).cpu_packets() == 0, "zero server CPU");
+  bench::verdict(bare.cpu_packets == 0, "zero server CPU");
+  bench::verdict(obs.total_counted == bare.total_counted &&
+                     obs.sim_events >= bare.sim_events,
+                 "observability layer changed no scenario outcome");
+  bench::verdict(obs.int_tagged > 0 && obs.int_hop_records >= obs.int_tagged,
+                 "INT stacks collected at the sink (>=1 hop per packet)");
+  bench::verdict(deep.trace_spans > 0 &&
+                     deep.flight_events >= deep.trace_spans,
+                 "deep mode mirrors every op span into the flight ring");
+  bench::verdict(raw_overhead < 3.0,
+                 "always-on observability costs < 3% events/s");
   return 0;
 }

@@ -268,7 +268,8 @@ bool lower_is_better(const std::string& name, const std::string& unit) {
   return unit == "ns" || unit == "us" || unit == "ms" || unit == "s" ||
          unit == "seconds" || unit == "kb" ||
          name.find("wall") != std::string::npos ||
-         name.find("rss") != std::string::npos;
+         name.find("rss") != std::string::npos ||
+         name.find("overhead") != std::string::npos;
 }
 
 std::map<std::string, Metric> metric_map(const json::Value& entry) {

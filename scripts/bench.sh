@@ -44,7 +44,8 @@ if [[ $mode == compare ]]; then
 fi
 
 cmake --build "$BUILD" -j --target perf_gate m1_micro \
-  t1_packet_buffer_throughput fig3b_statestore_bw a7_shard_scale >/dev/null
+  t1_packet_buffer_throughput fig3b_statestore_bw a7_shard_scale \
+  f1c_telemetry >/dev/null
 
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
@@ -57,9 +58,15 @@ trap 'rm -rf "$tmp"' EXIT
   --out "$tmp/fig3b.json"
 "$GATE" run --bin "$BUILD/bench/a7_shard_scale" --label a7 \
   --out "$tmp/a7.json"
+# f1c pins the observability plane: absolute events/s with telemetry off
+# and on, plus int_overhead_pct (lower-is-better, floored at 1% inside
+# the bench so the fail factor bounds it at 2% absolute).
+"$GATE" run --bin "$BUILD/bench/f1c_telemetry" --label f1c \
+  --out "$tmp/f1c.json"
 
 "$GATE" merge --out "$FILE" --tag "$tag" \
-  "$tmp/m1_micro.json" "$tmp/t1.json" "$tmp/fig3b.json" "$tmp/a7.json"
+  "$tmp/m1_micro.json" "$tmp/t1.json" "$tmp/fig3b.json" "$tmp/a7.json" \
+  "$tmp/f1c.json"
 
 if [[ $tag == post ]]; then
   "$GATE" compare --file "$FILE" --tolerance "$TOLERANCE" \

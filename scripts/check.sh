@@ -15,6 +15,13 @@
 #                                  # baseline in BENCH_PR5.json (warn past
 #                                  # BENCH_TOLERANCE, fail past
 #                                  # BENCH_FAIL_FACTOR)
+#   $ scripts/check.sh --report    # telemetry report: run the a9
+#                                  # incast-restart scenario, export its
+#                                  # time series and render
+#                                  # build/telemetry/report.md (markdown
+#                                  # tables + sparklines via xmem_report,
+#                                  # including any postmortem bundles
+#                                  # found in build/telemetry/)
 #   $ scripts/check.sh --format    # clang-format check-only pass
 #   $ scripts/check.sh --tidy      # clang-tidy build (XMEM_TIDY=ON)
 #
@@ -42,6 +49,7 @@ run_lint=0
 run_format=0
 run_tidy=0
 run_bench=0
+run_report=0
 case "${1:-}" in
   --tier1|--fast) run_sanitize=0 ;;
   --sanitize) run_tier1=0 ;;
@@ -50,8 +58,9 @@ case "${1:-}" in
   --format) run_tier1=0; run_sanitize=0; run_format=1 ;;
   --tidy) run_tier1=0; run_sanitize=0; run_tidy=1 ;;
   --bench) run_tier1=0; run_sanitize=0; run_bench=1 ;;
+  --report) run_tier1=0; run_sanitize=0; run_report=1 ;;
   "") ;;
-  *) echo "usage: $0 [--tier1|--sanitize|--fast|--chaos|--lint|--format|--tidy|--bench]" >&2
+  *) echo "usage: $0 [--tier1|--sanitize|--fast|--chaos|--lint|--format|--tidy|--bench|--report]" >&2
      exit 2 ;;
 esac
 
@@ -66,6 +75,11 @@ if [[ "$run_chaos" == 1 ]]; then
   echo "== chaos: Release build + chaos-labeled ctest =="
   cmake -B "$repo/build" -S "$repo" -DCMAKE_BUILD_TYPE=Release
   cmake --build "$repo/build" -j "$jobs"
+  # When CI routes flight-recorder postmortems to an artifact directory
+  # (XMEM_POSTMORTEM_DIR), make sure the tests can actually write there.
+  if [[ -n "${XMEM_POSTMORTEM_DIR:-}" ]]; then
+    mkdir -p "$XMEM_POSTMORTEM_DIR"
+  fi
   ctest --test-dir "$repo/build" -L chaos --output-on-failure -j "$jobs"
 fi
 
@@ -92,6 +106,25 @@ if [[ "$run_bench" == 1 ]]; then
   # bench.sh re-records the 'post' entries and runs perf_gate compare,
   # which exits nonzero only past BENCH_FAIL_FACTOR (default 2.0x).
   "$repo/scripts/bench.sh"
+fi
+
+if [[ "$run_report" == 1 ]]; then
+  echo "== report: telemetry exports + markdown rendering =="
+  cmake -B "$repo/build" -S "$repo" -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$repo/build" -j "$jobs" \
+    --target a9_incast_timeseries xmem_report
+  tdir="$repo/build/telemetry"
+  mkdir -p "$tdir"
+  "$repo/build/bench/a9_incast_timeseries" \
+    --timeseries "$tdir/a9_timeseries.json"
+  # Fold in any flight-recorder bundles a prior (chaos) run left behind.
+  bundles=()
+  while IFS= read -r -d '' f; do bundles+=("$f"); done \
+    < <(find "$tdir" -name '*postmortem*.json' -print0 | sort -z)
+  "$repo/build/tools/xmem_report/xmem_report" \
+    --title "xmem telemetry report" --out "$tdir/report.md" \
+    "$tdir/a9_timeseries.json" ${bundles[@]+"${bundles[@]}"}
+  echo "report written to $tdir/report.md"
 fi
 
 format_skipped=0
@@ -129,6 +162,8 @@ elif [[ "$run_lint" == 1 ]]; then
   echo "CHECK OK (lint)"
 elif [[ "$run_bench" == 1 ]]; then
   echo "CHECK OK (bench)"
+elif [[ "$run_report" == 1 ]]; then
+  echo "CHECK OK (report)"
 elif [[ "$run_format" == 1 ]]; then
   if [[ "$format_skipped" == 1 ]]; then
     echo "CHECK OK (format skipped: clang-format not installed)"

@@ -2,6 +2,10 @@
 
 #include <stdexcept>
 
+#include "net/ethernet.hpp"
+#include "net/ipv4.hpp"
+#include "net/udp.hpp"
+
 namespace xmem::control {
 
 Testbed::Testbed(Config config) {
@@ -68,6 +72,40 @@ std::vector<RdmaChannelConfig> Testbed::setup_memory_pool(
   }
   const auto targets = memory_pool();
   return controller_->setup_pool(targets, spec);
+}
+
+void Testbed::enable_int() {
+  tor_->enable_int(1);
+  // Memory-server links are infrastructure: they carry only the RDMA
+  // fabric, which is deliberately unmonitored (the switch's own counters
+  // cover it), so they are not INT sources and their frames never pay
+  // the filter.
+  const std::size_t tenant_links =
+      static_cast<std::size_t>(first_memory_host_);
+  for (std::size_t i = 0; i < tenant_links && i < links_.size(); ++i) {
+    links_[i]->enable_int(static_cast<std::uint16_t>(10 + i));
+    // Monitor tenant traffic, not the memory fabric: frames to the
+    // RoCEv2 port never start a stack, so the primitives' F&A round
+    // trips stay allocation-free. RNIC INT (hop 100+i, the response
+    // path's source) stays an explicit per-host opt-in for the same
+    // reason — call host(i).rnic().enable_int() to trace RDMA service
+    // time. The predicate runs once per untagged frame per link, so it
+    // peeks at fixed offsets rather than paying extract_five_tuple().
+    links_[i]->set_int_filter([](const net::Packet& packet) {
+      constexpr std::size_t kL4 =
+          net::kEthernetHeaderBytes + net::kIpv4HeaderBytes;
+      const auto b = packet.bytes();
+      if (b.size() < kL4 + 4) return true;               // runt: no RoCE
+      if (b[12] != 0x08 || b[13] != 0x00) return true;   // non-IPv4
+      if (b[net::kEthernetHeaderBytes + 9] !=
+          static_cast<std::uint8_t>(net::IpProto::kUdp)) {
+        return true;
+      }
+      const auto dst_port = static_cast<std::uint16_t>(
+          (static_cast<std::uint16_t>(b[kL4 + 2]) << 8) | b[kL4 + 3]);
+      return dst_port != net::kRoceV2Port;
+    });
+  }
 }
 
 }  // namespace xmem::control

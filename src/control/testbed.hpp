@@ -69,6 +69,14 @@ class Testbed {
   std::vector<RdmaChannelConfig> setup_memory_pool(
       const ChannelController::ChannelSpec& spec);
 
+  /// Turn on INT for tenant traffic: every tenant host link becomes a
+  /// source (hop 10+i) that skips RoCEv2 frames, and the ToR TM (hop 1)
+  /// appends in transit. Memory-server links are infrastructure and stay
+  /// unmonitored entirely. RNIC INT is per-host opt-in (hop convention
+  /// 100+i). Hop ids are stable across runs so per-hop histograms and
+  /// reports line up.
+  void enable_int();
+
  private:
   sim::Simulator sim_;
   std::unique_ptr<switchsim::ProgrammableSwitch> tor_;

@@ -116,6 +116,13 @@ void ChannelSet::mark_down(std::size_t shard) {
   XMEM_LOG(Info, switch_->simulator().now(), "channel-set")
       << "shard " << shard << " marked DOWN";
   schedule_probe();
+  if (flight_recorder_) {
+    flight_recorder_->record(telemetry::FlightEventKind::kChannelDown,
+                             static_cast<std::uint16_t>(shard), 0,
+                             static_cast<std::int64_t>(s.consecutive_timeouts),
+                             static_cast<std::int64_t>(s.consecutive_naks),
+                             "shard down");
+  }
   if (health_fn_) health_fn_(shard, Health::kDown);
 }
 
@@ -128,6 +135,12 @@ void ChannelSet::mark_up(std::size_t shard) {
   XMEM_LOG(Info, switch_->simulator().now(), "channel-set")
       << "shard " << shard << " marked UP after "
       << s.last_outage / sim::kMicrosecond << " us down";
+  if (flight_recorder_) {
+    flight_recorder_->record(telemetry::FlightEventKind::kChannelUp,
+                             static_cast<std::uint16_t>(shard), 0,
+                             s.last_outage / sim::kMicrosecond, 0,
+                             "shard up");
+  }
   if (health_fn_) health_fn_(shard, Health::kUp);
 }
 

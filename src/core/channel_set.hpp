@@ -34,6 +34,7 @@
 
 #include "core/rdma_channel.hpp"
 #include "switchsim/switch.hpp"
+#include "telemetry/flight_recorder.hpp"
 
 namespace xmem::core {
 
@@ -129,6 +130,13 @@ class ChannelSet {
 
   void set_health_fn(HealthFn fn) { health_fn_ = std::move(fn); }
 
+  /// Record every up/down transition into `recorder` (not owned;
+  /// nullptr detaches). Separate from the HealthFn slot, which the
+  /// primitives claim for failover.
+  void set_flight_recorder(telemetry::FlightRecorder* recorder) {
+    flight_recorder_ = recorder;
+  }
+
   /// Swap in a rebuilt channel config for `shard` (after the control
   /// plane reconnected against a restarted server). The shard's channel
   /// is re-pointed at the fresh {QPN, PSN, rkey}, pending probe PSNs
@@ -173,6 +181,7 @@ class ChannelSet {
   Config config_;
   std::vector<Shard> shards_;
   HealthFn health_fn_;
+  telemetry::FlightRecorder* flight_recorder_ = nullptr;
   bool probe_pending_ = false;
 };
 

@@ -15,7 +15,9 @@ void RoceGuard::stage(switchsim::PipelineContext& ctx) {
   if (!roce::parse_roce_packet(ctx.packet)) {
     ++stats_.corrupt_dropped;
     ctx.drop();
+    return;
   }
+  if (int_collector_) int_collector_->collect(ctx.packet, ctx.now);
 }
 
 void RoceGuard::register_metrics(telemetry::MetricsRegistry& registry,

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "switchsim/switch.hpp"
+#include "telemetry/int_collector.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace xmem::core {
@@ -35,10 +36,20 @@ class RoceGuard {
   void register_metrics(telemetry::MetricsRegistry& registry,
                         const std::string& prefix);
 
+  /// Feed every verified RoCE frame's INT stack to `collector` (not
+  /// owned; nullptr detaches). Since the guard sits at switch ingress it
+  /// observes RDMA response stacks in transit — the RNIC hop plus the
+  /// links crossed so far — which is where remote-memory telemetry
+  /// naturally concentrates.
+  void set_int_collector(telemetry::IntCollector* collector) {
+    int_collector_ = collector;
+  }
+
  private:
   void stage(switchsim::PipelineContext& ctx);
 
   Stats stats_;
+  telemetry::IntCollector* int_collector_ = nullptr;
 };
 
 }  // namespace xmem::core

@@ -85,9 +85,7 @@ int StateStorePrimitive::outstanding() const {
 }
 
 std::uint64_t StateStorePrimitive::unflushed() const {
-  std::uint64_t n = 0;
-  for (const auto& [idx, count] : accumulators_) n += count;
-  return n;
+  return unflushed_total_;
 }
 
 void StateStorePrimitive::on_ingress(PipelineContext& ctx) {
@@ -123,6 +121,7 @@ void StateStorePrimitive::record(std::uint64_t index) {
   if (!channels_.is_up(shard_of(index))) (void)channels_.route(index);
   auto [it, inserted] = accumulators_.try_emplace(index, 0);
   it->second += 1;
+  ++unflushed_total_;
   if (it->second >= config_.combining_window) make_eligible(index);
   issue_from_accumulators();
 }
@@ -142,6 +141,7 @@ void StateStorePrimitive::issue_from_accumulators() {
       if (it == accumulators_.end() || it->second == 0) continue;
       const std::uint64_t add = it->second;
       accumulators_.erase(it);
+      unflushed_total_ -= add;
       if (add > 1) stats_.accumulated += add - 1;
       issue(index, add);
     }
@@ -336,6 +336,7 @@ void StateStorePrimitive::reclaim_shard(std::size_t shard) {
     --outstanding_[shard];
     if (config_.reliable) {
       accumulators_[f.index] += f.add;
+      unflushed_total_ += f.add;
       stats_.failover_reissues += f.add;
       make_eligible(f.index);
       channels_.at(shard).trace_complete(key.psn, "failover");

@@ -169,6 +169,10 @@ class StateStorePrimitive {
   /// reached the combining window queue per home shard in eligible_
   /// awaiting a free outstanding slot on a healthy shard.
   std::unordered_map<std::uint64_t, std::uint64_t> accumulators_;
+  /// Running sum over accumulators_, maintained at every mutation:
+  /// unflushed() is a telemetry gauge, sampled every recorder tick, and
+  /// walking the map there is O(live flows) per sample.
+  std::uint64_t unflushed_total_ = 0;
   std::vector<std::deque<std::uint64_t>> eligible_;  // per shard
   std::unordered_set<std::uint64_t> eligible_set_;
 

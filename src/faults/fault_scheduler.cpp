@@ -90,6 +90,12 @@ void FaultScheduler::apply(const FaultEvent& event) {
   ++stats_.events_applied;
   XMEM_LOG(Info, sim_->now(), "faults")
       << to_string(event.kind) << " -> target " << event.target;
+  if (flight_recorder_) {
+    flight_recorder_->record(telemetry::FlightEventKind::kFaultApplied,
+                             static_cast<std::uint16_t>(event.target),
+                             static_cast<std::uint32_t>(event.kind), 0, 0,
+                             to_string(event.kind));
+  }
   switch (event.kind) {
     case FaultKind::kRnicHang:
       servers_[static_cast<std::size_t>(event.target)]->set_alive(false);

@@ -22,6 +22,7 @@
 #include "faults/fault_plan.hpp"
 #include "rnic/rnic.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/metrics.hpp"
 #include "topo/link.hpp"
 
@@ -54,6 +55,12 @@ class FaultScheduler {
 
   void set_restart_hook(RestartHook hook) { restart_hook_ = std::move(hook); }
 
+  /// Record every applied fault into `recorder` (not owned; nullptr
+  /// detaches) — a postmortem shows which fault preceded the failure.
+  void set_flight_recorder(telemetry::FlightRecorder* recorder) {
+    flight_recorder_ = recorder;
+  }
+
   /// Schedule every plan event (absolute sim times). Call once, after
   /// all targets are registered.
   void start();
@@ -81,6 +88,7 @@ class FaultScheduler {
   std::vector<topo::LinkFaultProfile> profiles_;
   std::uint64_t reseed_counter_ = 0;
   RestartHook restart_hook_;
+  telemetry::FlightRecorder* flight_recorder_ = nullptr;
   bool started_ = false;
   Stats stats_;
 };

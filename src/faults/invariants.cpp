@@ -98,10 +98,19 @@ void InvariantChecker::require_no_open_spans(
 
 std::vector<Violation> InvariantChecker::run() const {
   std::vector<Violation> violations;
-  for (const Check& check : checks_) {
-    if (std::optional<std::string> detail = check.fn()) {
-      violations.push_back({check.name, std::move(*detail)});
+  for (std::size_t i = 0; i < checks_.size(); ++i) {
+    if (std::optional<std::string> detail = checks_[i].fn()) {
+      if (flight_recorder_) {
+        flight_recorder_->record(
+            telemetry::FlightEventKind::kInvariantViolation, 0,
+            static_cast<std::uint32_t>(i), 0, 0, checks_[i].name);
+      }
+      violations.push_back({checks_[i].name, std::move(*detail)});
     }
+  }
+  if (!violations.empty() && flight_recorder_ && !postmortem_path_.empty()) {
+    flight_recorder_->write_postmortem(
+        postmortem_path_, "invariant violation: " + violations.front().name);
   }
   return violations;
 }

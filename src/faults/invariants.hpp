@@ -26,6 +26,7 @@
 #include "core/packet_buffer.hpp"
 #include "core/state_store.hpp"
 #include "host/sink.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/op_tracer.hpp"
 
 namespace xmem::faults {
@@ -64,6 +65,16 @@ class InvariantChecker {
   /// OpTracer audit: no spans left open after quiesce.
   void require_no_open_spans(const telemetry::OpTracer& tracer);
 
+  /// On any run() that returns violations: record each into `recorder`
+  /// and, when `postmortem_path` is non-empty, write the recorder's
+  /// dump bundle there — a failing chaos test leaves its event tail
+  /// behind automatically. Recorder not owned; nullptr detaches.
+  void set_flight_recorder(telemetry::FlightRecorder* recorder,
+                           std::string postmortem_path = "") {
+    flight_recorder_ = recorder;
+    postmortem_path_ = std::move(postmortem_path);
+  }
+
   /// Evaluate every invariant; empty result = all hold.
   [[nodiscard]] std::vector<Violation> run() const;
 
@@ -79,6 +90,8 @@ class InvariantChecker {
     CheckFn fn;
   };
   std::vector<Check> checks_;
+  telemetry::FlightRecorder* flight_recorder_ = nullptr;
+  std::string postmortem_path_;
 };
 
 }  // namespace xmem::faults

@@ -63,8 +63,11 @@ DctcpSender::DctcpSender(Host& host, Config config)
     if (!tuple || tuple->dst_port != kEcnEchoPort) return;
     const std::size_t overhead = net::kEthernetHeaderBytes +
                                  net::kIpv4HeaderBytes + net::kUdpHeaderBytes;
-    if (packet.size() < overhead + kEchoBytes) return;
-    net::ByteReader r(packet.bytes().subspan(overhead));
+    // Bound-check the span itself (not packet.size()) so the compiler can
+    // see the reader never runs past an empty packet.
+    const auto bytes = packet.bytes();
+    if (bytes.size() < overhead + kEchoBytes) return;
+    net::ByteReader r(bytes.subspan(overhead));
     const std::uint32_t marked = r.u32();
     const std::uint32_t window = r.u32();
     if (window == 0) return;

@@ -39,6 +39,7 @@ void PacketSink::accept(const net::Packet& packet) {
     latency_us_.add(sim::to_microseconds(now - probe.sent_at));
   }
 
+  if (int_collector_) int_collector_->collect(packet, now);
   if (on_packet_) on_packet_(packet);
 }
 

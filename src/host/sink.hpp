@@ -8,6 +8,7 @@
 #include "host/traffic_gen.hpp"
 #include "stats/histogram.hpp"
 #include "stats/rate_meter.hpp"
+#include "telemetry/int_collector.hpp"
 
 namespace xmem::host {
 
@@ -48,8 +49,15 @@ class PacketSink {
     on_packet_ = std::move(fn);
   }
 
+  /// Feed every accepted packet's INT stack to `collector` (not owned;
+  /// nullptr detaches). The sink is the natural INT path end point.
+  void set_int_collector(telemetry::IntCollector* collector) {
+    int_collector_ = collector;
+  }
+
  private:
   Host* host_;
+  telemetry::IntCollector* int_collector_ = nullptr;
   std::uint64_t packets_ = 0;
   std::uint64_t packets_unique_ = 0;
   std::int64_t bytes_ = 0;

@@ -33,4 +33,32 @@ std::optional<FiveTuple> extract_five_tuple(const Packet& p) {
   return t;
 }
 
+std::optional<std::uint64_t> packet_flow_hash(const Packet& p,
+                                              std::uint64_t seed) {
+  if (p.size() < kEthernetHeaderBytes + kIpv4HeaderBytes) return std::nullopt;
+  const auto b = p.bytes();
+  if (b[12] != 0x08 || b[13] != 0x00) return std::nullopt;
+
+  const std::size_t ip = kEthernetHeaderBytes;
+  const std::uint8_t protocol = b[ip + 9];
+  std::uint64_t h = seed;
+  auto fold = [&h](std::uint8_t byte) {
+    h ^= byte;
+    h *= 0x100000001b3ULL;
+  };
+  // Same byte order as FiveTuple::key_bytes(): src ip, dst ip (both
+  // already big-endian on the wire), ports, protocol.
+  for (std::size_t i = 0; i < 8; ++i) fold(b[ip + 12 + i]);
+  const auto proto = static_cast<IpProto>(protocol);
+  const std::size_t l4 = ip + kIpv4HeaderBytes;
+  if ((proto == IpProto::kUdp || proto == IpProto::kTcp) &&
+      p.size() >= l4 + 4) {
+    for (std::size_t i = 0; i < 4; ++i) fold(b[l4 + i]);
+  } else {
+    for (std::size_t i = 0; i < 4; ++i) fold(0);  // ports zero in the key
+  }
+  fold(protocol);
+  return h;
+}
+
 }  // namespace xmem::net

@@ -64,6 +64,14 @@ struct FiveTuple {
 /// the ports are zero; returns nullopt for non-IPv4 frames.
 [[nodiscard]] std::optional<FiveTuple> extract_five_tuple(const Packet& p);
 
+/// Exactly flow_hash(*extract_five_tuple(p)) — the canonical key bytes
+/// match the wire byte order, so the hash folds straight off the frame
+/// without materializing a FiveTuple. Per-packet consumers (the INT
+/// collector classifies every tagged packet) use this; returns nullopt
+/// for non-IPv4 frames like the extractor.
+[[nodiscard]] std::optional<std::uint64_t> packet_flow_hash(
+    const Packet& p, std::uint64_t seed = 0xcbf29ce484222325ULL);
+
 }  // namespace xmem::net
 
 template <>

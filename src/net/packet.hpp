@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "net/ethernet.hpp"
+#include "net/int_stack.hpp"
 #include "net/ipv4.hpp"
 #include "net/udp.hpp"
 #include "sim/time.hpp"
@@ -34,6 +35,7 @@ struct PacketMeta {
   std::uint8_t priority = 0;   ///< Traffic class for queueing/PFC.
   std::uint64_t app_seq = 0;   ///< Application sequence number, if any.
   bool from_remote_buffer = false;  ///< Reinjected by the buffer primitive.
+  IntStackHandle int_stack;    ///< INT hop records; null unless tagged.
 };
 
 class Packet {

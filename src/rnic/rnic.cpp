@@ -115,7 +115,7 @@ bool Rnic::handle_frame(const net::Packet& frame) {
     ++stats_.requests_dropped_overflow;
     return true;
   }
-  rx_queue_.push_back(std::move(*msg));
+  rx_queue_.push_back(RxItem{std::move(*msg), sim_->now()});
   pump();
   return true;
 }
@@ -123,13 +123,14 @@ bool Rnic::handle_frame(const net::Packet& frame) {
 void Rnic::pump() {
   if (serving_ || rx_queue_.empty()) return;
   serving_ = true;
-  RoceMessage msg = std::move(rx_queue_.front());
+  RxItem item = std::move(rx_queue_.front());
   rx_queue_.pop_front();
   // Compute the service time before the lambda capture moves the message:
   // argument evaluation order is unspecified.
-  const sim::Time service = service_time(msg);
-  sim_->schedule_in(service, [this, m = std::move(msg)]() {
-    execute(m);
+  const sim::Time service = service_time(item.msg);
+  sim_->schedule_in(service, [this, item = std::move(item)]() {
+    int_ingress_ = item.arrival;
+    execute(item.msg);
     serving_ = false;
     pump();
   });
@@ -384,7 +385,7 @@ void Rnic::send_ack(QueuePair& qp, roce::Psn psn, AckSyndrome syndrome,
       case AckSyndrome::kAck: break;  // unreachable
     }
   }
-  transmit_(roce::build_roce_packet(self_, qp.remote, std::move(resp)));
+  transmit_response(roce::build_roce_packet(self_, qp.remote, std::move(resp)));
 }
 
 void Rnic::send_read_response(QueuePair& qp, roce::Psn first_psn,
@@ -413,8 +414,22 @@ void Rnic::send_read_response(QueuePair& qp, roce::Psn first_psn,
     const std::size_t chunk = std::min(mtu, data.size() - offset);
     resp.payload.assign(data.begin() + static_cast<std::ptrdiff_t>(offset),
                         data.begin() + static_cast<std::ptrdiff_t>(offset + chunk));
-    transmit_(roce::build_roce_packet(self_, qp.remote, std::move(resp)));
+    transmit_response(roce::build_roce_packet(self_, qp.remote, std::move(resp)));
   }
+}
+
+void Rnic::transmit_response(net::Packet&& frame) {
+  if (int_enabled_) {
+    net::IntHopRecord rec;
+    rec.hop_id = int_hop_id_;
+    rec.kind = static_cast<std::uint8_t>(net::IntHopKind::kRnic);
+    rec.flags = net::IntHopRecord::kFlagDepthValid;
+    rec.queue_depth = static_cast<std::uint32_t>(rx_queue_.size());
+    rec.ingress_ns = net::int_timestamp_ns(int_ingress_);
+    rec.egress_ns = net::int_timestamp_ns(sim_->now());
+    frame.meta().int_stack.ensure().push(rec);
+  }
+  transmit_(std::move(frame));
 }
 
 void Rnic::register_metrics(telemetry::MetricsRegistry& registry,

@@ -129,6 +129,17 @@ class Rnic {
   void register_metrics(telemetry::MetricsRegistry& registry,
                         const std::string& prefix);
 
+  /// Tag every responder-generated frame (ACK/NAK, READ response, atomic
+  /// ACK) with an INT hop record covering the request's time in the NIC
+  /// (ingress = RX-queue arrival, egress = response emission) and the RX
+  /// queue occupancy in requests.
+  void enable_int(std::uint16_t hop_id) {
+    int_enabled_ = true;
+    int_hop_id_ = hop_id;
+  }
+  void disable_int() { int_enabled_ = false; }
+  [[nodiscard]] bool int_enabled() const { return int_enabled_; }
+
  private:
   void pump();
   void execute(const roce::RoceMessage& msg);
@@ -146,6 +157,10 @@ class Rnic {
                     bool advance_sequence = true);
   void execute_atomic(QueuePair& qp, const roce::RoceMessage& msg);
 
+  /// Stamp the INT hop record (when enabled) and hand the frame to the
+  /// wire. Every responder-built frame leaves through here.
+  void transmit_response(net::Packet&& frame);
+
   sim::Simulator* sim_;
   roce::RoceEndpoint self_;
   NicProfile profile_;
@@ -156,10 +171,20 @@ class Rnic {
   std::unordered_map<std::uint32_t, ResponseHandler> response_handlers_;
   std::uint32_t next_qpn_ = 0x11;
 
-  std::deque<roce::RoceMessage> rx_queue_;
+  /// A queued request plus its arrival time — the INT hop record reports
+  /// queueing + service delay, not just service.
+  struct RxItem {
+    roce::RoceMessage msg;
+    sim::Time arrival = 0;
+  };
+
+  std::deque<RxItem> rx_queue_;
   bool serving_ = false;
   bool alive_ = true;
   std::uint64_t epoch_ = 0;
+  bool int_enabled_ = false;
+  std::uint16_t int_hop_id_ = 0;
+  sim::Time int_ingress_ = 0;  ///< Arrival time of the request in service.
   Stats stats_;
 };
 

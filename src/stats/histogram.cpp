@@ -8,26 +8,30 @@ namespace xmem::stats {
 
 void Histogram::add(double sample) {
   samples_.push_back(sample);
-  const double delta = sample - mean_;
-  mean_ += delta / static_cast<double>(samples_.size());
-  m2_ += delta * (sample - mean_);
   sorted_valid_ = false;
+  moments_valid_ = false;
 }
 
 void Histogram::merge(const Histogram& other) {
   if (other.empty()) return;
-  if (empty()) {
-    *this = other;
-    return;
-  }
-  const double na = static_cast<double>(samples_.size());
-  const double nb = static_cast<double>(other.samples_.size());
-  const double delta = other.mean_ - mean_;
   samples_.insert(samples_.end(), other.samples_.begin(),
                   other.samples_.end());
-  mean_ += delta * nb / (na + nb);
-  m2_ += other.m2_ + delta * delta * na * nb / (na + nb);
   sorted_valid_ = false;
+  moments_valid_ = false;
+}
+
+void Histogram::ensure_moments() const {
+  if (moments_valid_) return;
+  double sum = 0.0;
+  for (const double s : samples_) sum += s;
+  mean_ = sum / static_cast<double>(samples_.size());
+  double m2 = 0.0;
+  for (const double s : samples_) {
+    const double d = s - mean_;
+    m2 += d * d;
+  }
+  m2_ = m2;
+  moments_valid_ = true;
 }
 
 void Histogram::ensure_sorted() const {
@@ -52,12 +56,14 @@ double Histogram::max() const {
 
 double Histogram::mean() const {
   assert(!empty());
+  ensure_moments();
   return mean_;
 }
 
 double Histogram::stddev() const {
   assert(!empty());
   if (samples_.size() < 2) return 0.0;
+  ensure_moments();
   const double var =
       std::max(0.0, m2_ / static_cast<double>(samples_.size()));
   return std::sqrt(var);
@@ -84,6 +90,7 @@ void Histogram::clear() {
   samples_.clear();
   sorted_.clear();
   sorted_valid_ = false;
+  moments_valid_ = false;
   mean_ = 0.0;
   m2_ = 0.0;
 }

@@ -22,14 +22,16 @@ class Histogram {
   [[nodiscard]] double max() const;
   [[nodiscard]] double mean() const;
 
-  /// Sample standard deviation via Welford's online algorithm (numerically
-  /// stable; the naive sum-of-squares form cancels catastrophically for
-  /// large-magnitude, low-variance latency samples). 0 for a single sample.
+  /// Population standard deviation, computed lazily with the two-pass
+  /// algorithm (subtract the mean before squaring; the naive
+  /// sum-of-squares form cancels catastrophically for large-magnitude,
+  /// low-variance latency samples). 0 for a single sample.
   [[nodiscard]] double stddev() const;
 
-  /// Fold `other`'s samples into this histogram. Moments are combined
-  /// with Chan's parallel update, so merge(a); merge(b) is equivalent to
-  /// having added every sample to one histogram.
+  /// Fold `other`'s samples into this histogram. Since every sample is
+  /// retained, merge is concatenation; moments are recomputed on demand,
+  /// so merge(a); merge(b) is exactly equivalent to having added every
+  /// sample to one histogram.
   void merge(const Histogram& other);
 
   /// Exact percentile via linear interpolation between closest ranks.
@@ -46,13 +48,18 @@ class Histogram {
 
  private:
   void ensure_sorted() const;
+  void ensure_moments() const;
 
   std::vector<double> samples_;
   mutable std::vector<double> sorted_;
   mutable bool sorted_valid_ = false;
-  // Welford running moments: mean and sum of squared deviations (M2).
-  double mean_ = 0.0;
-  double m2_ = 0.0;
+  // Lazily computed moments: mean and sum of squared deviations (M2).
+  // add() must stay a bare push_back — INT collection calls it ~9 times
+  // per tagged packet, and an eager per-add update (even Welford's) puts
+  // a divide on the telemetry fast path.
+  mutable bool moments_valid_ = false;
+  mutable double mean_ = 0.0;
+  mutable double m2_ = 0.0;
 };
 
 }  // namespace xmem::stats

@@ -182,6 +182,23 @@ void ProgrammableSwitch::service_port(int port_index) {
   auto packet = tm_->dequeue(port_index);
   if (!packet) return;
 
+  // Transit behavior: the switch appends its TM-residency hop only to
+  // packets an upstream source already tagged — it never starts stacks,
+  // so untagged (unmonitored) traffic pays nothing here.
+  if (int_enabled_) {
+    if (net::IntStack* stack = packet->meta().int_stack.get()) {
+      net::IntHopRecord rec;
+      rec.hop_id = int_hop_id_;
+      rec.kind = static_cast<std::uint8_t>(net::IntHopKind::kTmQueue);
+      rec.flags = net::IntHopRecord::kFlagDepthValid;
+      rec.queue_depth =
+          static_cast<std::uint32_t>(tm_->depth_bytes(port_index));
+      rec.ingress_ns = net::int_timestamp_ns(packet->meta().enqueued);
+      rec.egress_ns = net::int_timestamp_ns(sim_->now());
+      stack->push(rec);
+    }
+  }
+
   if (!egress_stages_.empty()) {
     PipelineContext ctx;
     ctx.packet = std::move(*packet);

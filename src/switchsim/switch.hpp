@@ -71,6 +71,16 @@ class ProgrammableSwitch : public topo::Node {
   void enable_pfc(std::int64_t xoff_bytes, std::int64_t xon_bytes);
   [[nodiscard]] bool pfc_paused() const { return pfc_paused_; }
 
+  /// Tag every dequeued frame with an INT hop record covering its
+  /// traffic-manager residency (ingress = TM enqueue, egress = dequeue)
+  /// and the egress queue depth in bytes left behind it.
+  void enable_int(std::uint16_t hop_id) {
+    int_enabled_ = true;
+    int_hop_id_ = hop_id;
+  }
+  void disable_int() { int_enabled_ = false; }
+  [[nodiscard]] bool int_enabled() const { return int_enabled_; }
+
   /// Where the built-in L2 table would send this frame (stages use this
   /// to learn a packet's destination before deciding to divert it).
   [[nodiscard]] std::optional<int> l2_route_for(const net::Packet& p) const;
@@ -109,6 +119,8 @@ class ProgrammableSwitch : public topo::Node {
   std::vector<Stage> egress_stages_;
   std::unordered_map<net::MacAddress, int> l2_routes_;
   std::unique_ptr<TrafficManager> tm_;
+  bool int_enabled_ = false;
+  std::uint16_t int_hop_id_ = 0;
   bool pfc_enabled_ = false;
   bool pfc_paused_ = false;
   std::int64_t pfc_xoff_bytes_ = 0;

@@ -1,0 +1,121 @@
+#include "telemetry/int_collector.hpp"
+
+#include <algorithm>
+
+#include "net/flow.hpp"
+
+namespace xmem::telemetry {
+
+IntCollector::HopStats& IntCollector::hop_slot(std::uint16_t id) {
+  for (auto& [hid, hs] : hops_) {
+    if (hid == id) return hs;
+  }
+  // First record from this hop: insert in id order so hops() iterates
+  // deterministically without an export-time sort.
+  const auto at = std::lower_bound(
+      hops_.begin(), hops_.end(), id,
+      [](const auto& entry, std::uint16_t v) { return entry.first < v; });
+  return hops_.insert(at, {id, HopStats{}})->second;
+}
+
+void IntCollector::collect(const net::Packet& packet, sim::Time now) {
+  const net::IntStack* stack = packet.meta().int_stack.get();
+  if (stack == nullptr || stack->empty()) {
+    ++untagged_packets_;
+    return;
+  }
+  ++tagged_packets_;
+  if (stack->overflowed()) ++overflowed_stacks_;
+  wire_bytes_ += static_cast<std::int64_t>(stack->wire_bytes());
+
+  // Path latency: first hop ingress to arrival here, mod-2^32 ns.
+  const std::uint32_t path_ns =
+      net::int_timestamp_ns(now) - stack->hop(0).ingress_ns;
+  const double path_us = static_cast<double>(path_ns) / 1000.0;
+  path_latency_us_->add(path_us);
+
+  for (std::size_t i = 0; i < stack->size(); ++i) {
+    const net::IntHopRecord& rec = stack->hop(i);
+    ++hop_records_;
+    HopStats& hs = hop_slot(rec.hop_id);
+    ++hs.records;
+    hs.kind = rec.kind;
+    hs.hop_latency_us.add(static_cast<double>(rec.hop_latency_ns()) / 1000.0);
+    // Depth histograms aggregate queue elements only, each exactly once:
+    // TM occupancy goes to the collector-level histogram (the §2.1
+    // congestion signal), other queue kinds (RNIC) to the per-hop one. A
+    // link source's port depth rides in the wire record for per-packet
+    // inspection but is not aggregated — the TM occupancy already covers
+    // that signal, and every add here is paid per packet.
+    if ((rec.flags & net::IntHopRecord::kFlagDepthValid) != 0 &&
+        rec.kind != static_cast<std::uint8_t>(net::IntHopKind::kLink)) {
+      if (rec.kind == static_cast<std::uint8_t>(net::IntHopKind::kTmQueue)) {
+        tm_queue_depth_bytes_->add(static_cast<double>(rec.queue_depth));
+      } else {
+        hs.queue_depth.add(static_cast<double>(rec.queue_depth));
+      }
+    }
+  }
+
+  // Per-flow accounting is opt-in depth (max_flows > 0): the hash and
+  // table probe are the one part of collection paid per packet that
+  // aggregate histograms can't amortize, so the always-on profile runs
+  // aggregate-only and flow tables are enabled where the extra
+  // resolution is worth the cost (debug sessions, scoped sinks).
+  if (config_.max_flows == 0) return;
+  // Keyed by five-tuple hash (0 = unclassifiable).
+  const std::uint64_t key = net::packet_flow_hash(packet).value_or(0);
+  auto it = flows_.find(key);
+  if (it == flows_.end()) {
+    if (flows_.size() >= config_.max_flows) {
+      ++flow_table_overflow_;
+      return;
+    }
+    it = flows_.emplace(key, FlowStats{}).first;
+  }
+  ++it->second.packets;
+  it->second.path_latency_us.add(path_us);
+}
+
+void IntCollector::register_metrics(MetricsRegistry& registry,
+                                    const std::string& prefix) {
+  registry.register_counter(
+      prefix + "/tagged_packets",
+      [this]() { return static_cast<std::int64_t>(tagged_packets_); },
+      "packets");
+  registry.register_counter(
+      prefix + "/untagged_packets",
+      [this]() { return static_cast<std::int64_t>(untagged_packets_); },
+      "packets");
+  registry.register_counter(
+      prefix + "/hop_records",
+      [this]() { return static_cast<std::int64_t>(hop_records_); },
+      "records");
+  registry.register_counter(
+      prefix + "/overflowed_stacks",
+      [this]() { return static_cast<std::int64_t>(overflowed_stacks_); },
+      "stacks");
+  registry.register_counter(
+      prefix + "/flow_table_overflow",
+      [this]() { return static_cast<std::int64_t>(flow_table_overflow_); },
+      "packets");
+  registry.register_counter(
+      prefix + "/wire_bytes", [this]() { return wire_bytes_; }, "bytes");
+  registry.register_gauge(
+      prefix + "/flows",
+      [this]() { return static_cast<double>(flows_.size()); }, "flows");
+
+  // Re-home the distributions into the registry: snapshot() expands them
+  // into count/min/mean/p50/p99/max rows, and samplers skip histograms,
+  // so nothing pays a percentile sort per tick.
+  auto rehome = [&registry](const std::string& name, const char* unit,
+                            stats::Histogram*& live) {
+    stats::Histogram& owned = registry.histogram(name, unit);
+    owned.merge(*live);
+    live = &owned;
+  };
+  rehome(prefix + "/path_latency_us", "us", path_latency_us_);
+  rehome(prefix + "/tm_queue_depth_bytes", "bytes", tm_queue_depth_bytes_);
+}
+
+}  // namespace xmem::telemetry

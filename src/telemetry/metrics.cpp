@@ -100,6 +100,18 @@ double MetricsRegistry::read(const std::string& name) const {
                               "' is a histogram, not a scalar");
 }
 
+MetricsRegistry::GaugeFn MetricsRegistry::reader(const std::string& name) const {
+  const Metric& m = metrics_.at(name);
+  switch (m.kind) {
+    case MetricKind::kCounter:
+      return [fn = m.counter]() { return static_cast<double>(fn()); };
+    case MetricKind::kGauge: return m.gauge;
+    case MetricKind::kHistogram: break;
+  }
+  throw std::invalid_argument("MetricsRegistry::reader: '" + name +
+                              "' is a histogram, not a scalar");
+}
+
 std::vector<Sample> MetricsRegistry::snapshot() const {
   std::vector<Sample> out;
   out.reserve(metrics_.size());

@@ -86,6 +86,12 @@ class MetricsRegistry {
   /// Throws std::out_of_range / std::invalid_argument on bad names.
   [[nodiscard]] double read(const std::string& name) const;
 
+  /// Bound reader for one counter/gauge: the returned callback reads the
+  /// live value with no name lookup, so per-tick samplers pay a plain
+  /// indirect call instead of a string-keyed map walk. Valid until the
+  /// metric is unregistered. Same exceptions as read().
+  [[nodiscard]] GaugeFn reader(const std::string& name) const;
+
   /// Observe every metric, in lexicographic name order. Histograms expand
   /// into <name>/count, /min, /mean, /p50, /p99, /max rows (empty
   /// histograms report only count=0).

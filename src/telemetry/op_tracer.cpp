@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/json.hpp"
 
 namespace xmem::telemetry {
@@ -35,6 +36,11 @@ void OpTracer::begin_op(int track, std::string_view name, roce::Psn psn,
     // PSN reuse while the op is open = a retransmission of the same op.
     ++it->second.retransmits;
     ++stats_.retransmits;
+    if (flight_recorder_) {
+      flight_recorder_->record(FlightEventKind::kOpRetransmit,
+                               static_cast<std::uint16_t>(track), psn.raw(),
+                               0, 0, name);
+    }
     return;
   }
   OpenSpan span;
@@ -43,6 +49,11 @@ void OpTracer::begin_op(int track, std::string_view name, roce::Psn psn,
   span.bytes = bytes;
   open_.emplace(key, std::move(span));
   ++stats_.spans_opened;
+  if (flight_recorder_) {
+    flight_recorder_->record(FlightEventKind::kOpBegin,
+                             static_cast<std::uint16_t>(track), psn.raw(),
+                             static_cast<std::int64_t>(bytes), 0, name);
+  }
 }
 
 void OpTracer::end_op(int track, roce::Psn psn, std::string_view status) {
@@ -64,6 +75,11 @@ void OpTracer::end_op(int track, roce::Psn psn, std::string_view status) {
   open_.erase(it);
   spans_.push_back(std::move(ev));
   ++stats_.spans_closed;
+  if (flight_recorder_) {
+    flight_recorder_->record(FlightEventKind::kOpEnd,
+                             static_cast<std::uint16_t>(track), psn.raw(),
+                             0, 0, status);
+  }
 }
 
 void OpTracer::note_retransmit(int track, roce::Psn psn) {
@@ -71,6 +87,11 @@ void OpTracer::note_retransmit(int track, roce::Psn psn) {
   if (it == open_.end()) return;
   ++it->second.retransmits;
   ++stats_.retransmits;
+  if (flight_recorder_) {
+    flight_recorder_->record(FlightEventKind::kOpRetransmit,
+                             static_cast<std::uint16_t>(track), psn.raw(),
+                             0, 0, it->second.name);
+  }
 }
 
 void OpTracer::annotate(int track, roce::Psn psn, std::string_view key,

@@ -31,6 +31,8 @@
 
 namespace xmem::telemetry {
 
+class FlightRecorder;
+
 class OpTracer {
  public:
   struct Stats {
@@ -77,6 +79,13 @@ class OpTracer {
 
   /// Mark an instantaneous event on a track (drops, mode flips).
   void instant(int track, std::string_view name);
+
+  /// Mirror every span open/close/retransmit into `recorder` (not
+  /// owned; nullptr detaches) so the flight recorder's postmortem tail
+  /// includes the in-flight op history.
+  void set_flight_recorder(FlightRecorder* recorder) {
+    flight_recorder_ = recorder;
+  }
 
   /// Serialize everything recorded so far as Chrome trace-event JSON.
   /// Spans still open are emitted with dur up to sim-now and
@@ -130,6 +139,7 @@ class OpTracer {
   };
 
   sim::Simulator* sim_;
+  FlightRecorder* flight_recorder_ = nullptr;
   std::string process_name_;
   std::vector<std::string> track_names_;          // tid - 2 -> name
   std::map<std::string, int> track_by_name_;

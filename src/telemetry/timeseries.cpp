@@ -1,0 +1,239 @@
+#include "telemetry/timeseries.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+
+#include "telemetry/json.hpp"
+
+namespace xmem::telemetry {
+
+void TimeSeriesRecorder::Point::serialize(net::ByteWriter& w) const {
+  w.u64(static_cast<std::uint64_t>(t));
+  // Doubles cross the wire as their IEEE-754 bit pattern, big-endian like
+  // every other field.
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  w.u64(bits);
+}
+
+TimeSeriesRecorder::Point TimeSeriesRecorder::Point::parse(net::ByteReader& r) {
+  Point p;
+  p.t = static_cast<sim::Time>(r.u64());
+  const std::uint64_t bits = r.u64();
+  std::memcpy(&p.value, &bits, sizeof(p.value));
+  return p;
+}
+
+TimeSeriesRecorder::TimeSeriesRecorder(sim::Simulator& simulator,
+                                       Config config)
+    : sim_(&simulator), config_(std::move(config)) {
+  if (config_.period <= 0) {
+    throw std::invalid_argument("TimeSeriesRecorder: period must be > 0");
+  }
+  if (config_.capacity == 0) {
+    throw std::invalid_argument("TimeSeriesRecorder: capacity must be > 0");
+  }
+}
+
+std::string TimeSeriesRecorder::unit_of(const MetricsRegistry& registry,
+                                        const std::string& name) {
+  for (const Sample& s : registry.snapshot()) {
+    if (s.name == name) return s.unit;
+  }
+  return "";
+}
+
+void TimeSeriesRecorder::track(const MetricsRegistry& registry,
+                               const std::string& name) {
+  if (!registry.contains(name)) {
+    throw std::invalid_argument("TimeSeriesRecorder::track: unknown metric " +
+                                name);
+  }
+  add_series(name, unit_of(registry, name), registry.reader(name));
+}
+
+std::size_t TimeSeriesRecorder::track_prefix(const MetricsRegistry& registry,
+                                             const std::string& prefix) {
+  std::size_t added = 0;
+  for (const Sample& s : registry.snapshot()) {
+    if (s.kind == MetricKind::kHistogram) continue;
+    if (s.name.rfind(prefix, 0) != 0) continue;
+    add_series(s.name, s.unit, registry.reader(s.name));
+    ++added;
+  }
+  return added;
+}
+
+void TimeSeriesRecorder::track_rate(const MetricsRegistry& registry,
+                                    const std::string& name,
+                                    std::string unit) {
+  if (!registry.contains(name)) {
+    throw std::invalid_argument(
+        "TimeSeriesRecorder::track_rate: unknown metric " + name);
+  }
+  const double period_s = static_cast<double>(config_.period) /
+                          static_cast<double>(sim::kSecond);
+  // Shared previous-value cell: primed to the current reading so the
+  // first tick measures growth since tracking began, not since t=0.
+  auto prev = std::make_shared<double>(registry.read(name));
+  add_series(name + "/rate", std::move(unit),
+             [read = registry.reader(name), prev, period_s]() {
+               const double cur = read();
+               const double rate = (cur - *prev) / period_s;
+               *prev = cur;
+               return rate;
+             });
+}
+
+void TimeSeriesRecorder::add_series(std::string name, std::string unit,
+                                    std::function<double()> fn) {
+  for (const Series& s : series_) {
+    if (s.name == name) {
+      throw std::invalid_argument(
+          "TimeSeriesRecorder::add_series: duplicate series " + name);
+    }
+  }
+  series_.push_back(Series{std::move(name), std::move(unit), std::move(fn),
+                           Ring(config_.capacity), 0});
+}
+
+void TimeSeriesRecorder::start() {
+  if (running_) return;
+  running_ = true;
+  sim_->schedule_in(config_.period, [this]() { tick(); });
+}
+
+void TimeSeriesRecorder::stop() { running_ = false; }
+
+void TimeSeriesRecorder::tick() {
+  if (!running_) return;
+  if (config_.until && !config_.until()) {
+    // Final sample, then stop: the last point captures the end state.
+    sample_all();
+    running_ = false;
+    return;
+  }
+  sample_all();
+  sim_->schedule_in(config_.period, [this]() { tick(); });
+}
+
+void TimeSeriesRecorder::sample_all() {
+  ++ticks_;
+  const sim::Time now = sim_->now();
+  for (Series& s : series_) {
+    s.ring.push(Point{now, s.read()}, &s.dropped);
+  }
+  dropped_ = 0;
+  for (const Series& s : series_) dropped_ += s.dropped;
+}
+
+std::vector<const TimeSeriesRecorder::Series*>
+TimeSeriesRecorder::sorted_series() const {
+  std::vector<const Series*> out;
+  out.reserve(series_.size());
+  for (const Series& s : series_) out.push_back(&s);
+  std::sort(out.begin(), out.end(), [](const Series* a, const Series* b) {
+    return a->name < b->name;
+  });
+  return out;
+}
+
+std::vector<TimeSeriesRecorder::Point> TimeSeriesRecorder::points(
+    const std::string& name) const {
+  for (const Series& s : series_) {
+    if (s.name == name) return s.ring.ordered();
+  }
+  throw std::out_of_range("TimeSeriesRecorder::points: unknown series " +
+                          name);
+}
+
+std::string TimeSeriesRecorder::to_json() const {
+  json::JsonWriter w;
+  w.begin_object();
+  w.kv("schema", "xmem-timeseries-v1");
+  w.kv("period_us", sim::to_microseconds(config_.period));
+  w.kv("capacity", static_cast<std::int64_t>(config_.capacity));
+  w.kv("ticks", static_cast<std::int64_t>(ticks_));
+  w.key("series");
+  w.begin_array();
+  for (const Series* s : sorted_series()) {
+    w.begin_object();
+    w.kv("name", std::string_view(s->name));
+    w.kv("unit", std::string_view(s->unit));
+    w.kv("dropped", static_cast<std::int64_t>(s->dropped));
+    w.key("points");
+    w.begin_array();
+    for (const Point& p : s->ring.ordered()) {
+      w.begin_array();
+      w.value(sim::to_microseconds(p.t));
+      w.value(p.value);
+      w.end_array();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+std::string TimeSeriesRecorder::to_csv() const {
+  const auto sorted = sorted_series();
+  // Align rows on the union of timestamps: a series added after start()
+  // leaves its early cells empty instead of shifting the column.
+  std::vector<sim::Time> times;
+  std::vector<std::vector<Point>> pts;
+  pts.reserve(sorted.size());
+  for (const Series* s : sorted) {
+    pts.push_back(s->ring.ordered());
+    for (const Point& p : pts.back()) times.push_back(p.t);
+  }
+  std::sort(times.begin(), times.end());
+  times.erase(std::unique(times.begin(), times.end()), times.end());
+
+  std::string out = "t_us";
+  for (const Series* s : sorted) {
+    out += ',';
+    out += s->name;
+  }
+  out += '\n';
+  std::vector<std::size_t> cursor(sorted.size(), 0);
+  for (const sim::Time t : times) {
+    out += json::format_number(sim::to_microseconds(t));
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+      out += ',';
+      while (cursor[i] < pts[i].size() && pts[i][cursor[i]].t < t) {
+        ++cursor[i];
+      }
+      if (cursor[i] < pts[i].size() && pts[i][cursor[i]].t == t) {
+        out += json::format_number(pts[i][cursor[i]].value);
+      }
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+namespace {
+bool write_file(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  const int rc = std::fclose(f);
+  return written == content.size() && rc == 0;
+}
+}  // namespace
+
+bool TimeSeriesRecorder::write_json(const std::string& path) const {
+  return write_file(path, to_json());
+}
+
+bool TimeSeriesRecorder::write_csv(const std::string& path) const {
+  return write_file(path, to_csv());
+}
+
+}  // namespace xmem::telemetry

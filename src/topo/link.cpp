@@ -89,6 +89,27 @@ void Link::deliver(int from_end, net::Packet&& packet, sim::Time when_serialized
   ++tx_frames_[from_end];
   if (tap_) tap_(packet, when_serialized, from_end);
 
+  if (int_enabled_) {
+    // Source behavior: start a stack unless the filter excludes this
+    // frame; always append to a stack someone upstream already started.
+    net::IntStack* stack = packet.meta().int_stack.get();
+    if (stack == nullptr && (!int_filter_ || int_filter_(packet))) {
+      stack = &packet.meta().int_stack.ensure();
+    }
+    if (stack != nullptr) {
+      const End& from = ends_[from_end];
+      net::IntHopRecord rec;
+      rec.hop_id = int_hop_id_;
+      rec.kind = static_cast<std::uint8_t>(net::IntHopKind::kLink);
+      rec.flags = net::IntHopRecord::kFlagDepthValid;
+      rec.queue_depth = static_cast<std::uint32_t>(
+          from.node->port(from.port).queued());
+      rec.ingress_ns = net::int_timestamp_ns(packet.meta().enqueued);
+      rec.egress_ns = net::int_timestamp_ns(when_serialized);
+      stack->push(rec);
+    }
+  }
+
   sim::Time arrival = when_serialized + propagation_;
   if (fault_.active() && fault_applies(from_end)) {
     if (roll_loss()) {

@@ -98,6 +98,28 @@ class Link {
 
   void set_tap(Tap tap) { tap_ = std::move(tap); }
 
+  /// Tag frames crossing the link with an INT hop record carrying the
+  /// sender-side FIFO wait (ingress = when the frame was queued on the
+  /// port, egress = serialization completion) and the FIFO depth left
+  /// behind. Links are INT *sources*: a frame without a stack gets one
+  /// here (subject to the filter below); a frame already tagged upstream
+  /// always gets this hop appended.
+  void enable_int(std::uint16_t hop_id) {
+    int_enabled_ = true;
+    int_hop_id_ = hop_id;
+  }
+  void disable_int() { int_enabled_ = false; }
+  [[nodiscard]] bool int_enabled() const { return int_enabled_; }
+
+  /// Restrict which frames this link *starts* a stack on (return false =
+  /// don't tag). Frames already carrying a stack are appended to
+  /// regardless — mid-path elements never truncate telemetry. The
+  /// canonical use is excluding the RoCE memory fabric's own traffic so
+  /// monitoring tenant flows costs nothing per F&A round trip.
+  void set_int_filter(std::function<bool(const net::Packet&)> filter) {
+    int_filter_ = std::move(filter);
+  }
+
   [[nodiscard]] std::uint64_t dropped_frames() const { return dropped_; }
   [[nodiscard]] std::uint64_t corrupted_frames() const { return corrupted_; }
   [[nodiscard]] std::uint64_t duplicated_frames() const { return duplicated_; }
@@ -141,6 +163,9 @@ class Link {
   sim::Time propagation_;
   End ends_[2];
   LinkFaultProfile fault_;
+  bool int_enabled_ = false;
+  std::uint16_t int_hop_id_ = 0;
+  std::function<bool(const net::Packet&)> int_filter_;
   int fault_direction_ = -1;
   bool burst_bad_ = false;
   sim::Rng fault_rng_;

@@ -8,6 +8,7 @@ namespace xmem::topo {
 
 void Port::send(net::Packet&& packet) {
   assert(link_ != nullptr && "Port::send on unconnected port");
+  packet.meta().enqueued = sim_->now();
   fifo_.push_back(std::move(packet));
   if (!busy_) start_next_transmission();
 }

@@ -50,6 +50,10 @@ class Port {
     idle_callback_ = std::move(cb);
   }
 
+  /// Packets waiting in the software FIFO (excludes any frame currently
+  /// serializing). The INT link hop reports this as its queue depth.
+  [[nodiscard]] std::size_t queued() const { return fifo_.size(); }
+
   /// Flow control (802.3x / PFC): suppress new transmissions until `t`.
   /// An in-flight frame completes (pause is not preemptive). Passing a
   /// time in the past resumes immediately (XON).

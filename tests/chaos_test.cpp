@@ -24,8 +24,15 @@
 #include "host/sink.hpp"
 #include "host/traffic_gen.hpp"
 #include "net/flow.hpp"
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/json.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/op_tracer.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
 
 namespace xmem {
 namespace {
@@ -36,6 +43,15 @@ using control::Testbed;
 constexpr std::uint64_t kFlowA = 5000;  // h0 -> h1, through the packet buffer
 constexpr std::uint64_t kFlowB = 1500;  // h0 -> h2, through the lookup table
 
+/// Where postmortem bundles land. CI points XMEM_POSTMORTEM_DIR at a
+/// directory it uploads as a job artifact, so a red chaos run ships its
+/// flight-recorder dump with the failure; locally they stay in TempDir.
+std::string postmortem_dir() {
+  const char* dir = std::getenv("XMEM_POSTMORTEM_DIR");
+  if (dir != nullptr && dir[0] != '\0') return std::string(dir) + "/";
+  return testing::TempDir();
+}
+
 TEST(ChaosTest, SeededPlanWithRnicRestartPassesAllInvariants) {
   Testbed::Config tbc;
   tbc.hosts = 3;
@@ -44,6 +60,15 @@ TEST(ChaosTest, SeededPlanWithRnicRestartPassesAllInvariants) {
 
   telemetry::MetricsRegistry reg;
   telemetry::OpTracer tracer(tb.sim());
+
+  // Armed flight recorder: the fault scheduler logs its actions into it
+  // and the invariant checker dumps a postmortem bundle through it if
+  // anything fails at drain time.
+  telemetry::FlightRecorder flight(tb.sim());
+  flight.set_registry(&reg);
+  const std::string postmortem_path =
+      postmortem_dir() + "chaos_postmortem.json";
+  std::remove(postmortem_path.c_str());
 
   // ICRC enforcement ahead of every primitive stage.
   core::RoceGuard guard(tb.tor());
@@ -164,6 +189,7 @@ TEST(ChaosTest, SeededPlanWithRnicRestartPassesAllInvariants) {
     sched.add_server(tb.memory_server(i).rnic());
   }
   sched.register_metrics(reg, "faults");
+  sched.set_flight_recorder(&flight);
   sched.set_restart_hook([&](int server) {
     // Control-plane recovery: re-register each primitive's region under
     // a fresh rkey, rebuild the channel (fresh QPN/PSN/UDP port) and
@@ -259,11 +285,26 @@ TEST(ChaosTest, SeededPlanWithRnicRestartPassesAllInvariants) {
   checker.require_lookup_accounted(lt);
   checker.require_packet_buffer_fifo(pb, sink_a);
   checker.require_no_open_spans(tracer);
+  checker.set_flight_recorder(&flight, postmortem_path);
   EXPECT_EQ(checker.size(), 8u);
 
   const auto violations = checker.run();
   EXPECT_TRUE(violations.empty())
       << faults::InvariantChecker::describe(violations);
+
+  // The recorder saw the run (fault actions at minimum), and a clean
+  // pass leaves no postmortem bundle behind.
+  EXPECT_GE(flight.total_recorded(), 2u);
+  bool saw_fault_event = false;
+  for (const auto& e : flight.events()) {
+    if (e.kind == static_cast<std::uint8_t>(
+                      telemetry::FlightEventKind::kFaultApplied)) {
+      saw_fault_event = true;
+    }
+  }
+  EXPECT_TRUE(saw_fault_event);
+  EXPECT_FALSE(std::ifstream(postmortem_path).good())
+      << "clean invariant run must not write a postmortem";
 
   // End-to-end delivery: the protected flow arrived complete. Flow B
   // reaches h2 either via an applied lookup action or via plain L2
@@ -272,6 +313,72 @@ TEST(ChaosTest, SeededPlanWithRnicRestartPassesAllInvariants) {
   EXPECT_EQ(sink_b.packets(),
             lt.stats().applied + lt.stats().degraded_passthrough);
   EXPECT_EQ(ss.stats().sampled_packets, kFlowA + kFlowB);
+}
+
+// The crash-forensics contract: a failing invariant must leave a
+// parseable postmortem bundle behind — violation events in the ring,
+// the reason naming the first failed check, and the final metric
+// snapshot when a registry is attached.
+TEST(ChaosTest, InvariantFailureWritesPostmortemBundle) {
+  sim::Simulator sim;
+  telemetry::MetricsRegistry reg;
+  std::int64_t losses = 3;
+  reg.register_counter("app/losses", [&]() { return losses; }, "packets");
+
+  telemetry::FlightRecorder flight(sim, /*capacity=*/16);
+  flight.set_registry(&reg);
+  sim.schedule_at(sim::microseconds(10), [&]() {
+    flight.note("workload start");
+  });
+  sim.run_until(sim::microseconds(20));
+
+  const std::string path = postmortem_dir() + "postmortem_bundle.json";
+  std::remove(path.c_str());
+
+  faults::InvariantChecker checker;
+  checker.add("no_packets_lost", [&]() -> std::optional<std::string> {
+    if (losses == 0) return std::nullopt;
+    return "lost " + std::to_string(losses) + " packets";
+  });
+  checker.add("always_holds",
+              []() -> std::optional<std::string> { return std::nullopt; });
+  checker.set_flight_recorder(&flight, path);
+
+  const auto violations = checker.run();
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].name, "no_packets_lost");
+
+  // The ring holds the violation event alongside the run's own trail.
+  bool saw_violation = false;
+  for (const auto& e : flight.events()) {
+    if (e.kind == static_cast<std::uint8_t>(
+                      telemetry::FlightEventKind::kInvariantViolation)) {
+      saw_violation = true;
+      EXPECT_EQ(e.label_view(), "no_packets_lost");
+    }
+  }
+  EXPECT_TRUE(saw_violation);
+
+  // The bundle on disk parses under the pinned schema and carries the
+  // reason, the events, and the metric snapshot.
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "postmortem bundle missing at " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const auto doc = telemetry::json::parse(buf.str());
+  EXPECT_EQ(doc.at("schema").string(), "xmem-postmortem-v1");
+  EXPECT_EQ(doc.at("reason").string(),
+            "invariant violation: no_packets_lost");
+  ASSERT_GE(doc.at("events").array().size(), 2u);
+  bool metric_present = false;
+  for (const auto& m : doc.at("metrics").array()) {
+    if (m.at("name").string() == "app/losses") {
+      metric_present = true;
+      EXPECT_EQ(m.at("value").number(), 3.0);
+    }
+  }
+  EXPECT_TRUE(metric_present);
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -359,6 +359,26 @@ TEST(Flow, HashIsStableAndKeyed) {
   EXPECT_NE(flow_hash(t), flow_hash(u));
 }
 
+TEST(Flow, PacketHashMatchesTupleHash) {
+  // packet_flow_hash folds straight off the frame bytes; it must agree
+  // with extract-then-hash for every seed, or per-flow INT accounting
+  // would key differently than the rest of the repo.
+  Packet p = build_udp_packet(MacAddress::from_index(1),
+                              MacAddress::from_index(2),
+                              Ipv4Address(10, 0, 0, 1),
+                              Ipv4Address(10, 0, 0, 2), 1111, 2222, {});
+  const auto tuple = extract_five_tuple(p);
+  ASSERT_TRUE(tuple.has_value());
+  const auto direct = packet_flow_hash(p);
+  ASSERT_TRUE(direct.has_value());
+  EXPECT_EQ(*direct, flow_hash(*tuple));
+  EXPECT_EQ(packet_flow_hash(p, 99).value(), flow_hash(*tuple, 99));
+
+  // Non-IPv4 frames are unclassifiable either way.
+  Packet raw(std::vector<std::uint8_t>(60, 0));
+  EXPECT_FALSE(packet_flow_hash(raw).has_value());
+}
+
 TEST(Pcap, WritesHeaderAndRecords) {
   std::ostringstream out;
   PcapWriter pcap(out);

@@ -1,0 +1,19 @@
+// Fixture: an exported telemetry record with a serialized wire form but
+// neither a kWireBytes declaration nor a static_assert layout pin.
+// Must trip both [wire-pin] and [wire-assert].
+#pragma once
+
+#include <cstdint>
+
+#include "net/bytes.hpp"
+
+namespace xmem::telemetry {
+
+struct SamplePoint {
+  std::uint64_t t = 0;
+  double value = 0.0;
+
+  void serialize(net::ByteWriter& w) const;
+};
+
+}  // namespace xmem::telemetry

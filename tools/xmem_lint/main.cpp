@@ -16,9 +16,14 @@
 //                 net::bytes Writer/Reader. memcpy / reinterpret_cast
 //                 is banned outright under net/ and roce/, and anywhere
 //                 a line touches packet/frame/wire/payload bytes.
-//   wire-assert   Every on-wire struct under roce/ and net/ (anything
-//                 with a serialize(ByteWriter&) member) must be named in
-//                 a static_assert pinning its wire layout.
+//   wire-assert   Every on-wire struct under roce/, net/ and telemetry/
+//                 (anything with a serialize(ByteWriter&) member) must
+//                 be named in a static_assert pinning its wire layout.
+//   wire-pin      The same structs must declare kWireBytes in-struct:
+//                 exported telemetry records (INT hop records, time
+//                 series points, flight events) are interchange formats
+//                 read by external tooling, so their size is part of the
+//                 contract and must be spelled out where the fields are.
 //   packet-value  net::Packet must not cross a function boundary by
 //                 value: the copy-on-write storage makes an implicit
 //                 copy cheap enough to hide, so ownership transfer has
@@ -314,6 +319,9 @@ void lint_file(const fs::path& file, std::vector<Violation>& out) {
   }
   const std::string path = file.generic_string();
   const bool wire_dir = in_dir(path, "net") || in_dir(path, "roce");
+  // Exported telemetry structs are wire formats too (external tools
+  // parse them), so they get the same layout-pin treatment.
+  const bool pin_dir = wire_dir || in_dir(path, "telemetry");
   const bool psn_defs_file =
       path.size() >= 16 &&
       path.compare(path.size() - 16, 16, "roce/headers.hpp") == 0;
@@ -338,10 +346,12 @@ void lint_file(const fs::path& file, std::vector<Violation>& out) {
   struct WireStruct {
     std::string name;
     std::size_t line = 0;
-    bool waived = false;
+    bool waived = false;      // xmem-lint: allow(wire-assert)
+    bool pin_waived = false;  // xmem-lint: allow(wire-pin)
   };
   std::vector<WireStruct> wire_structs;
   std::vector<std::string> asserted;  // static_assert text blocks
+  std::set<std::string> kwire_structs;  // structs declaring kWireBytes
   bool in_assert = false;
 
   while (std::getline(in, rawline)) {
@@ -364,7 +374,7 @@ void lint_file(const fs::path& file, std::vector<Violation>& out) {
       has_complete = true;
     }
 
-    if (wire_dir) {
+    if (pin_dir) {
       // Track struct scopes well enough to attribute serialize() members.
       const int depth_before = depth;
       for (const char c : code) {
@@ -392,7 +402,11 @@ void lint_file(const fs::path& file, std::vector<Violation>& out) {
           code.find("ByteWriter") != std::string::npos &&
           !struct_stack.empty()) {
         wire_structs.push_back({struct_stack.back().name, lineno,
-                                waived(rawline, prevline, "wire-assert")});
+                                waived(rawline, prevline, "wire-assert"),
+                                waived(rawline, prevline, "wire-pin")});
+      }
+      if (contains_word(code, "kWireBytes") && !struct_stack.empty()) {
+        kwire_structs.insert(struct_stack.back().name);
       }
       if (code.find("static_assert") != std::string::npos) in_assert = true;
       if (in_assert) {
@@ -413,16 +427,23 @@ void lint_file(const fs::path& file, std::vector<Violation>& out) {
                    "this TU leaks open spans"});
   }
   for (const WireStruct& ws : wire_structs) {
-    if (ws.waived) continue;
-    const bool pinned =
-        std::any_of(asserted.begin(), asserted.end(),
-                    [&](const std::string& block) {
-                      return contains_word(block, ws.name);
-                    });
-    if (!pinned) {
-      out.push_back({path, ws.line, "wire-assert",
+    if (!ws.waived) {
+      const bool pinned =
+          std::any_of(asserted.begin(), asserted.end(),
+                      [&](const std::string& block) {
+                        return contains_word(block, ws.name);
+                      });
+      if (!pinned) {
+        out.push_back({path, ws.line, "wire-assert",
+                       "on-wire struct '" + ws.name +
+                           "' has no static_assert pinning its layout"});
+      }
+    }
+    if (!ws.pin_waived && kwire_structs.count(ws.name) == 0) {
+      out.push_back({path, ws.line, "wire-pin",
                      "on-wire struct '" + ws.name +
-                         "' has no static_assert pinning its layout"});
+                         "' does not declare kWireBytes; exported layouts "
+                         "must carry their size next to their fields"});
     }
   }
 }

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# xmem-report self-test: the renderer must turn the checked-in fixture
+# exports into the expected markdown shapes, byte-identically across
+# runs, and reject inputs it does not understand.
+#
+# Usage: selftest.sh <path-to-xmem_report-binary> <repo-root>
+set -euo pipefail
+
+REPORT="$1"
+ROOT="$2"
+FIXTURES="$ROOT/tools/xmem_report/fixtures"
+
+fail() {
+  echo "xmem-report selftest: $*" >&2
+  exit 1
+}
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+# 1. Both fixture schemas render in one report.
+"$REPORT" --out "$tmp/report.md" \
+  "$FIXTURES/timeseries.json" "$FIXTURES/postmortem.json" ||
+  fail "fixtures should render"
+
+grep -q '^## Time series' "$tmp/report.md" || fail "missing time-series section"
+grep -q '^## Flight recorder' "$tmp/report.md" || fail "missing postmortem section"
+grep -q 'store/acks_received' "$tmp/report.md" || fail "missing series row"
+grep -q 'rnic_restart' "$tmp/report.md" || fail "missing flight event row"
+grep -q 'invariant: response PSN gap' "$tmp/report.md" || fail "missing reason"
+# A rising series must produce a sparkline that starts low and ends high.
+grep -q '▁.*█' "$tmp/report.md" || fail "missing rising sparkline"
+# The stats columns: acks series spans 40..110 with 110 last.
+grep -E -q 'store/acks_received.*\| 40 \|.*\| 110 \| 110 \|' "$tmp/report.md" ||
+  fail "bad min/max/last for acks series"
+
+# 2. Byte-identical across runs (report generation is deterministic).
+"$REPORT" --out "$tmp/report2.md" \
+  "$FIXTURES/timeseries.json" "$FIXTURES/postmortem.json"
+cmp -s "$tmp/report.md" "$tmp/report2.md" || fail "report not deterministic"
+
+# 3. Garbage in, nonzero out.
+echo 'not json' >"$tmp/garbage.json"
+if "$REPORT" "$tmp/garbage.json" >/dev/null 2>&1; then
+  fail "garbage input should fail"
+fi
+echo '{"schema":"xmem-unknown-v9"}' >"$tmp/unknown.json"
+if "$REPORT" "$tmp/unknown.json" >/dev/null 2>&1; then
+  fail "unknown schema should fail"
+fi
+if "$REPORT" >/dev/null 2>&1; then
+  fail "no inputs should print usage and fail"
+fi
+
+echo "xmem-report selftest: OK"
