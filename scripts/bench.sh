@@ -45,7 +45,7 @@ fi
 
 cmake --build "$BUILD" -j --target perf_gate m1_micro \
   t1_packet_buffer_throughput fig3b_statestore_bw a7_shard_scale \
-  f1c_telemetry >/dev/null
+  f1c_telemetry a10_cache_zipf >/dev/null
 
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
@@ -63,10 +63,15 @@ trap 'rm -rf "$tmp"' EXIT
 # the bench so the fail factor bounds it at 2% absolute).
 "$GATE" run --bin "$BUILD/bench/f1c_telemetry" --label f1c \
   --out "$tmp/f1c.json"
+# a10 pins the lookup-cache claim: >= 10x p50 at alpha=0.99 with a 1%
+# cache (pinned p50s are "us" lower-is-better; hit rates/speedup are
+# "ratio"/"x" higher-is-better — both directions guarded).
+"$GATE" run --bin "$BUILD/bench/a10_cache_zipf" --label a10 \
+  --out "$tmp/a10.json"
 
 "$GATE" merge --out "$FILE" --tag "$tag" \
   "$tmp/m1_micro.json" "$tmp/t1.json" "$tmp/fig3b.json" "$tmp/a7.json" \
-  "$tmp/f1c.json"
+  "$tmp/f1c.json" "$tmp/a10.json"
 
 if [[ $tag == post ]]; then
   "$GATE" compare --file "$FILE" --tolerance "$TOLERANCE" \

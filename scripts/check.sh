@@ -24,6 +24,17 @@
 #                                  # found in build/telemetry/)
 #   $ scripts/check.sh --format    # clang-format check-only pass
 #   $ scripts/check.sh --tidy      # clang-tidy build (XMEM_TIDY=ON)
+#   $ scripts/check.sh --cache     # lookup-cache suite: build + run the
+#                                  # cache-focused tier-1 tests and the
+#                                  # a10 cache bench (JSON exported to
+#                                  # <build>/telemetry/a10_cache_zipf.json)
+#   $ scripts/check.sh --cache-asan   # same suite under ASan+UBSan
+#
+# --cache/--cache-asan accept `--cache-policy <lru|lfu|fifo>`: exported
+# as XMEM_CACHE_POLICY, which LookupCache::policy_from_env() picks up
+# wherever a test or bench leaves the eviction policy unspecified. This
+# is the CI cache-matrix passthrough — the workflow never sets env vars
+# itself, it only passes this flag.
 #
 # --format and --tidy need clang tooling the dev container may not ship;
 # when the tool is absent they skip with an explicit "skipped" verdict
@@ -50,19 +61,37 @@ run_format=0
 run_tidy=0
 run_bench=0
 run_report=0
-case "${1:-}" in
-  --tier1|--fast) run_sanitize=0 ;;
-  --sanitize) run_tier1=0 ;;
-  --chaos) run_tier1=0; run_sanitize=0; run_chaos=1 ;;
-  --lint) run_tier1=0; run_sanitize=0; run_lint=1 ;;
-  --format) run_tier1=0; run_sanitize=0; run_format=1 ;;
-  --tidy) run_tier1=0; run_sanitize=0; run_tidy=1 ;;
-  --bench) run_tier1=0; run_sanitize=0; run_bench=1 ;;
-  --report) run_tier1=0; run_sanitize=0; run_report=1 ;;
-  "") ;;
-  *) echo "usage: $0 [--tier1|--sanitize|--fast|--chaos|--lint|--format|--tidy|--bench|--report]" >&2
-     exit 2 ;;
-esac
+run_cache=0
+cache_asan=0
+cache_policy=""
+usage() {
+  echo "usage: $0 [--tier1|--sanitize|--fast|--chaos|--lint|--format|--tidy|--bench|--report|--cache|--cache-asan] [--cache-policy <lru|lfu|fifo>]" >&2
+  exit 2
+}
+solo() { run_tier1=0; run_sanitize=0; }
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --tier1|--fast) run_sanitize=0 ;;
+    --sanitize) run_tier1=0 ;;
+    --chaos) solo; run_chaos=1 ;;
+    --lint) solo; run_lint=1 ;;
+    --format) solo; run_format=1 ;;
+    --tidy) solo; run_tidy=1 ;;
+    --bench) solo; run_bench=1 ;;
+    --report) solo; run_report=1 ;;
+    --cache) solo; run_cache=1 ;;
+    --cache-asan) solo; run_cache=1; cache_asan=1 ;;
+    --cache-policy)
+      [[ $# -ge 2 ]] || usage
+      cache_policy=$2; shift
+      case "$cache_policy" in
+        lru|lfu|fifo) ;;
+        *) echo "check.sh: unknown cache policy '$cache_policy'" >&2; exit 2 ;;
+      esac ;;
+    *) usage ;;
+  esac
+  shift
+done
 
 if [[ "$run_tier1" == 1 ]]; then
   echo "== tier-1: Release build + ctest =="
@@ -100,12 +129,51 @@ if [[ "$run_lint" == 1 ]]; then
   "$repo/tools/xmem_lint/selftest.sh" "$lint_bin" "$repo"
 fi
 
+if [[ "$run_cache" == 1 ]]; then
+  if [[ -n "$cache_policy" ]]; then
+    export XMEM_CACHE_POLICY="$cache_policy"
+  fi
+  if [[ "$cache_asan" == 1 ]]; then
+    echo "== cache suite (ASan+UBSan, policy=${cache_policy:-default}) =="
+    cache_build="$repo/build-asan"
+    cmake -B "$cache_build" -S "$repo" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+          -DXMEM_SANITIZE=address,undefined
+  else
+    echo "== cache suite (Release, policy=${cache_policy:-default}) =="
+    cache_build="$repo/build"
+    cmake -B "$cache_build" -S "$repo" -DCMAKE_BUILD_TYPE=Release
+  fi
+  cmake --build "$cache_build" -j "$jobs" \
+    --target lookup_cache_test lookup_table_test channel_set_test \
+    channel_test a10_cache_zipf
+  # Everything cache-adjacent: the cache unit suite plus the primitive
+  # and channel-health integration tests that exercise it end to end.
+  ctest --test-dir "$cache_build" -R "lookup|channel" --output-on-failure \
+    -j "$jobs"
+  mkdir -p "$cache_build/telemetry"
+  "$cache_build/bench/a10_cache_zipf" \
+    --json "$cache_build/telemetry/a10_cache_zipf.json"
+fi
+
 if [[ "$run_bench" == 1 ]]; then
   echo "== bench: pinned perf set vs committed baseline =="
   cmake -B "$repo/build" -S "$repo" -DCMAKE_BUILD_TYPE=Release
   # bench.sh re-records the 'post' entries and runs perf_gate compare,
   # which exits nonzero only past BENCH_FAIL_FACTOR (default 2.0x).
-  "$repo/scripts/bench.sh"
+  bench_status=0
+  "$repo/scripts/bench.sh" || bench_status=$?
+  # Post the perf trajectory as the job's step summary (markdown) before
+  # failing, so a red gate still ships the table it failed on.
+  if [[ -n "${GITHUB_STEP_SUMMARY:-}" ]]; then
+    "$repo/scripts/bench.sh" --summary >> "$GITHUB_STEP_SUMMARY" || true
+  fi
+  # Fail fast with a grep-able per-gate verdict (distinct from the final
+  # "CHECK " line so dashboards can key on the bench gate specifically).
+  if [[ "$bench_status" -ne 0 ]]; then
+    echo "CHECK: bench FAIL (perf gate exit $bench_status)"
+    exit "$bench_status"
+  fi
+  echo "CHECK: bench OK"
 fi
 
 if [[ "$run_report" == 1 ]]; then
@@ -162,6 +230,10 @@ elif [[ "$run_lint" == 1 ]]; then
   echo "CHECK OK (lint)"
 elif [[ "$run_bench" == 1 ]]; then
   echo "CHECK OK (bench)"
+elif [[ "$run_cache" == 1 && "$cache_asan" == 1 ]]; then
+  echo "CHECK OK (cache-asan policy=${cache_policy:-default})"
+elif [[ "$run_cache" == 1 ]]; then
+  echo "CHECK OK (cache policy=${cache_policy:-default})"
 elif [[ "$run_report" == 1 ]]; then
   echo "CHECK OK (report)"
 elif [[ "$run_format" == 1 ]]; then

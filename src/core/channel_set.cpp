@@ -104,8 +104,10 @@ void ChannelSet::reconnect(std::size_t shard,
   s.probe_psns.clear();
   s.consecutive_timeouts = 0;
   s.consecutive_naks = 0;
+  ++s.epoch;
   XMEM_LOG(Info, switch_->simulator().now(), "channel-set")
-      << "shard " << shard << " reconnected (fresh QPN/PSN/rkey)";
+      << "shard " << shard << " reconnected (fresh QPN/PSN/rkey, epoch "
+      << s.epoch << ")";
 }
 
 void ChannelSet::mark_down(std::size_t shard) {
@@ -218,6 +220,9 @@ void ChannelSet::attach_telemetry(telemetry::MetricsRegistry* registry,
     registry->register_gauge(
         shard_prefix + "/failover_duration",
         [this, i]() { return static_cast<double>(outage(i)); }, "ps");
+    registry->register_gauge(
+        shard_prefix + "/epoch",
+        [this, i]() { return static_cast<double>(epoch(i)); }, "generation");
   }
   if (registry != nullptr) {
     registry->register_gauge(

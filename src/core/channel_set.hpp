@@ -98,6 +98,13 @@ class ChannelSet {
   [[nodiscard]] Health health(std::size_t shard) const {
     return shards_[shard].health;
   }
+  /// Monotonic reconnect generation for `shard`: bumped every time the
+  /// control plane re-points the channel at a rebuilt server. Cached
+  /// state filled under an older epoch may be stale (the server's
+  /// memory was repopulated) and should be refreshed, not served.
+  [[nodiscard]] std::uint32_t epoch(std::size_t shard) const {
+    return shards_[shard].epoch;
+  }
   [[nodiscard]] bool is_up(std::size_t shard) const {
     return shards_[shard].health == Health::kUp;
   }
@@ -168,6 +175,7 @@ class ChannelSet {
     int consecutive_naks = 0;
     sim::Time down_since = 0;
     sim::Time last_outage = 0;
+    std::uint32_t epoch = 0;
     std::unordered_set<roce::Psn> probe_psns;
     ShardStats stats;
   };

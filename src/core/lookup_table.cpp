@@ -22,6 +22,17 @@ std::optional<std::vector<std::uint8_t>> five_tuple_key(
   return std::vector<std::uint8_t>(k.begin(), k.end());
 }
 
+LookupCache::Config cache_config_from(
+    const LookupTablePrimitive::Config& config) {
+  LookupCache::Config cc;
+  cc.capacity = config.cache_capacity;
+  cc.policy = config.cache_policy.value_or(
+      LookupCache::policy_from_env(LookupCache::Policy::kLru));
+  cc.negative_ttl = config.negative_ttl;
+  cc.lfu_protected_fraction = config.lfu_protected_fraction;
+  return cc;
+}
+
 }  // namespace
 
 LookupTablePrimitive::LookupTablePrimitive(
@@ -29,7 +40,8 @@ LookupTablePrimitive::LookupTablePrimitive(
     std::vector<control::RdmaChannelConfig> channels, Config config)
     : switch_(&sw),
       channels_(sw, std::move(channels), config.health),
-      config_(std::move(config)) {
+      config_(std::move(config)),
+      cache_(cache_config_from(config_)) {
   assert(config_.entry_bytes > kFrameOffset);
   const std::size_t region_bytes = channels_.at(0).config().region_bytes;
   for (std::size_t i = 0; i < channels_.size(); ++i) {
@@ -72,6 +84,10 @@ void LookupTablePrimitive::attach_telemetry(
     counter("oversized_drops", &stats_.oversized_drops, "packets");
     counter("duplicate_responses", &stats_.duplicate_responses, "ops");
     counter("degraded_passthrough", &stats_.degraded_passthrough, "packets");
+    counter("negative_cache_drops", &stats_.negative_cache_drops, "packets");
+    counter("cache_hits_while_down", &stats_.cache_hits_while_down, "lookups");
+    counter("cache_stale_refetches", &stats_.cache_stale_refetches, "lookups");
+    counter("degraded_bypass", &stats_.degraded_bypass, "packets");
     registry->register_gauge(
         prefix + "/outstanding",
         [this]() { return static_cast<double>(outstanding()); }, "lookups");
@@ -79,6 +95,7 @@ void LookupTablePrimitive::attach_telemetry(
         prefix + "/cache_size",
         [this]() { return static_cast<double>(cache_.size()); }, "entries");
   }
+  cache_.attach_telemetry(registry, prefix + "/cache");
   channels_.attach_telemetry(registry, tracer, prefix);
 }
 
@@ -147,29 +164,56 @@ void LookupTablePrimitive::on_ingress(PipelineContext& ctx) {
   auto key = config_.key_fn(ctx.packet);
   if (!key) return;  // not table traffic
 
+  const std::uint64_t idx =
+      index_for_key(*key, n_entries_, config_.hash_seed);
+  const std::size_t home = channels_.home_shard(idx);
+  const bool home_up = channels_.is_up(home);
+
   // Local SRAM cache first: a hit applies the action with no remote
-  // access at all.
-  if (config_.cache_capacity > 0) {
-    auto it = cache_.find(*key);
-    if (it != cache_.end()) {
-      ++stats_.cache_hits;
-      auto egress = apply_action(it->second, ctx.packet);
-      if (egress) {
-        ctx.egress_port = *egress;
-      } else {
+  // access at all. With the home shard down the cache either keeps
+  // serving hits through the outage (kServeHits — misses degrade) or is
+  // skipped outright (kBypass — everything degrades).
+  const bool bypass =
+      !home_up &&
+      config_.degraded_cache == DegradedCacheMode::kBypass;
+  if (cache_.enabled() && bypass) ++stats_.degraded_bypass;
+  if (cache_.enabled() && !bypass) {
+    const sim::Time now = switch_->simulator().now();
+    if (auto hit = cache_.lookup(*key, now)) {
+      if (!hit->negative && hit->epoch != channels_.epoch(hit->shard)) {
+        // Filled before the shard's last reconnect: the server's memory
+        // may have been repopulated since. Refetch instead of serving.
+        ++stats_.cache_stale_refetches;
+        cache_.invalidate(*key);
+        sync_cache_stats();
+      } else if (hit->negative) {
+        // Absent-key verdict served locally: same outcome as the remote
+        // READ of an empty slot, without the READ.
+        ++stats_.negative_cache_drops;
+        sync_cache_stats();
         ctx.drop();
+        return;
+      } else {
+        if (!home_up) ++stats_.cache_hits_while_down;
+        auto egress = apply_action(*hit->action, ctx.packet);
+        sync_cache_stats();
+        if (egress) {
+          ctx.egress_port = *egress;
+        } else {
+          ctx.drop();
+        }
+        return;
       }
-      return;
+    } else {
+      sync_cache_stats();
     }
   }
 
-  remote_lookup(ctx, *key);
+  remote_lookup(ctx, idx);
 }
 
 void LookupTablePrimitive::remote_lookup(PipelineContext& ctx,
-                                         std::span<const std::uint8_t> key) {
-  const std::uint64_t idx =
-      index_for_key(key, n_entries_, config_.hash_seed);
+                                         std::uint64_t idx) {
   const auto shard = channels_.route(idx);
   if (!shard) {
     // Home shard down: degrade to the local-miss default action — the
@@ -241,6 +285,18 @@ void LookupTablePrimitive::handle_response(std::size_t shard,
       const Action action = Action::parse(r);
       if (action.kind == Action::Kind::kNone) {
         ++stats_.no_entry_drops;  // empty slot: no entry installed
+        // The deposited frame is still in the entry's packet slot —
+        // recover the key from it so the absence itself can be cached.
+        if (cache_.enabled() && config_.negative_ttl > 0) {
+          r.u64();  // key-check of an empty slot: zeros, skip
+          const std::uint32_t len = r.u32();
+          const auto frame = r.bytes(len);
+          net::Packet deposited(
+              std::vector<std::uint8_t>(frame.begin(), frame.end()));
+          if (auto key = config_.key_fn(deposited)) {
+            cache_store_negative(*key, shard);
+          }
+        }
         return;
       }
       const std::uint64_t stored_check = r.u64();
@@ -254,7 +310,7 @@ void LookupTablePrimitive::handle_response(std::size_t shard,
         ++stats_.collision_drops;
         return;
       }
-      if (config_.cache_capacity > 0) cache_insert(*key, action);
+      cache_store(*key, action, shard);
       auto egress = apply_action(action, packet);
       if (egress) {
         switch_->inject(std::move(packet), *egress);
@@ -281,6 +337,10 @@ void LookupTablePrimitive::handle_response(std::size_t shard,
     const Action action = Action::parse(r);
     if (action.kind == Action::Kind::kNone) {
       ++stats_.no_entry_drops;  // empty slot: no entry installed
+      // Recirc mode held the original packet, so the key is at hand.
+      if (auto key = config_.key_fn(packet)) {
+        cache_store_negative(*key, shard);
+      }
       return;
     }
     const std::uint64_t stored_check = r.u64();
@@ -289,7 +349,7 @@ void LookupTablePrimitive::handle_response(std::size_t shard,
       ++stats_.collision_drops;
       return;
     }
-    if (config_.cache_capacity > 0) cache_insert(*key, action);
+    cache_store(*key, action, shard);
     auto egress = apply_action(action, packet);
     if (egress) {
       switch_->inject(std::move(packet), *egress);
@@ -393,17 +453,36 @@ std::optional<int> LookupTablePrimitive::apply_action(const Action& action,
   return std::nullopt;
 }
 
-void LookupTablePrimitive::cache_insert(std::vector<std::uint8_t> key,
-                                        const Action& action) {
-  if (cache_.contains(key)) return;
-  if (cache_.size() >= config_.cache_capacity) {
-    cache_.erase(cache_fifo_.front());
-    cache_fifo_.pop_front();
-    ++stats_.cache_evictions;
-  }
-  cache_fifo_.push_back(key);
-  cache_.emplace(std::move(key), action);
-  ++stats_.cache_inserts;
+void LookupTablePrimitive::cache_store(const std::vector<std::uint8_t>& key,
+                                       const Action& action,
+                                       std::size_t shard) {
+  if (!cache_.enabled()) return;
+  cache_.insert(key, action, static_cast<std::uint32_t>(shard),
+                channels_.epoch(shard), switch_->simulator().now());
+  sync_cache_stats();
+}
+
+void LookupTablePrimitive::cache_store_negative(
+    const std::vector<std::uint8_t>& key, std::size_t shard) {
+  if (!cache_.enabled() || config_.negative_ttl <= 0) return;
+  cache_.insert_negative(key, static_cast<std::uint32_t>(shard),
+                         channels_.epoch(shard), switch_->simulator().now());
+  sync_cache_stats();
+}
+
+bool LookupTablePrimitive::invalidate_cached(
+    std::span<const std::uint8_t> key) {
+  const bool dropped =
+      cache_.invalidate(LookupCache::Key(key.begin(), key.end()));
+  sync_cache_stats();
+  return dropped;
+}
+
+void LookupTablePrimitive::sync_cache_stats() {
+  const LookupCache::Stats& cs = cache_.stats();
+  stats_.cache_hits = cs.hits;
+  stats_.cache_inserts = cs.inserts;
+  stats_.cache_evictions = cs.evictions;
 }
 
 }  // namespace xmem::core

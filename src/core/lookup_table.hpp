@@ -7,11 +7,22 @@
 // lookup is outstanding), an immediately following RDMA READ returns the
 // whole entry — {action, key-check, packet} — and the switch applies the
 // action to the returned packet and forwards it. Optionally the action is
-// cached in local SRAM with FIFO eviction.
+// cached in local SRAM (core::LookupCache, FIFO/LRU/segmented-LFU).
 //
 // The §7 alternative is also implemented: kRecirculate holds the original
 // packet in the pipeline (recirculating) and READs only the 16-byte
 // action, saving the packet's round trip to remote memory.
+//
+// The local SRAM cache is a core::LookupCache (see lookup_cache.hpp):
+// bounded, with pluggable FIFO/LRU/segmented-LFU eviction, negative
+// entries for absent keys, and write-through invalidation
+// (invalidate_cached()) for control-plane updates. Entries are tagged
+// with the {shard, channel epoch} they were filled from; a hit whose
+// epoch no longer matches the shard's (the server was reconnected, its
+// memory possibly repopulated) is refetched instead of served. While a
+// shard is *down* its epoch is unchanged, so the cache keeps serving
+// hits through the outage (Config::degraded_cache selects that or a
+// full bypass) and only misses degrade to passthrough.
 //
 // The table may be sharded across several memory servers ("We maintain
 // the complete virtual-to-physical address mapping table on servers in a
@@ -33,13 +44,13 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "core/channel_set.hpp"
+#include "core/lookup_cache.hpp"
 #include "switchsim/switch.hpp"
 
 namespace xmem::core {
@@ -56,11 +67,34 @@ class LookupTablePrimitive {
   using KeyFn = std::function<std::optional<std::vector<std::uint8_t>>(
       const net::Packet&)>;
 
+  /// What the cache does for packets whose home shard is down.
+  enum class DegradedCacheMode : std::uint8_t {
+    /// Serve local copies through the outage (their epoch is unchanged
+    /// until a reconnect, so they are as fresh as the dead server's
+    /// memory); only misses degrade to passthrough. The default.
+    kServeHits,
+    /// Skip the cache entirely: all traffic for the dead shard takes the
+    /// degraded passthrough path, hits included. For deployments where
+    /// an outage implies the remote entries are being rewritten.
+    kBypass,
+  };
+
   struct Config {
     Mode mode = Mode::kBounce;
     std::size_t entry_bytes = 2048;
     /// Local SRAM cache capacity in entries (0 disables caching).
     std::size_t cache_capacity = 0;
+    /// Eviction policy. nullopt resolves the XMEM_CACHE_POLICY
+    /// environment override (the CI cache-policy matrix) and falls back
+    /// to LRU; an explicit value always wins.
+    std::optional<LookupCache::Policy> cache_policy;
+    /// Remember absent-key READ verdicts locally for this long, so a
+    /// stream of misses on the same dead key stops re-issuing remote
+    /// READs. 0 disables negative caching.
+    sim::Time negative_ttl = 0;
+    /// kLfu only: protected-segment share of cache capacity.
+    double lfu_protected_fraction = 0.8;
+    DegradedCacheMode degraded_cache = DegradedCacheMode::kServeHits;
     KeyFn key_fn;  // default: five-tuple
     std::uint64_t hash_seed = 0x9e3779b97f4a7c15ULL;
     /// Outstanding lookups older than this are abandoned (their switch
@@ -83,6 +117,10 @@ class LookupTablePrimitive {
     std::uint64_t oversized_drops = 0;  // packet too big for the entry slot
     std::uint64_t degraded_passthrough = 0;  // home shard down: no lookup
     std::uint64_t duplicate_responses = 0;   // stale/duplicated deliveries
+    std::uint64_t negative_cache_drops = 0;  // absent-key verdict served locally
+    std::uint64_t cache_hits_while_down = 0; // hits served during an outage
+    std::uint64_t cache_stale_refetches = 0; // epoch-mismatch entries refetched
+    std::uint64_t degraded_bypass = 0;       // kBypass: cache skipped, shard down
   };
 
   // Entry layout constants.
@@ -112,6 +150,8 @@ class LookupTablePrimitive {
   /// Total entries across all shards.
   [[nodiscard]] std::size_t table_entries() const { return n_entries_; }
   [[nodiscard]] std::size_t cache_size() const { return cache_.size(); }
+  /// The local SRAM cache (policy, occupancy, its own Stats).
+  [[nodiscard]] const LookupCache& cache() const { return cache_; }
   /// Lookups currently in flight (bounce READs + held recirc originals).
   [[nodiscard]] std::size_t outstanding() const {
     return inflight_.size() + pending_.size();
@@ -128,8 +168,14 @@ class LookupTablePrimitive {
   /// restart()ed and ChannelController::reconnect produced `config`.
   /// Lookups still in flight against the old epoch are reclaimed as
   /// lost_responses first (their responses can never arrive on the new
-  /// queue pair).
+  /// queue pair). Bumps the shard's channel epoch, so cached entries
+  /// filled before the reconnect refetch lazily on their next hit.
   void reconnect(std::size_t shard, control::RdmaChannelConfig config);
+
+  /// Write-through invalidation hook: the control plane rewrote (or
+  /// removed) `key`'s remote entry — drop any local copy so the next
+  /// packet refetches the new value. True if a copy was dropped.
+  bool invalidate_cached(std::span<const std::uint8_t> key);
 
   /// --- Control-plane population ---------------------------------------
   /// Hash `key` to its entry index (what the data plane computes).
@@ -160,8 +206,7 @@ class LookupTablePrimitive {
  private:
   void on_ingress(switchsim::PipelineContext& ctx);
   void handle_response(std::size_t shard, const roce::RoceMessage& msg);
-  void remote_lookup(switchsim::PipelineContext& ctx,
-                     std::span<const std::uint8_t> key);
+  void remote_lookup(switchsim::PipelineContext& ctx, std::uint64_t idx);
   void on_health_change(std::size_t shard, ChannelSet::Health health);
   void reclaim_shard(std::size_t shard);
   void arm_timeout();
@@ -170,26 +215,22 @@ class LookupTablePrimitive {
   /// the packet should be dropped.
   [[nodiscard]] std::optional<int> apply_action(
       const switchsim::Action& action, net::Packet& packet);
-  void cache_insert(std::vector<std::uint8_t> key,
-                    const switchsim::Action& action);
+  /// Fill the cache from a remote verdict (positive or "no entry"),
+  /// tagged with the fill shard's current channel epoch.
+  void cache_store(const std::vector<std::uint8_t>& key,
+                   const switchsim::Action& action, std::size_t shard);
+  void cache_store_negative(const std::vector<std::uint8_t>& key,
+                            std::size_t shard);
+  /// Mirror the cache's hit/insert/eviction totals into Stats, so the
+  /// legacy counters (and their telemetry registrations) stay truthful.
+  void sync_cache_stats();
 
   switchsim::ProgrammableSwitch* switch_;
   ChannelSet channels_;
   Config config_;
+  LookupCache cache_;
   std::size_t n_entries_ = 0;         // total across shards
   std::size_t entries_per_shard_ = 0;
-
-  // Local SRAM cache with FIFO eviction.
-  struct KeyBytesHash {
-    std::size_t operator()(const std::vector<std::uint8_t>& k) const noexcept {
-      return std::hash<std::string_view>{}(std::string_view(
-          reinterpret_cast<const char*>(k.data()), k.size()));
-    }
-  };
-  std::unordered_map<std::vector<std::uint8_t>, switchsim::Action,
-                     KeyBytesHash>
-      cache_;
-  std::deque<std::vector<std::uint8_t>> cache_fifo_;
 
   // Outstanding READs are keyed by (shard, psn): PSN spaces are
   // per-channel.

@@ -118,7 +118,10 @@ TEST_F(LookupTableTest, LocalCacheAbsorbsRepeatTraffic) {
 }
 
 TEST_F(LookupTableTest, CacheEvictionIsFifo) {
-  auto& lt = make_primitive({.cache_capacity = 2});
+  // Explicit policy: the default is LRU (or the XMEM_CACHE_POLICY env
+  // override under the CI cache matrix), and this test pins FIFO.
+  auto& lt = make_primitive(
+      {.cache_capacity = 2, .cache_policy = LookupCache::Policy::kFifo});
   // Three distinct flows (distinct source ports), each with an entry.
   for (const std::uint16_t port : {std::uint16_t{7000}, std::uint16_t{7001},
                                   std::uint16_t{7002}}) {
@@ -274,6 +277,118 @@ TEST_F(LookupTableTest, OversizedPacketRefusedNotCorrupting) {
   EXPECT_EQ(sink.packets(), 0u);
   EXPECT_EQ(lt.stats().oversized_drops, 3u);
   EXPECT_EQ(lt.channel().stats().writes_sent, 0u);
+}
+
+TEST_F(LookupTableTest, CacheServesHitsWhileShardDown) {
+  auto& lt = make_primitive({.cache_capacity = 64});
+  install(flow_key(7000, 9000), dscp_forward_action(12));
+  host::PacketSink sink(tb_.host(1));
+
+  // Warm the cache, then kill the (only) shard.
+  send_packets(5, sim::mbps(100));
+  EXPECT_EQ(sink.packets(), 5u);
+  ASSERT_GE(lt.stats().cache_hits, 1u);
+  for (int i = 0; i < 3; ++i) lt.channels().note_timeout(0);
+  ASSERT_FALSE(lt.channels().is_up(0));
+
+  // Cached flows keep flowing through the outage; the epoch is unchanged
+  // (no reconnect happened), so the local copies are still authoritative.
+  send_packets(10, sim::mbps(100));
+  EXPECT_EQ(sink.packets(), 15u);
+  EXPECT_EQ(lt.stats().cache_hits_while_down, 10u);
+  EXPECT_EQ(lt.stats().degraded_passthrough, 0u);
+
+  // An unknown flow during the outage cannot consult the dead shard: it
+  // degrades to passthrough like the uncached primitive would. (The 1 ms
+  // health probe revived the shard at the end of the previous run — the
+  // server is alive, only its health was forced down — so force it down
+  // again first.)
+  for (int i = 0; i < 3; ++i) lt.channels().note_timeout(0);
+  ASSERT_FALSE(lt.channels().is_up(0));
+  send_packets(4, sim::mbps(100), 7100);
+  EXPECT_EQ(lt.stats().degraded_passthrough, 4u);
+}
+
+TEST_F(LookupTableTest, DegradedBypassSkipsCacheWhileShardDown) {
+  auto& lt = make_primitive(
+      {.cache_capacity = 64,
+       .degraded_cache = LookupTablePrimitive::DegradedCacheMode::kBypass});
+  install(flow_key(7000, 9000), dscp_forward_action(12));
+  host::PacketSink sink(tb_.host(1));
+  send_packets(5, sim::mbps(100));
+  ASSERT_GE(lt.stats().cache_hits, 1u);
+  for (int i = 0; i < 3; ++i) lt.channels().note_timeout(0);
+  ASSERT_FALSE(lt.channels().is_up(0));
+
+  // Even the cached flow takes the degraded path: bypass mode treats an
+  // outage as "remote entries are being rewritten, trust nothing local".
+  const auto hits_before = lt.stats().cache_hits;
+  send_packets(10, sim::mbps(100));
+  EXPECT_EQ(lt.stats().cache_hits, hits_before);
+  EXPECT_EQ(lt.stats().degraded_bypass, 10u);
+  EXPECT_EQ(lt.stats().degraded_passthrough, 10u);
+}
+
+TEST_F(LookupTableTest, WriteThroughInvalidationRefetchesNewAction) {
+  auto& lt = make_primitive({.cache_capacity = 64});
+  install(flow_key(7000, 9000), dscp_forward_action(10));
+  host::PacketSink sink(tb_.host(1));
+  std::uint8_t seen_dscp = 0;
+  sink.set_on_packet([&](const net::Packet& p) {
+    seen_dscp = net::parse_packet(p).ipv4->dscp;
+  });
+  send_packets(5, sim::mbps(100));
+  EXPECT_EQ(seen_dscp, 10);
+  ASSERT_EQ(lt.stats().remote_lookups, 1u);
+
+  // Control plane rewrites the remote entry and invalidates the local
+  // copy; without the invalidation the stale DSCP 10 would be served
+  // from SRAM forever.
+  install(flow_key(7000, 9000), dscp_forward_action(46));
+  EXPECT_TRUE(lt.invalidate_cached(flow_key(7000, 9000)));
+  EXPECT_FALSE(lt.invalidate_cached(flow_key(7000, 9000))) << "already gone";
+
+  send_packets(5, sim::mbps(100));
+  EXPECT_EQ(seen_dscp, 46);
+  EXPECT_EQ(lt.stats().remote_lookups, 2u) << "exactly one refetch";
+  EXPECT_EQ(lt.cache().stats().invalidations, 1u);
+}
+
+TEST_F(LookupTableTest, NegativeCacheSuppressesRepeatMissReads) {
+  auto& lt = make_primitive(
+      {.cache_capacity = 64, .negative_ttl = sim::milliseconds(10)});
+  // No entry installed for this flow at all.
+  host::PacketSink sink(tb_.host(1));
+  send_packets(20, sim::mbps(100));
+  EXPECT_EQ(sink.packets(), 0u);
+  // Only the first packet pays a remote READ; the absence verdict is
+  // cached and the remaining 19 are dropped locally.
+  EXPECT_EQ(lt.stats().remote_lookups, 1u);
+  EXPECT_EQ(lt.stats().no_entry_drops, 1u);
+  EXPECT_EQ(lt.stats().negative_cache_drops, 19u);
+  EXPECT_EQ(lt.cache().stats().negative_inserts, 1u);
+}
+
+TEST_F(LookupTableTest, DegradedPassthroughIsCountedInTelemetry) {
+  // Regression: the degraded flag used to flip without the passthrough
+  // traffic being observable — the counter must be registered and move.
+  auto& lt = make_primitive({});
+  telemetry::MetricsRegistry reg;
+  lt.attach_telemetry(&reg, nullptr, "lt");
+  EXPECT_EQ(reg.read("lt/degraded_passthrough"), 0.0);
+
+  for (int i = 0; i < 3; ++i) lt.channels().note_timeout(0);
+  ASSERT_FALSE(lt.channels().is_up(0));
+  host::PacketSink sink(tb_.host(1));
+  send_packets(7, sim::mbps(100));
+
+  EXPECT_EQ(lt.stats().degraded_passthrough, 7u);
+  EXPECT_EQ(reg.read("lt/degraded_passthrough"), 7.0);
+  // The shard-level refusals line up with the primitive-level counter.
+  EXPECT_EQ(reg.read("lt/shard0/routed_while_down"), 7.0);
+  // Cache counters ride the same registry (all-zero here: no cache).
+  EXPECT_EQ(reg.read("lt/cache/hits"), 0.0);
+  EXPECT_EQ(reg.read("lt/cache/occupancy"), 0.0);
 }
 
 TEST_F(LookupTableTest, InstallEntryIsReadableByIndex) {
