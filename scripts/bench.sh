@@ -45,7 +45,7 @@ fi
 
 cmake --build "$BUILD" -j --target perf_gate m1_micro \
   t1_packet_buffer_throughput fig3b_statestore_bw a7_shard_scale \
-  f1c_telemetry a10_cache_zipf >/dev/null
+  f1c_telemetry a10_cache_zipf a11_cc_matrix >/dev/null
 
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
@@ -68,10 +68,16 @@ trap 'rm -rf "$tmp"' EXIT
 # "ratio"/"x" higher-is-better — both directions guarded).
 "$GATE" run --bin "$BUILD/bench/a10_cache_zipf" --label a10 \
   --out "$tmp/a10.json"
+# a11 pins the congestion-control claim: DCQCN+PFC recovers >= 2x tenant
+# goodput under the 16:1 incast versus no CC (cc_recovery_x is "x"
+# higher-is-better; per-cell goodputs are Gbps higher-is-better, op p99s
+# are "us" lower-is-better — the gate guards both directions).
+"$GATE" run --bin "$BUILD/bench/a11_cc_matrix" --label a11 \
+  --out "$tmp/a11.json"
 
 "$GATE" merge --out "$FILE" --tag "$tag" \
   "$tmp/m1_micro.json" "$tmp/t1.json" "$tmp/fig3b.json" "$tmp/a7.json" \
-  "$tmp/f1c.json" "$tmp/a10.json"
+  "$tmp/f1c.json" "$tmp/a10.json" "$tmp/a11.json"
 
 if [[ $tag == post ]]; then
   "$GATE" compare --file "$FILE" --tolerance "$TOLERANCE" \

@@ -29,6 +29,12 @@
 #                                  # a10 cache bench (JSON exported to
 #                                  # <build>/telemetry/a10_cache_zipf.json)
 #   $ scripts/check.sh --cache-asan   # same suite under ASan+UBSan
+#   $ scripts/check.sh --cc        # congestion-control suite: build + run
+#                                  # the DCQCN/PFC/RNIC-focused tier-1
+#                                  # tests and the a11 CC matrix bench
+#                                  # (JSON + incast time series exported
+#                                  # to <build>/telemetry/)
+#   $ scripts/check.sh --cc-asan   # same suite under ASan+UBSan
 #
 # --cache/--cache-asan accept `--cache-policy <lru|lfu|fifo>`: exported
 # as XMEM_CACHE_POLICY, which LookupCache::policy_from_env() picks up
@@ -64,8 +70,10 @@ run_report=0
 run_cache=0
 cache_asan=0
 cache_policy=""
+run_cc=0
+cc_asan=0
 usage() {
-  echo "usage: $0 [--tier1|--sanitize|--fast|--chaos|--lint|--format|--tidy|--bench|--report|--cache|--cache-asan] [--cache-policy <lru|lfu|fifo>]" >&2
+  echo "usage: $0 [--tier1|--sanitize|--fast|--chaos|--lint|--format|--tidy|--bench|--report|--cache|--cache-asan|--cc|--cc-asan] [--cache-policy <lru|lfu|fifo>]" >&2
   exit 2
 }
 solo() { run_tier1=0; run_sanitize=0; }
@@ -81,6 +89,8 @@ while [[ $# -gt 0 ]]; do
     --report) solo; run_report=1 ;;
     --cache) solo; run_cache=1 ;;
     --cache-asan) solo; run_cache=1; cache_asan=1 ;;
+    --cc) solo; run_cc=1 ;;
+    --cc-asan) solo; run_cc=1; cc_asan=1 ;;
     --cache-policy)
       [[ $# -ge 2 ]] || usage
       cache_policy=$2; shift
@@ -153,6 +163,33 @@ if [[ "$run_cache" == 1 ]]; then
   mkdir -p "$cache_build/telemetry"
   "$cache_build/bench/a10_cache_zipf" \
     --json "$cache_build/telemetry/a10_cache_zipf.json"
+fi
+
+if [[ "$run_cc" == 1 ]]; then
+  if [[ "$cc_asan" == 1 ]]; then
+    echo "== congestion-control suite (ASan+UBSan) =="
+    cc_build="$repo/build-asan"
+    cmake -B "$cc_build" -S "$repo" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+          -DXMEM_SANITIZE=address,undefined
+  else
+    echo "== congestion-control suite (Release) =="
+    cc_build="$repo/build"
+    cmake -B "$cc_build" -S "$repo" -DCMAKE_BUILD_TYPE=Release
+  fi
+  cmake --build "$cc_build" -j "$jobs" \
+    --target dcqcn_channel_test pfc_test dctcp_test rnic_test roce_test \
+    channel_test a11_cc_matrix
+  # Everything congestion-adjacent: the DCQCN rate-machine / CNP / RTO
+  # unit suite plus the PFC, ECN (DCTCP), RNIC responder, RoCE framing
+  # and channel integration tests that exercise the loop end to end.
+  ctest --test-dir "$cc_build" -R "dcqcn|pfc|dctcp|rnic|roce|^channel" \
+    --output-on-failure -j "$jobs"
+  mkdir -p "$cc_build/telemetry"
+  # The full 4x3 matrix is one deterministic run; its verdicts compare
+  # designs against each other, so it is never sliced per-design.
+  "$cc_build/bench/a11_cc_matrix" \
+    --json "$cc_build/telemetry/a11_cc_matrix.json" \
+    --timeseries "$cc_build/telemetry/a11_incast_timeseries.json"
 fi
 
 if [[ "$run_bench" == 1 ]]; then
@@ -234,6 +271,10 @@ elif [[ "$run_cache" == 1 && "$cache_asan" == 1 ]]; then
   echo "CHECK OK (cache-asan policy=${cache_policy:-default})"
 elif [[ "$run_cache" == 1 ]]; then
   echo "CHECK OK (cache policy=${cache_policy:-default})"
+elif [[ "$run_cc" == 1 && "$cc_asan" == 1 ]]; then
+  echo "CHECK OK (cc-asan)"
+elif [[ "$run_cc" == 1 ]]; then
+  echo "CHECK OK (cc)"
 elif [[ "$run_report" == 1 ]]; then
   echo "CHECK OK (report)"
 elif [[ "$run_format" == 1 ]]; then

@@ -1,0 +1,147 @@
+// Adaptive retransmission timeout: Jacobson/Karels RTT estimation with
+// exponential backoff, for the switch-side reliability extensions.
+//
+// The primitives seeded fixed timers (2 ms READ recovery, 100 us lookup
+// deadline). Those are wrong in both directions once the fabric has
+// congestion control: under DCQCN pacing the true response time stretches
+// (fixed timers fire spuriously and cause retransmit storms that feed the
+// very queue that is congested), and on an idle fabric the fixed values
+// are orders of magnitude above the real RTT (loss recovery dawdles).
+// This estimator tracks the observed RTT and derives the timeout from it:
+//
+//   SRTT   <- (1-1/8)*SRTT + (1/8)*sample
+//   RTTVAR <- (1-1/4)*RTTVAR + (1/4)*|SRTT - sample|
+//   RTO    = clamp(SRTT + 4*RTTVAR, min_rto, max_rto) * 2^backoff
+//
+// Karn's rule applies: the caller must not feed samples measured from
+// retransmitted operations (it cannot know which transmission the
+// response answers). Each timeout doubles the RTO (with a deterministic
+// jitter so synchronized channels do not retransmit in lockstep); any
+// accepted sample resets the backoff.
+//
+// Header-only and simulator-free: primitives own one per shard and feed
+// it from their completion / timeout paths. Disabled configs fall back to
+// the primitive's fixed timer, preserving existing behaviour bit-exactly.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace xmem::core {
+
+struct AdaptiveRtoConfig {
+  /// Master switch. Off = the owning primitive keeps its fixed timeout.
+  bool enabled = false;
+  /// First RTO before any sample arrives (also the restart value when
+  /// the estimator is reset after a reconnect).
+  sim::Time initial_rto = sim::microseconds(500);
+  /// Clamp bounds for the derived RTO (before backoff).
+  sim::Time min_rto = sim::microseconds(20);
+  sim::Time max_rto = sim::milliseconds(8);
+  /// Cap on consecutive doublings; 2^6 = 64x is past any transient the
+  /// simulated fabric produces, and an unbounded exponent would overflow.
+  std::uint32_t max_backoff = 6;
+  /// Jitter each backed-off RTO by up to this fraction of itself (drawn
+  /// from a per-instance deterministic xorshift), desynchronizing
+  /// channels that timed out together. 0 disables.
+  double jitter_fraction = 0.125;
+  /// Seed for the jitter stream; give each shard its own so their
+  /// backoff schedules diverge.
+  std::uint64_t jitter_seed = 0x9e3779b97f4a7c15ull;
+};
+
+class AdaptiveRto {
+ public:
+  AdaptiveRto() : AdaptiveRto(AdaptiveRtoConfig{}) {}
+  explicit AdaptiveRto(AdaptiveRtoConfig config)
+      : config_(config),
+        state_(config.jitter_seed | 1) {}  // xorshift must not start at 0
+
+  [[nodiscard]] const AdaptiveRtoConfig& config() const { return config_; }
+  [[nodiscard]] bool enabled() const { return config_.enabled; }
+  [[nodiscard]] bool has_samples() const { return srtt_ >= 0; }
+  [[nodiscard]] sim::Time srtt() const { return srtt_ < 0 ? 0 : srtt_; }
+  [[nodiscard]] sim::Time rttvar() const { return srtt_ < 0 ? 0 : rttvar_; }
+  [[nodiscard]] std::uint32_t backoff() const { return backoff_; }
+
+  /// Current retransmission timeout, backoff and jitter applied.
+  [[nodiscard]] sim::Time rto() const {
+    sim::Time base = srtt_ < 0 ? config_.initial_rto
+                               : std::clamp(srtt_ + 4 * rttvar_,
+                                            config_.min_rto, config_.max_rto);
+    base <<= std::min(backoff_, config_.max_backoff);
+    return base + jitter_;
+  }
+
+  /// Feed one RTT measurement. Callers enforce Karn's rule: samples from
+  /// operations that were ever retransmitted must not reach here.
+  void sample(sim::Time rtt) {
+    if (rtt < 0) return;
+    if (srtt_ < 0) {
+      srtt_ = rtt;
+      rttvar_ = rtt / 2;
+    } else {
+      const sim::Time err = srtt_ > rtt ? srtt_ - rtt : rtt - srtt_;
+      rttvar_ = rttvar_ - rttvar_ / 4 + err / 4;
+      srtt_ = srtt_ - srtt_ / 8 + rtt / 8;
+    }
+    note_progress();
+  }
+
+  /// Collapse the backoff. Called by sample(); callers must NOT call it
+  /// for responses to retransmitted operations — under Karn's rule those
+  /// say nothing about whether the current RTO is adequate, and resetting
+  /// on them lets an undersized RTO re-arm and storm indefinitely.
+  void note_progress() {
+    backoff_ = 0;
+    jitter_ = 0;
+  }
+
+  /// The timer fired with no response: double the next RTO and draw a
+  /// fresh jitter for it.
+  void note_timeout() {
+    backoff_ = std::min(backoff_ + 1, config_.max_backoff);
+    draw_jitter();
+  }
+
+  /// Forget the path (reconnect / failover): history from the old server
+  /// says nothing about the new one.
+  void reset() {
+    srtt_ = -1;
+    rttvar_ = 0;
+    backoff_ = 0;
+    jitter_ = 0;
+  }
+
+ private:
+  void draw_jitter() {
+    if (config_.jitter_fraction <= 0.0) {
+      jitter_ = 0;
+      return;
+    }
+    // xorshift64: deterministic per seed, good enough to decorrelate
+    // backoff schedules (this is not security randomness).
+    state_ ^= state_ << 13;
+    state_ ^= state_ >> 7;
+    state_ ^= state_ << 17;
+    sim::Time base = srtt_ < 0 ? config_.initial_rto
+                               : std::clamp(srtt_ + 4 * rttvar_,
+                                            config_.min_rto, config_.max_rto);
+    base <<= std::min(backoff_, config_.max_backoff);
+    const auto span = static_cast<double>(base) * config_.jitter_fraction;
+    jitter_ = static_cast<sim::Time>(
+        span * (static_cast<double>(state_ >> 11) /
+                static_cast<double>(1ull << 53)));
+  }
+
+  AdaptiveRtoConfig config_;
+  sim::Time srtt_ = -1;  ///< negative = no sample yet
+  sim::Time rttvar_ = 0;
+  std::uint32_t backoff_ = 0;
+  sim::Time jitter_ = 0;
+  std::uint64_t state_;
+};
+
+}  // namespace xmem::core

@@ -97,6 +97,18 @@ bool ChannelSet::maybe_probe_response(std::size_t shard,
   return true;
 }
 
+bool ChannelSet::maybe_cnp(std::size_t shard, const roce::RoceMessage& msg) {
+  if (!roce::is_cnp(msg.opcode())) return false;
+  shards_[shard].channel->on_cnp();
+  return true;
+}
+
+void ChannelSet::enable_congestion_control(const DcqcnConfig& config) {
+  for (auto& shard : shards_) {
+    shard.channel->enable_congestion_control(config);
+  }
+}
+
 void ChannelSet::reconnect(std::size_t shard,
                            control::RdmaChannelConfig config) {
   Shard& s = shards_[shard];

@@ -135,6 +135,18 @@ class ChannelSet {
   [[nodiscard]] bool maybe_probe_response(std::size_t shard,
                                           const roce::RoceMessage& msg);
 
+  /// True when `msg` is a CNP: forwards it to the shard's rate machine
+  /// and tells the caller to consume the packet. CNPs deliberately do
+  /// NOT touch shard health — congestion is a fabric condition, not a
+  /// server failure, and marking a shard down for it would route real
+  /// traffic away from a perfectly live responder.
+  [[nodiscard]] bool maybe_cnp(std::size_t shard,
+                               const roce::RoceMessage& msg);
+
+  /// Arm DCQCN on every shard's channel (shards added by reconnect keep
+  /// their controller: reconnect swaps configs, not channels).
+  void enable_congestion_control(const DcqcnConfig& config);
+
   void set_health_fn(HealthFn fn) { health_fn_ = std::move(fn); }
 
   /// Record every up/down transition into `recorder` (not owned;

@@ -1,5 +1,6 @@
 #include "core/lookup_table.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <vector>
 
@@ -51,6 +52,12 @@ LookupTablePrimitive::LookupTablePrimitive(
            "entries must fit one READ response segment");
   }
   if (!config_.key_fn) config_.key_fn = five_tuple_key;
+  rto_.reserve(channels_.size());
+  for (std::size_t i = 0; i < channels_.size(); ++i) {
+    AdaptiveRtoConfig rc = config_.adaptive_rto;
+    rc.jitter_seed ^= i * 0x2545f4914f6cdd1dULL;  // per-shard jitter stream
+    rto_.emplace_back(rc);
+  }
   entries_per_shard_ = region_bytes / config_.entry_bytes;
   n_entries_ = entries_per_shard_ * channels_.size();
   assert(n_entries_ > 0);
@@ -153,7 +160,8 @@ LookupTablePrimitive::install_entry_sharded(
 void LookupTablePrimitive::on_ingress(PipelineContext& ctx) {
   if (auto msg = roce_view(ctx)) {
     if (auto shard = channels_.owner_of(*msg)) {
-      if (!channels_.maybe_probe_response(*shard, *msg)) {
+      if (!channels_.maybe_cnp(*shard, *msg) &&
+          !channels_.maybe_probe_response(*shard, *msg)) {
         handle_response(*shard, *msg);
       }
       ctx.consume();
@@ -276,6 +284,7 @@ void LookupTablePrimitive::handle_response(std::size_t shard,
       ++stats_.duplicate_responses;  // stale or duplicated delivery
       return;
     }
+    rto_[shard].sample(switch_->simulator().now() - it->second);
     inflight_.erase(it);
     channels_.note_ok(shard);
     channels_.at(shard).trace_complete(msg.bth.psn);
@@ -327,6 +336,7 @@ void LookupTablePrimitive::handle_response(std::size_t shard,
     ++stats_.duplicate_responses;  // stale or duplicated delivery
     return;
   }
+  rto_[shard].sample(switch_->simulator().now() - it->second.sent_at);
   net::Packet packet = std::move(it->second.packet);
   pending_.erase(it);
   channels_.note_ok(shard);
@@ -376,6 +386,7 @@ void LookupTablePrimitive::reconnect(std::size_t shard,
   // alias it): reclaim them now instead of waiting for the scavenger.
   reclaim_shard(shard);
   channels_.reconnect(shard, std::move(config));
+  rto_[shard].reset();  // RTTs to the old server say nothing about the new
 }
 
 void LookupTablePrimitive::reclaim_shard(std::size_t shard) {
@@ -396,8 +407,17 @@ void LookupTablePrimitive::reclaim_shard(std::size_t shard) {
 
 void LookupTablePrimitive::arm_timeout() {
   if (timeout_.pending()) return;
-  timeout_ = switch_->simulator().schedule_in(config_.lookup_timeout,
-                                              [this]() { on_timeout(); });
+  sim::Time delay = config_.lookup_timeout;
+  if (config_.adaptive_rto.enabled) {
+    // Fire at the earliest shard deadline; on_timeout() judges each
+    // lookup against its own shard's (backed-off) deadline.
+    delay = rto_[0].rto();
+    for (std::size_t i = 1; i < rto_.size(); ++i) {
+      delay = std::min(delay, rto_[i].rto());
+    }
+  }
+  timeout_ =
+      switch_->simulator().schedule_in(delay, [this]() { on_timeout(); });
 }
 
 void LookupTablePrimitive::on_timeout() {
@@ -405,11 +425,13 @@ void LookupTablePrimitive::on_timeout() {
   const sim::Time now = switch_->simulator().now();
   std::vector<ShardPsn> stale;
   for (const auto& [key, sent_at] : inflight_) {
-    if (now - sent_at >= config_.lookup_timeout) stale.push_back(key);
+    if (now - sent_at >= shard_timeout(key.shard)) stale.push_back(key);
   }
   for (const auto& [key, held] : pending_) {
-    if (now - held.sent_at >= config_.lookup_timeout) stale.push_back(key);
+    if (now - held.sent_at >= shard_timeout(key.shard)) stale.push_back(key);
   }
+  std::vector<bool> shard_expired(channels_.size(), false);
+  for (const ShardPsn& key : stale) shard_expired[key.shard] = true;
   for (const ShardPsn& key : stale) {
     // A lookup abandoned: the packet it carried is gone either way
     // (deposited remotely in bounce mode, held copy dropped in recirc
@@ -422,6 +444,10 @@ void LookupTablePrimitive::on_timeout() {
     ++stats_.lost_responses;
     channels_.at(key.shard).trace_complete(key.psn, "lost");
     channels_.note_timeout(key.shard);
+  }
+  // One backoff step per shard per round, however many lookups expired.
+  for (std::size_t shard = 0; shard < shard_expired.size(); ++shard) {
+    if (shard_expired[shard]) rto_[shard].note_timeout();
   }
   arm_timeout();
 }

@@ -49,6 +49,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/adaptive_rto.hpp"
 #include "core/channel_set.hpp"
 #include "core/lookup_cache.hpp"
 #include "switchsim/switch.hpp"
@@ -100,6 +101,13 @@ class LookupTablePrimitive {
     /// Outstanding lookups older than this are abandoned (their switch
     /// state reclaimed) and reported to the shard's health machinery.
     sim::Time lookup_timeout = sim::microseconds(100);
+    /// Adaptive deadline: when enabled, each shard's abandonment
+    /// deadline tracks its measured lookup RTT and backs off across
+    /// consecutive expiry rounds — under DCQCN pacing the true response
+    /// time stretches, and a fixed deadline would abandon (and re-issue)
+    /// lookups that are merely paced, feeding the congestion. Disabled
+    /// keeps the fixed lookup_timeout.
+    AdaptiveRtoConfig adaptive_rto;
     /// Failover thresholds/probing for the channel set.
     ChannelSet::Config health;
   };
@@ -147,6 +155,10 @@ class LookupTablePrimitive {
   [[nodiscard]] const ChannelSet& channels() const { return channels_; }
   [[nodiscard]] ChannelSet& channels() { return channels_; }
   [[nodiscard]] std::size_t shard_count() const { return channels_.size(); }
+  /// The shard's RTT estimator (meaningful only with adaptive_rto on).
+  [[nodiscard]] const AdaptiveRto& rto(std::size_t shard) const {
+    return rto_[shard];
+  }
   /// Total entries across all shards.
   [[nodiscard]] std::size_t table_entries() const { return n_entries_; }
   [[nodiscard]] std::size_t cache_size() const { return cache_.size(); }
@@ -254,6 +266,13 @@ class LookupTablePrimitive {
   };
   std::unordered_map<ShardPsn, Held, ShardPsnHash> pending_;
   sim::EventId timeout_;
+  /// Per-shard adaptive deadline estimators (used when
+  /// adaptive_rto.enabled).
+  std::vector<AdaptiveRto> rto_;
+  [[nodiscard]] sim::Time shard_timeout(std::size_t shard) const {
+    return config_.adaptive_rto.enabled ? rto_[shard].rto()
+                                        : config_.lookup_timeout;
+  }
 
   Stats stats_;
 };

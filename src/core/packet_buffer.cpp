@@ -1,5 +1,6 @@
 #include "core/packet_buffer.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <vector>
 
@@ -32,6 +33,12 @@ PacketBufferPrimitive::PacketBufferPrimitive(
   capacity_ = per_channel_slots_ * channels_.size();
   assert(capacity_ > 0);
   inflight_per_channel_.assign(channels_.size(), 0);
+  rto_.reserve(channels_.size());
+  for (std::size_t i = 0; i < channels_.size(); ++i) {
+    AdaptiveRtoConfig rc = config_.adaptive_rto;
+    rc.jitter_seed ^= i * 0x2545f4914f6cdd1dULL;  // per-stripe jitter stream
+    rto_.emplace_back(rc);
+  }
   channels_.set_health_fn([this](std::size_t shard, ChannelSet::Health h) {
     on_health_change(shard, h);
   });
@@ -85,7 +92,8 @@ void PacketBufferPrimitive::set_load_enabled(bool enabled) {
 void PacketBufferPrimitive::on_ingress(PipelineContext& ctx) {
   if (auto msg = roce_view(ctx)) {
     if (auto shard = channels_.owner_of(*msg)) {
-      if (!channels_.maybe_probe_response(*shard, *msg)) {
+      if (!channels_.maybe_cnp(*shard, *msg) &&
+          !channels_.maybe_probe_response(*shard, *msg)) {
         handle_response(*shard, *msg);
       }
       ctx.consume();
@@ -197,7 +205,9 @@ void PacketBufferPrimitive::maybe_issue_reads() {
     const roce::Psn psn = channels_.at(chan).post_read(
         slot_va(next_read_slot_),
         static_cast<std::uint32_t>(config_.entry_bytes));
-    inflight_.emplace(InflightKey{chan, psn}, next_read_slot_);
+    inflight_.emplace(
+        InflightKey{chan, psn},
+        InflightRead{next_read_slot_, switch_->simulator().now(), false});
     ++inflight_per_channel_[chan];
     ++next_read_slot_;
     // Reliable mode uses the timer to retransmit; unreliable mode uses it
@@ -216,7 +226,14 @@ void PacketBufferPrimitive::handle_response(std::size_t channel_index,
       ++stats_.duplicate_responses;  // stale or duplicated delivery
       return;
     }
-    const std::uint64_t slot = it->second;
+    const std::uint64_t slot = it->second.slot;
+    // Karn's rule, both halves: no RTT sample from a retransmitted READ,
+    // and no backoff reset either (only a clean sample may end a backoff
+    // episode, or an undersized RTO would storm forever).
+    if (!it->second.retransmitted) {
+      rto_[channel_index].sample(switch_->simulator().now() -
+                                 it->second.sent_at);
+    }
     inflight_.erase(it);
     --inflight_per_channel_[channel_index];
     last_read_progress_ = switch_->simulator().now();
@@ -250,6 +267,10 @@ void PacketBufferPrimitive::handle_response(std::size_t channel_index,
       return;
     }
     const std::uint64_t slot = it->second.slot;
+    if (!it->second.retransmitted) {  // Karn: no sample, no backoff reset
+      rto_[channel_index].sample(switch_->simulator().now() -
+                                 it->second.sent_at);
+    }
     inflight_writes_.erase(it);
     unacked_slots_.erase(slot);
     last_read_progress_ = switch_->simulator().now();
@@ -280,6 +301,7 @@ void PacketBufferPrimitive::handle_response(std::size_t channel_index,
 void PacketBufferPrimitive::reconnect(std::size_t stripe,
                                       control::RdmaChannelConfig config) {
   channels_.reconnect(stripe, std::move(config));
+  rto_[stripe].reset();  // RTTs to the old incarnation are meaningless
   // Any request in flight across the crash may have been lost, but the
   // stripe's DRAM survived and duplicates are idempotent at the
   // responder (WRITEs re-execute, READs re-serve), so rerun the
@@ -298,8 +320,9 @@ void PacketBufferPrimitive::on_health_change(std::size_t shard,
       // Unacknowledged WRITEs may or may not have landed before the
       // stripe died; repost them (original PSN — the responder
       // re-executes duplicates of self-contained writes idempotently).
-      for (const auto& [key, w] : inflight_writes_) {
+      for (auto& [key, w] : inflight_writes_) {
         if (key.channel != shard) continue;
+        w.retransmitted = true;
         channels_.at(shard).repost_write(slot_va(w.slot), w.entry, key.psn);
         ++stats_.write_retries;
       }
@@ -322,10 +345,11 @@ void PacketBufferPrimitive::on_health_change(std::size_t shard,
     if (config_.reliable_loads) {
       // The stripe is back and its DRAM still holds our frames:
       // re-request everything that was outstanding when it died.
-      for (const auto& [key, slot] : inflight_) {
+      for (auto& [key, f] : inflight_) {
         if (key.channel != shard) continue;
+        f.retransmitted = true;
         channels_.at(shard).repost_read(
-            slot_va(slot), static_cast<std::uint32_t>(config_.entry_bytes),
+            slot_va(f.slot), static_cast<std::uint32_t>(config_.entry_bytes),
             key.psn);
         ++stats_.read_retries;
       }
@@ -337,11 +361,11 @@ void PacketBufferPrimitive::on_health_change(std::size_t shard,
   // Best-effort down transition: in-flight READs on this stripe will
   // never answer — hole their slots now so the drain moves on.
   std::vector<InflightKey> keys;
-  for (const auto& [key, slot] : inflight_) {
+  for (const auto& [key, f] : inflight_) {
     if (key.channel == shard) keys.push_back(key);
   }
   for (const InflightKey& key : keys) {
-    const std::uint64_t slot = inflight_.at(key);
+    const std::uint64_t slot = inflight_.at(key).slot;
     inflight_.erase(key);
     --inflight_per_channel_[shard];
     reorder_.emplace(slot, net::Packet{});
@@ -380,8 +404,8 @@ void PacketBufferPrimitive::drain_reorder_buffer() {
     }
     const bool requested = tail_ < next_read_slot_;
     bool inflight = false;
-    for (const auto& [key, slot] : inflight_) {
-      if (slot == tail_) {
+    for (const auto& [key, f] : inflight_) {
+      if (f.slot == tail_) {
         inflight = true;
         break;
       }
@@ -404,21 +428,37 @@ void PacketBufferPrimitive::drain_reorder_buffer() {
 
 void PacketBufferPrimitive::arm_timeout() {
   if (timeout_.pending()) return;
-  timeout_ = switch_->simulator().schedule_in(config_.read_timeout,
-                                              [this]() { on_timeout(); });
+  sim::Time delay = config_.read_timeout;
+  if (config_.adaptive_rto.enabled) {
+    // Fire at the earliest stripe deadline; the handler judges overall
+    // progress against that same deadline.
+    delay = rto_[0].rto();
+    for (std::size_t i = 1; i < rto_.size(); ++i) {
+      delay = std::min(delay, rto_[i].rto());
+    }
+  }
+  timeout_ =
+      switch_->simulator().schedule_in(delay, [this]() { on_timeout(); });
 }
 
 void PacketBufferPrimitive::on_timeout() {
   if (inflight_.empty() && inflight_writes_.empty()) return;
   const sim::Time now = switch_->simulator().now();
-  if (now - last_read_progress_ >= config_.read_timeout) {
+  sim::Time deadline = config_.read_timeout;
+  if (config_.adaptive_rto.enabled) {
+    deadline = rto_[0].rto();
+    for (std::size_t i = 1; i < rto_.size(); ++i) {
+      deadline = std::min(deadline, rto_[i].rto());
+    }
+  }
+  if (now - last_read_progress_ >= deadline) {
     // Snapshot what was stalled *before* reporting: note_timeout() can
     // trip a down transition whose handler reclaims entries and posts
     // fresh READs, and those must not be swept up below.
     std::vector<InflightKey> stale;
     std::vector<InflightKey> stale_writes;
     std::vector<bool> stalled(channels_.size(), false);
-    for (const auto& [key, slot] : inflight_) {
+    for (const auto& [key, f] : inflight_) {
       stale.push_back(key);
       stalled[key.channel] = true;
     }
@@ -427,9 +467,14 @@ void PacketBufferPrimitive::on_timeout() {
       stalled[key.channel] = true;
     }
     // One timeout observation per stripe with stalled ops: this is
-    // what eventually trips a dead stripe's health state.
+    // what eventually trips a dead stripe's health state. The adaptive
+    // estimator backs off alongside, so the next silent round waits
+    // longer instead of re-flooding a congested path.
     for (std::size_t chan = 0; chan < stalled.size(); ++chan) {
-      if (stalled[chan]) channels_.note_timeout(chan);
+      if (stalled[chan]) {
+        channels_.note_timeout(chan);
+        rto_[chan].note_timeout();
+      }
     }
     // Retransmit unacknowledged entry WRITEs on live stripes (original
     // PSN; duplicates are re-executed idempotently at the responder).
@@ -438,6 +483,7 @@ void PacketBufferPrimitive::on_timeout() {
       if (it == inflight_writes_.end() || !channels_.is_up(key.channel)) {
         continue;
       }
+      it->second.retransmitted = true;
       channels_.at(key.channel).repost_write(slot_va(it->second.slot),
                                              it->second.entry, key.psn);
       ++stats_.write_retries;
@@ -450,8 +496,9 @@ void PacketBufferPrimitive::on_timeout() {
       for (const InflightKey& key : stale) {
         auto it = inflight_.find(key);
         if (it == inflight_.end() || !channels_.is_up(key.channel)) continue;
+        it->second.retransmitted = true;
         channels_.at(key.channel).repost_read(
-            slot_va(it->second),
+            slot_va(it->second.slot),
             static_cast<std::uint32_t>(config_.entry_bytes), key.psn);
         ++stats_.read_retries;
       }

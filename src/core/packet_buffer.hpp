@@ -29,6 +29,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "core/adaptive_rto.hpp"
 #include "core/channel_set.hpp"
 #include "core/dedup_window.hpp"
 #include "switchsim/switch.hpp"
@@ -71,6 +72,13 @@ class PacketBufferPrimitive {
     /// behind the WRITE backlog on the same port, and a premature timeout
     /// in unreliable mode discards packets that were merely delayed.
     sim::Time read_timeout = sim::milliseconds(2);
+    /// Adaptive recovery timer: when enabled, the scavenge/retransmit
+    /// deadline tracks each stripe's measured RTT and backs off
+    /// exponentially across silent rounds, replacing the fixed
+    /// read_timeout — recovery reacts in RTTs on a healthy fabric and
+    /// stops retransmit storms when DCQCN pacing stretches response
+    /// times. Disabled keeps the fixed timer.
+    AdaptiveRtoConfig adaptive_rto;
     /// When false, entries are stored but never loaded until
     /// set_load_enabled(true) — the "manually start the two steps"
     /// methodology of the paper's §5 microbenchmark.
@@ -121,6 +129,10 @@ class PacketBufferPrimitive {
   [[nodiscard]] const ChannelSet& channels() const { return channels_; }
   [[nodiscard]] ChannelSet& channels() { return channels_; }
   [[nodiscard]] std::size_t stripe_width() const { return channels_.size(); }
+  /// The stripe's RTT estimator (meaningful only with adaptive_rto on).
+  [[nodiscard]] const AdaptiveRto& rto(std::size_t stripe) const {
+    return rto_[stripe];
+  }
   /// Entries currently resident in remote memory.
   [[nodiscard]] std::int64_t ring_depth() const {
     return static_cast<std::int64_t>(head_ - tail_);
@@ -202,8 +214,13 @@ class PacketBufferPrimitive {
     }
   };
   std::uint64_t next_read_slot_ = 0;  // next slot to request (monotonic)
-  std::unordered_map<InflightKey, std::uint64_t, InflightKeyHash>
-      inflight_;                              // (chan, psn) -> slot
+  struct InflightRead {
+    std::uint64_t slot = 0;
+    sim::Time sent_at = 0;
+    bool retransmitted = false;  // Karn: its RTT must not feed the estimator
+  };
+  std::unordered_map<InflightKey, InflightRead, InflightKeyHash>
+      inflight_;                              // (chan, psn) -> read
   std::vector<int> inflight_per_channel_;
 
   // Reliable-store bookkeeping (all empty unless reliable_stores).
@@ -211,6 +228,7 @@ class PacketBufferPrimitive {
     std::uint64_t slot = 0;
     std::vector<std::uint8_t> entry;  // kept for retransmission
     sim::Time sent_at = 0;
+    bool retransmitted = false;
   };
   std::unordered_map<InflightKey, PendingWrite, InflightKeyHash>
       inflight_writes_;                       // (chan, psn) -> write
@@ -227,6 +245,12 @@ class PacketBufferPrimitive {
   std::map<std::uint64_t, net::Packet> reorder_;
   sim::Time last_read_progress_ = 0;
   sim::EventId timeout_;
+  /// Per-stripe adaptive RTO estimators (used when adaptive_rto.enabled).
+  std::vector<AdaptiveRto> rto_;
+  [[nodiscard]] sim::Time stripe_timeout(std::size_t stripe) const {
+    return config_.adaptive_rto.enabled ? rto_[stripe].rto()
+                                        : config_.read_timeout;
+  }
 
   Stats stats_;
 };

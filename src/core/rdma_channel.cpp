@@ -15,6 +15,66 @@ RdmaChannel::RdmaChannel(switchsim::ProgrammableSwitch& sw,
   assert(config_.switch_port >= 0 && "channel has no egress port");
 }
 
+RdmaChannel::~RdmaChannel() {
+  drain_event_.cancel();
+  alpha_event_.cancel();
+  rate_event_.cancel();
+}
+
+void RdmaChannel::enable_congestion_control(DcqcnConfig config) {
+  cc_.emplace(config);
+}
+
+void RdmaChannel::on_cnp() {
+  ++stats_.cnp_rx;
+  if (!cc_) return;
+  const bool was_recovering = cc_->in_recovery();
+  cc_->on_cnp();
+  if (!was_recovering) {
+    // First CNP of this congestion episode: pacing starts from now, not
+    // from a stale clock left over by the previous episode.
+    next_send_at_ = std::max(next_send_at_, switch_->simulator().now());
+    arm_cc_timers();
+  }
+}
+
+void RdmaChannel::arm_cc_timers() {
+  auto& sim = switch_->simulator();
+  if (!alpha_event_.pending()) {
+    alpha_event_ =
+        sim.schedule_in(cc_->config().alpha_timer, [this] { on_alpha_tick(); });
+  }
+  if (!rate_event_.pending()) {
+    rate_event_ =
+        sim.schedule_in(cc_->config().rate_timer, [this] { on_rate_tick(); });
+  }
+}
+
+void RdmaChannel::on_alpha_tick() {
+  cc_->on_alpha_timer();
+  // Keep decaying after recovery ends so the next episode starts from a
+  // faded congestion estimate; quiesce once alpha is negligible.
+  if (cc_->in_recovery() || cc_->alpha() > 1e-3) {
+    alpha_event_ = switch_->simulator().schedule_in(
+        cc_->config().alpha_timer, [this] { on_alpha_tick(); });
+  }
+}
+
+void RdmaChannel::on_rate_tick() {
+  cc_->on_rate_timer();
+  if (cc_->in_recovery()) {
+    rate_event_ = switch_->simulator().schedule_in(
+        cc_->config().rate_timer, [this] { on_rate_tick(); });
+  }
+  if (!paced_.empty() && !drain_event_.pending()) {
+    // A rate step may have pulled next_send_at_ into the past relative
+    // to the queued backlog's old schedule; re-arm the drain.
+    drain_event_ = switch_->simulator().schedule_at(
+        std::max(next_send_at_, switch_->simulator().now()),
+        [this] { drain_paced(); });
+  }
+}
+
 void RdmaChannel::attach_telemetry(telemetry::MetricsRegistry* registry,
                                    telemetry::OpTracer* tracer,
                                    const std::string& prefix) {
@@ -37,6 +97,17 @@ void RdmaChannel::attach_telemetry(telemetry::MetricsRegistry* registry,
     registry->register_counter(
         prefix + "/payload_bytes", [this]() { return stats_.payload_bytes; },
         "bytes");
+    registry->register_counter(
+        prefix + "/cnp_rx",
+        [this]() { return static_cast<std::int64_t>(stats_.cnp_rx); }, "ops");
+    registry->register_counter(
+        prefix + "/paced_deferrals",
+        [this]() { return static_cast<std::int64_t>(stats_.paced_deferrals); },
+        "ops");
+    // Allowed DCQCN rate; 0 means uncapped (congestion control is off).
+    registry->register_gauge(
+        prefix + "/current_rate_gbps",
+        [this]() { return cc_ ? sim::to_gbps(cc_->rate()) : 0.0; }, "Gbps");
   }
   if (tracer != nullptr) {
     tracer_ = tracer;
@@ -63,10 +134,54 @@ void RdmaChannel::trace_annotate(roce::Psn psn, std::string_view key,
 }
 
 void RdmaChannel::inject(RoceMessage msg) {
+  if (!cc_ || !cc_->in_recovery()) {
+    // Uncongested (or CC off): wire-speed injection, byte-identical to
+    // the pre-pacing code path.
+    send_now(std::move(msg));
+    return;
+  }
+  const sim::Time now = switch_->simulator().now();
+  if (paced_.empty() && now >= next_send_at_) {
+    send_now(std::move(msg));
+    return;
+  }
+  ++stats_.paced_deferrals;
+  paced_.push_back(std::move(msg));
+  if (!drain_event_.pending()) {
+    drain_event_ = switch_->simulator().schedule_at(
+        std::max(next_send_at_, now), [this] { drain_paced(); });
+  }
+}
+
+void RdmaChannel::send_now(RoceMessage msg) {
   net::Packet frame =
       roce::build_roce_packet(config_.local, config_.remote, std::move(msg));
-  stats_.request_bytes += static_cast<std::int64_t>(frame.size());
+  const auto bytes = static_cast<std::int64_t>(frame.size());
+  stats_.request_bytes += bytes;
+  if (cc_ && cc_->in_recovery()) {
+    // Charge the pacer: the next frame may leave once this one has
+    // serialized at the current allowed rate.
+    next_send_at_ = std::max(next_send_at_, switch_->simulator().now()) +
+                    sim::transmission_time(bytes, cc_->rate());
+  }
   switch_->inject(std::move(frame), config_.switch_port);
+  if (cc_) cc_->on_bytes_sent(static_cast<std::uint64_t>(bytes));
+}
+
+void RdmaChannel::drain_paced() {
+  const sim::Time now = switch_->simulator().now();
+  // Send every frame whose pace slot has arrived; a byte-counter round
+  // inside send_now() can end recovery mid-drain, after which the rest
+  // of the backlog flushes at wire speed.
+  while (!paced_.empty() && (now >= next_send_at_ || !cc_->in_recovery())) {
+    RoceMessage msg = std::move(paced_.front());
+    paced_.pop_front();
+    send_now(std::move(msg));
+  }
+  if (!paced_.empty()) {
+    drain_event_ = switch_->simulator().schedule_at(next_send_at_,
+                                                    [this] { drain_paced(); });
+  }
 }
 
 roce::Psn RdmaChannel::post_write(std::uint64_t va,

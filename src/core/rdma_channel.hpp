@@ -7,12 +7,16 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
+#include <optional>
 #include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "control/channel.hpp"
+#include "core/dcqcn.hpp"
+#include "sim/simulator.hpp"
 #include "switchsim/switch.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/op_tracer.hpp"
@@ -27,15 +31,39 @@ class RdmaChannel {
     std::uint64_t atomics_sent = 0;
     std::int64_t request_bytes = 0;   // frame bytes of requests injected
     std::int64_t payload_bytes = 0;   // useful payload carried by WRITEs
+    std::uint64_t cnp_rx = 0;         // congestion notifications received
+    std::uint64_t paced_deferrals = 0;  // requests queued behind the pacer
   };
 
   RdmaChannel(switchsim::ProgrammableSwitch& sw,
               control::RdmaChannelConfig config);
+  ~RdmaChannel();
+  RdmaChannel(const RdmaChannel&) = delete;
+  RdmaChannel& operator=(const RdmaChannel&) = delete;
 
   [[nodiscard]] const control::RdmaChannelConfig& config() const {
     return config_;
   }
   [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  /// --- Congestion control ---------------------------------------------
+  /// Arm DCQCN on this channel. Off by default: without it the channel
+  /// injects at wire speed and ignores CNPs, exactly the pre-CC
+  /// behaviour. CC state (rate, alpha) survives reconfigure(): a
+  /// reconnect changes the endpoint, not the fabric's congestion.
+  void enable_congestion_control(DcqcnConfig config);
+  [[nodiscard]] bool congestion_control_enabled() const {
+    return cc_.has_value();
+  }
+  /// The live rate machine, or nullptr when CC is off.
+  [[nodiscard]] const DcqcnRateController* rate_controller() const {
+    return cc_ ? &*cc_ : nullptr;
+  }
+  /// A CNP addressed to this channel arrived (called by the owning
+  /// primitive's demux). Counted even with CC off.
+  void on_cnp();
+  /// Requests currently queued behind the pacer.
+  [[nodiscard]] std::size_t paced_backlog() const { return paced_.size(); }
 
   /// True when `msg` is a response addressed to this channel's QPN —
   /// the demux test each primitive's stage applies to ingress RoCE.
@@ -119,6 +147,13 @@ class RdmaChannel {
 
  private:
   void inject(roce::RoceMessage msg);
+  /// Build the frame and hand it to the switch unconditionally, charging
+  /// the pacer clock when CC is in recovery.
+  void send_now(roce::RoceMessage msg);
+  void drain_paced();
+  void arm_cc_timers();
+  void on_alpha_tick();
+  void on_rate_tick();
   void trace_begin(std::string_view verb, roce::Psn psn,
                    std::uint64_t bytes);
 
@@ -128,6 +163,18 @@ class RdmaChannel {
   telemetry::OpTracer* tracer_ = nullptr;
   int track_ = -1;
   Stats stats_;
+
+  /// DCQCN reaction point + token pacer. `next_send_at_` is the earliest
+  /// time the next paced frame may leave; requests arriving sooner queue
+  /// in `paced_` and drain via `drain_event_`. Timers only run while the
+  /// controller is in recovery (plus alpha decay until it quiesces), so
+  /// a congestion-free channel schedules no events at all.
+  std::optional<DcqcnRateController> cc_;
+  std::deque<roce::RoceMessage> paced_;
+  sim::Time next_send_at_ = 0;
+  sim::EventId drain_event_;
+  sim::EventId alpha_event_;
+  sim::EventId rate_event_;
 };
 
 }  // namespace xmem::core

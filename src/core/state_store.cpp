@@ -29,6 +29,12 @@ StateStorePrimitive::StateStorePrimitive(
   outstanding_.assign(channels_.size(), 0);
   last_progress_.assign(channels_.size(), 0);
   eligible_.resize(channels_.size());
+  rto_.reserve(channels_.size());
+  for (std::size_t i = 0; i < channels_.size(); ++i) {
+    AdaptiveRtoConfig rc = config_.adaptive_rto;
+    rc.jitter_seed ^= i * 0x2545f4914f6cdd1dULL;  // per-shard jitter stream
+    rto_.emplace_back(rc);
+  }
   channels_.set_health_fn([this](std::size_t shard, ChannelSet::Health h) {
     on_health_change(shard, h);
   });
@@ -91,7 +97,8 @@ std::uint64_t StateStorePrimitive::unflushed() const {
 void StateStorePrimitive::on_ingress(PipelineContext& ctx) {
   if (auto msg = roce_view(ctx)) {
     if (auto shard = channels_.owner_of(*msg)) {
-      if (!channels_.maybe_probe_response(*shard, *msg)) {
+      if (!channels_.maybe_cnp(*shard, *msg) &&
+          !channels_.maybe_probe_response(*shard, *msg)) {
         handle_response(*shard, *msg);
       }
       ctx.consume();
@@ -175,10 +182,17 @@ void StateStorePrimitive::handle_response(std::size_t shard,
       ++stats_.duplicate_responses;  // already completed: duplicate/stale
       return;
     }
+    const sim::Time rtt = switch_->simulator().now() - it->second.sent_at;
+    const bool retransmitted = it->second.retransmitted;
     inflight_.erase(it);
     --outstanding_[shard];
     ++stats_.acks_received;
     last_progress_[shard] = switch_->simulator().now();
+    // Karn's rule, both halves: a retransmitted op's RTT is ambiguous, and
+    // its ACK must not collapse the backoff either — resetting here would
+    // let an undersized RTO re-arm at its old value and storm forever.
+    // Only a clean sample (which resets backoff itself) ends the episode.
+    if (!retransmitted) rto_[shard].sample(rtt);
     channels_.note_ok(shard);
     channel.trace_complete(msg.bth.psn);
     issue_from_accumulators();
@@ -220,6 +234,8 @@ void StateStorePrimitive::handle_response(std::size_t shard,
         inflight_.erase(it);
         --outstanding_[shard];
         last_progress_[shard] = switch_->simulator().now();
+        // The op was by definition retransmitted: Karn says no sample and
+        // no backoff reset.
         channel.trace_complete(msg.bth.psn, nak_status);
         issue_from_accumulators();
       }
@@ -258,7 +274,8 @@ void StateStorePrimitive::handle_response(std::size_t shard,
       return roce::psn_lt(a, b);
     });
     for (const roce::Psn psn : psns) {
-      const auto& f = inflight_.at(ShardPsn{shard, psn});
+      auto& f = inflight_.at(ShardPsn{shard, psn});
+      f.retransmitted = true;  // Karn: its eventual RTT is unusable
       channel.repost_fetch_add(counter_va(f.index), f.add, psn);
       ++stats_.retransmits;
     }
@@ -303,7 +320,8 @@ void StateStorePrimitive::replay_window(std::size_t shard) {
     return roce::psn_lt(a, b);
   });
   for (const roce::Psn psn : psns) {
-    const auto& f = inflight_.at(ShardPsn{shard, psn});
+    auto& f = inflight_.at(ShardPsn{shard, psn});
+    f.retransmitted = true;
     channels_.at(shard).repost_fetch_add(counter_va(f.index), f.add, psn);
     ++stats_.retransmits;
   }
@@ -320,8 +338,10 @@ void StateStorePrimitive::reconnect(std::size_t shard,
   reclaim_shard(shard);
   channels_.reconnect(shard, std::move(config));
   // The rebuilt channel counts as progress: don't let a stale stamp
-  // trigger an immediate replay round against the fresh epoch.
+  // trigger an immediate replay round against the fresh epoch. RTT
+  // history from the old server says nothing about the new one.
   last_progress_[shard] = switch_->simulator().now();
+  rto_[shard].reset();
   issue_from_accumulators();
 }
 
@@ -349,8 +369,17 @@ void StateStorePrimitive::reclaim_shard(std::size_t shard) {
 
 void StateStorePrimitive::arm_timeout() {
   if (timeout_.pending()) return;
-  timeout_ = switch_->simulator().schedule_in(config_.retransmit_timeout,
-                                              [this]() { on_timeout(); });
+  sim::Time delay = config_.retransmit_timeout;
+  if (config_.adaptive_rto.enabled) {
+    // One timer serves all shards: fire at the earliest deadline and let
+    // on_timeout() judge each shard against its own (backed-off) RTO.
+    delay = rto_[0].rto();
+    for (std::size_t i = 1; i < rto_.size(); ++i) {
+      delay = std::min(delay, rto_[i].rto());
+    }
+  }
+  timeout_ =
+      switch_->simulator().schedule_in(delay, [this]() { on_timeout(); });
 }
 
 void StateStorePrimitive::on_timeout() {
@@ -369,7 +398,8 @@ void StateStorePrimitive::on_timeout() {
     for (const auto& [key, f] : inflight_) ++window[key.shard];
     for (std::size_t shard = 0; shard < window.size(); ++shard) {
       if (window[shard] == 0) continue;
-      if (now - last_progress_[shard] < config_.retransmit_timeout) continue;
+      if (now - last_progress_[shard] < shard_timeout(shard)) continue;
+      rto_[shard].note_timeout();  // the next replay round waits longer
       channels_.note_timeout(shard);
       // Replay even while the shard is marked down: the held window is
       // exactly what the responder's sequence check is waiting on, and
@@ -384,8 +414,9 @@ void StateStorePrimitive::on_timeout() {
     // expiry is a timeout observation against its shard's health.
     std::vector<ShardPsn> stale;
     for (const auto& [key, f] : inflight_) {
-      if (now - f.sent_at >= config_.retransmit_timeout) stale.push_back(key);
+      if (now - f.sent_at >= shard_timeout(key.shard)) stale.push_back(key);
     }
+    std::vector<bool> shard_expired(channels_.size(), false);
     for (const ShardPsn& key : stale) {
       auto it = inflight_.find(key);
       if (it == inflight_.end()) continue;  // reclaimed by a down transition
@@ -394,6 +425,11 @@ void StateStorePrimitive::on_timeout() {
       --outstanding_[key.shard];
       channels_.at(key.shard).trace_complete(key.psn, "lost");
       channels_.note_timeout(key.shard);
+      shard_expired[key.shard] = true;
+    }
+    // One backoff step per shard per round, however many ops expired.
+    for (std::size_t shard = 0; shard < shard_expired.size(); ++shard) {
+      if (shard_expired[shard]) rto_[shard].note_timeout();
     }
     issue_from_accumulators();
   }

@@ -36,6 +36,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "core/adaptive_rto.hpp"
 #include "core/channel_set.hpp"
 #include "core/dedup_window.hpp"
 #include "core/rdma_channel.hpp"
@@ -65,6 +66,11 @@ class StateStorePrimitive {
     /// §7 reliability extension (see file comment).
     bool reliable = false;
     sim::Time retransmit_timeout = sim::microseconds(100);
+    /// Adaptive RTO: when enabled, each shard's retransmission deadline
+    /// is derived from its measured RTT (Jacobson estimation) and backs
+    /// off exponentially across consecutive silent rounds, instead of
+    /// the fixed retransmit_timeout. Disabled keeps the fixed timer.
+    AdaptiveRtoConfig adaptive_rto;
     /// Minimum spacing between NAK-triggered go-back-N repost rounds
     /// (every out-of-order arrival generates a NAK; answering each with
     /// a full repost storm would feed on itself). Chaos plans compress
@@ -107,6 +113,10 @@ class StateStorePrimitive {
   [[nodiscard]] const ChannelSet& channels() const { return channels_; }
   [[nodiscard]] ChannelSet& channels() { return channels_; }
   [[nodiscard]] std::size_t shard_count() const { return channels_.size(); }
+  /// The shard's RTT estimator (meaningful only with adaptive_rto on).
+  [[nodiscard]] const AdaptiveRto& rto(std::size_t shard) const {
+    return rto_[shard];
+  }
   /// Counter slots available across all shards.
   [[nodiscard]] std::uint64_t counters() const { return n_counters_; }
   /// Total in-flight atomics across shards.
@@ -192,6 +202,10 @@ class StateStorePrimitive {
     std::uint64_t index = 0;
     std::uint64_t add = 0;
     sim::Time sent_at = 0;
+    /// Karn's rule: a response to an op that was ever retransmitted may
+    /// answer either transmission, so its RTT must not feed the
+    /// estimator.
+    bool retransmitted = false;
   };
   std::unordered_map<ShardPsn, Inflight, ShardPsnHash> inflight_;
   /// NAKs have no inflight entry to make their second delivery a no-op,
@@ -202,6 +216,14 @@ class StateStorePrimitive {
   /// Per-shard: a healthy shard's ACK stream must not mask a silent one,
   /// so replay rounds and timeout observations are gated per shard.
   std::vector<sim::Time> last_progress_;
+  /// Per-shard adaptive RTO estimators (used when adaptive_rto.enabled).
+  std::vector<AdaptiveRto> rto_;
+  /// The shard's current retransmission deadline: adaptive when enabled,
+  /// the fixed retransmit_timeout otherwise.
+  [[nodiscard]] sim::Time shard_timeout(std::size_t shard) const {
+    return config_.adaptive_rto.enabled ? rto_[shard].rto()
+                                        : config_.retransmit_timeout;
+  }
   sim::Time last_goback_ = -sim::kSecond;  // NAK-repost rate limiter
 
   Stats stats_;

@@ -84,6 +84,36 @@ void InvariantChecker::require_packet_buffer_fifo(
   });
 }
 
+void InvariantChecker::require_cc_sane(const core::ChannelSet& channels) {
+  add("cc_sane", [&channels]() -> std::optional<std::string> {
+    std::ostringstream out;
+    bool bad = false;
+    for (std::size_t i = 0; i < channels.size(); ++i) {
+      const core::RdmaChannel& ch = channels.at(i);
+      if (ch.paced_backlog() != 0) {
+        bad = true;
+        out << "shard" << i << ": " << ch.paced_backlog()
+            << " ops stuck in the pacing queue; ";
+      }
+      const core::DcqcnRateController* cc = ch.rate_controller();
+      if (cc == nullptr) continue;
+      if (cc->alpha() < 0.0 || cc->alpha() > 1.0) {
+        bad = true;
+        out << "shard" << i << ": alpha=" << cc->alpha() << " outside [0,1]; ";
+      }
+      if (cc->rate() < cc->config().min_rate ||
+          cc->rate() > cc->config().line_rate || cc->rate() > cc->target()) {
+        bad = true;
+        out << "shard" << i << ": rate=" << cc->rate() << " outside [min="
+            << cc->config().min_rate << ", target=" << cc->target()
+            << " <= line=" << cc->config().line_rate << "]; ";
+      }
+    }
+    if (!bad) return std::nullopt;
+    return out.str();
+  });
+}
+
 void InvariantChecker::require_no_open_spans(
     const telemetry::OpTracer& tracer) {
   add("tracer_no_open_spans", [&tracer]() -> std::optional<std::string> {

@@ -65,6 +65,12 @@ class InvariantChecker {
   /// OpTracer audit: no spans left open after quiesce.
   void require_no_open_spans(const telemetry::OpTracer& tracer);
 
+  /// Congestion-control sanity after drain: no op is parked forever in a
+  /// channel's pacing queue, and every DCQCN controller's state is
+  /// well-formed (alpha in [0,1], min_rate <= rate <= target <= line
+  /// rate). Holds vacuously for channels with CC disabled.
+  void require_cc_sane(const core::ChannelSet& channels);
+
   /// On any run() that returns violations: record each into `recorder`
   /// and, when `postmortem_path` is non-empty, write the recorder's
   /// dump bundle there — a failing chaos test leaves its event tail

@@ -9,9 +9,11 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 
 #include "net/address.hpp"
 #include "rnic/rnic.hpp"
+#include "telemetry/metrics.hpp"
 #include "topo/node.hpp"
 
 namespace xmem::host {
@@ -50,6 +52,12 @@ class Host : public topo::Node {
   [[nodiscard]] std::uint64_t pfc_frames() const { return pfc_frames_; }
   /// Total frames that arrived, RoCE included.
   [[nodiscard]] std::uint64_t rx_frames() const { return rx_frames_; }
+
+  /// Register host counters plus per-port PFC cost telemetry
+  /// (`<prefix>/port<i>/pause_time_us`, `.../hol_blocked_packets`) so
+  /// time-series sampling can watch backpressure land on this host.
+  void register_metrics(telemetry::MetricsRegistry& registry,
+                        const std::string& prefix);
 
   // topo::Node
   void receive(net::Packet&& packet, int port) override;

@@ -9,19 +9,19 @@ namespace {
 const MacAddress kPauseDst({0x01, 0x80, 0xc2, 0x00, 0x00, 0x01});
 }  // namespace
 
-PfcFrame pfc_xoff(const MacAddress& src) {
+PfcFrame pfc_xoff(const MacAddress& src, int priority) {
   PfcFrame f;
   f.src = src;
-  f.class_enable = 0x01;
-  f.quanta[0] = 0xffff;
+  f.class_enable = static_cast<std::uint8_t>(1u << (priority & 7));
+  f.quanta[priority & 7] = 0xffff;
   return f;
 }
 
-PfcFrame pfc_xon(const MacAddress& src) {
+PfcFrame pfc_xon(const MacAddress& src, int priority) {
   PfcFrame f;
   f.src = src;
-  f.class_enable = 0x01;
-  f.quanta[0] = 0;
+  f.class_enable = static_cast<std::uint8_t>(1u << (priority & 7));
+  f.quanta[priority & 7] = 0;
   return f;
 }
 

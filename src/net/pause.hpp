@@ -32,10 +32,13 @@ struct PfcFrame {
   }
 };
 
-/// XOFF helper: pause class 0 for the maximum duration.
-[[nodiscard]] PfcFrame pfc_xoff(const MacAddress& src);
-/// XON helper: resume class 0 immediately.
-[[nodiscard]] PfcFrame pfc_xon(const MacAddress& src);
+/// XOFF helper: pause `priority` (0..7) for the maximum duration. RDMA
+/// deployments put RoCE on its own class so a pause meant for storage
+/// traffic does not stall the rest of the port (802.1Qbb's whole point);
+/// class 0 remains the single-class default the early benches use.
+[[nodiscard]] PfcFrame pfc_xoff(const MacAddress& src, int priority = 0);
+/// XON helper: resume `priority` immediately.
+[[nodiscard]] PfcFrame pfc_xon(const MacAddress& src, int priority = 0);
 
 /// Serialize to a MAC-control frame (EtherType 0x8808, 60-byte minimum).
 [[nodiscard]] Packet build_pfc_frame(const PfcFrame& pfc);

@@ -11,6 +11,7 @@
 
 #include "roce/headers.hpp"
 #include "roce/packet.hpp"
+#include "sim/time.hpp"
 
 namespace xmem::rnic {
 
@@ -77,12 +78,20 @@ struct QueuePair {
     }
   } atomic_replay;
 
+  /// Congestion signaling: when the last CNP toward this QP's requester
+  /// left (CE-marked arrivals within cnp_min_interval of it are absorbed
+  /// into that notification, per the DCQCN per-flow CNP rate limit).
+  /// Negative = never sent.
+  sim::Time last_cnp_at = -1;
+
   /// Statistics.
   std::uint64_t writes_executed = 0;
   std::uint64_t reads_executed = 0;
   std::uint64_t atomics_executed = 0;
   std::uint64_t naks_sent = 0;
   std::uint64_t duplicates_seen = 0;
+  std::uint64_t ce_marked_rx = 0;
+  std::uint64_t cnps_sent = 0;
 };
 
 }  // namespace xmem::rnic

@@ -111,6 +111,16 @@ bool Rnic::handle_frame(const net::Packet& frame) {
   }
 
   ++stats_.requests_received;
+  // DCQCN responder side: react to fabric CE marks at arrival (before
+  // RX queueing, which would only slow the congestion control loop).
+  if (msg->ecn == net::Ecn::kCe) {
+    ++stats_.ce_marked_rx;
+    if (QueuePair* qp = find_qp(msg->bth.dest_qp);
+        qp != nullptr && qp->state == QpState::kReadyToReceive) {
+      ++qp->ce_marked_rx;
+      note_ce_marked(*qp);
+    }
+  }
   if (rx_queue_.size() >= profile_.rx_queue_depth) {
     ++stats_.requests_dropped_overflow;
     return true;
@@ -118,6 +128,26 @@ bool Rnic::handle_frame(const net::Packet& frame) {
   rx_queue_.push_back(RxItem{std::move(*msg), sim_->now()});
   pump();
   return true;
+}
+
+void Rnic::note_ce_marked(QueuePair& qp) {
+  const sim::Time now = sim_->now();
+  if (qp.last_cnp_at >= 0 && profile_.cnp_min_interval > 0 &&
+      now - qp.last_cnp_at < profile_.cnp_min_interval) {
+    return;  // this mark is absorbed into the CNP already on the wire
+  }
+  qp.last_cnp_at = now;
+  RoceMessage cnp;
+  cnp.bth.opcode = Opcode::kCnp;
+  cnp.bth.dest_qp = qp.remote_qpn;
+  cnp.bth.psn = roce::Psn(0);  // CNPs sit outside the PSN sequence
+  cnp.cnp = roce::CnpEth{};
+  cnp.ecn = net::Ecn::kNotEct;  // notifications are never themselves marked
+  ++qp.cnps_sent;
+  ++stats_.cnps_sent;
+  int_ingress_ = now;  // the CNP's NIC residency is instantaneous
+  transmit_response(
+      roce::build_roce_packet(self_, qp.remote, std::move(cnp)));
 }
 
 void Rnic::pump() {
@@ -459,6 +489,8 @@ void Rnic::register_metrics(telemetry::MetricsRegistry& registry,
   counter("naks/remote_op_error", &stats_.naks_remote_op_error, "ops");
   counter("responses_dispatched", &stats_.responses_dispatched, "ops");
   counter("restarts", &stats_.restarts, "restarts");
+  counter("ce_marked_rx", &stats_.ce_marked_rx, "ops");
+  counter("cnps_sent", &stats_.cnps_sent, "ops");
   registry.register_counter(
       prefix + "/bytes_written", [this]() { return stats_.bytes_written; },
       "bytes");

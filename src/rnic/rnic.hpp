@@ -47,6 +47,11 @@ struct NicProfile {
   sim::Time atomic_overhead = sim::nanoseconds(420);
   sim::Bandwidth dma_bandwidth = sim::gbps(80);
   std::size_t path_mtu = 4096;
+  /// Congestion signaling (DCQCN responder side): a CE-marked request
+  /// triggers a CNP toward its requester, rate-limited per QP to one
+  /// CNP per interval (the DCQCN notification period). 0 sends a CNP
+  /// for every marked arrival.
+  sim::Time cnp_min_interval = sim::microseconds(50);
 };
 
 class Rnic {
@@ -77,6 +82,10 @@ class Rnic {
     std::uint64_t restarts = 0;
     std::int64_t bytes_written = 0;
     std::int64_t bytes_read = 0;
+    /// Congestion signaling: requests that arrived CE-marked, and the
+    /// CNPs generated for them (after the per-QP rate limit).
+    std::uint64_t ce_marked_rx = 0;
+    std::uint64_t cnps_sent = 0;
   };
 
   Rnic(sim::Simulator& simulator, roce::RoceEndpoint self, NicProfile profile,
@@ -147,6 +156,9 @@ class Rnic {
 
   void send_ack(QueuePair& qp, roce::Psn psn, roce::AckSyndrome syndrome,
                 std::optional<std::uint64_t> atomic_original = std::nullopt);
+  /// A CE-marked request for `qp` arrived: emit a CNP toward its
+  /// requester unless one already left within cnp_min_interval.
+  void note_ce_marked(QueuePair& qp);
   void send_read_response(QueuePair& qp, roce::Psn first_psn,
                           std::span<const std::uint8_t> data);
 

@@ -1,5 +1,7 @@
 #include "roce/headers.hpp"
 
+#include <algorithm>
+
 namespace xmem::roce {
 
 void Bth::serialize(net::ByteWriter& w) const {
@@ -79,6 +81,15 @@ void AtomicAckEth::serialize(net::ByteWriter& w) const {
 AtomicAckEth AtomicAckEth::parse(net::ByteReader& r) {
   AtomicAckEth h;
   h.original_value = r.u64();
+  return h;
+}
+
+void CnpEth::serialize(net::ByteWriter& w) const { w.bytes(reserved); }
+
+CnpEth CnpEth::parse(net::ByteReader& r) {
+  CnpEth h;
+  const auto bytes = r.bytes(kCnpEthBytes);
+  std::copy(bytes.begin(), bytes.end(), h.reserved.begin());
   return h;
 }
 

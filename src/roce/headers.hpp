@@ -9,6 +9,7 @@
 // plus a 4-byte ICRC trailer on every packet.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 
@@ -22,6 +23,7 @@ inline constexpr std::size_t kRethBytes = 16;
 inline constexpr std::size_t kAtomicEthBytes = 28;
 inline constexpr std::size_t kAethBytes = 4;
 inline constexpr std::size_t kAtomicAckEthBytes = 8;
+inline constexpr std::size_t kCnpEthBytes = 16;
 inline constexpr std::size_t kIcrcBytes = 4;
 
 inline constexpr std::uint32_t kPsnMask = 0xffffff;
@@ -178,6 +180,23 @@ struct AtomicAckEth {
 };
 static_assert(AtomicAckEth::kWireBytes == 8,
               "AtomicAckETH wire layout is 8 bytes");
+
+/// CNP payload (RoCEv2 Annex A17.9.3): 16 reserved bytes between the
+/// BTH and the ICRC. The bytes are transmitted as zero today; the pinned
+/// layout keeps the packet the exact 16-byte size congestion-aware
+/// RNICs expect, so future fields (e.g. a marked-byte echo) slot in
+/// without changing the frame length.
+struct CnpEth {
+  std::array<std::uint8_t, kCnpEthBytes> reserved{};
+
+  static constexpr std::size_t kWireBytes = kCnpEthBytes;
+
+  void serialize(net::ByteWriter& w) const;
+  static CnpEth parse(net::ByteReader& r);
+
+  bool operator==(const CnpEth&) const = default;
+};
+static_assert(CnpEth::kWireBytes == 16, "CNP payload is 16 reserved bytes");
 
 }  // namespace xmem::roce
 

@@ -26,7 +26,12 @@ enum class Opcode : std::uint8_t {
   kRdmaReadResponseOnly = 0x10,
   kAcknowledge = 0x11,
   kAtomicAcknowledge = 0x12,
+  // Congestion Notification Packet (RoCEv2 Annex A17.9.3): sent by the
+  // responder toward the requester's QP when CE-marked requests arrive.
+  kCnp = 0x81,
 };
+
+[[nodiscard]] constexpr bool is_cnp(Opcode op) { return op == Opcode::kCnp; }
 
 [[nodiscard]] constexpr bool is_write(Opcode op) {
   return op == Opcode::kRdmaWriteFirst || op == Opcode::kRdmaWriteMiddle ||
@@ -52,9 +57,12 @@ enum class Opcode : std::uint8_t {
   return is_write(op) || is_read_request(op) || is_atomic(op);
 }
 
+/// CNP travels responder -> requester like the response opcodes do, so
+/// the requester-side demux (RNIC response dispatch, channel ownership)
+/// treats it as response-class traffic.
 [[nodiscard]] constexpr bool is_response(Opcode op) {
   return is_read_response(op) || op == Opcode::kAcknowledge ||
-         op == Opcode::kAtomicAcknowledge;
+         op == Opcode::kAtomicAcknowledge || is_cnp(op);
 }
 
 /// Which extension header follows the BTH for this opcode.
@@ -76,6 +84,8 @@ enum class Opcode : std::uint8_t {
   return op == Opcode::kAtomicAcknowledge;
 }
 
+[[nodiscard]] constexpr bool has_cnp_eth(Opcode op) { return is_cnp(op); }
+
 /// True when the opcode carries a data payload on the wire.
 [[nodiscard]] constexpr bool has_payload(Opcode op) {
   return is_write(op) || is_read_response(op);
@@ -96,6 +106,7 @@ enum class Opcode : std::uint8_t {
     case Opcode::kRdmaReadResponseOnly: return "READ_RESP_ONLY";
     case Opcode::kAcknowledge: return "ACK";
     case Opcode::kAtomicAcknowledge: return "ATOMIC_ACK";
+    case Opcode::kCnp: return "CNP";
   }
   return "UNKNOWN";
 }

@@ -14,6 +14,7 @@ std::size_t extension_bytes(const RoceMessage& msg) {
   if (msg.atomic_eth) n += kAtomicEthBytes;
   if (msg.aeth) n += kAethBytes;
   if (msg.atomic_ack) n += kAtomicAckEthBytes;
+  if (msg.cnp) n += kCnpEthBytes;
   return n;
 }
 
@@ -36,6 +37,10 @@ void check_headers_match_opcode(const RoceMessage& msg) {
     throw std::invalid_argument(
         "RoceMessage: AtomicAckETH presence mismatch for " +
         std::string(to_string(op)));
+  }
+  if (has_cnp_eth(op) != msg.cnp.has_value()) {
+    throw std::invalid_argument("RoceMessage: CnpETH presence mismatch for " +
+                                std::string(to_string(op)));
   }
   if (!msg.payload.empty() && !has_payload(op)) {
     throw std::invalid_argument("RoceMessage: opcode carries no payload: " +
@@ -107,7 +112,7 @@ net::Packet build_roce_packet(const RoceEndpoint& src, const RoceEndpoint& dst,
     ip.protocol = static_cast<std::uint8_t>(net::IpProto::kUdp);
     ip.src = src.ip;
     ip.dst = dst.ip;
-    ip.ecn = net::Ecn::kEct0;  // RoCEv2 deployments run ECN-capable
+    ip.ecn = msg.ecn;  // defaults to ECT(0): RoCEv2 runs ECN-capable
     ip.serialize(w);
 
     net::UdpHeader udp;
@@ -130,6 +135,7 @@ net::Packet build_roce_packet(const RoceEndpoint& src, const RoceEndpoint& dst,
   if (msg.atomic_eth) msg.atomic_eth->serialize(w);
   if (msg.aeth) msg.aeth->serialize(w);
   if (msg.atomic_ack) msg.atomic_ack->serialize(w);
+  if (msg.cnp) msg.cnp->serialize(w);
   w.bytes(msg.payload);
   w.zeros(pad);
 
@@ -145,11 +151,13 @@ std::optional<RoceMessage> parse_roce_packet(const net::Packet& p) {
     const auto eth = net::EthernetHeader::parse(r);
 
     RoceVersion version;
+    net::Ecn ecn = net::Ecn::kEct0;
     if (eth.type() == net::EtherType::kIpv4) {
       const auto ip = net::Ipv4Header::parse(r);
       if (ip.proto() != net::IpProto::kUdp) return std::nullopt;
       const auto udp = net::UdpHeader::parse(r);
       if (udp.dst_port != net::kRoceV2Port) return std::nullopt;
+      ecn = ip.ecn;
       version = RoceVersion::kV2;
     } else if (eth.type() == net::EtherType::kRoceV1) {
       Grh::parse(r);
@@ -168,12 +176,14 @@ std::optional<RoceMessage> parse_roce_packet(const net::Packet& p) {
     if (icrc_reader.u32() != expected) return std::nullopt;
 
     RoceMessage msg;
+    msg.ecn = ecn;
     msg.bth = Bth::parse(r);
     const Opcode op = msg.bth.opcode;
     if (has_reth(op)) msg.reth = Reth::parse(r);
     if (has_atomic_eth(op)) msg.atomic_eth = AtomicEth::parse(r);
     if (has_aeth(op)) msg.aeth = Aeth::parse(r);
     if (has_atomic_ack_eth(op)) msg.atomic_ack = AtomicAckEth::parse(r);
+    if (has_cnp_eth(op)) msg.cnp = CnpEth::parse(r);
 
     const std::size_t tail = kIcrcBytes + msg.bth.pad_count;
     if (r.remaining() < tail) return std::nullopt;
@@ -196,6 +206,7 @@ std::size_t roce_overhead_bytes(Opcode op, RoceVersion version) {
   if (has_atomic_eth(op)) n += kAtomicEthBytes;
   if (has_aeth(op)) n += kAethBytes;
   if (has_atomic_ack_eth(op)) n += kAtomicAckEthBytes;
+  if (has_cnp_eth(op)) n += kCnpEthBytes;
   n += kIcrcBytes;
   return n;
 }

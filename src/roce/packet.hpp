@@ -12,6 +12,7 @@
 #include <span>
 #include <vector>
 
+#include "net/ipv4.hpp"
 #include "net/packet.hpp"
 #include "roce/grh.hpp"
 #include "roce/headers.hpp"
@@ -38,7 +39,14 @@ struct RoceMessage {
   std::optional<AtomicEth> atomic_eth;
   std::optional<Aeth> aeth;
   std::optional<AtomicAckEth> atomic_ack;
+  std::optional<CnpEth> cnp;
   std::vector<std::uint8_t> payload;
+  /// ECN codepoint of the enclosing IP header. build_roce_packet() emits
+  /// it (RoCEv2 frames default to ECT(0), so switch queues may CE-mark
+  /// them); parse_roce_packet() recovers it, which is how a responder
+  /// sees congestion marks the fabric applied in transit. RoCEv1 has no
+  /// IP header: the field stays at its default there.
+  net::Ecn ecn = net::Ecn::kEct0;
 
   [[nodiscard]] Opcode opcode() const { return bth.opcode; }
 };

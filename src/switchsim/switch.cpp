@@ -58,12 +58,15 @@ void ProgrammableSwitch::set_l2_route(const net::MacAddress& mac, int port) {
 }
 
 void ProgrammableSwitch::enable_pfc(std::int64_t xoff_bytes,
-                                    std::int64_t xon_bytes) {
+                                    std::int64_t xon_bytes,
+                                    int priority_class) {
   assert(ready() && "enable_pfc before setup()");
   assert(xon_bytes < xoff_bytes);
+  assert(priority_class >= 0 && priority_class < 8);
   pfc_enabled_ = true;
   pfc_xoff_bytes_ = xoff_bytes;
   pfc_xon_bytes_ = xon_bytes;
+  pfc_class_ = priority_class;
   tm_->add_watcher([this](QueueEvent event, int, std::int64_t) {
     if (event == QueueEvent::kEnqueue && !pfc_paused_ &&
         tm_->buffer_used() >= pfc_xoff_bytes_) {
@@ -81,7 +84,8 @@ void ProgrammableSwitch::pfc_broadcast(bool xoff) {
   // MAC-control frames are emitted by the port MACs directly (they do
   // not traverse the traffic manager).
   const net::MacAddress self = net::MacAddress::from_index(0);
-  const net::PfcFrame frame = xoff ? net::pfc_xoff(self) : net::pfc_xon(self);
+  const net::PfcFrame frame =
+      xoff ? net::pfc_xoff(self, pfc_class_) : net::pfc_xon(self, pfc_class_);
   for (int p = 0; p < port_count(); ++p) {
     if (!port(p).connected()) continue;
     port(p).send(net::build_pfc_frame(frame));

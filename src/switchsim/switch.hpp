@@ -65,10 +65,15 @@ class ProgrammableSwitch : public topo::Node {
 
   /// Turn on shared-buffer PFC (§2.1's incumbent fix): when buffer usage
   /// crosses `xoff_bytes` the switch XOFFs every port; once it drains to
-  /// `xon_bytes` it XONs them. Call after setup(). Note the inherent
-  /// head-of-line blocking: pausing a port stops ALL of its traffic,
-  /// victims included — the behaviour bench/a4 quantifies.
-  void enable_pfc(std::int64_t xoff_bytes, std::int64_t xon_bytes);
+  /// `xon_bytes` it XONs them. Call after setup(). `priority_class`
+  /// (0..7) selects the 802.1Qbb class the pause targets — put RoCE on
+  /// its own class so DCQCN's lossless backstop does not pause unrelated
+  /// tenants. Note the inherent head-of-line blocking either way: the
+  /// port MAC model pauses the whole transmitter, victims included — the
+  /// behaviour bench/a4 quantifies and Port::hol_blocked_packets()
+  /// counts.
+  void enable_pfc(std::int64_t xoff_bytes, std::int64_t xon_bytes,
+                  int priority_class = 0);
   [[nodiscard]] bool pfc_paused() const { return pfc_paused_; }
 
   /// Tag every dequeued frame with an INT hop record covering its
@@ -125,6 +130,7 @@ class ProgrammableSwitch : public topo::Node {
   bool pfc_paused_ = false;
   std::int64_t pfc_xoff_bytes_ = 0;
   std::int64_t pfc_xon_bytes_ = 0;
+  int pfc_class_ = 0;
   Stats stats_;
 };
 

@@ -1,13 +1,22 @@
 #include "switchsim/traffic_manager.hpp"
 
 #include <cassert>
+#include <stdexcept>
 
 namespace xmem::switchsim {
 
 TrafficManager::TrafficManager(int port_count, Config config)
     : config_(config),
       queues_(static_cast<std::size_t>(port_count)),
-      stats_(static_cast<std::size_t>(port_count)) {}
+      stats_(static_cast<std::size_t>(port_count)) {
+  if (config_.shared_buffer_bytes <= 0) {
+    throw std::invalid_argument("TrafficManager: shared_buffer_bytes must be positive");
+  }
+  if (config_.ecn_mark_threshold_bytes < 0) {
+    throw std::invalid_argument(
+        "TrafficManager: ecn_mark_threshold_bytes must be >= 0 (0 disables marking)");
+  }
+}
 
 bool TrafficManager::enqueue(int port, net::Packet&& packet, sim::Time now) {
   assert(port >= 0 && static_cast<std::size_t>(port) < queues_.size());

@@ -28,7 +28,12 @@ class TrafficManager {
  public:
   struct Config {
     std::int64_t shared_buffer_bytes = 12 * 1000 * 1000;  // paper's 12 MB
-    /// ECN: mark CE on enqueue when the queue exceeds this (0 disables).
+    /// ECN: mark CE on enqueue when the queue exceeds this (0 disables;
+    /// negative rejected at construction). One threshold serves every
+    /// ECN-capable flow through the queue — DCTCP tenants and RoCEv2
+    /// memory traffic alike — so a CE-marked RDMA request triggers the
+    /// server RNIC's CNP path exactly when a DCTCP sender sharing the
+    /// port would see marks (DCQCN's Kmin==Kmax simplification).
     std::int64_t ecn_mark_threshold_bytes = 0;
   };
 
@@ -36,6 +41,9 @@ class TrafficManager {
   using QueueWatcher =
       std::function<void(QueueEvent, int port, std::int64_t depth_bytes)>;
 
+  /// Throws std::invalid_argument on a non-positive buffer size or a
+  /// negative ECN threshold (a silent negative would disable marking
+  /// while looking configured).
   TrafficManager(int port_count, Config config);
 
   /// Enqueue for egress on `port`; returns false (drop) when the shared

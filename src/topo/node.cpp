@@ -1,5 +1,6 @@
 #include "topo/node.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 #include "topo/link.hpp"
@@ -10,13 +11,27 @@ void Port::send(net::Packet&& packet) {
   assert(link_ != nullptr && "Port::send on unconnected port");
   packet.meta().enqueued = sim_->now();
   fifo_.push_back(std::move(packet));
+  if (paused()) ++hol_blocked_packets_;
   if (!busy_) start_next_transmission();
 }
 
 void Port::apply_pause(sim::Time until) {
+  const sim::Time now = sim_->now();
+  // Settle paused time accrued under the previous edict before it is
+  // replaced; the accessor reports the live remainder on the fly.
+  const sim::Time settled_end = std::min(now, pause_until_);
+  if (settled_end > pause_accrued_to_) {
+    pause_time_total_ += settled_end - pause_accrued_to_;
+  }
+  pause_accrued_to_ = now;
+  const bool was_paused = now < pause_until_;
   pause_until_ = until;
   resume_event_.cancel();
   if (paused()) {
+    if (!was_paused) {
+      // New pause episode: everything already queued is now blocked.
+      hol_blocked_packets_ += fifo_.size();
+    }
     // Arrange to restart when the pause lapses (an XON will cancel and
     // resume sooner via the path below).
     resume_event_ = sim_->schedule_at(pause_until_, [this]() {
@@ -28,6 +43,13 @@ void Port::apply_pause(sim::Time until) {
 }
 
 bool Port::paused() const { return sim_->now() < pause_until_; }
+
+sim::Time Port::pause_time_total() const {
+  const sim::Time live_end = std::min(sim_->now(), pause_until_);
+  sim::Time total = pause_time_total_;
+  if (live_end > pause_accrued_to_) total += live_end - pause_accrued_to_;
+  return total;
+}
 
 void Port::start_next_transmission() {
   if (paused()) {

@@ -60,6 +60,19 @@ class Port {
   void apply_pause(sim::Time until);
   [[nodiscard]] bool paused() const;
 
+  /// Cumulative time this port has spent paused, including the elapsed
+  /// part of a pause still in force. Refreshed/extended pauses accrue
+  /// continuously; an XON truncates accrual at the resume instant.
+  [[nodiscard]] sim::Time pause_time_total() const;
+
+  /// Packets that queued behind an active pause. This is the PFC
+  /// head-of-line-blocking cost: a pause aimed at one priority stalls
+  /// every class sharing the port. Each packet counts once per pause
+  /// episode, however many refresh frames extend it.
+  [[nodiscard]] std::uint64_t hol_blocked_packets() const {
+    return hol_blocked_packets_;
+  }
+
   /// Counters.
   [[nodiscard]] std::uint64_t tx_packets() const { return tx_packets_; }
   [[nodiscard]] std::int64_t tx_bytes() const { return tx_bytes_; }
@@ -87,6 +100,9 @@ class Port {
   int link_end_ = -1;
   bool busy_ = false;
   sim::Time pause_until_ = 0;
+  sim::Time pause_time_total_ = 0;  // settled paused time
+  sim::Time pause_accrued_to_ = 0;  // instant up to which pauses are settled
+  std::uint64_t hol_blocked_packets_ = 0;
   sim::EventId resume_event_;
   std::deque<net::Packet> fifo_;
   std::function<void()> idle_callback_;

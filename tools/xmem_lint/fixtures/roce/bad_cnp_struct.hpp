@@ -1,0 +1,26 @@
+// Known-bad fixture: a CNP header extension (it has a
+// serialize(ByteWriter&) member) in a roce/ path with no static_assert
+// pinning its wire layout. The real roce::CnpEth pins kWireBytes == 16
+// (kCnpEthBytes) — anyone extending the congestion-notification format
+// must pin the new layout the same way, or the RNIC responder and the
+// switch-side parser can silently disagree on the frame size.
+// xmem-lint must flag the struct (rule: wire-assert).
+#pragma once
+
+#include <cstdint>
+
+namespace net {
+class ByteWriter;
+}
+
+namespace fixture {
+
+struct CnpExtEth {
+  std::uint16_t qp_hint = 0;
+  std::uint8_t severity = 0;
+
+  void serialize(net::ByteWriter& w) const;
+};
+// Missing: static_assert(CnpExtEth::kWireBytes == 3, "...");
+
+}  // namespace fixture

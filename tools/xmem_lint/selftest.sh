@@ -30,6 +30,7 @@ expect_rule "$FIXTURES/bad_psn_compare.cpp" psn-compare
 expect_rule "$FIXTURES/bad_trace_unpaired.cpp" trace-pair
 expect_rule "$FIXTURES/bad_wire_memcpy.cpp" wire-bytes
 expect_rule "$FIXTURES/roce/bad_wire_struct.hpp" wire-assert
+expect_rule "$FIXTURES/roce/bad_cnp_struct.hpp" wire-assert
 expect_rule "$FIXTURES/telemetry/bad_export_struct.hpp" wire-pin
 expect_rule "$FIXTURES/bad_packet_by_value.cpp" packet-value
 
