@@ -9,7 +9,14 @@
 #   $ scripts/check.sh --fast      # alias for --tier1 (kept for habit)
 #   $ scripts/check.sh --chaos     # Release build + chaos-labeled ctests
 #                                  # (fault injection + invariant suite)
-#   $ scripts/check.sh --lint      # xmem-lint over src/ + lint selftest
+#   $ scripts/check.sh --tsan      # ThreadSanitizer build (-DXMEM_TSAN=ON)
+#                                  # + tier-1 ctest: the data-race leg of
+#                                  # the determinism contract
+#   $ scripts/check.sh --lint      # xmem-lint v2 tree-wide (src, tools,
+#                                  # bench, examples, tests) against the
+#                                  # committed baseline, plus the fixture
+#                                  # selftest; ends with a grep-able
+#                                  # "CHECK: lint OK/FAIL" verdict
 #   $ scripts/check.sh --bench     # perf gate: re-run the pinned bench
 #                                  # set and compare against the committed
 #                                  # baseline in BENCH_PR5.json (warn past
@@ -62,6 +69,7 @@ trap 'status=$?; if [[ $status -ne 0 ]]; then echo "CHECK FAIL (exit $status)"; 
 run_tier1=1
 run_sanitize=1
 run_chaos=0
+run_tsan=0
 run_lint=0
 run_format=0
 run_tidy=0
@@ -73,7 +81,7 @@ cache_policy=""
 run_cc=0
 cc_asan=0
 usage() {
-  echo "usage: $0 [--tier1|--sanitize|--fast|--chaos|--lint|--format|--tidy|--bench|--report|--cache|--cache-asan|--cc|--cc-asan] [--cache-policy <lru|lfu|fifo>]" >&2
+  echo "usage: $0 [--tier1|--sanitize|--tsan|--fast|--chaos|--lint|--format|--tidy|--bench|--report|--cache|--cache-asan|--cc|--cc-asan] [--cache-policy <lru|lfu|fifo>]" >&2
   exit 2
 }
 solo() { run_tier1=0; run_sanitize=0; }
@@ -82,6 +90,7 @@ while [[ $# -gt 0 ]]; do
     --tier1|--fast) run_sanitize=0 ;;
     --sanitize) run_tier1=0 ;;
     --chaos) solo; run_chaos=1 ;;
+    --tsan) solo; run_tsan=1 ;;
     --lint) solo; run_lint=1 ;;
     --format) solo; run_format=1 ;;
     --tidy) solo; run_tidy=1 ;;
@@ -130,13 +139,35 @@ if [[ "$run_sanitize" == 1 ]]; then
   ctest --test-dir "$repo/build-asan" --output-on-failure -j "$jobs"
 fi
 
+if [[ "$run_tsan" == 1 ]]; then
+  echo "== tsan: ThreadSanitizer build + tier-1 ctest =="
+  cmake -B "$repo/build-tsan" -S "$repo" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DXMEM_TSAN=ON
+  cmake --build "$repo/build-tsan" -j "$jobs"
+  ctest --test-dir "$repo/build-tsan" --output-on-failure -j "$jobs"
+fi
+
 if [[ "$run_lint" == 1 ]]; then
-  echo "== lint: xmem-lint over src/ + fixture selftest =="
+  echo "== lint: xmem-lint v2 tree-wide + fixture selftest =="
   cmake -B "$repo/build" -S "$repo" -DCMAKE_BUILD_TYPE=Release
   cmake --build "$repo/build" --target xmem_lint -j "$jobs"
   lint_bin="$repo/build/tools/xmem_lint/xmem_lint"
-  "$lint_bin" "$repo/src"
+  # Tree-wide against the committed baseline: any non-baselined finding,
+  # or a stale baseline entry, fails the gate. Findings print in the
+  # `path:line: [rule] message` format the CI problem matcher
+  # (.github/problem-matchers/xmem-lint.json) turns into PR annotations.
+  lint_status=0
+  "$lint_bin" --baseline "$repo/tools/xmem_lint/baseline.txt" \
+    "$repo/src" "$repo/tools" "$repo/bench" "$repo/examples" "$repo/tests" \
+    || lint_status=$?
   "$repo/tools/xmem_lint/selftest.sh" "$lint_bin" "$repo"
+  # Fail fast with a grep-able per-gate verdict (distinct from the final
+  # "CHECK " line so dashboards can key on the lint gate specifically).
+  if [[ "$lint_status" -ne 0 ]]; then
+    echo "CHECK: lint FAIL (xmem-lint exit $lint_status)"
+    exit "$lint_status"
+  fi
+  echo "CHECK: lint OK"
 fi
 
 if [[ "$run_cache" == 1 ]]; then
@@ -263,6 +294,8 @@ elif [[ "$run_tier1" == 1 ]]; then
   echo "CHECK OK (tier1)"
 elif [[ "$run_chaos" == 1 ]]; then
   echo "CHECK OK (chaos)"
+elif [[ "$run_tsan" == 1 ]]; then
+  echo "CHECK OK (tsan)"
 elif [[ "$run_lint" == 1 ]]; then
   echo "CHECK OK (lint)"
 elif [[ "$run_bench" == 1 ]]; then

@@ -1,8 +1,13 @@
 #include "core/lookup_cache.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cctype>
-#include <cstdlib>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/env.hpp"
 
 namespace xmem::core {
 
@@ -157,9 +162,9 @@ std::optional<LookupCache::Policy> LookupCache::parse_policy(
 }
 
 LookupCache::Policy LookupCache::policy_from_env(Policy fallback) {
-  const char* value = std::getenv("XMEM_CACHE_POLICY");
-  if (value == nullptr) return fallback;
-  return parse_policy(value).value_or(fallback);
+  const std::optional<std::string> value = sim::env("XMEM_CACHE_POLICY");
+  if (!value.has_value()) return fallback;
+  return parse_policy(*value).value_or(fallback);
 }
 
 LookupCache::LookupCache(Config config) : config_(config) {
@@ -303,7 +308,14 @@ std::size_t LookupCache::invalidate_shard(std::uint32_t shard) {
 
 void LookupCache::clear() {
   stats_.invalidations += map_.size();
-  for (auto& [key, node] : map_) eviction_->on_erase(node);
+  // Drain in sorted key order: the eviction policy observes every
+  // on_erase, so its internal state must not inherit hash order.
+  std::vector<const Key*> keys;
+  keys.reserve(map_.size());
+  for (auto& [key, node] : map_) keys.push_back(&key);
+  std::sort(keys.begin(), keys.end(),
+            [](const Key* a, const Key* b) { return *a < *b; });
+  for (const Key* key : keys) eviction_->on_erase(map_.at(*key));
   map_.clear();
 }
 

@@ -397,6 +397,12 @@ void LookupTablePrimitive::reclaim_shard(std::size_t shard) {
   for (const auto& [key, held] : pending_) {
     if (key.shard == shard) keys.push_back(key);
   }
+  // Reclaim in PSN order (numeric, one shard): trace completion must
+  // replay identically run to run, not in hash order.
+  std::sort(keys.begin(), keys.end(), [](const ShardPsn& a,
+                                         const ShardPsn& b) {
+    return a.psn.raw() < b.psn.raw();
+  });
   for (const ShardPsn& key : keys) {
     inflight_.erase(key);
     pending_.erase(key);
@@ -430,6 +436,13 @@ void LookupTablePrimitive::on_timeout() {
   for (const auto& [key, held] : pending_) {
     if (now - held.sent_at >= shard_timeout(key.shard)) stale.push_back(key);
   }
+  // Expire in (shard, PSN) order, not hash order: drops, traces and
+  // health observations are part of the replay.
+  std::sort(stale.begin(), stale.end(), [](const ShardPsn& a,
+                                           const ShardPsn& b) {
+    return a.shard != b.shard ? a.shard < b.shard
+                              : a.psn.raw() < b.psn.raw();
+  });
   std::vector<bool> shard_expired(channels_.size(), false);
   for (const ShardPsn& key : stale) shard_expired[key.shard] = true;
   for (const ShardPsn& key : stale) {

@@ -319,9 +319,18 @@ void PacketBufferPrimitive::on_health_change(std::size_t shard,
     if (config_.reliable_stores) {
       // Unacknowledged WRITEs may or may not have landed before the
       // stripe died; repost them (original PSN — the responder
-      // re-executes duplicates of self-contained writes idempotently).
-      for (auto& [key, w] : inflight_writes_) {
-        if (key.channel != shard) continue;
+      // re-executes duplicates of self-contained writes idempotently)
+      // in PSN order, not hash order, so the wire replays identically.
+      std::vector<InflightKey> writes;
+      for (const auto& [key, w] : inflight_writes_) {
+        if (key.channel == shard) writes.push_back(key);
+      }
+      std::sort(writes.begin(), writes.end(), [](const InflightKey& a,
+                                                 const InflightKey& b) {
+        return a.psn.raw() < b.psn.raw();
+      });
+      for (const InflightKey& key : writes) {
+        PendingWrite& w = inflight_writes_.at(key);
         w.retransmitted = true;
         channels_.at(shard).repost_write(slot_va(w.slot), w.entry, key.psn);
         ++stats_.write_retries;
@@ -344,9 +353,18 @@ void PacketBufferPrimitive::on_health_change(std::size_t shard,
     }
     if (config_.reliable_loads) {
       // The stripe is back and its DRAM still holds our frames:
-      // re-request everything that was outstanding when it died.
-      for (auto& [key, f] : inflight_) {
-        if (key.channel != shard) continue;
+      // re-request everything that was outstanding when it died, in
+      // PSN order so the recovery wire traffic is replayable.
+      std::vector<InflightKey> reads;
+      for (const auto& [key, f] : inflight_) {
+        if (key.channel == shard) reads.push_back(key);
+      }
+      std::sort(reads.begin(), reads.end(), [](const InflightKey& a,
+                                               const InflightKey& b) {
+        return a.psn.raw() < b.psn.raw();
+      });
+      for (const InflightKey& key : reads) {
+        InflightRead& f = inflight_.at(key);
         f.retransmitted = true;
         channels_.at(shard).repost_read(
             slot_va(f.slot), static_cast<std::uint32_t>(config_.entry_bytes),
@@ -364,6 +382,12 @@ void PacketBufferPrimitive::on_health_change(std::size_t shard,
   for (const auto& [key, f] : inflight_) {
     if (key.channel == shard) keys.push_back(key);
   }
+  // Hole the slots in PSN order: reorder-buffer updates and traces must
+  // not inherit hash order.
+  std::sort(keys.begin(), keys.end(), [](const InflightKey& a,
+                                         const InflightKey& b) {
+    return a.psn.raw() < b.psn.raw();
+  });
   for (const InflightKey& key : keys) {
     const std::uint64_t slot = inflight_.at(key).slot;
     inflight_.erase(key);
@@ -466,6 +490,14 @@ void PacketBufferPrimitive::on_timeout() {
       stale_writes.push_back(key);
       stalled[key.channel] = true;
     }
+    // Retransmissions below follow these vectors: order them by
+    // (channel, PSN) so recovery traffic replays identically.
+    const auto drain_order = [](const InflightKey& a, const InflightKey& b) {
+      return a.channel != b.channel ? a.channel < b.channel
+                                    : a.psn.raw() < b.psn.raw();
+    };
+    std::sort(stale.begin(), stale.end(), drain_order);
+    std::sort(stale_writes.begin(), stale_writes.end(), drain_order);
     // One timeout observation per stripe with stalled ops: this is
     // what eventually trips a dead stripe's health state. The adaptive
     // estimator backs off alongside, so the next silent round waits

@@ -283,7 +283,13 @@ void StateStorePrimitive::handle_response(std::size_t shard,
 }
 
 void StateStorePrimitive::flush() {
-  for (const auto& [index, count] : accumulators_) make_eligible(index);
+  // Sorted drain: eligibility (and the resulting issue order) must not
+  // inherit the accumulator map's hash order.
+  std::vector<std::uint64_t> indices;
+  indices.reserve(accumulators_.size());
+  for (const auto& [index, count] : accumulators_) indices.push_back(index);
+  std::sort(indices.begin(), indices.end());
+  for (const std::uint64_t index : indices) make_eligible(index);
   issue_from_accumulators();
 }
 
@@ -350,6 +356,12 @@ void StateStorePrimitive::reclaim_shard(std::size_t shard) {
   for (const auto& [key, f] : inflight_) {
     if (key.shard == shard) keys.push_back(key);
   }
+  // Reclaim in PSN order (numeric, one shard): trace completion and
+  // accumulator re-arming must replay identically run to run.
+  std::sort(keys.begin(), keys.end(), [](const ShardPsn& a,
+                                         const ShardPsn& b) {
+    return a.psn.raw() < b.psn.raw();
+  });
   for (const ShardPsn& key : keys) {
     const Inflight f = inflight_.at(key);
     inflight_.erase(key);
@@ -416,6 +428,13 @@ void StateStorePrimitive::on_timeout() {
     for (const auto& [key, f] : inflight_) {
       if (now - f.sent_at >= shard_timeout(key.shard)) stale.push_back(key);
     }
+    // Expire in (shard, PSN) order, not hash order: the trace stream
+    // and per-shard health observations are part of the replay.
+    std::sort(stale.begin(), stale.end(), [](const ShardPsn& a,
+                                             const ShardPsn& b) {
+      return a.shard != b.shard ? a.shard < b.shard
+                                : a.psn.raw() < b.psn.raw();
+    });
     std::vector<bool> shard_expired(channels_.size(), false);
     for (const ShardPsn& key : stale) {
       auto it = inflight_.find(key);

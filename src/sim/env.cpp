@@ -1,0 +1,34 @@
+#include "sim/env.hpp"
+
+#include <cstdlib>
+#include <map>
+
+namespace xmem::sim {
+
+namespace {
+
+// Function-local static: no namespace-scope mutable state (the
+// mutable-global rule applies here too). std::map, not unordered — the
+// snapshot is tiny and iteration order never matters, but keeping it
+// ordered costs nothing.
+std::map<std::string, std::optional<std::string>>& snapshot() {
+  static std::map<std::string, std::optional<std::string>> cache;
+  return cache;
+}
+
+}  // namespace
+
+std::optional<std::string> env(const std::string& name) {
+  auto& cache = snapshot();
+  const auto it = cache.find(name);
+  if (it != cache.end()) return it->second;
+  const char* raw = std::getenv(name.c_str());
+  std::optional<std::string> value;
+  if (raw != nullptr) value = raw;
+  cache.emplace(name, value);
+  return value;
+}
+
+void reset_env_for_test() { snapshot().clear(); }
+
+}  // namespace xmem::sim

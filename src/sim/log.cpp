@@ -3,8 +3,9 @@
 #include <algorithm>
 #include <cctype>
 #include <cstdio>
-#include <cstdlib>
 #include <optional>
+
+#include "sim/env.hpp"
 
 namespace xmem::sim {
 
@@ -13,9 +14,9 @@ namespace {
 // Optional environment override, consulted exactly once when the global
 // Logger is constructed. Values: debug|info|warn|error|off.
 std::optional<LogLevel> level_from_env() {
-  const char* raw = std::getenv("XMEM_LOG_LEVEL");
-  if (raw == nullptr) return std::nullopt;
-  std::string v(raw);
+  const std::optional<std::string> raw = env("XMEM_LOG_LEVEL");
+  if (!raw.has_value()) return std::nullopt;
+  std::string v(*raw);
   std::transform(v.begin(), v.end(), v.begin(), [](unsigned char c) {
     return static_cast<char>(std::tolower(c));
   });
@@ -25,7 +26,8 @@ std::optional<LogLevel> level_from_env() {
   if (v == "error") return LogLevel::Error;
   if (v == "off") return LogLevel::Off;
   std::fprintf(stderr, "XMEM_LOG_LEVEL: unknown level '%s' ignored "
-                       "(expected debug|info|warn|error|off)\n", raw);
+                       "(expected debug|info|warn|error|off)\n",
+               raw->c_str());
   return std::nullopt;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "net/flow.hpp"
+#include "telemetry/json.hpp"
 
 namespace xmem::telemetry {
 
@@ -116,6 +117,35 @@ void IntCollector::register_metrics(MetricsRegistry& registry,
   };
   rehome(prefix + "/path_latency_us", "us", path_latency_us_);
   rehome(prefix + "/tm_queue_depth_bytes", "bytes", tm_queue_depth_bytes_);
+}
+
+std::vector<std::pair<std::uint64_t, const IntCollector::FlowStats*>>
+IntCollector::sorted_flows() const {
+  std::vector<std::pair<std::uint64_t, const FlowStats*>> out;
+  out.reserve(flows_.size());
+  for (const auto& [key, fs] : flows_) out.emplace_back(key, &fs);
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+std::string IntCollector::flows_json() const {
+  json::JsonWriter w;
+  w.begin_array();
+  for (const auto& [key, fs] : sorted_flows()) {
+    w.begin_object();
+    w.kv("flow", key);
+    w.kv("packets", fs->packets);
+    w.kv("path_latency_us_count",
+         static_cast<std::uint64_t>(fs->path_latency_us.count()));
+    if (fs->path_latency_us.count() > 0) {
+      w.kv("path_latency_us_mean", fs->path_latency_us.mean());
+      w.kv("path_latency_us_p99", fs->path_latency_us.p99());
+    }
+    w.end_object();
+  }
+  w.end_array();
+  return w.str();
 }
 
 }  // namespace xmem::telemetry

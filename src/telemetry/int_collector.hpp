@@ -98,11 +98,20 @@ class IntCollector {
     return hops_;
   }
   /// Keyed by flow hash; iteration order is NOT deterministic (hash
-  /// map) — exports must sort by key first.
+  /// map) — exports must go through sorted_flows()/flows_json().
   [[nodiscard]] const std::unordered_map<std::uint64_t, FlowStats>& flows()
       const {
     return flows_;
   }
+  /// Per-flow table in ascending flow-key order: the only iteration
+  /// order exports may use (the determinism contract, DESIGN.md §16).
+  /// Pointers alias flows_ — valid until the next collect().
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, const FlowStats*>>
+  sorted_flows() const;
+  /// JSON export of the per-flow table in ascending flow-key order.
+  /// Byte-identical across runs for identical traffic; pinned by a
+  /// golden-file test.
+  [[nodiscard]] std::string flows_json() const;
 
   /// Register counters and the flow gauge under `<prefix>/...`, and
   /// re-home the latency/occupancy distributions as registry-owned

@@ -24,6 +24,7 @@
 #include "host/sink.hpp"
 #include "host/traffic_gen.hpp"
 #include "net/flow.hpp"
+#include "sim/env.hpp"
 #include "telemetry/flight_recorder.hpp"
 #include "telemetry/json.hpp"
 #include "telemetry/metrics.hpp"
@@ -47,8 +48,8 @@ constexpr std::uint64_t kFlowB = 1500;  // h0 -> h2, through the lookup table
 /// directory it uploads as a job artifact, so a red chaos run ships its
 /// flight-recorder dump with the failure; locally they stay in TempDir.
 std::string postmortem_dir() {
-  const char* dir = std::getenv("XMEM_POSTMORTEM_DIR");
-  if (dir != nullptr && dir[0] != '\0') return std::string(dir) + "/";
+  const std::optional<std::string> dir = sim::env("XMEM_POSTMORTEM_DIR");
+  if (dir.has_value() && !dir->empty()) return *dir + "/";
   return testing::TempDir();
 }
 

@@ -7,6 +7,7 @@
 #include <cstdlib>
 
 #include "core/lookup_cache.hpp"
+#include "sim/env.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace xmem::core {
@@ -210,12 +211,19 @@ TEST(LookupCacheTest, PolicyParsingIsCaseInsensitive) {
 }
 
 TEST(LookupCacheTest, PolicyFromEnvOverridesAndFallsBack) {
+  // policy_from_env reads through the sim::Env snapshot, which caches
+  // the first read per key; drop it around every setenv so each
+  // mutation is visible (production code never mutates mid-process).
   ASSERT_EQ(setenv("XMEM_CACHE_POLICY", "fifo", 1), 0);
+  sim::reset_env_for_test();
   EXPECT_EQ(LookupCache::policy_from_env(Policy::kLru), Policy::kFifo);
   ASSERT_EQ(setenv("XMEM_CACHE_POLICY", "bogus", 1), 0);
+  sim::reset_env_for_test();
   EXPECT_EQ(LookupCache::policy_from_env(Policy::kLru), Policy::kLru);
   ASSERT_EQ(unsetenv("XMEM_CACHE_POLICY"), 0);
+  sim::reset_env_for_test();
   EXPECT_EQ(LookupCache::policy_from_env(Policy::kLfu), Policy::kLfu);
+  sim::reset_env_for_test();  // leave no snapshot for later tests
 }
 
 // Runs under every cell of the CI cache matrix: whatever policy

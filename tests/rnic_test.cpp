@@ -70,7 +70,7 @@ class ResponderTest : public ::testing::Test {
   ResponderTest() {
     nic_ = std::make_unique<Rnic>(
         sim_, nic_ep_, profile_,
-        [this](net::Packet p) { out_.push_back(std::move(p)); });
+        [this](net::Packet&& p) { out_.push_back(std::move(p)); });
     mr_ = &nic_->memory().register_region(64 * 1024, Access::kAll);
     qp_ = &nic_->create_qp();
     nic_->connect_qp(qp_->qpn, peer_ep_, kPeerQpn,

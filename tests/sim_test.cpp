@@ -207,9 +207,9 @@ TEST(Simulator, NowAdvancesWithEvents) {
 TEST(Simulator, ScheduleInIsRelative) {
   Simulator sim;
   std::vector<Time> stamps;
-  sim.schedule_in(100, [&] {
+  sim.schedule_in(picoseconds(100), [&] {
     stamps.push_back(sim.now());
-    sim.schedule_in(50, [&] { stamps.push_back(sim.now()); });
+    sim.schedule_in(picoseconds(50), [&] { stamps.push_back(sim.now()); });
   });
   sim.run();
   ASSERT_EQ(stamps.size(), 2u);
@@ -219,8 +219,8 @@ TEST(Simulator, ScheduleInIsRelative) {
 
 TEST(Simulator, SchedulingIntoPastThrows) {
   Simulator sim;
-  sim.schedule_at(100, [&] {
-    EXPECT_THROW(sim.schedule_at(50, [] {}), std::invalid_argument);
+  sim.schedule_at(picoseconds(100), [&] {
+    EXPECT_THROW(sim.schedule_at(picoseconds(50), [] {}), std::invalid_argument);
   });
   sim.run();
 }
@@ -241,11 +241,11 @@ TEST(Simulator, RunUntilStopsAtDeadline) {
 TEST(Simulator, StopEndsRun) {
   Simulator sim;
   int fired = 0;
-  sim.schedule_at(1, [&] {
+  sim.schedule_at(picoseconds(1), [&] {
     ++fired;
     sim.stop();
   });
-  sim.schedule_at(2, [&] { ++fired; });
+  sim.schedule_at(picoseconds(2), [&] { ++fired; });
   sim.run();
   EXPECT_EQ(fired, 1);
   EXPECT_TRUE(sim.stopped());

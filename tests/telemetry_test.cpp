@@ -100,8 +100,8 @@ TEST(MetricsRegistry, SimMetricsExportEngineCounters) {
   MetricsRegistry reg;
   register_sim_metrics(reg, simulator);
 
-  const sim::EventId keep = simulator.schedule_in(10, [] {});
-  const sim::EventId dead = simulator.schedule_in(20, [] {});
+  const sim::EventId keep = simulator.schedule_in(sim::picoseconds(10), [] {});
+  const sim::EventId dead = simulator.schedule_in(sim::picoseconds(20), [] {});
   dead.cancel();
   (void)keep;
   EXPECT_EQ(reg.read("sim/events_scheduled"), 2.0);

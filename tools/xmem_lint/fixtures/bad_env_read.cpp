@@ -1,0 +1,18 @@
+// Known-bad fixture: direct environment reads (rule: env-read).
+// A getenv() mid-simulation makes behavior depend on when the read
+// happens; all env input goes through the sim::Env startup snapshot.
+#include <cstdlib>
+#include <string>
+
+namespace fixture {
+
+int verbosity() {
+  const char* v = std::getenv("XMEM_VERBOSE");  // BAD
+  return v != nullptr ? std::stoi(v) : 0;
+}
+
+bool tracing_enabled() {
+  return getenv("XMEM_TRACE") != nullptr;  // BAD: unqualified too
+}
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// Known-bad fixture: mutable namespace-scope state
+// (rule: mutable-global). Every line below is a data race the day
+// event loops go per-thread, and hidden cross-run coupling today.
+#include <cstdint>
+
+namespace fixture {
+
+std::uint64_t g_events = 0;          // BAD: mutable global
+static int g_last_shard = -1;        // BAD: static doesn't help
+thread_local int g_depth = 0;        // BAD: still shared state per lane
+
+struct Config {
+  int retries = 3;
+};
+Config g_config;  // BAD: mutable global object
+
+}  // namespace fixture

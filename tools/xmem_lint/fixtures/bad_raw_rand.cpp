@@ -1,0 +1,23 @@
+// Known-bad fixture: raw randomness sources (rule: raw-rand-ban).
+// sim::Rng (xoshiro256**) is the only blessed generator — bit-stable
+// across standard libraries and explicitly seeded.
+#include <cstdlib>
+#include <random>
+
+namespace fixture {
+
+int roll() {
+  return rand() % 6;  // BAD: hidden global state
+}
+
+unsigned hardware_seed() {
+  std::random_device rd;  // BAD: nondeterministic by design
+  return rd();
+}
+
+unsigned default_seeded() {
+  std::mt19937 gen;  // BAD: unseeded (default seed, stdlib stream)
+  return gen();
+}
+
+}  // namespace fixture

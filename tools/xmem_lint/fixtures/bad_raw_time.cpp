@@ -1,0 +1,22 @@
+// Known-bad fixture: raw numeric literals as sim::Time values
+// (rule: raw-time-arith). 5000 of *what*? The unit constructors make
+// the magnitude readable and the picosecond base non-negotiable.
+#include <cstdint>
+
+namespace fixture {
+
+using Time = std::int64_t;
+
+struct Simulator {
+  void schedule_in(Time delay, int event);
+  void schedule_at(Time when, int event);
+};
+
+void arm(Simulator& sim) {
+  Time timeout = 5000;        // BAD: 5000 of what?
+  sim.schedule_in(100, 1);    // BAD: raw literal delay
+  sim.schedule_at(25000, 2);  // BAD: raw literal deadline
+  sim.schedule_in(timeout, 3);
+}
+
+}  // namespace fixture

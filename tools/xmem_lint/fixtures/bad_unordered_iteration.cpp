@@ -1,0 +1,24 @@
+// Known-bad fixture: effectful iteration over an unordered container
+// (rule: unordered-iteration). The retransmit order below follows hash
+// order, so two runs replay different wire traffic.
+#include <cstdint>
+#include <unordered_map>
+
+namespace fixture {
+
+struct Channel {
+  void repost(std::uint32_t psn);
+};
+
+struct Requester {
+  std::unordered_map<std::uint32_t, std::uint64_t> inflight_;
+  Channel channel_;
+
+  void recover() {
+    for (const auto& [psn, slot] : inflight_) {
+      channel_.repost(psn);  // BAD: effect order is hash order
+    }
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,24 @@
+// Known-bad fixture: wall-clock reads in simulation code
+// (rule: wallclock-ban). Results must be a function of seeds and event
+// order; every line below smuggles host time in.
+#include <chrono>
+#include <ctime>
+
+namespace fixture {
+
+long long stamp_ns() {
+  const auto now = std::chrono::steady_clock::now();  // BAD
+  return now.time_since_epoch().count();
+}
+
+long long stamp_s() {
+  return static_cast<long long>(time(nullptr));  // BAD: C library clock
+}
+
+double utc_seconds() {
+  timespec ts{};
+  clock_gettime(CLOCK_REALTIME, &ts);  // BAD
+  return static_cast<double>(ts.tv_sec);
+}
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+// Known-good fixture for mutable-global: compile-time constants at
+// namespace scope, mutable state owned by objects (or function-local
+// statics behind accessors). Must lint clean.
+#include <cstdint>
+
+namespace fixture {
+
+constexpr std::uint64_t kMaxEvents = 1 << 20;
+const int kDefaultShard = 0;
+inline constexpr double kAlpha = 0.125;
+
+struct Counters {
+  std::uint64_t events = 0;  // owned, not global
+};
+
+Counters& process_counters() {
+  static Counters c;  // function-local: encapsulated, lazily constructed
+  return c;
+}
+
+void bump() { ++process_counters().events; }
+
+}  // namespace fixture

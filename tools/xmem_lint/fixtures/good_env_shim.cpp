@@ -1,0 +1,17 @@
+// Known-good fixture for env-read: environment input through the
+// sim::Env startup snapshot. Must lint clean.
+#include <optional>
+#include <string>
+
+namespace sim {
+std::optional<std::string> env(const std::string& name);
+}
+
+namespace fixture {
+
+int verbosity() {
+  const std::optional<std::string> v = sim::env("XMEM_VERBOSE");
+  return v.has_value() ? std::stoi(*v) : 0;
+}
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// Known-good fixture for packet-value: Packet crosses function
+// boundaries by reference or rvalue reference only. Must lint clean.
+namespace net {
+class Packet;
+}
+
+namespace fixture {
+
+using net::Packet;
+
+void inspect(const Packet& packet);
+void consume(Packet&& packet);
+void forward(const Packet& p, bool copy_ok);
+
+}  // namespace fixture

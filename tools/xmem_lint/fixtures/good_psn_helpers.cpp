@@ -1,0 +1,25 @@
+// Known-good fixture for psn-compare: PSN ordering through the
+// wrap-aware helpers, never raw relational operators. Must lint clean.
+#include <cstdint>
+
+namespace roce {
+bool psn_lt(std::uint32_t a, std::uint32_t b);
+bool psn_ge(std::uint32_t a, std::uint32_t b);
+std::int32_t psn_distance(std::uint32_t from, std::uint32_t to);
+}  // namespace roce
+
+namespace fixture {
+
+bool in_order(std::uint32_t psn, std::uint32_t epsn) {
+  return roce::psn_lt(psn, epsn);
+}
+
+bool acked(std::uint32_t last_psn, std::uint32_t acked_psn) {
+  return roce::psn_ge(acked_psn, last_psn);
+}
+
+bool window_open(std::uint32_t next_psn, std::uint32_t limit) {
+  return roce::psn_distance(next_psn, limit) > 0;
+}
+
+}  // namespace fixture

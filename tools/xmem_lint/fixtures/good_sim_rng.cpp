@@ -1,0 +1,25 @@
+// Known-good fixture for raw-rand-ban: randomness threaded through an
+// explicitly seeded sim::Rng-style generator. Must lint clean.
+#include <cstdint>
+
+namespace fixture {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+  std::uint64_t next() {
+    state_ ^= state_ << 13;
+    state_ ^= state_ >> 7;
+    state_ ^= state_ << 17;
+    return state_;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+std::uint64_t jitter(Rng& rng, std::uint64_t span) {
+  return rng.next() % span;
+}
+
+}  // namespace fixture

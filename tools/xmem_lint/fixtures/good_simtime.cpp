@@ -1,0 +1,25 @@
+// Known-good fixture for wallclock-ban: time comes from the simulator
+// clock, never the host. Must lint clean.
+#include <cstdint>
+
+namespace fixture {
+
+using Time = std::int64_t;
+
+struct Simulator {
+  Time now_ = 0;
+  [[nodiscard]] Time now() const { return now_; }
+};
+
+Time age(const Simulator& sim, Time born_at) { return sim.now() - born_at; }
+
+// Member functions named time()/clock() are fine — only the C library
+// functions read the host clock.
+struct Stopwatch {
+  Time start_ = 0;
+  [[nodiscard]] Time time() const { return start_; }
+};
+
+Time read(const Stopwatch& sw) { return sw.time(); }
+
+}  // namespace fixture

@@ -1,0 +1,28 @@
+// Known-good fixture for unordered-iteration: collect keys (pure
+// accumulation is order-insensitive), sort, then act in sorted order.
+// Must lint clean.
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+struct Channel {
+  void repost(std::uint32_t psn);
+};
+
+struct Requester {
+  std::unordered_map<std::uint32_t, std::uint64_t> inflight_;
+  Channel channel_;
+
+  void recover() {
+    std::vector<std::uint32_t> keys;
+    keys.reserve(inflight_.size());
+    for (const auto& [psn, slot] : inflight_) keys.push_back(psn);
+    std::sort(keys.begin(), keys.end());
+    for (const std::uint32_t psn : keys) channel_.repost(psn);
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+// Known-good fixture for raw-time-arith: Time values built from the
+// unit constructors (or zero, which is unit-free). Must lint clean.
+#include <cstdint>
+
+namespace fixture {
+
+using Time = std::int64_t;
+
+constexpr Time nanoseconds(std::int64_t v) { return v * 1000; }
+constexpr Time microseconds(std::int64_t v) { return v * 1'000'000; }
+
+struct Simulator {
+  void schedule_in(Time delay, int event);
+};
+
+void arm(Simulator& sim) {
+  Time start = 0;  // zero is unit-free
+  Time timeout = microseconds(5);
+  sim.schedule_in(nanoseconds(100), 1);
+  sim.schedule_in(timeout + start, 2);
+}
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// Known-good fixture for trace-pair: every TU that opens tracer spans
+// also closes them. Must lint clean.
+#include <cstdint>
+
+namespace fixture {
+
+struct Tracer {
+  void trace_begin(std::uint32_t psn);
+  void trace_complete(std::uint32_t psn, const char* outcome);
+};
+
+void post(Tracer& t, std::uint32_t psn) { t.trace_begin(psn); }
+
+void ack(Tracer& t, std::uint32_t psn) { t.trace_complete(psn, "acked"); }
+
+}  // namespace fixture

@@ -1,0 +1,26 @@
+// Known-good fixture for wire-assert + wire-pin: an on-wire struct
+// with kWireBytes declared next to its fields and a static_assert
+// pinning the layout. Must lint clean.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace net {
+class ByteWriter;
+}
+
+namespace fixture {
+
+struct GoodHeader {
+  static constexpr std::size_t kWireBytes = 6;
+  std::uint32_t psn_raw = 0;
+  std::uint16_t flags = 0;
+
+  void serialize(net::ByteWriter& w) const;
+};
+
+static_assert(GoodHeader::kWireBytes == 6,
+              "GoodHeader wire layout is part of the interchange contract");
+
+}  // namespace fixture

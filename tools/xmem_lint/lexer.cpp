@@ -1,0 +1,253 @@
+#include "lexer.hpp"
+
+#include <cctype>
+
+namespace xmem_lint {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool digit(char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
+
+}  // namespace
+
+std::string strip_noise(const std::string& line, bool& in_block) {
+  std::string out(line.size(), ' ');
+  std::size_t i = 0;
+  while (i < line.size()) {
+    if (in_block) {
+      if (line.compare(i, 2, "*/") == 0) {
+        in_block = false;
+        i += 2;
+      } else {
+        ++i;
+      }
+      continue;
+    }
+    if (line.compare(i, 2, "//") == 0) break;
+    if (line.compare(i, 2, "/*") == 0) {
+      in_block = true;
+      i += 2;
+      continue;
+    }
+    if (line[i] == '"' || line[i] == '\'') {
+      const char quote = line[i];
+      ++i;
+      while (i < line.size() && line[i] != quote) {
+        i += (line[i] == '\\') ? 2 : 1;
+      }
+      ++i;
+      continue;
+    }
+    out[i] = line[i];
+    ++i;
+  }
+  return out;
+}
+
+std::vector<Token> lex(const std::string& source) {
+  std::vector<Token> tokens;
+  std::size_t line = 1;
+  std::size_t i = 0;
+  const std::size_t n = source.size();
+
+  auto at = [&](std::size_t k) { return k < n ? source[k] : '\0'; };
+
+  while (i < n) {
+    const char c = source[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    // Preprocessor directive: swallow to end of line, honoring \-line
+    // continuations (their contents are not program tokens).
+    if (c == '#') {
+      while (i < n) {
+        if (source[i] == '\\' && at(i + 1) == '\n') {
+          i += 2;
+          ++line;
+          continue;
+        }
+        if (source[i] == '\n') break;
+        ++i;
+      }
+      continue;
+    }
+    // Comments.
+    if (c == '/' && at(i + 1) == '/') {
+      while (i < n && source[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && at(i + 1) == '*') {
+      i += 2;
+      while (i < n && !(source[i] == '*' && at(i + 1) == '/')) {
+        if (source[i] == '\n') ++line;
+        ++i;
+      }
+      i += 2;
+      continue;
+    }
+    // Raw string literal: R"delim( ... )delim".
+    if (c == 'R' && at(i + 1) == '"' &&
+        (tokens.empty() || i == 0 || !ident_char(source[i - 1]))) {
+      std::size_t j = i + 2;
+      std::string delim;
+      while (j < n && source[j] != '(') delim += source[j++];
+      const std::string close = ")" + delim + "\"";
+      std::size_t end = source.find(close, j);
+      if (end == std::string::npos) end = n;
+      for (std::size_t k = i; k < end && k < n; ++k) {
+        if (source[k] == '\n') ++line;
+      }
+      i = (end == n) ? n : end + close.size();
+      continue;
+    }
+    // String / char literals (no tokens; escapes honored).
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      ++i;
+      while (i < n && source[i] != quote) {
+        if (source[i] == '\\') {
+          ++i;
+          if (i < n && source[i] == '\n') ++line;
+          ++i;
+        } else {
+          if (source[i] == '\n') ++line;  // unterminated; stay sane
+          ++i;
+        }
+      }
+      ++i;
+      continue;
+    }
+    // Identifier / keyword.
+    if (ident_start(c)) {
+      std::size_t j = i;
+      while (j < n && ident_char(source[j])) ++j;
+      tokens.push_back({Token::Kind::kIdentifier, source.substr(i, j - i),
+                        line});
+      i = j;
+      continue;
+    }
+    // Number: integer / float / hex, with C++14 digit separators. A
+    // separator quote is part of the number only when squeezed between
+    // digits, so '5' (a char literal) never gets eaten here.
+    if (digit(c) || (c == '.' && digit(at(i + 1)))) {
+      std::size_t j = i;
+      while (j < n) {
+        const char d = source[j];
+        if (ident_char(d) || d == '.') {
+          ++j;
+          continue;
+        }
+        if (d == '\'' && j > i && ident_char(source[j - 1]) &&
+            ident_char(at(j + 1))) {
+          ++j;  // digit separator
+          continue;
+        }
+        if ((d == '+' || d == '-') && j > i) {
+          const char prev = source[j - 1];
+          if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+            ++j;  // exponent sign
+            continue;
+          }
+        }
+        break;
+      }
+      tokens.push_back({Token::Kind::kNumber, source.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    // Everything else: one punct character per token.
+    tokens.push_back({Token::Kind::kPunct, std::string(1, c), line});
+    ++i;
+  }
+  return tokens;
+}
+
+void ScopeTracker::feed(const Token& token) {
+  if (token.kind == Token::Kind::kPunct) {
+    const char c = token.text[0];
+    if (c == '{') {
+      if (pending_armed_) {
+        stack_.push_back(pending_);
+        pending_armed_ = false;
+      } else {
+        stack_.push_back({Kind::kBlock, ""});
+      }
+      return;
+    }
+    if (c == '}') {
+      if (!stack_.empty()) stack_.pop_back();
+      return;
+    }
+    if (c == ';' || c == '=' || c == '(') {
+      // Forward declaration, alias, `struct X x;`, or a parameter of
+      // struct type: the armed scope head never opens.
+      pending_armed_ = false;
+      return;
+    }
+    return;
+  }
+  if (token.kind != Token::Kind::kIdentifier) return;
+  const std::string& t = token.text;
+  if (t == "namespace") {
+    pending_armed_ = true;
+    pending_ = {Kind::kNamespace, ""};
+    pending_named_ = false;
+    return;
+  }
+  if (t == "struct" || t == "class" || t == "union") {
+    pending_armed_ = true;
+    pending_ = {Kind::kStruct, ""};
+    pending_named_ = false;
+    return;
+  }
+  if (t == "enum") {
+    pending_armed_ = true;
+    pending_ = {Kind::kEnum, ""};
+    pending_named_ = false;
+    return;
+  }
+  if (pending_armed_ && !pending_named_ && t != "final" && t != "class") {
+    // First identifier after the scope keyword names the scope
+    // ("enum class X": the 'class' above keeps waiting for X).
+    pending_.name = t;
+    pending_named_ = true;
+  }
+}
+
+bool ScopeTracker::at_namespace_scope() const {
+  for (const Scope& s : stack_) {
+    if (s.kind != Kind::kNamespace) return false;
+  }
+  return true;
+}
+
+bool ScopeTracker::in_block() const {
+  for (const Scope& s : stack_) {
+    if (s.kind == Kind::kBlock) return true;
+  }
+  return false;
+}
+
+const std::string& ScopeTracker::innermost_struct() const {
+  static const std::string kEmpty;
+  for (auto it = stack_.rbegin(); it != stack_.rend(); ++it) {
+    if (it->kind == Kind::kStruct) return it->name;
+  }
+  return kEmpty;
+}
+
+}  // namespace xmem_lint

@@ -1,0 +1,86 @@
+// xmem-lint v2 lexer: a real tokenizer plus brace/namespace scope
+// tracking, replacing v1's per-line regex heuristics.
+//
+// The lexer turns a source file into a flat token stream (identifiers,
+// numbers, single-character punctuation) with comments, string/char
+// literals and preprocessor lines stripped, so rules can reason about
+// code structure — template-argument balancing, range-for headers,
+// namespace-scope declarations — instead of pattern-matching formatted
+// text. The per-line noise-stripped view of v1 is still produced (some
+// rules genuinely are line-shaped: waiver comments, operator spacing),
+// so both representations live side by side in FileContext.
+//
+// ScopeTracker consumes the token stream one token at a time and
+// maintains the brace-scope stack: which '{' opened a namespace, a
+// struct/class, an enum, or a plain block (function body, loop,
+// initializer). Rules that care about *where* a construct lives —
+// mutable-global fires only at namespace scope, wire-assert attributes
+// serialize() members to their struct — drive their own tracker over
+// the stream.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace xmem_lint {
+
+struct Token {
+  enum class Kind { kIdentifier, kNumber, kPunct };
+  Kind kind = Kind::kPunct;
+  std::string text;
+  std::size_t line = 0;  ///< 1-based source line.
+};
+
+/// Tokenize `source`. Comments, string/char literals (including raw
+/// strings) and preprocessor directives produce no tokens. Punctuation
+/// is emitted one character at a time ("::" is two ':' tokens), which
+/// keeps bracket balancing trivial for the rules.
+[[nodiscard]] std::vector<Token> lex(const std::string& source);
+
+/// Replace string/char literals and comments in one line with spaces so
+/// per-line scans cannot match inside them. `in_block` carries /* */
+/// state across lines. (The v1 line view; see file comment.)
+[[nodiscard]] std::string strip_noise(const std::string& line,
+                                      bool& in_block);
+
+/// Brace-scope tracking over the token stream.
+class ScopeTracker {
+ public:
+  enum class Kind { kNamespace, kStruct, kEnum, kBlock };
+
+  struct Scope {
+    Kind kind = Kind::kBlock;
+    std::string name;  ///< namespace/struct/enum name ("" for blocks).
+  };
+
+  /// Feed the next token; call once per token, in stream order.
+  void feed(const Token& token);
+
+  /// Current nesting depth (number of open braces).
+  [[nodiscard]] std::size_t depth() const { return stack_.size(); }
+
+  /// True when every open scope is a namespace (or none are): the
+  /// places where a declaration is a global.
+  [[nodiscard]] bool at_namespace_scope() const;
+
+  /// True when any enclosing scope is a plain block (function body,
+  /// loop, initializer list).
+  [[nodiscard]] bool in_block() const;
+
+  /// Name of the innermost struct/class scope, or "" if none.
+  [[nodiscard]] const std::string& innermost_struct() const;
+
+  [[nodiscard]] const std::vector<Scope>& stack() const { return stack_; }
+
+ private:
+  std::vector<Scope> stack_;
+  // Pending scope: armed when a namespace/struct/class/enum head has
+  // been seen and the opening '{' is still to come. Disarmed by ';'
+  // (forward declaration, alias) or consumed by '{'.
+  bool pending_armed_ = false;
+  Scope pending_;
+  bool pending_named_ = false;
+};
+
+}  // namespace xmem_lint

@@ -1,451 +1,76 @@
-// xmem-lint: protocol-invariant static analysis for the xmem tree.
+// xmem-lint v2 driver.
 //
-// Four rules, each encoding an invariant the type system alone cannot
-// (or could silently stop) enforcing:
+// Usage:
+//   xmem-lint [options] <file-or-dir>...
 //
-//   psn-compare   PSN-named values must never meet a raw relational
-//                 operator: 24-bit sequence numbers wrap, so `<` is
-//                 wrong half the circle away. Ordering goes through
-//                 roce::psn_lt / psn_ge / psn_distance (roce/headers.hpp
-//                 itself, which defines them, is exempt).
-//   trace-pair    A TU that opens tracer spans (trace_begin) must also
-//                 close them (trace_complete or trace_retransmit
-//                 somewhere in the same TU), or every op leaks an open
-//                 span.
-//   wire-bytes    Wire headers are built and parsed only through the
-//                 net::bytes Writer/Reader. memcpy / reinterpret_cast
-//                 is banned outright under net/ and roce/, and anywhere
-//                 a line touches packet/frame/wire/payload bytes.
-//   wire-assert   Every on-wire struct under roce/, net/ and telemetry/
-//                 (anything with a serialize(ByteWriter&) member) must
-//                 be named in a static_assert pinning its wire layout.
-//   wire-pin      The same structs must declare kWireBytes in-struct:
-//                 exported telemetry records (INT hop records, time
-//                 series points, flight events) are interchange formats
-//                 read by external tooling, so their size is part of the
-//                 contract and must be spelled out where the fields are.
-//   packet-value  net::Packet must not cross a function boundary by
-//                 value: the copy-on-write storage makes an implicit
-//                 copy cheap enough to hide, so ownership transfer has
-//                 to be spelled out — `const Packet&`, `Packet&&`, or an
-//                 explicit clone() at the call site.
+// Options:
+//   --json                 machine-readable report on stdout (CI)
+//   --github               GitHub workflow-command annotations on stdout
+//   --severity RULE=LEVEL  override a rule's severity (error|warn|off)
+//   --baseline FILE        suppress findings matched by the baseline
+//   --write-baseline FILE  write all current findings as the new baseline
+//   --list-rules           print the registry (id, severity, summary)
 //
-// Violations can be locally waived with a trailing
-// `// xmem-lint: allow(<rule>)` comment — the escape hatch for the rare
-// justified cast (e.g. pcap's ostream::write).
+// The rules live in rules.cpp (six protocol rules carried over from v1,
+// six determinism rules; see DESIGN.md §11 and §16); the tokenizer and
+// scope tracker live in lexer.cpp. This file owns file discovery,
+// filtering and reporting.
 //
-// The scanner is token-level, not a parser: it strips comments and
-// string literals, then applies per-line and per-file checks. It relies
-// on the repo's enforced formatting (binary operators spaced, template
-// brackets not) to tell `a < b` from `vector<T>`.
+// Filtering order for each finding: inline waiver comment
+// (`// xmem-lint: allow(<rule>)` on the same or previous line) → severity
+// override (off drops, warn reports without failing) → baseline match.
+// The exit status is 1 only when an error-severity finding survives all
+// three, or when the baseline has gone stale. Baseline entries are
+// (rule, path-suffix, trimmed line text), so they survive line-number
+// drift; entries that matched nothing are reported and fail the run so
+// the baseline only ever shrinks.
 #include <algorithm>
-#include <cctype>
-#include <cstddef>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
-#include <set>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
 
-namespace {
+#include "rules.hpp"
 
 namespace fs = std::filesystem;
+using xmem_lint::FileContext;
+using xmem_lint::Severity;
+using xmem_lint::Violation;
 
-struct Violation {
-  std::string path;
-  std::size_t line = 0;
+namespace {
+
+struct Options {
+  bool json = false;
+  bool github = false;
+  bool list_rules = false;
+  std::string baseline_path;
+  std::string write_baseline_path;
+  std::map<std::string, Severity> severity;  // rule id -> override
+  std::vector<std::string> paths;
+};
+
+struct BaselineEntry {
   std::string rule;
-  std::string message;
+  std::string path_suffix;
+  std::string content;  // trimmed raw line text
+  bool used = false;
 };
 
-bool is_ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+std::string trim(const std::string& s) {
+  const std::size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  const std::size_t e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
 }
 
-bool contains_word(const std::string& s, const std::string& word) {
-  std::size_t pos = 0;
-  while ((pos = s.find(word, pos)) != std::string::npos) {
-    const bool left_ok = pos == 0 || !is_ident_char(s[pos - 1]);
-    const std::size_t end = pos + word.size();
-    const bool right_ok = end >= s.size() || !is_ident_char(s[end]);
-    if (left_ok && right_ok) return true;
-    pos = end;
-  }
-  return false;
-}
-
-/// Identifier naming that marks a value as a protocol sequence number.
-/// Case-sensitive on purpose: the strong type roce::Psn is fine to
-/// mention anywhere; it is the lowercase *variables* that carry values.
-bool psn_named(const std::string& name) {
-  if (name == "psn" || name == "epsn") return true;
-  if (name.size() > 4 && name.compare(name.size() - 4, 4, "_psn") == 0) {
-    return true;
-  }
-  if (name.size() > 4 && name.compare(0, 4, "psn_") == 0) return true;
-  return false;
-}
-
-/// The blessed wrap-safe helpers whose *results* may be compared.
-bool blessed_psn_helper(const std::string& name) {
-  static const std::set<std::string> kHelpers = {"psn_lt", "psn_ge",
-                                                "psn_add", "psn_distance"};
-  return kHelpers.count(name) != 0;
-}
-
-/// Replace string/char literals and comments with spaces so token scans
-/// cannot match inside them. `in_block` carries /* */ state across lines.
-std::string strip_noise(const std::string& line, bool& in_block) {
-  std::string out(line.size(), ' ');
-  std::size_t i = 0;
-  while (i < line.size()) {
-    if (in_block) {
-      if (line.compare(i, 2, "*/") == 0) {
-        in_block = false;
-        i += 2;
-      } else {
-        ++i;
-      }
-      continue;
-    }
-    if (line.compare(i, 2, "//") == 0) break;
-    if (line.compare(i, 2, "/*") == 0) {
-      in_block = true;
-      i += 2;
-      continue;
-    }
-    if (line[i] == '"' || line[i] == '\'') {
-      const char quote = line[i];
-      ++i;
-      while (i < line.size() && line[i] != quote) {
-        i += (line[i] == '\\') ? 2 : 1;
-      }
-      ++i;
-      continue;
-    }
-    out[i] = line[i];
-    ++i;
-  }
-  return out;
-}
-
-/// Does the raw line (or, for statements too long to carry a trailing
-/// comment, the line right before it) carry an
-/// `xmem-lint: allow(<rule>)` waiver?
-bool waived(const std::string& raw_line, const std::string& prev_line,
-            const std::string& rule) {
-  const std::string tag = "xmem-lint: allow(" + rule + ")";
-  return raw_line.find(tag) != std::string::npos ||
-         prev_line.find(tag) != std::string::npos;
-}
-
-/// Walk back from `pos` (exclusive) over one operand: an identifier
-/// chain (`a.b->c[i]`), or a call result (`f(...)`). Returns the final
-/// name component and whether the operand is a function call.
-struct Operand {
-  std::string name;
-  bool is_call = false;
-  bool valid = false;
-};
-
-Operand left_operand(const std::string& s, std::size_t pos) {
-  Operand op;
-  std::size_t i = pos;
-  while (i > 0 && s[i - 1] == ' ') --i;
-  if (i == 0) return op;
-  if (s[i - 1] == ')' || s[i - 1] == ']') {
-    // Balance back across the bracketed tail, then read the name.
-    int depth = 0;
-    while (i > 0) {
-      const char c = s[i - 1];
-      if (c == ')' || c == ']') ++depth;
-      if (c == '(' || c == '[') {
-        --depth;
-        if (depth == 0) {
-          op.is_call = (c == '(');
-          --i;
-          break;
-        }
-      }
-      --i;
-    }
-  }
-  std::size_t end = i;
-  while (i > 0 && is_ident_char(s[i - 1])) --i;
-  if (i == end) return op;
-  op.name = s.substr(i, end - i);
-  op.valid = true;
-  return op;
-}
-
-Operand right_operand(const std::string& s, std::size_t pos) {
-  Operand op;
-  std::size_t i = pos;
-  while (i < s.size() && s[i] == ' ') ++i;
-  // Skip dereference/address-of/sign prefixes.
-  while (i < s.size() && (s[i] == '*' || s[i] == '&' || s[i] == '-' ||
-                          s[i] == '+' || s[i] == '!')) {
-    ++i;
-  }
-  std::size_t start = i;
-  std::size_t name_start = i;
-  while (i < s.size() &&
-         (is_ident_char(s[i]) || s[i] == ':' || s[i] == '.' ||
-          (s[i] == '-' && i + 1 < s.size() && s[i + 1] == '>'))) {
-    if (s[i] == ':' || s[i] == '.') {
-      name_start = i + 1;
-    } else if (s[i] == '-') {
-      ++i;  // consume the '>' of '->'
-      name_start = i + 1;
-    }
-    ++i;
-  }
-  if (i == start) return op;
-  op.name = s.substr(name_start, i - name_start);
-  op.is_call = i < s.size() && s[i] == '(';
-  op.valid = !op.name.empty();
-  return op;
-}
-
-/// R1: raw relational operators over PSN-named operands. Relies on the
-/// formatting convention that binary operators carry a space on both
-/// sides while template angle brackets do not.
-void check_psn_compare(const std::string& path, std::size_t lineno,
-                       const std::string& raw, const std::string& prev,
-                       const std::string& code,
-                       std::vector<Violation>& out) {
-  for (std::size_t i = 1; i + 1 < code.size(); ++i) {
-    const char c = code[i];
-    if (c != '<' && c != '>') continue;
-    std::size_t op_end = i + 1;
-    if (op_end < code.size() && code[op_end] == '=') ++op_end;
-    // Not a binary relational op unless spaced on both sides: rules out
-    // templates (`map<K, V>`), arrows, shifts and comparisons fused
-    // into other tokens.
-    if (code[i - 1] != ' ' || op_end >= code.size() ||
-        code[op_end] != ' ') {
-      continue;  // also rules out '<<', '>>', '->' and '<=>'
-    }
-    const Operand lhs = left_operand(code, i - 1);
-    const Operand rhs = right_operand(code, op_end + 1);
-    for (const Operand& operand : {lhs, rhs}) {
-      if (!operand.valid || !psn_named(operand.name)) continue;
-      if (operand.is_call && blessed_psn_helper(operand.name)) continue;
-      if (waived(raw, prev, "psn-compare")) continue;
-      out.push_back({path, lineno, "psn-compare",
-                     "raw relational operator on PSN-named value '" +
-                         operand.name +
-                         "'; use roce::psn_lt/psn_ge/psn_distance"});
-      break;
-    }
-  }
-}
-
-/// R3: memcpy / reinterpret_cast where wire bytes live.
-void check_wire_bytes(const std::string& path, std::size_t lineno,
-                      const std::string& raw, const std::string& prev,
-                      const std::string& code, bool in_wire_dir,
-                      std::vector<Violation>& out) {
-  const bool has_cast = code.find("memcpy(") != std::string::npos ||
-                        code.find("reinterpret_cast<") != std::string::npos;
-  if (!has_cast || waived(raw, prev, "wire-bytes")) return;
-  const bool touches_wire_words =
-      contains_word(code, "packet") || contains_word(code, "frame") ||
-      contains_word(code, "wire") || contains_word(code, "payload");
-  if (in_wire_dir || touches_wire_words) {
-    out.push_back({path, lineno, "wire-bytes",
-                   "wire bytes must go through net::ByteWriter/ByteReader, "
-                   "not memcpy/reinterpret_cast"});
-  }
-}
-
-/// R5: `Packet <name>` in a parameter position (the identifier after the
-/// type is followed by ',' or ')'). Local declarations end in '=', ';',
-/// '(' or ':', so they fall through; references and templates fail the
-/// next-token-is-identifier test.
-void check_packet_value(const std::string& path, std::size_t lineno,
-                        const std::string& raw, const std::string& prev,
-                        const std::string& code,
-                        std::vector<Violation>& out) {
-  std::size_t pos = 0;
-  while ((pos = code.find("Packet", pos)) != std::string::npos) {
-    const std::size_t end = pos + 6;
-    const bool word_boundary =
-        (pos == 0 || !is_ident_char(code[pos - 1])) &&
-        (end >= code.size() || !is_ident_char(code[end]));
-    if (!word_boundary) {  // ParsedPacket, PacketMeta, ...
-      pos = end;
-      continue;
-    }
-    std::size_t i = end;
-    while (i < code.size() && code[i] == ' ') ++i;
-    if (i >= code.size() || !is_ident_char(code[i])) {  // 'Packet&', '<...>'
-      pos = end;
-      continue;
-    }
-    std::size_t name_end = i;
-    while (name_end < code.size() && is_ident_char(code[name_end])) {
-      ++name_end;
-    }
-    std::size_t j = name_end;
-    while (j < code.size() && code[j] == ' ') ++j;
-    if (j < code.size() && (code[j] == ',' || code[j] == ')') &&
-        !waived(raw, prev, "packet-value")) {
-      out.push_back({path, lineno, "packet-value",
-                     "'Packet " + code.substr(i, name_end - i) +
-                         "' passed by value; use const Packet&, Packet&&, "
-                         "or an explicit clone() at the call site"});
-    }
-    pos = end;
-  }
-}
-
-struct FileReport {
-  std::vector<Violation> violations;
-};
-
-bool in_dir(const std::string& path, const std::string& dir) {
-  return path.find("/" + dir + "/") != std::string::npos ||
-         path.compare(0, dir.size() + 1, dir + "/") == 0;
-}
-
-void lint_file(const fs::path& file, std::vector<Violation>& out) {
-  std::ifstream in(file);
-  if (!in) {
-    out.push_back({file.string(), 0, "io", "cannot open file"});
-    return;
-  }
-  const std::string path = file.generic_string();
-  const bool wire_dir = in_dir(path, "net") || in_dir(path, "roce");
-  // Exported telemetry structs are wire formats too (external tools
-  // parse them), so they get the same layout-pin treatment.
-  const bool pin_dir = wire_dir || in_dir(path, "telemetry");
-  const bool psn_defs_file =
-      path.size() >= 16 &&
-      path.compare(path.size() - 16, 16, "roce/headers.hpp") == 0;
-
-  std::string rawline;
-  std::string prevline;
-  std::size_t lineno = 0;
-  bool in_block = false;
-
-  // trace-pair state.
-  std::size_t first_begin_line = 0;
-  bool begin_waived = false;
-  bool has_complete = false;
-
-  // wire-assert state: struct nesting and serialize() attribution.
-  struct OpenStruct {
-    std::string name;
-    int depth = 0;
-  };
-  std::vector<OpenStruct> struct_stack;
-  int depth = 0;
-  struct WireStruct {
-    std::string name;
-    std::size_t line = 0;
-    bool waived = false;      // xmem-lint: allow(wire-assert)
-    bool pin_waived = false;  // xmem-lint: allow(wire-pin)
-  };
-  std::vector<WireStruct> wire_structs;
-  std::vector<std::string> asserted;  // static_assert text blocks
-  std::set<std::string> kwire_structs;  // structs declaring kWireBytes
-  bool in_assert = false;
-
-  while (std::getline(in, rawline)) {
-    ++lineno;
-    const std::string code = strip_noise(rawline, in_block);
-
-    if (!psn_defs_file) {
-      check_psn_compare(path, lineno, rawline, prevline, code, out);
-    }
-    check_wire_bytes(path, lineno, rawline, prevline, code, wire_dir, out);
-    check_packet_value(path, lineno, rawline, prevline, code, out);
-
-    if (code.find("trace_begin") != std::string::npos) {
-      if (first_begin_line == 0) first_begin_line = lineno;
-      begin_waived =
-          begin_waived || waived(rawline, prevline, "trace-pair");
-    }
-    if (code.find("trace_complete") != std::string::npos ||
-        code.find("trace_retransmit") != std::string::npos) {
-      has_complete = true;
-    }
-
-    if (pin_dir) {
-      // Track struct scopes well enough to attribute serialize() members.
-      const int depth_before = depth;
-      for (const char c : code) {
-        if (c == '{') ++depth;
-        if (c == '}') --depth;
-      }
-      for (const char* kw : {"struct ", "class "}) {
-        std::size_t pos = code.find(kw);
-        if (pos == std::string::npos) continue;
-        if (pos >= 5 && code.compare(pos - 5, 5, "enum ") == 0) continue;
-        std::size_t n = pos + std::string(kw).size();
-        std::size_t name_end = n;
-        while (name_end < code.size() && is_ident_char(code[name_end])) {
-          ++name_end;
-        }
-        if (name_end == n) continue;
-        if (code.find('{', name_end) == std::string::npos) continue;
-        struct_stack.push_back(
-            {code.substr(n, name_end - n), depth_before + 1});
-      }
-      while (!struct_stack.empty() && depth < struct_stack.back().depth) {
-        struct_stack.pop_back();
-      }
-      if (code.find("serialize(") != std::string::npos &&
-          code.find("ByteWriter") != std::string::npos &&
-          !struct_stack.empty()) {
-        wire_structs.push_back({struct_stack.back().name, lineno,
-                                waived(rawline, prevline, "wire-assert"),
-                                waived(rawline, prevline, "wire-pin")});
-      }
-      if (contains_word(code, "kWireBytes") && !struct_stack.empty()) {
-        kwire_structs.insert(struct_stack.back().name);
-      }
-      if (code.find("static_assert") != std::string::npos) in_assert = true;
-      if (in_assert) {
-        if (asserted.empty() ||
-            code.find("static_assert") != std::string::npos) {
-          asserted.emplace_back();
-        }
-        asserted.back() += code + "\n";
-        if (code.find(';') != std::string::npos) in_assert = false;
-      }
-    }
-    prevline = rawline;
-  }
-
-  if (first_begin_line != 0 && !has_complete && !begin_waived) {
-    out.push_back({path, first_begin_line, "trace-pair",
-                   "trace_begin without trace_complete/trace_retransmit in "
-                   "this TU leaks open spans"});
-  }
-  for (const WireStruct& ws : wire_structs) {
-    if (!ws.waived) {
-      const bool pinned =
-          std::any_of(asserted.begin(), asserted.end(),
-                      [&](const std::string& block) {
-                        return contains_word(block, ws.name);
-                      });
-      if (!pinned) {
-        out.push_back({path, ws.line, "wire-assert",
-                       "on-wire struct '" + ws.name +
-                           "' has no static_assert pinning its layout"});
-      }
-    }
-    if (!ws.pin_waived && kwire_structs.count(ws.name) == 0) {
-      out.push_back({path, ws.line, "wire-pin",
-                     "on-wire struct '" + ws.name +
-                         "' does not declare kWireBytes; exported layouts "
-                         "must carry their size next to their fields"});
-    }
-  }
+std::string generic_path(const fs::path& p) {
+  std::string s = p.generic_string();
+  if (s.compare(0, 2, "./") == 0) s.erase(0, 2);
+  return s;
 }
 
 bool lintable(const fs::path& p) {
@@ -453,37 +78,345 @@ bool lintable(const fs::path& p) {
   return ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc";
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::cerr << "usage: xmem_lint <file-or-dir>...\n";
-    return 2;
-  }
-  std::vector<fs::path> files;
-  for (int i = 1; i < argc; ++i) {
-    const fs::path p(argv[i]);
+/// Collect lintable files under each argument. Fixture trees are only
+/// linted when named directly (the selftest passes individual files —
+/// they are violations on purpose).
+std::vector<std::string> collect_files(const std::vector<std::string>& args) {
+  std::vector<std::string> files;
+  for (const std::string& arg : args) {
+    const fs::path p(arg);
     if (fs::is_directory(p)) {
-      for (const auto& entry : fs::recursive_directory_iterator(p)) {
-        if (entry.is_regular_file() && lintable(entry.path())) {
-          files.push_back(entry.path());
+      for (auto it = fs::recursive_directory_iterator(p);
+           it != fs::recursive_directory_iterator(); ++it) {
+        if (it->is_directory() && it->path().filename() == "fixtures") {
+          it.disable_recursion_pending();
+          continue;
+        }
+        if (it->is_regular_file() && lintable(it->path())) {
+          files.push_back(generic_path(it->path()));
         }
       }
+    } else if (fs::is_regular_file(p)) {
+      files.push_back(generic_path(p));
     } else {
-      files.push_back(p);
+      std::cerr << "xmem-lint: no such path: " << arg << "\n";
     }
   }
   std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  return files;
+}
 
-  std::vector<Violation> violations;
-  for (const fs::path& f : files) lint_file(f, violations);
-
-  for (const Violation& v : violations) {
-    std::cerr << v.path << ":" << v.line << ": [" << v.rule << "] "
-              << v.message << "\n";
+FileContext load_file(const std::string& path) {
+  FileContext ctx;
+  ctx.path = path;
+  std::ifstream in(path);
+  std::ostringstream whole;
+  std::string line;
+  bool in_block = false;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    ctx.raw.push_back(line);
+    ctx.code.push_back(xmem_lint::strip_noise(line, in_block));
+    whole << line << '\n';
   }
-  std::cout << "xmem-lint: " << files.size() << " files, "
-            << violations.size() << " violation"
-            << (violations.size() == 1 ? "" : "s") << "\n";
-  return violations.empty() ? 0 : 1;
+  ctx.tokens = xmem_lint::lex(whole.str());
+  // Companion header: declarations visible to this TU's loops.
+  fs::path hdr(path);
+  if (hdr.extension() == ".cpp" || hdr.extension() == ".cc") {
+    hdr.replace_extension(".hpp");
+    std::ifstream hin(hdr);
+    if (hin) {
+      std::ostringstream hs;
+      hs << hin.rdbuf();
+      ctx.decl_tokens = xmem_lint::lex(hs.str());
+    }
+  }
+  return ctx;
+}
+
+bool waived(const FileContext& f, const Violation& v) {
+  const std::string tag = "xmem-lint: allow(" + v.rule + ")";
+  if (f.raw_line(v.line).find(tag) != std::string::npos) return true;
+  return v.line > 1 &&
+         f.raw_line(v.line - 1).find(tag) != std::string::npos;
+}
+
+std::vector<BaselineEntry> load_baseline(const std::string& path) {
+  std::vector<BaselineEntry> entries;
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "xmem-lint: cannot open baseline: " << path << "\n";
+    std::exit(2);
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t t1 = line.find('\t');
+    const std::size_t t2 =
+        t1 == std::string::npos ? std::string::npos : line.find('\t', t1 + 1);
+    if (t2 == std::string::npos) {
+      std::cerr << "xmem-lint: malformed baseline line (want "
+                   "rule<TAB>path<TAB>content): "
+                << line << "\n";
+      std::exit(2);
+    }
+    entries.push_back({line.substr(0, t1), line.substr(t1 + 1, t2 - t1 - 1),
+                       line.substr(t2 + 1), false});
+  }
+  return entries;
+}
+
+bool baseline_match(const BaselineEntry& e, const FileContext& f,
+                    const Violation& v) {
+  if (e.rule != v.rule) return false;
+  const std::string& p = v.path;
+  if (p.size() < e.path_suffix.size() ||
+      p.compare(p.size() - e.path_suffix.size(), e.path_suffix.size(),
+                e.path_suffix) != 0) {
+    return false;
+  }
+  return trim(f.raw_line(v.line)) == e.content;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void usage() {
+  std::cerr
+      << "usage: xmem-lint [--json|--github] [--severity RULE=LEVEL]...\n"
+         "                 [--baseline FILE | --write-baseline FILE]\n"
+         "                 [--list-rules] <file-or-dir>...\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "xmem-lint: " << arg << " needs an argument\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--json") {
+      opt.json = true;
+    } else if (arg == "--github") {
+      opt.github = true;
+    } else if (arg == "--list-rules") {
+      opt.list_rules = true;
+    } else if (arg == "--baseline") {
+      opt.baseline_path = next();
+    } else if (arg == "--write-baseline") {
+      opt.write_baseline_path = next();
+    } else if (arg == "--severity") {
+      const std::string spec = next();
+      const std::size_t eq = spec.find('=');
+      if (eq == std::string::npos) {
+        std::cerr << "xmem-lint: --severity wants RULE=error|warn|off\n";
+        return 2;
+      }
+      const std::string rule = spec.substr(0, eq);
+      const std::string level = spec.substr(eq + 1);
+      if (xmem_lint::find_rule(rule) == nullptr) {
+        std::cerr << "xmem-lint: unknown rule '" << rule << "'\n";
+        return 2;
+      }
+      Severity sev = Severity::kError;
+      if (level == "warn") {
+        sev = Severity::kWarn;
+      } else if (level == "off") {
+        sev = Severity::kOff;
+      } else if (level != "error") {
+        std::cerr << "xmem-lint: bad severity '" << level << "'\n";
+        return 2;
+      }
+      opt.severity[rule] = sev;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "xmem-lint: unknown option " << arg << "\n";
+      usage();
+      return 2;
+    } else {
+      opt.paths.push_back(arg);
+    }
+  }
+
+  if (opt.list_rules) {
+    for (const auto& rule : xmem_lint::all_rules()) {
+      Severity sev = Severity::kError;
+      const auto it = opt.severity.find(std::string(rule->id()));
+      if (it != opt.severity.end()) sev = it->second;
+      std::cout << rule->id() << "\t" << xmem_lint::to_string(sev) << "\t"
+                << rule->summary() << "\n";
+    }
+    return 0;
+  }
+  if (opt.paths.empty()) {
+    usage();
+    return 2;
+  }
+
+  std::vector<BaselineEntry> baseline;
+  if (!opt.baseline_path.empty()) baseline = load_baseline(opt.baseline_path);
+
+  const std::vector<std::string> files = collect_files(opt.paths);
+
+  struct Finding {
+    Violation v;
+    std::string line_text;  // trimmed, for --write-baseline
+    bool baselined = false;
+  };
+  std::vector<Finding> findings;
+  std::size_t waived_count = 0;
+
+  for (const std::string& path : files) {
+    const FileContext ctx = load_file(path);
+    std::vector<Violation> raw;
+    for (const auto& rule : xmem_lint::all_rules()) {
+      std::vector<Violation> found;
+      rule->check(ctx, found);
+      for (Violation& v : found) {
+        v.hint = std::string(rule->fix_hint());
+        raw.push_back(std::move(v));
+      }
+    }
+    std::sort(raw.begin(), raw.end(),
+              [](const Violation& a, const Violation& b) {
+                return a.line != b.line ? a.line < b.line : a.rule < b.rule;
+              });
+    for (Violation& v : raw) {
+      if (waived(ctx, v)) {
+        ++waived_count;
+        continue;
+      }
+      const auto sev_it = opt.severity.find(v.rule);
+      v.severity =
+          sev_it != opt.severity.end() ? sev_it->second : Severity::kError;
+      if (v.severity == Severity::kOff) continue;
+      Finding f{std::move(v), trim(ctx.raw_line(v.line)), false};
+      for (BaselineEntry& e : baseline) {
+        if (baseline_match(e, ctx, f.v)) {
+          e.used = true;
+          f.baselined = true;
+          break;
+        }
+      }
+      findings.push_back(std::move(f));
+    }
+  }
+
+  if (!opt.write_baseline_path.empty()) {
+    std::ofstream out(opt.write_baseline_path);
+    out << "# xmem-lint baseline: rule<TAB>path-suffix<TAB>trimmed line.\n"
+        << "# Entries suppress known legacy findings; new code must be\n"
+        << "# clean. Regenerate: xmem-lint --write-baseline FILE <paths>\n";
+    for (const Finding& f : findings) {
+      out << f.v.rule << '\t' << f.v.path << '\t' << f.line_text << '\n';
+    }
+    std::cerr << "xmem-lint: wrote " << findings.size() << " entries to "
+              << opt.write_baseline_path << "\n";
+    return 0;
+  }
+
+  std::size_t active_errors = 0;
+  std::size_t baselined_count = 0;
+  for (const Finding& f : findings) {
+    if (f.baselined) {
+      ++baselined_count;
+    } else if (f.v.severity == Severity::kError) {
+      ++active_errors;
+    }
+  }
+
+  std::vector<std::string> stale;
+  for (const BaselineEntry& e : baseline) {
+    if (!e.used) {
+      stale.push_back(e.rule + "\t" + e.path_suffix + "\t" + e.content);
+    }
+  }
+
+  if (opt.json) {
+    std::ostream& os = std::cout;
+    os << "{\n  \"findings\": [";
+    bool first = true;
+    for (const Finding& f : findings) {
+      if (f.baselined) continue;
+      os << (first ? "" : ",") << "\n    {\"path\": \""
+         << json_escape(f.v.path) << "\", \"line\": " << f.v.line
+         << ", \"rule\": \"" << json_escape(f.v.rule)
+         << "\", \"severity\": \"" << xmem_lint::to_string(f.v.severity)
+         << "\", \"message\": \"" << json_escape(f.v.message)
+         << "\", \"hint\": \"" << json_escape(f.v.hint) << "\"}";
+      first = false;
+    }
+    os << "\n  ],\n  \"summary\": {\"files\": " << files.size()
+       << ", \"violations\": " << (findings.size() - baselined_count)
+       << ", \"baselined\": " << baselined_count
+       << ", \"waived\": " << waived_count
+       << ", \"stale_baseline\": " << stale.size()
+       << ", \"errors\": " << active_errors << "}\n}\n";
+  } else if (opt.github) {
+    for (const Finding& f : findings) {
+      if (f.baselined) continue;
+      const char* level =
+          f.v.severity == Severity::kError ? "error" : "warning";
+      std::cout << "::" << level << " file=" << f.v.path
+                << ",line=" << f.v.line << ",title=xmem-lint " << f.v.rule
+                << "::" << f.v.message << " (fix: " << f.v.hint << ")\n";
+    }
+  } else {
+    for (const Finding& f : findings) {
+      if (f.baselined) continue;
+      std::cerr << f.v.path << ":" << f.v.line << ": [" << f.v.rule << "] "
+                << f.v.message << "\n    fix: " << f.v.hint << "\n";
+    }
+  }
+
+  for (const std::string& s : stale) {
+    std::cerr << "xmem-lint: stale baseline entry (matched nothing): " << s
+              << "\n";
+  }
+
+  if (!opt.json) {
+    std::cerr << "xmem-lint: " << files.size() << " files, "
+              << (findings.size() - baselined_count) << " violations ("
+              << baselined_count << " baselined, " << waived_count
+              << " waived)\n";
+  }
+
+  if (!stale.empty()) return 1;
+  return active_errors == 0 ? 0 : 1;
 }

@@ -1,0 +1,947 @@
+// xmem-lint v2 rules: six protocol rules carried over from v1 and six
+// determinism/concurrency rules encoding the parallel-engine contract.
+//
+// Protocol rules (PR 4-6 heritage; see DESIGN.md §11):
+//   psn-compare, trace-pair, wire-bytes, wire-assert, wire-pin,
+//   packet-value
+//
+// Determinism rules (DESIGN.md §16):
+//   wallclock-ban        no wall-clock reads in simulation code; results
+//                        must be a function of seeds and the event order
+//   raw-rand-ban         all randomness through sim::Rng (bit-stable
+//                        across standard libraries)
+//   unordered-iteration  no scheduling/sending/serializing from inside a
+//                        loop over an unordered container (hash order is
+//                        not part of the replay contract)
+//   raw-time-arith       sim::Time values are built with the unit
+//                        constructors, never raw literals
+//   mutable-global       no mutable namespace-scope state (a data race
+//                        the day event loops go per-thread)
+//   env-read             getenv only inside the sim::Env snapshot shim
+#include "rules.hpp"
+
+#include <algorithm>
+#include <array>
+#include <set>
+#include <string>
+
+namespace xmem_lint {
+
+std::string_view to_string(Severity s) {
+  switch (s) {
+    case Severity::kError:
+      return "error";
+    case Severity::kWarn:
+      return "warn";
+    case Severity::kOff:
+      return "off";
+  }
+  return "?";
+}
+
+bool FileContext::in_dir(const std::string& dir) const {
+  return path.find("/" + dir + "/") != std::string::npos ||
+         path.compare(0, dir.size() + 1, dir + "/") == 0;
+}
+
+bool FileContext::ends_with(std::string_view suffix) const {
+  return path.size() >= suffix.size() &&
+         path.compare(path.size() - suffix.size(), suffix.size(), suffix) ==
+             0;
+}
+
+const std::string& FileContext::raw_line(std::size_t line) const {
+  static const std::string kEmpty;
+  if (line == 0 || line > raw.size()) return kEmpty;
+  return raw[line - 1];
+}
+
+namespace {
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool contains_word(const std::string& s, const std::string& word) {
+  std::size_t pos = 0;
+  while ((pos = s.find(word, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !is_ident_char(s[pos - 1]);
+    const std::size_t end = pos + word.size();
+    const bool right_ok = end >= s.size() || !is_ident_char(s[end]);
+    if (left_ok && right_ok) return true;
+    pos = end;
+  }
+  return false;
+}
+
+/// Does line `line` (or the line right before it) carry an
+/// `xmem-lint: allow(<rule>)` waiver?
+bool waived(const FileContext& f, std::size_t line, std::string_view rule) {
+  const std::string tag = "xmem-lint: allow(" + std::string(rule) + ")";
+  return f.raw_line(line).find(tag) != std::string::npos ||
+         (line > 1 && f.raw_line(line - 1).find(tag) != std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// psn-compare (v1 heritage: line-shaped, relies on enforced formatting)
+// ---------------------------------------------------------------------
+
+bool psn_named(const std::string& name) {
+  if (name == "psn" || name == "epsn") return true;
+  if (name.size() > 4 && name.compare(name.size() - 4, 4, "_psn") == 0) {
+    return true;
+  }
+  if (name.size() > 4 && name.compare(0, 4, "psn_") == 0) return true;
+  return false;
+}
+
+bool blessed_psn_helper(const std::string& name) {
+  static const std::set<std::string> kHelpers = {"psn_lt", "psn_ge",
+                                                "psn_add", "psn_distance"};
+  return kHelpers.count(name) != 0;
+}
+
+struct Operand {
+  std::string name;
+  bool is_call = false;
+  bool valid = false;
+};
+
+Operand left_operand(const std::string& s, std::size_t pos) {
+  Operand op;
+  std::size_t i = pos;
+  while (i > 0 && s[i - 1] == ' ') --i;
+  if (i == 0) return op;
+  if (s[i - 1] == ')' || s[i - 1] == ']') {
+    int depth = 0;
+    while (i > 0) {
+      const char c = s[i - 1];
+      if (c == ')' || c == ']') ++depth;
+      if (c == '(' || c == '[') {
+        --depth;
+        if (depth == 0) {
+          op.is_call = (c == '(');
+          --i;
+          break;
+        }
+      }
+      --i;
+    }
+  }
+  std::size_t end = i;
+  while (i > 0 && is_ident_char(s[i - 1])) --i;
+  if (i == end) return op;
+  op.name = s.substr(i, end - i);
+  op.valid = true;
+  return op;
+}
+
+Operand right_operand(const std::string& s, std::size_t pos) {
+  Operand op;
+  std::size_t i = pos;
+  while (i < s.size() && s[i] == ' ') ++i;
+  while (i < s.size() && (s[i] == '*' || s[i] == '&' || s[i] == '-' ||
+                          s[i] == '+' || s[i] == '!')) {
+    ++i;
+  }
+  std::size_t start = i;
+  std::size_t name_start = i;
+  while (i < s.size() &&
+         (is_ident_char(s[i]) || s[i] == ':' || s[i] == '.' ||
+          (s[i] == '-' && i + 1 < s.size() && s[i + 1] == '>'))) {
+    if (s[i] == ':' || s[i] == '.') {
+      name_start = i + 1;
+    } else if (s[i] == '-') {
+      ++i;  // consume the '>' of '->'
+      name_start = i + 1;
+    }
+    ++i;
+  }
+  if (i == start) return op;
+  op.name = s.substr(name_start, i - name_start);
+  op.is_call = i < s.size() && s[i] == '(';
+  op.valid = !op.name.empty();
+  return op;
+}
+
+class PsnCompareRule final : public Rule {
+ public:
+  std::string_view id() const override { return "psn-compare"; }
+  std::string_view summary() const override {
+    return "no raw relational operator on PSN-named values (24-bit "
+           "sequence numbers wrap)";
+  }
+  std::string_view fix_hint() const override {
+    return "use roce::psn_lt/psn_ge/psn_distance";
+  }
+  void check(const FileContext& f, std::vector<Violation>& out) const override {
+    if (f.ends_with("roce/headers.hpp")) return;  // defines the helpers
+    for (std::size_t ln = 1; ln <= f.code.size(); ++ln) {
+      const std::string& code = f.code[ln - 1];
+      for (std::size_t i = 1; i + 1 < code.size(); ++i) {
+        const char c = code[i];
+        if (c != '<' && c != '>') continue;
+        std::size_t op_end = i + 1;
+        if (op_end < code.size() && code[op_end] == '=') ++op_end;
+        // Binary relational ops are spaced on both sides; templates,
+        // arrows, shifts and fused tokens are not.
+        if (code[i - 1] != ' ' || op_end >= code.size() ||
+            code[op_end] != ' ') {
+          continue;
+        }
+        const Operand lhs = left_operand(code, i - 1);
+        const Operand rhs = right_operand(code, op_end + 1);
+        for (const Operand& operand : {lhs, rhs}) {
+          if (!operand.valid || !psn_named(operand.name)) continue;
+          if (operand.is_call && blessed_psn_helper(operand.name)) continue;
+          out.push_back({f.path, ln, std::string(id()),
+                         "raw relational operator on PSN-named value '" +
+                             operand.name + "'"});
+          break;
+        }
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------
+// trace-pair
+// ---------------------------------------------------------------------
+
+class TracePairRule final : public Rule {
+ public:
+  std::string_view id() const override { return "trace-pair"; }
+  std::string_view summary() const override {
+    return "a TU opening tracer spans (trace_begin) must also close them";
+  }
+  std::string_view fix_hint() const override {
+    return "call trace_complete or trace_retransmit on every span path";
+  }
+  void check(const FileContext& f, std::vector<Violation>& out) const override {
+    std::size_t first_begin = 0;
+    bool begin_waived = false;
+    bool has_complete = false;
+    for (std::size_t ln = 1; ln <= f.code.size(); ++ln) {
+      const std::string& code = f.code[ln - 1];
+      if (code.find("trace_begin") != std::string::npos) {
+        if (first_begin == 0) first_begin = ln;
+        begin_waived = begin_waived || waived(f, ln, id());
+      }
+      if (code.find("trace_complete") != std::string::npos ||
+          code.find("trace_retransmit") != std::string::npos) {
+        has_complete = true;
+      }
+    }
+    if (first_begin != 0 && !has_complete && !begin_waived) {
+      out.push_back({f.path, first_begin, std::string(id()),
+                     "trace_begin without trace_complete/trace_retransmit "
+                     "in this TU leaks open spans"});
+    }
+  }
+};
+
+// ---------------------------------------------------------------------
+// wire-bytes
+// ---------------------------------------------------------------------
+
+class WireBytesRule final : public Rule {
+ public:
+  std::string_view id() const override { return "wire-bytes"; }
+  std::string_view summary() const override {
+    return "wire headers are built and parsed only through "
+           "net::ByteWriter/ByteReader";
+  }
+  std::string_view fix_hint() const override {
+    return "replace memcpy/reinterpret_cast with ByteWriter/ByteReader "
+           "field accessors";
+  }
+  void check(const FileContext& f, std::vector<Violation>& out) const override {
+    const bool wire_dir = f.in_dir("net") || f.in_dir("roce");
+    for (std::size_t ln = 1; ln <= f.code.size(); ++ln) {
+      const std::string& code = f.code[ln - 1];
+      const bool has_cast =
+          code.find("memcpy(") != std::string::npos ||
+          code.find("reinterpret_cast<") != std::string::npos;
+      if (!has_cast) continue;
+      const bool touches_wire_words =
+          contains_word(code, "packet") || contains_word(code, "frame") ||
+          contains_word(code, "wire") || contains_word(code, "payload");
+      if (wire_dir || touches_wire_words) {
+        out.push_back({f.path, ln, std::string(id()),
+                       "wire bytes must go through "
+                       "net::ByteWriter/ByteReader, not "
+                       "memcpy/reinterpret_cast"});
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------
+// wire-assert + wire-pin (token/scope-based in v2)
+// ---------------------------------------------------------------------
+
+struct WireStructScan {
+  struct WireStruct {
+    std::string name;
+    std::size_t line = 0;
+  };
+  std::vector<WireStruct> wire_structs;       // structs with serialize(ByteWriter&)
+  std::set<std::string> kwire_structs;        // structs declaring kWireBytes
+  std::set<std::string> asserted_names;       // identifiers inside static_asserts
+};
+
+WireStructScan scan_wire_structs(const FileContext& f) {
+  WireStructScan scan;
+  ScopeTracker tracker;
+  const std::vector<Token>& toks = f.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind == Token::Kind::kIdentifier) {
+      if (t.text == "serialize" && i + 1 < toks.size() &&
+          toks[i + 1].text == "(") {
+        // Attribute serialize(ByteWriter&) members to their struct.
+        bool takes_writer = false;
+        int depth = 0;
+        for (std::size_t j = i + 1; j < toks.size(); ++j) {
+          if (toks[j].text == "(") ++depth;
+          if (toks[j].text == ")" && --depth == 0) break;
+          if (toks[j].text == "ByteWriter") takes_writer = true;
+        }
+        const std::string& owner = tracker.innermost_struct();
+        if (takes_writer && !owner.empty()) {
+          scan.wire_structs.push_back({owner, t.line});
+        }
+      } else if (t.text == "kWireBytes") {
+        const std::string& owner = tracker.innermost_struct();
+        if (!owner.empty()) scan.kwire_structs.insert(owner);
+      } else if (t.text == "static_assert") {
+        int depth = 0;
+        for (std::size_t j = i + 1; j < toks.size(); ++j) {
+          if (toks[j].text == "(") ++depth;
+          if (toks[j].text == ")" && --depth == 0) break;
+          if (toks[j].kind == Token::Kind::kIdentifier) {
+            scan.asserted_names.insert(toks[j].text);
+          }
+        }
+      }
+    }
+    tracker.feed(t);
+  }
+  return scan;
+}
+
+bool pin_dir(const FileContext& f) {
+  return f.in_dir("net") || f.in_dir("roce") || f.in_dir("telemetry");
+}
+
+class WireAssertRule final : public Rule {
+ public:
+  std::string_view id() const override { return "wire-assert"; }
+  std::string_view summary() const override {
+    return "every on-wire struct must be named in a static_assert "
+           "pinning its layout";
+  }
+  std::string_view fix_hint() const override {
+    return "add static_assert(Struct::kWireBytes == <N>, ...) next to "
+           "the definition";
+  }
+  void check(const FileContext& f, std::vector<Violation>& out) const override {
+    if (!pin_dir(f)) return;
+    const WireStructScan scan = scan_wire_structs(f);
+    for (const auto& ws : scan.wire_structs) {
+      if (scan.asserted_names.count(ws.name) == 0) {
+        out.push_back({f.path, ws.line, std::string(id()),
+                       "on-wire struct '" + ws.name +
+                           "' has no static_assert pinning its layout"});
+      }
+    }
+  }
+};
+
+class WirePinRule final : public Rule {
+ public:
+  std::string_view id() const override { return "wire-pin"; }
+  std::string_view summary() const override {
+    return "on-wire structs must declare kWireBytes next to their fields";
+  }
+  std::string_view fix_hint() const override {
+    return "declare `static constexpr std::size_t kWireBytes = <N>;` "
+           "in the struct";
+  }
+  void check(const FileContext& f, std::vector<Violation>& out) const override {
+    if (!pin_dir(f)) return;
+    const WireStructScan scan = scan_wire_structs(f);
+    for (const auto& ws : scan.wire_structs) {
+      if (scan.kwire_structs.count(ws.name) == 0) {
+        out.push_back({f.path, ws.line, std::string(id()),
+                       "on-wire struct '" + ws.name +
+                           "' does not declare kWireBytes; exported "
+                           "layouts must carry their size next to their "
+                           "fields"});
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------
+// packet-value
+// ---------------------------------------------------------------------
+
+class PacketValueRule final : public Rule {
+ public:
+  std::string_view id() const override { return "packet-value"; }
+  std::string_view summary() const override {
+    return "net::Packet never crosses a function boundary by value";
+  }
+  std::string_view fix_hint() const override {
+    return "take const Packet&/Packet&&, or call clone() at the call site";
+  }
+  void check(const FileContext& f, std::vector<Violation>& out) const override {
+    for (std::size_t ln = 1; ln <= f.code.size(); ++ln) {
+      const std::string& code = f.code[ln - 1];
+      std::size_t pos = 0;
+      while ((pos = code.find("Packet", pos)) != std::string::npos) {
+        const std::size_t end = pos + 6;
+        const bool word_boundary =
+            (pos == 0 || !is_ident_char(code[pos - 1])) &&
+            (end >= code.size() || !is_ident_char(code[end]));
+        if (!word_boundary) {  // ParsedPacket, PacketMeta, ...
+          pos = end;
+          continue;
+        }
+        std::size_t i = end;
+        while (i < code.size() && code[i] == ' ') ++i;
+        if (i >= code.size() || !is_ident_char(code[i])) {
+          pos = end;
+          continue;
+        }
+        std::size_t name_end = i;
+        while (name_end < code.size() && is_ident_char(code[name_end])) {
+          ++name_end;
+        }
+        std::size_t j = name_end;
+        while (j < code.size() && code[j] == ' ') ++j;
+        if (j < code.size() && (code[j] == ',' || code[j] == ')')) {
+          out.push_back({f.path, ln, std::string(id()),
+                         "'Packet " + code.substr(i, name_end - i) +
+                             "' passed by value"});
+        }
+        pos = end;
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------
+// wallclock-ban
+// ---------------------------------------------------------------------
+
+class WallclockBanRule final : public Rule {
+ public:
+  std::string_view id() const override { return "wallclock-ban"; }
+  std::string_view summary() const override {
+    return "no wall-clock reads: simulation results must be a function "
+           "of seeds and event order only";
+  }
+  std::string_view fix_hint() const override {
+    return "use sim::Simulator::now(); wall-time measurement belongs in "
+           "the bench harness (baseline the site if it IS the harness)";
+  }
+  void check(const FileContext& f, std::vector<Violation>& out) const override {
+    static const std::set<std::string> kBannedAnywhere = {
+        "system_clock",  "steady_clock", "high_resolution_clock",
+        "gettimeofday",  "clock_gettime", "timespec_get",
+        "localtime",     "gmtime",        "mktime",
+        "strftime"};
+    static const std::set<std::string> kBannedCalls = {"time", "clock"};
+    const std::vector<Token>& toks = f.tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (t.kind != Token::Kind::kIdentifier) continue;
+      if (kBannedAnywhere.count(t.text) != 0) {
+        out.push_back({f.path, t.line, std::string(id()),
+                       "wall-clock source '" + t.text +
+                           "' in simulation code"});
+        continue;
+      }
+      if (kBannedCalls.count(t.text) != 0 && i + 1 < toks.size() &&
+          toks[i + 1].text == "(") {
+        // Skip member calls (x.time(), x->clock()), non-std qualified
+        // names, and declarations (`Time time() const`): only the C
+        // library functions — bare or std:: — are the hazard.
+        if (i > 0 && (toks[i - 1].text == "." || toks[i - 1].text == ">" ||
+                      toks[i - 1].kind == Token::Kind::kIdentifier)) {
+          continue;
+        }
+        if (i > 0 && toks[i - 1].text == ":" &&
+            !(i >= 3 && toks[i - 3].text == "std")) {
+          continue;
+        }
+        out.push_back({f.path, t.line, std::string(id()),
+                       "C wall-clock call '" + t.text +
+                           "()' in simulation code"});
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------
+// raw-rand-ban
+// ---------------------------------------------------------------------
+
+class RawRandBanRule final : public Rule {
+ public:
+  std::string_view id() const override { return "raw-rand-ban"; }
+  std::string_view summary() const override {
+    return "all randomness goes through sim::Rng (bit-stable across "
+           "standard libraries)";
+  }
+  std::string_view fix_hint() const override {
+    return "thread a seeded sim::Rng through instead";
+  }
+  void check(const FileContext& f, std::vector<Violation>& out) const override {
+    const std::vector<Token>& toks = f.tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (t.kind != Token::Kind::kIdentifier) continue;
+      if (t.text == "random_device" || t.text == "default_random_engine") {
+        out.push_back({f.path, t.line, std::string(id()),
+                       "'" + t.text + "' is nondeterministic or "
+                       "implementation-defined; use sim::Rng"});
+        continue;
+      }
+      if ((t.text == "rand" || t.text == "srand") && i + 1 < toks.size() &&
+          toks[i + 1].text == "(") {
+        if (i > 0 && (toks[i - 1].text == "." || toks[i - 1].text == ">")) {
+          continue;
+        }
+        out.push_back({f.path, t.line, std::string(id()),
+                       "'" + t.text + "()' hides global state; use "
+                       "sim::Rng"});
+        continue;
+      }
+      if (t.text == "mt19937" || t.text == "mt19937_64") {
+        // Seeded engines are merely discouraged (distributions still
+        // vary by stdlib); *unseeded* ones are flat nondeterminism.
+        std::size_t j = i + 1;
+        if (j < toks.size() && toks[j].text == ":") continue;  // mt19937::
+        if (j < toks.size() &&
+            toks[j].kind == Token::Kind::kIdentifier) {
+          ++j;  // variable name
+        }
+        if (j >= toks.size()) continue;
+        const std::string& nxt = toks[j].text;
+        const bool empty_ctor =
+            (nxt == "(" || nxt == "{") && j + 1 < toks.size() &&
+            (toks[j + 1].text == ")" || toks[j + 1].text == "}");
+        if (nxt == ";" || nxt == "," || nxt == ")" || empty_ctor) {
+          out.push_back({f.path, t.line, std::string(id()),
+                         "unseeded '" + t.text +
+                             "' (default seed, stdlib-dependent stream); "
+                             "use sim::Rng"});
+        }
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------
+// unordered-iteration
+// ---------------------------------------------------------------------
+
+class UnorderedIterationRule final : public Rule {
+ public:
+  std::string_view id() const override { return "unordered-iteration"; }
+  std::string_view summary() const override {
+    return "no scheduling/sending/serializing from a loop over an "
+           "unordered container (hash order is not replayable)";
+  }
+  std::string_view fix_hint() const override {
+    return "collect keys, sort deterministically, then act in sorted "
+           "order";
+  }
+  void check(const FileContext& f, std::vector<Violation>& out) const override {
+    const std::vector<Token>& toks = f.tokens;
+
+    // Pass A: names declared (or aliased) with an unordered container
+    // type in this file or its companion header — members, locals,
+    // accessors returning references, `using X = unordered_map<...>`.
+    std::set<std::string> unordered_names;
+    collect_unordered_names(f.decl_tokens, unordered_names);
+    collect_unordered_names(toks, unordered_names);
+    if (unordered_names.empty()) return;
+    // Pass B: range-for loops whose range names one of those, with an
+    // effectful call in the body.
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+      if (toks[i].text != "for" || toks[i + 1].text != "(") continue;
+      // Find the header's matching ')' and the range-for ':'.
+      int depth = 0;
+      std::size_t colon = 0, close = 0;
+      for (std::size_t j = i + 1; j < toks.size(); ++j) {
+        if (toks[j].text == "(") ++depth;
+        if (toks[j].text == ")" && --depth == 0) {
+          close = j;
+          break;
+        }
+        if (toks[j].text == ":" && depth == 1 && colon == 0) {
+          const bool part_of_scope =
+              toks[j - 1].text == ":" ||
+              (j + 1 < toks.size() && toks[j + 1].text == ":");
+          if (!part_of_scope) colon = j;
+        }
+      }
+      if (close == 0 || colon == 0) continue;
+      // Last identifier of the range expression names the container
+      // (strips trailing `()` of accessor calls).
+      std::string range_name;
+      for (std::size_t j = colon + 1; j < close; ++j) {
+        if (toks[j].kind == Token::Kind::kIdentifier) range_name = toks[j].text;
+      }
+      if (unordered_names.count(range_name) == 0) continue;
+      // Loop body: `{ ... }` or a single statement up to ';'.
+      std::size_t body_begin = close + 1;
+      if (body_begin >= toks.size()) continue;
+      std::size_t body_end = body_begin;
+      if (toks[body_begin].text == "{") {
+        int bdepth = 0;
+        for (std::size_t j = body_begin; j < toks.size(); ++j) {
+          if (toks[j].text == "{") ++bdepth;
+          if (toks[j].text == "}" && --bdepth == 0) {
+            body_end = j;
+            break;
+          }
+        }
+      } else {
+        while (body_end < toks.size() && toks[body_end].text != ";") {
+          ++body_end;
+        }
+      }
+      // Effect = any call that is not a known order-insensitive helper.
+      for (std::size_t j = body_begin; j < body_end; ++j) {
+        if (toks[j].kind != Token::Kind::kIdentifier) continue;
+        if (j + 1 >= toks.size() || toks[j + 1].text != "(") continue;
+        if (safe_call(toks[j].text)) continue;
+        out.push_back(
+            {f.path, toks[i].line, std::string(id()),
+             "call to '" + toks[j].text + "' while iterating unordered "
+             "container '" + range_name + "' makes its effect order "
+             "hash-dependent"});
+        break;  // one finding per loop
+      }
+    }
+  }
+
+ private:
+  static void collect_unordered_names(const std::vector<Token>& toks,
+                                      std::set<std::string>& names) {
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const std::string& t = toks[i].text;
+      if (t != "unordered_map" && t != "unordered_set" &&
+          t != "unordered_multimap" && t != "unordered_multiset") {
+        continue;
+      }
+      // `using Alias = std::unordered_map<...>`: the alias is the name.
+      for (std::size_t b = i; b > 0 && b + 3 > i; --b) {
+        if (toks[b - 1].text == "=" && b >= 2 &&
+            toks[b - 2].kind == Token::Kind::kIdentifier) {
+          names.insert(toks[b - 2].text);
+          break;
+        }
+        if (toks[b - 1].text != ":" && toks[b - 1].text != "std") break;
+      }
+      // Balance the template argument list, then take the next
+      // identifier as the declared name (skipping &).
+      std::size_t j = i + 1;
+      if (j >= toks.size() || toks[j].text != "<") continue;
+      int depth = 0;
+      for (; j < toks.size(); ++j) {
+        if (toks[j].text == "<") ++depth;
+        if (toks[j].text == ">" && --depth == 0) {
+          ++j;
+          break;
+        }
+      }
+      while (j < toks.size() && toks[j].text == "&") ++j;
+      if (j < toks.size() && toks[j].kind == Token::Kind::kIdentifier) {
+        names.insert(toks[j].text);
+      }
+    }
+  }
+
+  /// Calls whose observable effect does not depend on invocation order:
+  /// pure accessors, accumulation into order-independent containers,
+  /// and the wrap-safe PSN helpers used in selection predicates.
+  static bool safe_call(const std::string& name) {
+    static const std::set<std::string> kSafe = {
+        // Control keywords and checks, not calls.
+        "if",        "for",          "while",     "switch",   "return",
+        "sizeof",    "alignof",      "decltype",  "catch",    "assert",
+        "static_assert",
+        "push_back", "emplace_back", "emplace",   "insert",   "erase",
+        "count",     "find",         "contains",  "at",       "size",
+        "empty",     "begin",        "end",       "rbegin",   "rend",
+        "reserve",   "value_or",     "min",       "max",      "abs",
+        "psn_lt",    "psn_ge",       "psn_add",   "psn_distance",
+        // Pure per-shard deadline read used in expiry predicates.
+        "shard_timeout",
+        "raw",       "first",        "second",    "get",      "data",
+        "c_str",     "sort",         "stable_sort", "lower_bound",
+        "upper_bound", "make_pair",  "push"};
+    return kSafe.count(name) != 0;
+  }
+};
+
+// ---------------------------------------------------------------------
+// raw-time-arith
+// ---------------------------------------------------------------------
+
+class RawTimeArithRule final : public Rule {
+ public:
+  std::string_view id() const override { return "raw-time-arith"; }
+  std::string_view summary() const override {
+    return "sim::Time values are built with the unit constructors, "
+           "never raw numeric literals";
+  }
+  std::string_view fix_hint() const override {
+    return "wrap the literal: sim::picoseconds()/nanoseconds()/"
+           "microseconds()/milliseconds()/seconds()";
+  }
+  void check(const FileContext& f, std::vector<Violation>& out) const override {
+    if (f.ends_with("sim/time.hpp")) return;  // defines the constructors
+    const std::vector<Token>& toks = f.tokens;
+    auto is_zero = [](const std::string& text) {
+      return text == "0" || text == "0u" || text == "0U" || text == "0l" ||
+             text == "0L" || text == "0ll" || text == "0LL";
+    };
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (t.kind != Token::Kind::kIdentifier) continue;
+      // `Time name = <literal>` / `Time name{<literal>}` — covers
+      // sim::Time via the preceding qualifier tokens being ignored.
+      if (t.text == "Time" && i + 2 < toks.size() &&
+          toks[i + 1].kind == Token::Kind::kIdentifier) {
+        const std::size_t eq = i + 2;
+        if ((toks[eq].text == "=" || toks[eq].text == "{") &&
+            eq + 1 < toks.size() &&
+            toks[eq + 1].kind == Token::Kind::kNumber &&
+            !is_zero(toks[eq + 1].text)) {
+          // A literal followed by unit arithmetic (e.g. `2 * kSecond`)
+          // is fine; a bare literal terminated by ;/,/} is not.
+          const std::string& after =
+              eq + 2 < toks.size() ? toks[eq + 2].text : ";";
+          if (after == ";" || after == "," || after == "}") {
+            out.push_back({f.path, toks[eq + 1].line, std::string(id()),
+                           "raw literal '" + toks[eq + 1].text +
+                               "' assigned to sim::Time '" +
+                               toks[i + 1].text + "'"});
+          }
+        }
+      }
+      // `schedule_in(<literal>` / `schedule_at(<literal>` — a raw
+      // number in an explicit Time parameter position.
+      if ((t.text == "schedule_in" || t.text == "schedule_at") &&
+          i + 2 < toks.size() && toks[i + 1].text == "(" &&
+          toks[i + 2].kind == Token::Kind::kNumber &&
+          !is_zero(toks[i + 2].text)) {
+        const std::string& after =
+            i + 3 < toks.size() ? toks[i + 3].text : ",";
+        if (after == "," || after == ")") {
+          out.push_back({f.path, toks[i + 2].line, std::string(id()),
+                         "raw literal '" + toks[i + 2].text + "' passed "
+                         "as the delay of " + t.text + "()"});
+        }
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------
+// mutable-global
+// ---------------------------------------------------------------------
+
+class MutableGlobalRule final : public Rule {
+ public:
+  std::string_view id() const override { return "mutable-global"; }
+  std::string_view summary() const override {
+    return "no mutable namespace-scope state (a data race once event "
+           "loops go per-thread)";
+  }
+  std::string_view fix_hint() const override {
+    return "make it constexpr/const, or move it into an object owned by "
+           "the simulation";
+  }
+  void check(const FileContext& f, std::vector<Violation>& out) const override {
+    ScopeTracker tracker;
+    const std::vector<Token>& toks = f.tokens;
+    std::vector<const Token*> stmt;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      const bool ns_scope_before = tracker.at_namespace_scope();
+      if (t.text == "{" && t.kind == Token::Kind::kPunct) {
+        tracker.feed(t);
+        // A '{' while a namespace-scope statement is open: either an
+        // initializer (statement continues to ';') or a body we skip.
+        if (ns_scope_before && !stmt.empty()) {
+          const bool head_is_scope = is_scope_head(stmt);
+          const bool has_eq = contains(stmt, "=");
+          if (!has_eq || head_is_scope) {
+            // Function/struct body: fast-forward to the matching '}'.
+            if (head_is_scope) {
+              // struct/class/enum bodies are scanned normally (they
+              // matter for nested namespaces is false, but tracker
+              // keeps depth honest); just drop the head.
+              stmt.clear();
+              continue;
+            }
+            std::size_t depth = tracker.depth();
+            for (++i; i < toks.size(); ++i) {
+              tracker.feed(toks[i]);
+              if (tracker.depth() < depth) break;
+            }
+            stmt.clear();
+            continue;
+          }
+          // Brace initializer: swallow to the matching '}' and keep
+          // collecting the statement.
+          std::size_t depth = tracker.depth();
+          for (++i; i < toks.size(); ++i) {
+            tracker.feed(toks[i]);
+            if (tracker.depth() < depth) break;
+          }
+          continue;
+        }
+        continue;
+      }
+      if (t.text == "}" && t.kind == Token::Kind::kPunct) {
+        tracker.feed(t);
+        continue;
+      }
+      if (!ns_scope_before) {
+        tracker.feed(t);
+        continue;
+      }
+      if (t.text == ";" && t.kind == Token::Kind::kPunct) {
+        analyze(f, stmt, out);
+        stmt.clear();
+        tracker.feed(t);
+        continue;
+      }
+      stmt.push_back(&t);
+      tracker.feed(t);
+    }
+  }
+
+ private:
+  static bool contains(const std::vector<const Token*>& stmt,
+                       std::string_view text) {
+    return std::any_of(stmt.begin(), stmt.end(),
+                       [&](const Token* t) { return t->text == text; });
+  }
+
+  static bool is_scope_head(const std::vector<const Token*>& stmt) {
+    if (stmt.empty()) return false;
+    const std::string& h = stmt.front()->text;
+    return h == "namespace" || h == "struct" || h == "class" ||
+           h == "union" || h == "enum";
+  }
+
+  static void analyze(const FileContext& f,
+                      const std::vector<const Token*>& stmt,
+                      std::vector<Violation>& out) {
+    if (stmt.empty()) return;
+    static const std::set<std::string> kSkipHeads = {
+        "using",   "typedef", "template", "extern",        "friend",
+        "namespace", "struct", "class",   "union",         "enum",
+        "static_assert", "operator", "return"};
+    if (kSkipHeads.count(stmt.front()->text) != 0) return;
+    // const-qualified (or compile-time constant) globals are fine.
+    for (const Token* t : stmt) {
+      if (t->text == "const" || t->text == "constexpr" ||
+          t->text == "consteval") {
+        return;
+      }
+    }
+    // Function declarations: a '(' before any '='.
+    std::size_t eq_pos = stmt.size();
+    for (std::size_t k = 0; k < stmt.size(); ++k) {
+      if (stmt[k]->text == "=") {
+        eq_pos = k;
+        break;
+      }
+    }
+    for (std::size_t k = 0; k < eq_pos; ++k) {
+      if (stmt[k]->text == "(") return;
+    }
+    const bool has_static =
+        contains(stmt, "static") || contains(stmt, "thread_local");
+    std::size_t idents = 0;
+    const Token* name = nullptr;
+    for (std::size_t k = 0; k < eq_pos; ++k) {
+      if (stmt[k]->kind == Token::Kind::kIdentifier) {
+        ++idents;
+        name = stmt[k];
+      }
+    }
+    if (!has_static && eq_pos == stmt.size() && idents < 2) return;
+    if (idents == 0) return;
+    out.push_back({f.path, stmt.front()->line, "mutable-global",
+                   "namespace-scope mutable state '" + name->text + "'"});
+  }
+};
+
+// ---------------------------------------------------------------------
+// env-read
+// ---------------------------------------------------------------------
+
+class EnvReadRule final : public Rule {
+ public:
+  std::string_view id() const override { return "env-read"; }
+  std::string_view summary() const override {
+    return "environment reads go through the sim::Env startup snapshot "
+           "(mid-sim getenv breaks replay)";
+  }
+  std::string_view fix_hint() const override {
+    return "use sim::env(\"NAME\") from sim/env.hpp";
+  }
+  void check(const FileContext& f, std::vector<Violation>& out) const override {
+    if (f.ends_with("sim/env.cpp")) return;  // the shim itself
+    for (const Token& t : f.tokens) {
+      if (t.kind == Token::Kind::kIdentifier && t.text == "getenv") {
+        out.push_back({f.path, t.line, std::string(id()),
+                       "direct getenv() bypasses the sim::Env startup "
+                       "snapshot"});
+      }
+    }
+  }
+};
+
+}  // namespace
+
+const std::vector<std::unique_ptr<Rule>>& all_rules() {
+  static const std::vector<std::unique_ptr<Rule>> kRules = [] {
+    std::vector<std::unique_ptr<Rule>> r;
+    r.push_back(std::make_unique<PsnCompareRule>());
+    r.push_back(std::make_unique<TracePairRule>());
+    r.push_back(std::make_unique<WireBytesRule>());
+    r.push_back(std::make_unique<WireAssertRule>());
+    r.push_back(std::make_unique<WirePinRule>());
+    r.push_back(std::make_unique<PacketValueRule>());
+    r.push_back(std::make_unique<WallclockBanRule>());
+    r.push_back(std::make_unique<RawRandBanRule>());
+    r.push_back(std::make_unique<UnorderedIterationRule>());
+    r.push_back(std::make_unique<RawTimeArithRule>());
+    r.push_back(std::make_unique<MutableGlobalRule>());
+    r.push_back(std::make_unique<EnvReadRule>());
+    return r;
+  }();
+  return kRules;
+}
+
+const Rule* find_rule(std::string_view id) {
+  for (const auto& r : all_rules()) {
+    if (r->id() == id) return r.get();
+  }
+  return nullptr;
+}
+
+}  // namespace xmem_lint

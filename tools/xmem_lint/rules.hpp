@@ -1,0 +1,73 @@
+// xmem-lint v2 rule registry.
+//
+// Each rule is a self-contained class: an id (the name used in waiver
+// comments, baseline entries and --severity overrides), a one-line
+// summary, a fix hint appended to every finding, and a check() pass
+// over one file. Rules see the file through FileContext — raw lines
+// (waiver comments live there), noise-stripped lines (v1-style line
+// scans) and the token stream (scope-aware analysis) — and append
+// Violations; the driver owns waiver/baseline/severity filtering.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lexer.hpp"
+
+namespace xmem_lint {
+
+enum class Severity { kError, kWarn, kOff };
+
+[[nodiscard]] std::string_view to_string(Severity s);
+
+struct Violation {
+  std::string path;
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+  // Filled by the driver from the rule + severity config.
+  Severity severity = Severity::kError;
+  std::string hint;
+};
+
+/// Everything a rule may look at for one file.
+struct FileContext {
+  std::string path;  ///< generic (forward-slash) path as passed.
+  std::vector<std::string> raw;   ///< raw source lines.
+  std::vector<std::string> code;  ///< noise-stripped lines (same indices).
+  std::vector<Token> tokens;      ///< token stream (see lexer.hpp).
+  /// Token stream of the companion header (x.hpp next to x.cpp), when
+  /// one exists. Declaration-collecting rules (unordered-iteration)
+  /// scan it so member containers declared in the header are known when
+  /// the .cpp's loops are checked. Never reported against.
+  std::vector<Token> decl_tokens;
+
+  /// Is the file under directory `dir` (any path component)?
+  [[nodiscard]] bool in_dir(const std::string& dir) const;
+  /// Does the path end with `suffix`?
+  [[nodiscard]] bool ends_with(std::string_view suffix) const;
+  /// Raw text of 1-based line `line` ("" out of range).
+  [[nodiscard]] const std::string& raw_line(std::size_t line) const;
+};
+
+class Rule {
+ public:
+  virtual ~Rule() = default;
+  [[nodiscard]] virtual std::string_view id() const = 0;
+  [[nodiscard]] virtual std::string_view summary() const = 0;
+  [[nodiscard]] virtual std::string_view fix_hint() const = 0;
+  virtual void check(const FileContext& file,
+                     std::vector<Violation>& out) const = 0;
+};
+
+/// The full registry, in reporting order: six protocol rules (v1
+/// heritage) then the six determinism/concurrency rules.
+[[nodiscard]] const std::vector<std::unique_ptr<Rule>>& all_rules();
+
+/// Find a rule by id; nullptr when unknown.
+[[nodiscard]] const Rule* find_rule(std::string_view id);
+
+}  // namespace xmem_lint

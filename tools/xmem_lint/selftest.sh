@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
-# xmem-lint self-test: the analyzer must pass the real tree and fail on
-# every known-bad fixture (catching each fixture's specific rule).
+# xmem-lint v2 self-test: the analyzer must pass the real tree (with
+# the checked-in baseline), trip every rule on its bad fixture, stay
+# silent on every good fixture, and honor the waiver/severity/baseline/
+# output plumbing.
 #
 # Usage: selftest.sh <path-to-xmem_lint-binary> <repo-root>
 set -euo pipefail
@@ -8,16 +10,20 @@ set -euo pipefail
 LINT="$1"
 ROOT="$2"
 FIXTURES="$ROOT/tools/xmem_lint/fixtures"
+BASELINE="$ROOT/tools/xmem_lint/baseline.txt"
 
 fail() {
   echo "xmem-lint selftest: $*" >&2
   exit 1
 }
 
-# 1. The real tree is clean.
-"$LINT" "$ROOT/src" >/dev/null || fail "src/ should lint clean"
+# 1. The real tree is clean modulo the checked-in baseline (and the
+#    baseline has no stale entries — the run fails on those too).
+"$LINT" --baseline "$BASELINE" \
+  "$ROOT/src" "$ROOT/tools" "$ROOT/bench" "$ROOT/examples" "$ROOT/tests" \
+  >/dev/null || fail "tree should lint clean against the baseline"
 
-# 2. Each fixture trips its rule.
+# 2. Every rule trips on its bad fixture...
 expect_rule() {
   local fixture="$1" rule="$2" out
   out=$("$LINT" "$fixture" 2>&1 >/dev/null) &&
@@ -33,10 +39,35 @@ expect_rule "$FIXTURES/roce/bad_wire_struct.hpp" wire-assert
 expect_rule "$FIXTURES/roce/bad_cnp_struct.hpp" wire-assert
 expect_rule "$FIXTURES/telemetry/bad_export_struct.hpp" wire-pin
 expect_rule "$FIXTURES/bad_packet_by_value.cpp" packet-value
+expect_rule "$FIXTURES/bad_wallclock.cpp" wallclock-ban
+expect_rule "$FIXTURES/bad_raw_rand.cpp" raw-rand-ban
+expect_rule "$FIXTURES/bad_unordered_iteration.cpp" unordered-iteration
+expect_rule "$FIXTURES/bad_raw_time.cpp" raw-time-arith
+expect_rule "$FIXTURES/bad_mutable_global.cpp" mutable-global
+expect_rule "$FIXTURES/bad_env_read.cpp" env-read
 
-# 3. The waiver comment suppresses (tested on a generated snippet).
+# 3. ...and stays silent on its good twin.
+expect_clean() {
+  local fixture="$1"
+  "$LINT" "$fixture" >/dev/null 2>&1 ||
+    fail "$fixture should lint clean"
+}
+
+expect_clean "$FIXTURES/good_psn_helpers.cpp"
+expect_clean "$FIXTURES/good_trace_paired.cpp"
+expect_clean "$FIXTURES/roce/good_wire_struct.hpp"
+expect_clean "$FIXTURES/good_packet_ref.cpp"
+expect_clean "$FIXTURES/good_simtime.cpp"
+expect_clean "$FIXTURES/good_sim_rng.cpp"
+expect_clean "$FIXTURES/good_sorted_drain.cpp"
+expect_clean "$FIXTURES/good_time_units.cpp"
+expect_clean "$FIXTURES/good_const_global.cpp"
+expect_clean "$FIXTURES/good_env_shim.cpp"
+
+# 4. The inline waiver comment suppresses.
 tmp=$(mktemp --suffix=.cpp)
-trap 'rm -f "$tmp"' EXIT
+tmp_baseline=$(mktemp --suffix=.txt)
+trap 'rm -f "$tmp" "$tmp_baseline"' EXIT
 cat >"$tmp" <<'EOF'
 #include <cstring>
 void f(unsigned char* packet, const void* h) {
@@ -44,5 +75,39 @@ void f(unsigned char* packet, const void* h) {
 }
 EOF
 "$LINT" "$tmp" >/dev/null || fail "allow() waiver should suppress"
+
+# 5. Severity plumbing: off drops the finding, warn reports but passes.
+"$LINT" --severity wallclock-ban=off --severity raw-rand-ban=off \
+  "$FIXTURES/bad_wallclock.cpp" "$FIXTURES/bad_raw_rand.cpp" \
+  >/dev/null 2>&1 || fail "--severity off should drop findings"
+"$LINT" --severity wallclock-ban=warn "$FIXTURES/bad_wallclock.cpp" \
+  >/dev/null 2>&1 || fail "--severity warn should not fail the run"
+
+# 6. Baseline plumbing: a matching entry suppresses; a stale entry
+#    fails the run (the baseline only ever shrinks).
+"$LINT" --write-baseline "$tmp_baseline" "$FIXTURES/bad_wallclock.cpp" \
+  >/dev/null 2>&1
+"$LINT" --baseline "$tmp_baseline" "$FIXTURES/bad_wallclock.cpp" \
+  >/dev/null 2>&1 || fail "baselined findings should suppress"
+printf 'wallclock-ban\tno/such/file.cpp\tnothing matches this\n' \
+  >>"$tmp_baseline"
+"$LINT" --baseline "$tmp_baseline" "$FIXTURES/bad_wallclock.cpp" \
+  >/dev/null 2>&1 && fail "stale baseline entries should fail the run"
+
+# 7. --json is valid JSON with the right shape; --list-rules names all
+#    twelve rules. (Capture first: the lint exits 1 on findings, which
+#    pipefail would otherwise turn into a selftest failure.)
+json_out=$("$LINT" --json "$FIXTURES/bad_wallclock.cpp" || true)
+python3 -c '
+import json, sys
+doc = json.load(sys.stdin)
+assert doc["summary"]["violations"] >= 3, doc
+assert all(f["rule"] == "wallclock-ban" for f in doc["findings"]), doc
+assert {"path", "line", "rule", "severity", "message", "hint"} \
+    <= set(doc["findings"][0]), doc
+' <<<"$json_out" || fail "--json output should be valid and well-shaped"
+
+[ "$("$LINT" --list-rules | wc -l)" -eq 12 ] ||
+  fail "--list-rules should name 12 rules"
 
 echo "xmem-lint selftest: OK"
