@@ -31,6 +31,7 @@
 #include "host/traffic_gen.hpp"
 #include "net/flow.hpp"
 #include "net/packet.hpp"
+#include "sim/parallel/sweep.hpp"
 #include "sim/rng.hpp"
 
 using namespace xmem;
@@ -125,7 +126,7 @@ struct RunSpec {
   double churn_per_sec = 0;
 };
 
-RunResult run_scenario(const RunSpec& spec) {
+RunResult run_scenario(const RunSpec& spec, sim::par::ReplicaContext& ctx) {
   // Deep RX ring: the stock 128-deep queue tail-drops under overload,
   // which caps queueing delay at ~35 us and silently loses bounced
   // packets. A deep ring turns oversubscription into honest, visible
@@ -177,7 +178,7 @@ RunResult run_scenario(const RunSpec& spec) {
   // same Zipf popularity as the traffic (hot entries are updated most),
   // so churn contends directly with the cached working set — the
   // worst case for write-through invalidation.
-  sim::Rng churn_rng(kSeed ^ 0x5eedULL);
+  sim::Rng churn_rng = ctx.rng.split(1);
   sim::ZipfGenerator churn_zipf(kFlows, spec.alpha, churn_rng);
   std::function<void()> churn_tick;
   const sim::Time churn_interval =
@@ -231,21 +232,83 @@ int main(int argc, char** argv) {
       "2 KB-entry READ stream saturates the memory link (fig3a-style "
       "latency cliff)");
 
-  // --- 1. Miss-rate curves: capacity x skew ---------------------------
+  // All 24 scenarios below are independent single-threaded simulations;
+  // enqueue them in presentation order, fan them across the sweep
+  // driver, and render tables from the index-ordered results. The
+  // artifact is byte-identical at any --jobs because every value below
+  // is a function of (kSeed, cell index, spec) only.
   const std::vector<std::size_t> sizes = {2, 10, 40, 160};  // of 1024 flows
   const std::vector<double> skews = {0.6, 0.9, 0.99, 1.2};
+
+  // Cells 16-17: the latency cliff. 4.7 Gb/s of 256 B frames = ~2.3 M
+  // lookups/s. Each uncached lookup costs the memory server's NIC a
+  // deposit WRITE (~230 ns) plus a 2 KB entry READ (~315 ns), so it
+  // serves ~1.8 M lookups/s: the uncached stream oversubscribes it
+  // 1.25x and the RX backlog grows for the whole run, while the cache's
+  // miss stream stays under capacity.
+  const RunSpec cliff_base = {.cache_capacity = 0,
+                              .alpha = 0.99,
+                              .rate = sim::gbps(4.7),
+                              .packets = 45'000};
+  RunSpec cliff_cached = cliff_base;
+  cliff_cached.cache_capacity = kFlows / 100;  // 1% of the flow universe
+  cliff_cached.policy = core::LookupCache::Policy::kLfu;
+
+  std::vector<RunSpec> specs;
+  for (const std::size_t size : sizes) {
+    for (const double alpha : skews) {
+      specs.push_back(
+          {.cache_capacity = size, .alpha = alpha, .rate = sim::gbps(2)});
+    }
+  }
+  const std::size_t cliff_at = specs.size();
+  specs.push_back(cliff_base);
+  specs.push_back(cliff_cached);
+  const std::size_t churn_at = specs.size();
+  const std::vector<double> churns = {0.0, 50'000.0, 200'000.0};
+  for (const double churn : churns) {
+    specs.push_back({.cache_capacity = kFlows / 100,
+                     .alpha = 0.99,
+                     .rate = sim::gbps(2),
+                     .churn_per_sec = churn});
+  }
+  const std::size_t policy_at = specs.size();
+  const std::vector<core::LookupCache::Policy> policies = {
+      core::LookupCache::Policy::kFifo, core::LookupCache::Policy::kLru,
+      core::LookupCache::Policy::kLfu};
+  for (const auto policy : policies) {
+    RunSpec spec = cliff_cached;
+    spec.policy = policy;
+    specs.push_back(spec);
+  }
+
+  sim::par::SweepDriver<RunResult> driver(
+      {.jobs = bench::parse_jobs(argc, argv), .seed = kSeed});
+  std::vector<sim::par::SweepDriver<RunResult>::Cell> cells;
+  cells.reserve(specs.size());
+  for (const RunSpec& spec : specs) {
+    cells.emplace_back([spec](sim::par::ReplicaContext& ctx) {
+      return run_scenario(spec, ctx);
+    });
+  }
+  const std::vector<RunResult> res = driver.run(cells);
+  results.set_sweep_info(driver.jobs(), sim::par::host_cores());
+  std::printf("sweep: %zu cells across %zu worker(s)\n", cells.size(),
+              driver.jobs());
+
+  // --- 1. Miss-rate curves: capacity x skew ---------------------------
   stats::TablePrinter curve({"cache (entries)", "alpha=0.6", "alpha=0.9",
                              "alpha=0.99", "alpha=1.2"});
-  for (const std::size_t size : sizes) {
+  for (std::size_t si = 0; si < sizes.size(); ++si) {
+    const std::size_t size = sizes[si];
     std::vector<std::string> row = {std::to_string(size) + " (" +
                                     pct(static_cast<double>(size) / kFlows) +
                                     ")"};
-    for (const double alpha : skews) {
-      const RunResult r = run_scenario(
-          {.cache_capacity = size, .alpha = alpha, .rate = sim::gbps(2)});
+    for (std::size_t ai = 0; ai < skews.size(); ++ai) {
+      const RunResult& r = res[si * skews.size() + ai];
       row.push_back(pct(r.miss_rate));
       char metric[64];
-      std::snprintf(metric, sizeof(metric), "hit_rate/a%.2f/c%zu", alpha,
+      std::snprintf(metric, sizeof(metric), "hit_rate/a%.2f/c%zu", skews[ai],
                     size);
       results.add(metric, r.hit_rate, "ratio");
     }
@@ -254,20 +317,8 @@ int main(int argc, char** argv) {
   curve.print("miss rate vs cache capacity and Zipf skew (LRU, 20k packets)");
 
   // --- 2. The latency cliff at 1% capacity ----------------------------
-  // 4.7 Gb/s of 256 B frames = ~2.3 M lookups/s. Each uncached lookup
-  // costs the memory server's NIC a deposit WRITE (~230 ns) plus a
-  // 2 KB entry READ (~315 ns), so it serves ~1.8 M lookups/s: the
-  // uncached stream oversubscribes it 1.25x and the RX backlog grows for
-  // the whole run, while the cache's miss stream stays under capacity.
-  const RunSpec cliff_base = {.cache_capacity = 0,
-                              .alpha = 0.99,
-                              .rate = sim::gbps(4.7),
-                              .packets = 45'000};
-  RunSpec cliff_cached = cliff_base;
-  cliff_cached.cache_capacity = kFlows / 100;  // 1% of the flow universe
-  cliff_cached.policy = core::LookupCache::Policy::kLfu;
-  const RunResult nocache = run_scenario(cliff_base);
-  const RunResult cached = run_scenario(cliff_cached);
+  const RunResult& nocache = res[cliff_at];
+  const RunResult& cached = res[cliff_at + 1];
 
   stats::TablePrinter cliff({"configuration", "p50 (us)", "p99 (us)",
                              "hit rate", "delivered"});
@@ -289,31 +340,23 @@ int main(int argc, char** argv) {
   // --- 3. Churn: control-plane rewrites vs hit rate -------------------
   stats::TablePrinter churn_tbl(
       {"churn (updates/s)", "hit rate", "invalidations", "p50 (us)"});
-  for (const double churn : {0.0, 50'000.0, 200'000.0}) {
-    RunSpec spec = {.cache_capacity = kFlows / 100,
-                    .alpha = 0.99,
-                    .rate = sim::gbps(2),
-                    .churn_per_sec = churn};
-    const RunResult r = run_scenario(spec);
-    churn_tbl.add_row({std::to_string(static_cast<int>(churn)),
+  for (std::size_t ci = 0; ci < churns.size(); ++ci) {
+    const RunResult& r = res[churn_at + ci];
+    churn_tbl.add_row({std::to_string(static_cast<int>(churns[ci])),
                        pct(r.hit_rate), std::to_string(r.invalidations),
                        stats::TablePrinter::num(r.p50_us)});
     char metric[64];
     std::snprintf(metric, sizeof(metric), "churn%d/hit_rate",
-                  static_cast<int>(churn / 1000));
+                  static_cast<int>(churns[ci] / 1000));
     results.add(metric, r.hit_rate, "ratio");
   }
   churn_tbl.print("hit rate under control-plane churn (1% cache, alpha=0.99)");
 
   // --- 4. Policy shoot-out at the cliff operating point ---------------
   stats::TablePrinter pol_tbl({"policy", "hit rate", "p50 (us)"});
-  for (const auto policy :
-       {core::LookupCache::Policy::kFifo, core::LookupCache::Policy::kLru,
-        core::LookupCache::Policy::kLfu}) {
-    RunSpec spec = cliff_cached;
-    spec.policy = policy;
-    const RunResult r = run_scenario(spec);
-    const std::string name(core::LookupCache::policy_name(policy));
+  for (std::size_t pi = 0; pi < policies.size(); ++pi) {
+    const RunResult& r = res[policy_at + pi];
+    const std::string name(core::LookupCache::policy_name(policies[pi]));
     pol_tbl.add_row({name, pct(r.hit_rate),
                      stats::TablePrinter::num(r.p50_us)});
     results.add("policy/" + name + "_hit_rate", r.hit_rate, "ratio");

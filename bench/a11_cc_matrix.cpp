@@ -41,6 +41,7 @@
 #include "faults/invariants.hpp"
 #include "host/sink.hpp"
 #include "host/traffic_gen.hpp"
+#include "sim/parallel/sweep.hpp"
 #include "stats/histogram.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/timeseries.hpp"
@@ -107,10 +108,16 @@ struct CellResult {
   std::int64_t tenant_offered = 0;
   sim::Time end_time = 0;
   std::size_t cc_violations = 0;
+  /// Invariant failure details — printed by the driver after the merge
+  /// so worker threads never interleave on stderr.
+  std::vector<std::string> violation_lines;
+  /// Serialized recorder output when requested; the caller writes the
+  /// file (cells must not touch shared process state like the fs/stdout).
+  std::string timeseries_json;
 };
 
 CellResult run_cell(Design design, Workload workload,
-                    const std::string& ts_path = "") {
+                    bool record_ts = false) {
   control::Testbed::Config cfg;
   cfg.hosts = kSenders + 1;
   cfg.memory_servers = 1;
@@ -241,19 +248,15 @@ CellResult run_cell(Design design, Workload workload,
   recorder.stop();
   tb.sim().run();
 
-  if (!ts_path.empty() && recorder.write_json(ts_path)) {
-    std::printf("time series written to %s\n", ts_path.c_str());
-  }
-
   faults::InvariantChecker inv;
   inv.require_cc_sane(set);
   const auto violations = inv.run();
-  for (const auto& v : violations) {
-    std::fprintf(stderr, "a11: invariant %s: %s\n", v.name.c_str(),
-                 v.detail.c_str());
-  }
 
   CellResult r;
+  if (record_ts) r.timeseries_json = recorder.to_json();
+  for (const auto& v : violations) {
+    r.violation_lines.push_back("a11: invariant " + v.name + ": " + v.detail);
+  }
   r.sink_bytes = sink_bytes;
   r.goodput_gbps =
       static_cast<double>(sink_bytes) * 8.0 / sim::to_seconds(kDeadline) / 1e9;
@@ -295,19 +298,49 @@ int main(int argc, char** argv) {
   const Workload workloads[] = {Workload::kUniform, Workload::kIncast,
                                 Workload::kChaosLoss};
 
+  // The 12 independent cells fan across the sweep driver; the merge is
+  // in cell-index order, so tables, metrics, and the timeseries file
+  // come out byte-identical at any --jobs. Cells return their recorder
+  // output and invariant lines instead of touching the filesystem or
+  // stderr from worker threads.
+  std::vector<std::pair<Workload, Design>> grid;
+  for (const Workload w : workloads) {
+    for (const Design d : designs) grid.emplace_back(w, d);
+  }
+  sim::par::SweepDriver<CellResult> driver(
+      {.jobs = bench::parse_jobs(argc, argv), .seed = 0xa11cc5eedULL});
+  std::vector<sim::par::SweepDriver<CellResult>::Cell> cell_fns;
+  for (const auto& [w, d] : grid) {
+    const bool record_ts =
+        !ts_path.empty() && w == Workload::kIncast && d == Design::kBoth;
+    cell_fns.emplace_back([w, d, record_ts](sim::par::ReplicaContext&) {
+      return run_cell(d, w, record_ts);
+    });
+  }
+  const std::vector<CellResult> merged = driver.run(cell_fns);
+  results.set_sweep_info(driver.jobs(), sim::par::host_cores());
+  std::printf("sweep: %zu cells across %zu worker(s)\n", merged.size(),
+              driver.jobs());
+
   std::unordered_map<int, CellResult> cells;
   auto key = [](Workload w, Design d) {
     return static_cast<int>(w) * 8 + static_cast<int>(d);
   };
   bool cc_all_sane = true;
-  for (const Workload w : workloads) {
-    for (const Design d : designs) {
-      const bool record_ts = !ts_path.empty() && w == Workload::kIncast &&
-                             d == Design::kBoth;
-      const CellResult r = run_cell(d, w, record_ts ? ts_path : "");
-      cc_all_sane = cc_all_sane && r.cc_violations == 0;
-      cells[key(w, d)] = r;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const CellResult& r = merged[i];
+    for (const std::string& line : r.violation_lines) {
+      std::fprintf(stderr, "%s\n", line.c_str());
     }
+    if (!r.timeseries_json.empty() && !ts_path.empty()) {
+      if (std::FILE* f = std::fopen(ts_path.c_str(), "w")) {
+        std::fwrite(r.timeseries_json.data(), 1, r.timeseries_json.size(), f);
+        std::fclose(f);
+        std::printf("time series written to %s\n", ts_path.c_str());
+      }
+    }
+    cc_all_sane = cc_all_sane && r.cc_violations == 0;
+    cells[key(grid[i].first, grid[i].second)] = r;
   }
 
   for (const Workload w : workloads) {
@@ -349,7 +382,9 @@ int main(int argc, char** argv) {
   const double recovery =
       nocc.goodput_gbps > 0 ? both.goodput_gbps / nocc.goodput_gbps : 0.0;
 
-  // Determinism: the most machinery-heavy cell, re-run bit-for-bit.
+  // Determinism: the most machinery-heavy cell, re-run bit-for-bit —
+  // serially, on this thread. Against a --jobs > 1 sweep this doubles
+  // as the parallel-vs-serial replica-isolation check.
   const CellResult twin = run_cell(Design::kBoth, Workload::kIncast);
   const bool deterministic = twin.sink_bytes == both.sink_bytes &&
                              twin.completed == both.completed &&

@@ -11,14 +11,31 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "sim/parallel/thread_pool.hpp"
 #include "stats/table_printer.hpp"
 #include "telemetry/json.hpp"
 
 namespace xmem::bench {
+
+/// Worker count for sweep-capable benches: `--jobs N` on the command
+/// line wins, then the XMEM_JOBS env knob, then host cores (all via
+/// sim::par::resolve_jobs). Returns the request (0 = auto) rather than
+/// resolving, so SweepDriver/ThreadPool stay the single resolution
+/// point.
+inline std::size_t parse_jobs(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--jobs") {
+      const long v = std::strtol(argv[i + 1], nullptr, 10);
+      if (v > 0) return static_cast<std::size_t>(v);
+    }
+  }
+  return 0;
+}
 
 inline void banner(const std::string& experiment_id,
                    const std::string& description,
@@ -55,6 +72,17 @@ class BenchResults {
     rows_.push_back({std::move(metric), value, std::move(unit)});
   }
 
+  /// Record how a sweep actually executed. Lands in a separate "sweep"
+  /// key, NOT in "results": the results payload is the deterministic
+  /// part of the artifact (byte-identical across --jobs), while the
+  /// sweep header is the execution record that keeps cross-machine
+  /// BENCH comparisons honest (DESIGN.md §17). perf_gate only parses
+  /// "results", so the header never perturbs gating.
+  void set_sweep_info(std::size_t jobs, std::size_t host_cores) {
+    sweep_jobs_ = jobs;
+    sweep_host_cores_ = host_cores;
+  }
+
   [[nodiscard]] bool enabled() const { return !path_.empty(); }
 
   /// Write the JSON file now (idempotent; a second call is a no-op).
@@ -73,6 +101,13 @@ class BenchResults {
       w.end_object();
     }
     w.end_array();
+    if (sweep_jobs_ > 0) {
+      w.key("sweep");
+      w.begin_object();
+      w.kv("jobs", static_cast<std::int64_t>(sweep_jobs_));
+      w.kv("host_cores", static_cast<std::int64_t>(sweep_host_cores_));
+      w.end_object();
+    }
     w.end_object();
     std::FILE* f = std::fopen(path_.c_str(), "w");
     if (f == nullptr) {
@@ -94,6 +129,8 @@ class BenchResults {
   };
   std::string path_;
   std::vector<Row> rows_;
+  std::size_t sweep_jobs_ = 0;
+  std::size_t sweep_host_cores_ = 0;
   bool written_ = false;
 };
 

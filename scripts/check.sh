@@ -42,6 +42,14 @@
 #                                  # (JSON + incast time series exported
 #                                  # to <build>/telemetry/)
 #   $ scripts/check.sh --cc-asan   # same suite under ASan+UBSan
+#   $ scripts/check.sh --sweep     # parallel sweep engine suite: build +
+#                                  # run the thread-pool / sweep-driver
+#                                  # tests, the m2 scaling bench, and the
+#                                  # byte-identity harness (a10 + a11 run
+#                                  # at --jobs 1 and --jobs 4; their
+#                                  # "results" payloads must match to the
+#                                  # byte — only the "sweep" execution
+#                                  # header may differ)
 #
 # --cache/--cache-asan accept `--cache-policy <lru|lfu|fifo>`: exported
 # as XMEM_CACHE_POLICY, which LookupCache::policy_from_env() picks up
@@ -80,8 +88,9 @@ cache_asan=0
 cache_policy=""
 run_cc=0
 cc_asan=0
+run_sweep=0
 usage() {
-  echo "usage: $0 [--tier1|--sanitize|--tsan|--fast|--chaos|--lint|--format|--tidy|--bench|--report|--cache|--cache-asan|--cc|--cc-asan] [--cache-policy <lru|lfu|fifo>]" >&2
+  echo "usage: $0 [--tier1|--sanitize|--tsan|--fast|--chaos|--lint|--format|--tidy|--bench|--report|--cache|--cache-asan|--cc|--cc-asan|--sweep] [--cache-policy <lru|lfu|fifo>]" >&2
   exit 2
 }
 solo() { run_tier1=0; run_sanitize=0; }
@@ -100,6 +109,7 @@ while [[ $# -gt 0 ]]; do
     --cache-asan) solo; run_cache=1; cache_asan=1 ;;
     --cc) solo; run_cc=1 ;;
     --cc-asan) solo; run_cc=1; cc_asan=1 ;;
+    --sweep) solo; run_sweep=1 ;;
     --cache-policy)
       [[ $# -ge 2 ]] || usage
       cache_policy=$2; shift
@@ -145,6 +155,13 @@ if [[ "$run_tsan" == 1 ]]; then
         -DXMEM_TSAN=ON
   cmake --build "$repo/build-tsan" -j "$jobs"
   ctest --test-dir "$repo/build-tsan" --output-on-failure -j "$jobs"
+  # Replica isolation is machine-checked, not asserted: drive the sweep
+  # engine's real fan-out (m2's 8 replicas at 1/2/4/8 workers) under
+  # TSan. Any shared mutable state between replicas is a race report
+  # here. TSan wall-clock is meaningless, so the JSON goes to /dev/null
+  # and only the exit code (digest byte-identity) gates.
+  echo "== tsan: m2 parallel sweep under ThreadSanitizer =="
+  "$repo/build-tsan/bench/m2_parallel_scale" --json /dev/null
 fi
 
 if [[ "$run_lint" == 1 ]]; then
@@ -221,6 +238,40 @@ if [[ "$run_cc" == 1 ]]; then
   "$cc_build/bench/a11_cc_matrix" \
     --json "$cc_build/telemetry/a11_cc_matrix.json" \
     --timeseries "$cc_build/telemetry/a11_incast_timeseries.json"
+fi
+
+if [[ "$run_sweep" == 1 ]]; then
+  echo "== sweep: parallel engine tests + m2 scaling + byte-identity =="
+  cmake -B "$repo/build" -S "$repo" -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$repo/build" -j "$jobs" \
+    --target thread_pool_test determinism_test sim_test \
+    m2_parallel_scale a10_cache_zipf a11_cc_matrix
+  # The engine's unit surface (pool backpressure/shutdown/exceptions,
+  # driver merge order, Rng::split) plus the cross-jobs determinism case.
+  ctest --test-dir "$repo/build" -R "thread_pool|determinism|^sim" \
+    --output-on-failure -j "$jobs"
+  mkdir -p "$repo/build/telemetry"
+  "$repo/build/bench/m2_parallel_scale" \
+    --json "$repo/build/telemetry/m2_parallel_scale.json"
+  # Byte-identity of the deterministic payload: each matrix bench run
+  # serially and at 4 workers must write identical bytes up to the
+  # "sweep" execution-record header (which records the actual jobs/cores
+  # and so legitimately differs — DESIGN.md §17).
+  for b in a10_cache_zipf a11_cc_matrix; do
+    "$repo/build/bench/$b" --jobs 1 \
+      --json "$repo/build/telemetry/${b}_j1.json" > /dev/null
+    "$repo/build/bench/$b" --jobs 4 \
+      --json "$repo/build/telemetry/${b}_j4.json" > /dev/null
+    python3 - "$repo/build/telemetry/${b}_j1.json" \
+      "$repo/build/telemetry/${b}_j4.json" <<'PYEOF'
+import sys
+a, b = (open(p).read().split('"sweep"')[0] for p in sys.argv[1:3])
+if a != b:
+    sys.exit("sweep byte-identity FAIL: deterministic payload differs "
+             "between jobs=1 and jobs=4")
+PYEOF
+    echo "sweep: $b payload byte-identical at jobs=1 and jobs=4"
+  done
 fi
 
 if [[ "$run_bench" == 1 ]]; then
@@ -308,6 +359,8 @@ elif [[ "$run_cc" == 1 && "$cc_asan" == 1 ]]; then
   echo "CHECK OK (cc-asan)"
 elif [[ "$run_cc" == 1 ]]; then
   echo "CHECK OK (cc)"
+elif [[ "$run_sweep" == 1 ]]; then
+  echo "CHECK OK (sweep)"
 elif [[ "$run_report" == 1 ]]; then
   echo "CHECK OK (report)"
 elif [[ "$run_format" == 1 ]]; then

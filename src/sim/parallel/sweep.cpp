@@ -1,0 +1,16 @@
+#include "sim/parallel/sweep.hpp"
+
+namespace xmem::sim::par {
+
+std::string merged_json(const std::vector<std::string>& cell_json) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < cell_json.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\n  ";
+    out += cell_json[i];
+  }
+  out += "\n]";
+  return out;
+}
+
+}  // namespace xmem::sim::par

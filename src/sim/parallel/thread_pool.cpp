@@ -1,0 +1,126 @@
+#include "sim/parallel/thread_pool.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "sim/env.hpp"
+
+namespace xmem::sim::par {
+
+std::size_t host_cores() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<std::size_t>(hc);
+}
+
+std::size_t resolve_jobs(std::size_t requested) {
+  if (requested > 0) return requested;
+  if (const auto raw = env("XMEM_JOBS")) {
+    // Strict parse: a malformed or zero XMEM_JOBS falls through to the
+    // hardware default rather than silently serializing the sweep.
+    std::size_t value = 0;
+    bool valid = !raw->empty();
+    for (const char c : *raw) {
+      if (c < '0' || c > '9' || value > (1u << 20)) {
+        valid = false;
+        break;
+      }
+      value = value * 10 + static_cast<std::size_t>(c - '0');
+    }
+    if (valid && value > 0) return value;
+  }
+  return host_cores();
+}
+
+ThreadPool::ThreadPool(Config config) {
+  const std::size_t threads = resolve_jobs(config.threads);
+  capacity_ =
+      config.queue_capacity > 0 ? config.queue_capacity : 2 * threads;
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  // Destructor path must not throw: drain and join, but keep any
+  // captured task exception parked instead of rethrowing it.
+  drain_and_join();
+}
+
+void ThreadPool::submit(Task task) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (draining_) {
+    throw std::logic_error("ThreadPool: submit() after shutdown()");
+  }
+  not_full_.wait(lock,
+                 [this] { return queue_.size() < capacity_ || draining_; });
+  if (draining_) {
+    throw std::logic_error("ThreadPool: submit() after shutdown()");
+  }
+  queue_.push_back(std::move(task));
+  if (queue_.size() > max_depth_) max_depth_ = queue_.size();
+  lock.unlock();
+  not_empty_.notify_one();
+}
+
+void ThreadPool::drain_and_join() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    draining_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+  if (!joined_) {
+    for (std::thread& w : workers_) {
+      if (w.joinable()) w.join();
+    }
+    joined_ = true;
+  }
+}
+
+void ThreadPool::shutdown() {
+  drain_and_join();
+  std::exception_ptr error;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    error = first_error_;
+    first_error_ = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+std::size_t ThreadPool::max_queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_depth_;
+}
+
+std::exception_ptr ThreadPool::first_error() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return first_error_;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_empty_.wait(lock,
+                      [this] { return !queue_.empty() || draining_; });
+      if (queue_.empty()) return;  // draining and nothing left
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    // A popped slot is free whether or not we are draining: a blocked
+    // submit() may proceed (draining turns later submits into errors).
+    not_full_.notify_one();
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+  }
+}
+
+}  // namespace xmem::sim::par

@@ -1,0 +1,94 @@
+// Bounded-queue worker pool for the coarse-grained parallel sweep
+// engine (DESIGN.md §17).
+//
+// Deliberately minimal: fixed thread count, one FIFO task queue with a
+// hard capacity bound, blocking submit(). The bound is the backpressure
+// mechanism — a sweep driver enqueueing thousands of replica cells
+// cannot balloon memory by materializing every closure at once; it
+// blocks until a worker frees a slot. Shutdown is *draining*: every
+// task accepted by submit() runs before the workers join, so results
+// never vanish in a destructor.
+//
+// Tasks must not assume any execution order between each other — the
+// determinism contract for sweeps lives one level up, in SweepDriver,
+// which gives every task exclusive state and merges results in
+// cell-index order.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace xmem::sim::par {
+
+struct ThreadPoolConfig {
+  /// Worker threads. 0 resolves via resolve_jobs() (XMEM_JOBS, then
+  /// hardware_concurrency clamped to >= 1).
+  std::size_t threads = 0;
+  /// Queue slots; submit() blocks while the queue holds this many
+  /// pending tasks. 0 defaults to 2x the thread count.
+  std::size_t queue_capacity = 0;
+};
+
+class ThreadPool {
+ public:
+  using Task = std::function<void()>;
+  using Config = ThreadPoolConfig;
+
+  explicit ThreadPool(Config config = {});
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+  /// Drains and joins (equivalent to shutdown()).
+  ~ThreadPool();
+
+  /// Enqueue a task; blocks while the queue is at capacity. Throws
+  /// std::logic_error after shutdown() has begun.
+  void submit(Task task);
+
+  /// Drain every accepted task, then join all workers. Idempotent.
+  /// If any task escaped with an exception, rethrows the first one
+  /// captured (by completion order) after the join.
+  void shutdown();
+
+  [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
+  [[nodiscard]] std::size_t queue_capacity() const { return capacity_; }
+  /// High-water mark of pending (not yet running) tasks; bounded by
+  /// queue_capacity() whenever backpressure works. Test instrumentation.
+  [[nodiscard]] std::size_t max_queue_depth() const;
+  /// First exception a task escaped with, if any (null otherwise).
+  /// shutdown() rethrows it; expose it for tests and for callers that
+  /// prefer polling.
+  [[nodiscard]] std::exception_ptr first_error() const;
+
+ private:
+  void worker_loop();
+  void drain_and_join();
+
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<Task> queue_;
+  std::vector<std::thread> workers_;
+  std::exception_ptr first_error_;
+  std::size_t capacity_ = 0;
+  std::size_t max_depth_ = 0;
+  bool draining_ = false;
+  bool joined_ = false;
+};
+
+/// Host logical core count; std::thread::hardware_concurrency() clamped
+/// to >= 1 (the standard allows it to return 0 when unknown).
+[[nodiscard]] std::size_t host_cores();
+
+/// Resolve a worker count: an explicit request wins; otherwise the
+/// XMEM_JOBS environment knob (read through the sim::env() startup
+/// snapshot, like every other env input); otherwise host_cores().
+/// Always >= 1.
+[[nodiscard]] std::size_t resolve_jobs(std::size_t requested = 0);
+
+}  // namespace xmem::sim::par

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 #include <vector>
 
@@ -439,6 +440,77 @@ TEST(Rng, ExponentialMean) {
   const int n = 20000;
   for (int i = 0; i < n; ++i) sum += rng.exponential(5.0);
   EXPECT_NEAR(sum / n, 5.0, 0.2);
+}
+
+TEST(Rng, SplitIsReproducible) {
+  // split() derives from the seed, not the evolving state: the same
+  // (parent seed, stream id) is the same stream no matter when it is
+  // split off or how much the parent has drawn.
+  Rng parent(42);
+  Rng early = parent.split(7);
+  for (int i = 0; i < 1000; ++i) parent.next();
+  Rng late = parent.split(7);
+  Rng direct(parent.stream_seed(7));
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t v = early.next();
+    EXPECT_EQ(v, late.next());
+    EXPECT_EQ(v, direct.next());
+  }
+}
+
+TEST(Rng, SplitStreamsDistinct) {
+  // Adjacent stream ids must land in unrelated parts of the seed space
+  // (the SplitMix64 avalanche), unlike the old `seed + i` arithmetic.
+  Rng parent(42);
+  Rng a = parent.split(0);
+  Rng b = parent.split(1);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, SplitStreamsPairwiseUncorrelatedSmoke) {
+  // Smoke statistic over every pair of 8 sibling streams: the Pearson
+  // correlation of their uniform01 sequences stays near zero. A lag-0
+  // linear dependence (the failure mode of naive seed arithmetic) would
+  // push |r| toward 1.
+  constexpr int kStreams = 8;
+  constexpr int kSamples = 4096;
+  Rng parent(0xdecafULL);
+  std::vector<std::vector<double>> seq(kStreams);
+  for (int s = 0; s < kStreams; ++s) {
+    Rng stream = parent.split(static_cast<std::uint64_t>(s));
+    seq[static_cast<std::size_t>(s)].reserve(kSamples);
+    for (int i = 0; i < kSamples; ++i) {
+      seq[static_cast<std::size_t>(s)].push_back(stream.uniform01());
+    }
+  }
+  for (int a = 0; a < kStreams; ++a) {
+    for (int b = a + 1; b < kStreams; ++b) {
+      double ma = 0, mb = 0;
+      for (int i = 0; i < kSamples; ++i) {
+        ma += seq[static_cast<std::size_t>(a)][static_cast<std::size_t>(i)];
+        mb += seq[static_cast<std::size_t>(b)][static_cast<std::size_t>(i)];
+      }
+      ma /= kSamples;
+      mb /= kSamples;
+      double cov = 0, va = 0, vb = 0;
+      for (int i = 0; i < kSamples; ++i) {
+        const double da =
+            seq[static_cast<std::size_t>(a)][static_cast<std::size_t>(i)] - ma;
+        const double db =
+            seq[static_cast<std::size_t>(b)][static_cast<std::size_t>(i)] - mb;
+        cov += da * db;
+        va += da * da;
+        vb += db * db;
+      }
+      const double r = cov / std::sqrt(va * vb);
+      EXPECT_LT(std::abs(r), 0.08)
+          << "streams " << a << " and " << b << " correlate";
+    }
+  }
 }
 
 TEST(Zipf, UniformWhenSkewZero) {

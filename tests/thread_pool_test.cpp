@@ -1,0 +1,200 @@
+// The parallel sweep engine's concurrency primitives (DESIGN.md §17):
+// bounded-queue backpressure, draining shutdown with tasks in flight,
+// exception propagation out of workers, worker-count resolution, and
+// the SweepDriver's ordered merge / ordered rethrow.
+//
+// No sleeps and no clocks: blocking behaviour is pinned with promise
+// gates and the pool's max_queue_depth() high-water instrumentation, so
+// the tests stay deterministic under TSan's scheduler perturbation.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <future>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/env.hpp"
+#include "sim/parallel/sweep.hpp"
+#include "sim/parallel/thread_pool.hpp"
+
+namespace xmem::sim::par {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool({.threads = 3, .queue_capacity = 2});
+  EXPECT_EQ(pool.thread_count(), 3u);
+  EXPECT_EQ(pool.queue_capacity(), 2u);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 32; ++i) {
+    pool.submit([&ran] { ran.fetch_add(1); });
+  }
+  pool.shutdown();
+  EXPECT_EQ(ran.load(), 32);
+}
+
+TEST(ThreadPool, BackpressureBoundsQueueDepth) {
+  // One worker, one queue slot. The worker is parked on a gate, so a
+  // second pending task fills the queue and every further submit() must
+  // block until the worker frees the slot. The submitting thread can
+  // only finish all its submits by riding that backpressure, and the
+  // high-water mark proves the queue never held more than `capacity`.
+  ThreadPool pool({.threads = 1, .queue_capacity = 1});
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  pool.submit([opened] { opened.wait(); });
+
+  std::atomic<int> ran{0};
+  std::thread submitter([&pool, &ran] {
+    for (int i = 0; i < 8; ++i) {
+      pool.submit([&ran] { ran.fetch_add(1); });
+    }
+  });
+  gate.set_value();
+  submitter.join();
+  pool.shutdown();
+  EXPECT_EQ(ran.load(), 8);
+  EXPECT_LE(pool.max_queue_depth(), pool.queue_capacity());
+}
+
+TEST(ThreadPool, ShutdownDrainsTasksInFlight) {
+  // shutdown() is draining, not aborting: every task accepted before it
+  // runs to completion even when the queue is still full of work.
+  ThreadPool pool({.threads = 2, .queue_capacity = 8});
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 24; ++i) {
+    pool.submit([&ran] { ran.fetch_add(1); });
+  }
+  pool.shutdown();
+  EXPECT_EQ(ran.load(), 24);
+}
+
+TEST(ThreadPool, SubmitAfterShutdownThrows) {
+  ThreadPool pool({.threads = 1});
+  pool.shutdown();
+  EXPECT_THROW(pool.submit([] {}), std::logic_error);
+}
+
+TEST(ThreadPool, TaskExceptionRethrownByShutdown) {
+  ThreadPool pool({.threads = 1, .queue_capacity = 4});
+  // Single worker: the throwing task completes before the gate task, so
+  // by the time the gate opens first_error() is committed.
+  pool.submit([] { throw std::runtime_error("replica failed"); });
+  std::promise<void> done;
+  pool.submit([&done] { done.set_value(); });
+  done.get_future().wait();
+  EXPECT_NE(pool.first_error(), nullptr);
+  EXPECT_THROW(pool.shutdown(), std::runtime_error);
+  // The rethrow consumed the error; a second shutdown is a clean no-op.
+  pool.shutdown();
+}
+
+TEST(ThreadPool, DestructorDrainsWithoutThrowing) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool({.threads = 2, .queue_capacity = 2});
+    for (int i = 0; i < 8; ++i) {
+      pool.submit([&ran] { ran.fetch_add(1); });
+    }
+    pool.submit([] { throw std::runtime_error("parked, not rethrown"); });
+  }
+  EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(ResolveJobs, ClampsAndOverrides) {
+  EXPECT_GE(host_cores(), 1u);
+  EXPECT_EQ(resolve_jobs(5), 5u);
+  // With no request, the result is XMEM_JOBS or host_cores, always >= 1.
+  EXPECT_GE(resolve_jobs(0), 1u);
+
+  ::setenv("XMEM_JOBS", "3", 1);
+  reset_env_for_test();
+  EXPECT_EQ(resolve_jobs(0), 3u);
+  EXPECT_EQ(resolve_jobs(2), 2u);  // explicit request still wins
+
+  ::setenv("XMEM_JOBS", "not-a-number", 1);
+  reset_env_for_test();
+  EXPECT_EQ(resolve_jobs(0), host_cores());
+
+  ::setenv("XMEM_JOBS", "0", 1);
+  reset_env_for_test();
+  EXPECT_EQ(resolve_jobs(0), host_cores());
+
+  ::unsetenv("XMEM_JOBS");
+  reset_env_for_test();
+  EXPECT_EQ(resolve_jobs(0), host_cores());
+}
+
+TEST(SweepDriver, MergesResultsInCellIndexOrder) {
+  SweepDriver<int> driver({.jobs = 4, .seed = 99});
+  std::vector<SweepDriver<int>::Cell> cells;
+  for (int i = 0; i < 12; ++i) {
+    cells.emplace_back([i](ReplicaContext& ctx) {
+      EXPECT_EQ(ctx.index, static_cast<std::size_t>(i));
+      return i * 10;
+    });
+  }
+  const std::vector<int> merged = driver.run(cells);
+  ASSERT_EQ(merged.size(), 12u);
+  for (int i = 0; i < 12; ++i) EXPECT_EQ(merged[static_cast<std::size_t>(i)], i * 10);
+}
+
+TEST(SweepDriver, ReplicaContextsAreDeterministicPerIndex) {
+  // The same (sweep seed, index) always yields the same sub-stream,
+  // regardless of worker count or which thread ran the cell.
+  auto first_draw = [](std::size_t jobs) {
+    SweepDriver<std::uint64_t> driver({.jobs = jobs, .seed = 0xfeedULL});
+    std::vector<SweepDriver<std::uint64_t>::Cell> cells;
+    for (int i = 0; i < 6; ++i) {
+      cells.emplace_back([](ReplicaContext& ctx) { return ctx.rng.next(); });
+    }
+    return driver.run(cells);
+  };
+  const auto serial = first_draw(1);
+  const auto parallel = first_draw(4);
+  EXPECT_EQ(serial, parallel);
+  // ...and distinct indices get distinct streams.
+  for (std::size_t i = 1; i < serial.size(); ++i) {
+    EXPECT_NE(serial[0], serial[i]);
+  }
+}
+
+TEST(SweepDriver, LowestIndexedReplicaExceptionWins) {
+  SweepDriver<int> driver({.jobs = 4, .seed = 1});
+  std::vector<SweepDriver<int>::Cell> cells;
+  for (int i = 0; i < 8; ++i) {
+    cells.emplace_back([i](ReplicaContext&) -> int {
+      if (i == 2) throw std::runtime_error("cell 2");
+      if (i == 5) throw std::logic_error("cell 5");
+      return i;
+    });
+  }
+  // Both cells throw; the driver reports the lowest cell index, so the
+  // failure a sweep surfaces is reproducible at any worker count.
+  try {
+    driver.run(cells);
+    FAIL() << "sweep with a throwing replica must not succeed";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "cell 2");
+  }
+}
+
+TEST(SweepDriver, SerialPathMatchesPoolPath) {
+  // jobs=1 takes the inline path (no pool); the observable contract is
+  // identical either way.
+  SweepDriver<std::size_t> serial({.jobs = 1, .seed = 7});
+  SweepDriver<std::size_t> pooled({.jobs = 3, .seed = 7});
+  std::vector<SweepDriver<std::size_t>::Cell> cells;
+  for (int i = 0; i < 5; ++i) {
+    cells.emplace_back(
+        [](ReplicaContext& ctx) { return ctx.index + ctx.rng.uniform(100); });
+  }
+  EXPECT_EQ(serial.run(cells), pooled.run(cells));
+  EXPECT_EQ(serial.jobs(), 1u);
+  EXPECT_EQ(pooled.jobs(), 3u);
+}
+
+}  // namespace
+}  // namespace xmem::sim::par
